@@ -1,0 +1,87 @@
+"""E10 — ablation: answer cleansing (fuzzy key merging).
+
+The paper says each Crowd operator "consumes and cleanses results
+returned by the crowd".  This ablation toggles the cleansing step that
+merges typo-variant primary keys when sourcing new tuples and measures
+how many spurious near-duplicate tuples leak into a CROWD table.
+"""
+
+import difflib
+
+import pytest
+
+from crowdbench import fresh, quiet, report
+
+from repro import CrowdConfig, connect
+from repro.crowd.sim.traces import GroundTruthOracle
+
+TRUE_NAMES = [
+    "Pike Place Chowder",
+    "Serious Pie",
+    "Umi Sake House",
+    "The Pink Door",
+    "Lecosho",
+    "Il Corvo",
+]
+
+
+def build_oracle():
+    oracle = GroundTruthOracle()
+    oracle.load_new_tuples(
+        "Restaurant", [{"name": name} for name in TRUE_NAMES]
+    )
+    return oracle
+
+
+def run(fuzzy: bool, seed: int):
+    fresh()
+    db = connect(
+        oracle=build_oracle(),
+        seed=seed,
+        crowd_config=CrowdConfig(replication=3, fuzzy_cleansing=fuzzy),
+    )
+    db.execute("CREATE CROWD TABLE Restaurant (name STRING PRIMARY KEY)")
+    with quiet():
+        # several bounded sourcing rounds, as a user paging through results
+        for limit in (3, 5, 8, 10):
+            db.query(f"SELECT name FROM Restaurant LIMIT {limit}")
+    names = [row[0] for row in db.query("SELECT name FROM Restaurant")]
+    return names
+
+
+def spurious_count(names):
+    """Stored names that are typo-variants of another stored name."""
+    spurious = 0
+    for i, a in enumerate(names):
+        for b in names[:i]:
+            ratio = difflib.SequenceMatcher(
+                None, str(a).lower(), str(b).lower()
+            ).ratio()
+            if 0.8 <= ratio < 1.0:
+                spurious += 1
+                break
+    return spurious
+
+
+def test_e10_cleansing_ablation(benchmark):
+    seeds = (71, 72, 73)
+    with_cleansing = [spurious_count(run(True, seed)) for seed in seeds]
+    without_cleansing = [spurious_count(run(False, seed)) for seed in seeds]
+    benchmark.pedantic(run, args=(True, 74), rounds=1, iterations=1)
+
+    total_with = sum(with_cleansing)
+    total_without = sum(without_cleansing)
+    # cleansing must strictly reduce near-duplicate leakage
+    assert total_with <= total_without
+    assert total_without > 0, "the noisy crowd should produce some typos"
+    assert total_with == 0, "fuzzy merging should remove typo variants"
+
+    report(
+        "E10",
+        "spurious near-duplicate tuples with/without cleansing (3 seeds)",
+        ["configuration", "spurious tuples"],
+        [
+            ("cleansing ON (fuzzy key merge)", total_with),
+            ("cleansing OFF", total_without),
+        ],
+    )

@@ -1,0 +1,128 @@
+"""E1 — HIT-group responsiveness vs reward and group size.
+
+Reproduces the shape of the companion paper's micro-benchmarks ([3]
+§6.1, Figures 6-7): the fraction of assignments completed over time grows
+with the posted reward (diminishing returns) and larger HIT groups are
+serviced faster per HIT (marketplace visibility).  Absolute times are
+simulator-scale; the *ordering* of the curves is the reproduced result.
+"""
+
+import pytest
+
+from crowdbench import fresh, report
+
+from repro.crowd.model import HIT, FillTask
+from repro.crowd.sim.amt import SimulatedAMT
+from repro.crowd.sim.behavior import BehaviorConfig
+from repro.crowd.sim.traces import GroundTruthOracle
+
+CHECKPOINTS = [300.0, 900.0, 1800.0, 3600.0]  # simulated seconds
+
+# a deliberately slow marketplace so the completion curves separate
+SLOW_MARKET = dict(
+    base_arrival_rate=1.0 / 90.0,
+    completion_time_median=120.0,
+)
+
+
+def make_oracle():
+    oracle = GroundTruthOracle()
+    for i in range(600):
+        oracle.load_fill("Item", (f"item{i}",), {"value": f"v{i}"})
+    return oracle
+
+
+def make_hits(count):
+    return [
+        HIT(
+            task=FillTask("Item", (f"item{i}",), ("value",), {}),
+            reward_cents=0,  # set by caller
+            assignments_requested=1,
+        )
+        for i in range(count)
+    ]
+
+
+def completion_curve(reward_cents: int, hit_count: int, seed: int = 5):
+    """Fraction of assignments complete at each checkpoint."""
+    fresh()
+    platform = SimulatedAMT(
+        make_oracle(),
+        population=60,
+        seed=seed,
+        config=BehaviorConfig(**SLOW_MARKET),
+    )
+    hits = make_hits(hit_count)
+    for hit in hits:
+        hit.reward_cents = reward_cents
+        platform.post_hit(hit)
+    curve = []
+    for checkpoint in CHECKPOINTS:
+        platform.run_until(lambda: False, timeout=checkpoint - platform.clock.now)
+        done = sum(len(h.assignments) for h in hits)
+        curve.append(done / hit_count)
+    return curve
+
+
+def test_e1_reward_sweep(benchmark):
+    """[3] Fig. 6 analog: higher reward -> faster completion."""
+    rewards = [1, 2, 4]
+    curves = {r: completion_curve(r, hit_count=150) for r in rewards}
+    benchmark.pedantic(
+        completion_curve, args=(2, 30), rounds=1, iterations=1
+    )
+
+    # final completion must be monotone in reward
+    finals = [curves[r][-1] for r in rewards]
+    assert finals[0] <= finals[1] + 1e-9 and finals[1] <= finals[2] + 1e-9
+    # and the 1c curve must trail the 4c curve at every checkpoint
+    assert all(a <= b + 1e-9 for a, b in zip(curves[1], curves[4]))
+    # the sweep must actually show separation (not saturate everywhere)
+    assert curves[4][0] > curves[1][0]
+
+    report(
+        "E1a",
+        "% assignments complete over time vs reward ([3] Fig. 6 analog)",
+        ["reward"] + [f"t={int(c)}s" for c in CHECKPOINTS],
+        [
+            [f"{r}c"] + [f"{v:.0%}" for v in curves[r]]
+            for r in rewards
+        ],
+    )
+
+
+def test_e1_group_size_sweep(benchmark):
+    """[3] Fig. 7 analog: bigger HIT groups are serviced faster per HIT."""
+    benchmark.pedantic(completion_curve, args=(2, 5), rounds=1, iterations=1)
+    sizes = [5, 20, 80]
+    # measure time until 80% of the group's assignments are done
+    times = {}
+    for size in sizes:
+        fresh()
+        platform = SimulatedAMT(
+            make_oracle(),
+            population=60,
+            seed=11,
+            config=BehaviorConfig(**SLOW_MARKET),
+        )
+        hits = make_hits(size)
+        for hit in hits:
+            hit.reward_cents = 2
+            platform.post_hit(hit)
+        target = int(0.8 * size)
+        platform.run_until(
+            lambda: sum(len(h.assignments) for h in hits) >= target,
+            timeout=48 * 3600,
+        )
+        done = sum(len(h.assignments) for h in hits)
+        times[size] = platform.clock.now / max(done, 1)
+
+    # per-HIT service time shrinks as the group grows
+    assert times[80] < times[5]
+
+    report(
+        "E1b",
+        "per-HIT service time vs HIT-group size ([3] Fig. 7 analog)",
+        ["group size", "seconds per completed HIT"],
+        [(size, f"{times[size]:.0f}") for size in sizes],
+    )

@@ -1,0 +1,65 @@
+"""E2 — worker affinity: the HITs-per-worker distribution is heavy-tailed.
+
+Reproduces [3] §6.1 Figure 8: a small set of workers completes the lion's
+share of the work (the paper observed the top workers dominating
+submissions, motivating the Worker Relationship Manager).
+"""
+
+import pytest
+
+from crowdbench import fresh, report
+
+from repro.crowd.model import HIT, FillTask
+from repro.crowd.sim.amt import SimulatedAMT
+from repro.crowd.sim.traces import GroundTruthOracle
+
+
+def run_workload(hit_count: int = 300, population: int = 120, seed: int = 13):
+    fresh()
+    oracle = GroundTruthOracle()
+    for i in range(hit_count):
+        oracle.load_fill("Item", (f"i{i}",), {"v": f"value{i}"})
+    platform = SimulatedAMT(oracle, population=population, seed=seed)
+    hits = [
+        HIT(
+            task=FillTask("Item", (f"i{i}",), ("v",), {}),
+            reward_cents=2,
+            assignments_requested=1,
+        )
+        for i in range(hit_count)
+    ]
+    for hit in hits:
+        platform.post_hit(hit)
+    platform.wait_for_hits([h.hit_id for h in hits], timeout=30 * 24 * 3600)
+    return platform
+
+
+def test_e2_worker_affinity(benchmark):
+    platform = benchmark.pedantic(run_workload, rounds=1, iterations=1)
+    counts = sorted(platform.hits_per_worker().values(), reverse=True)
+    total = sum(counts)
+    assert total >= 250  # nearly all HITs serviced
+
+    active_workers = len(counts)
+    top10pct = max(1, active_workers // 10)
+    shares = {
+        "top 10% of workers": sum(counts[:top10pct]) / total,
+        "top 25% of workers": sum(counts[: max(1, active_workers // 4)]) / total,
+        "bottom 50% of workers": sum(counts[active_workers // 2 :]) / total,
+    }
+
+    # heavy tail: top decile does far more than its proportional share,
+    # bottom half does far less
+    assert shares["top 10% of workers"] > 0.2
+    assert shares["bottom 50% of workers"] < 0.35
+
+    rows = [(label, f"{value:.0%}") for label, value in shares.items()]
+    rows.append(("active workers", active_workers))
+    rows.append(("busiest worker's HITs", counts[0]))
+    rows.append(("median worker's HITs", counts[active_workers // 2]))
+    report(
+        "E2",
+        "HITs-per-worker distribution ([3] Fig. 8 analog)",
+        ["metric", "value"],
+        rows,
+    )

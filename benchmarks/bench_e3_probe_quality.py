@@ -1,0 +1,67 @@
+"""E3 — CrowdProbe answer quality vs replication factor.
+
+Reproduces [3] §6.2 (Figure 9 analog): filling missing professor
+department/email attributes.  Majority voting over 3 or 5 assignments
+beats accepting a single answer; the gain shrinks as replication grows
+(diminishing returns), while cost grows linearly.
+"""
+
+import pytest
+
+from crowdbench import fresh, professor_db, professor_oracle, quiet, report
+
+from repro.crowd.quality import normalize_answer
+
+COUNT = 30
+
+
+def accuracy_for_replication(replication: int, seed: int = 21):
+    fresh()
+    oracle = professor_oracle(COUNT)
+    db = professor_db(oracle, count=COUNT, seed=seed, replication=replication)
+    with quiet():
+        rows = db.query("SELECT name, department, email FROM Professor")
+    correct = 0
+    checked = 0
+    for name, department, email in rows:
+        for column, answer in (("department", department), ("email", email)):
+            truth = oracle.fill_value("Professor", (name,), column)
+            checked += 1
+            if truth is not None and normalize_answer(str(answer)) == normalize_answer(
+                str(truth)
+            ):
+                correct += 1
+    stats = db.crowd_stats
+    return correct / checked, stats["cost_cents"]
+
+
+def test_e3_probe_quality(benchmark):
+    results = {}
+    for replication in (1, 3, 5):
+        results[replication] = accuracy_for_replication(replication)
+    benchmark.pedantic(
+        accuracy_for_replication, args=(3,), rounds=1, iterations=1
+    )
+
+    acc1, cost1 = results[1]
+    acc3, cost3 = results[3]
+    acc5, cost5 = results[5]
+
+    # the reproduced shape: majority vote improves on single answers,
+    # 5-way replication is at least as good as 3-way, cost is linear
+    assert acc3 >= acc1
+    assert acc5 >= acc3 - 0.03  # allow small noise at the top
+    assert acc5 > acc1
+    assert cost3 == pytest.approx(3 * cost1, rel=0.01)
+    assert cost5 == pytest.approx(5 * cost1, rel=0.01)
+    assert acc5 > 0.9  # majority voting gets the workload basically right
+
+    report(
+        "E3",
+        "CrowdProbe attribute accuracy vs replication ([3] Fig. 9 analog)",
+        ["replication", "accuracy", "cost (cents)"],
+        [
+            (r, f"{results[r][0]:.1%}", results[r][1])
+            for r in (1, 3, 5)
+        ],
+    )

@@ -1,0 +1,84 @@
+"""E8 — ablation: boundedness analysis precision.
+
+The paper's optimizer "warns the user at compile-time if the number of
+requests cannot be bounded".  This bench runs a labeled corpus of
+queries through the analysis and checks that every verdict matches the
+ground-truth label — no false alarms on bounded plans, no silent
+unbounded plans.
+"""
+
+import warnings
+
+import pytest
+
+from crowdbench import fresh, report
+
+from repro import connect
+from repro.errors import UnboundedQueryWarning
+
+# (query, expected_bounded, why)
+CORPUS = [
+    ("SELECT title FROM Talk", True, "no crowd table"),
+    ("SELECT abstract FROM Talk WHERE title = 'X'", True,
+     "crowd column of a regular table: finite stored tuples"),
+    ("SELECT name FROM NotableAttendee WHERE name = 'Mike'", True,
+     "primary key pinned"),
+    ("SELECT name FROM NotableAttendee WHERE name IN ('A', 'B')", True,
+     "primary key pinned to a finite set"),
+    ("SELECT name FROM NotableAttendee LIMIT 5", True,
+     "stop-after bounds sourcing"),
+    ("SELECT t.title, n.name FROM Talk t JOIN NotableAttendee n "
+     "ON n.title = t.title", True, "CrowdJoin inner, bounded by outer"),
+    ("SELECT name FROM NotableAttendee", False, "open-world scan"),
+    ("SELECT name FROM NotableAttendee WHERE title = 'X'", False,
+     "non-key predicate cannot bound sourcing"),
+    ("SELECT name FROM NotableAttendee WHERE name = 'A' OR title = 'B'",
+     False, "disjunction breaks the key pin"),
+    ("SELECT name FROM NotableAttendee WHERE name <> 'A'", False,
+     "inequality on the key is not a pin"),
+    ("SELECT COUNT(*) FROM NotableAttendee", False,
+     "aggregate over an open-world scan"),
+]
+
+
+def build_db():
+    fresh()
+    db = connect(with_crowd=False)
+    db.executescript(
+        """
+        CREATE TABLE Talk (title STRING PRIMARY KEY, abstract CROWD STRING);
+        CREATE CROWD TABLE NotableAttendee (
+            name STRING PRIMARY KEY, title STRING,
+            FOREIGN KEY (title) REF Talk(title));
+        """
+    )
+    return db
+
+
+def classify(db, sql):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UnboundedQueryWarning)
+        return db.compile(sql).boundedness.bounded
+
+
+def test_e8_boundedness_precision(benchmark):
+    db = build_db()
+    verdicts = [(sql, classify(db, sql), expected, why)
+                for sql, expected, why in CORPUS]
+    benchmark.pedantic(
+        classify, args=(db, CORPUS[0][0]), rounds=5, iterations=1
+    )
+
+    wrong = [(sql, got, expected) for sql, got, expected, _why in verdicts
+             if got != expected]
+    assert not wrong, wrong
+
+    report(
+        "E8",
+        "boundedness analysis on the labeled corpus (11/11 correct)",
+        ["query", "verdict", "why"],
+        [
+            (sql[:58], "bounded" if got else "UNBOUNDED", why)
+            for sql, got, _expected, why in verdicts
+        ],
+    )

@@ -1,0 +1,80 @@
+"""E9 — ablation: answer memorization.
+
+"Results obtained from the crowd are always stored in the database for
+future use" (paper §3).  This bench quantifies the effect: the first
+execution of each crowd query pays in HITs and simulated hours; repeats
+are pure database reads — zero tasks, zero cost, microseconds.
+"""
+
+import pytest
+
+from crowdbench import fresh, quiet, report
+
+from repro import connect
+from repro.crowd.sim.traces import GroundTruthOracle
+
+N = 15
+
+
+def build_db(seed=53):
+    fresh()
+    oracle = GroundTruthOracle()
+    for i in range(N):
+        oracle.load_fill("Talk", (f"T{i:02d}",), {"abstract": f"A{i}"})
+    oracle.declare_same_entity("I.B.M.", "IBM")
+    oracle.load_ranking("best?", {f"T{i:02d}": float(i) for i in range(N)})
+    db = connect(oracle=oracle, seed=seed)
+    db.execute(
+        "CREATE TABLE Talk (title STRING PRIMARY KEY, abstract CROWD STRING)"
+    )
+    for i in range(N):
+        db.execute("INSERT INTO Talk (title) VALUES (?)", (f"T{i:02d}",))
+    return db
+
+
+QUERIES = [
+    "SELECT abstract FROM Talk",                       # N fill probes
+    "SELECT title FROM Talk ORDER BY CROWDORDER(title, 'best?') LIMIT 3",
+    "SELECT title FROM Talk WHERE CROWDEQUAL(title, 'T03')",
+]
+
+
+def test_e9_memorization(benchmark):
+    db = build_db()
+    with quiet():
+        for sql in QUERIES:
+            db.query(sql)
+    cold = dict(db.crowd_stats)
+
+    def warm_run():
+        with quiet():
+            for sql in QUERIES:
+                db.query(sql)
+
+    benchmark(warm_run)
+    warm = db.crowd_stats
+
+    new_hits = warm["hits_posted"] - cold["hits_posted"]
+    assert new_hits == 0, "repeat executions must post no HITs"
+    assert warm["cost_cents"] == cold["cost_cents"]
+    assert warm["cache_hits"] > 0 or cold["cache_hits"] >= 0
+
+    # compare against a fresh instance that cannot reuse anything
+    fresh_db = build_db(seed=54)
+    with quiet():
+        for sql in QUERIES:
+            fresh_db.query(sql)
+    cold2 = fresh_db.crowd_stats
+
+    report(
+        "E9",
+        "answer memorization: first run vs repeats (paper §3)",
+        ["metric", "cold run", "repeat run"],
+        [
+            ("HITs posted", cold2["hits_posted"], new_hits),
+            ("cost (cents)", cold2["cost_cents"],
+             warm["cost_cents"] - cold["cost_cents"]),
+            ("crowd ballots", cold2["compare_requests"],
+             warm["compare_requests"] - cold["compare_requests"]),
+        ],
+    )

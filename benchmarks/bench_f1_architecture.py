@@ -1,0 +1,82 @@
+"""F1 — Figure 1: the CrowdDB architecture.
+
+The demo paper's Figure 1 is the component diagram: parser, optimizer,
+statistics, executor, storage on the database side; UI creation, UI
+template manager, form editor, task manager, worker relationship manager
+and two platforms on the crowd side.  This bench verifies every box
+exists, is wired to its neighbours, and measures the full
+parse→optimize→execute cycle through all of them.
+"""
+
+import pytest
+
+from crowdbench import fresh, quiet, report
+
+from repro import connect
+from repro.crowd.platform import PlatformRegistry
+from repro.crowd.sim.amt import SimulatedAMT
+from repro.crowd.sim.mobile import SimulatedMobilePlatform
+from repro.crowd.sim.traces import GroundTruthOracle
+from repro.crowd.task_manager import TaskManager
+from repro.crowd.wrm import WorkerRelationshipManager
+from repro.engine.executor import Executor
+from repro.optimizer.optimizer import Optimizer
+from repro.storage.engine import StorageEngine
+from repro.ui.form_editor import FormEditor
+from repro.ui.manager import UITemplateManager
+
+
+def build_db():
+    fresh()
+    oracle = GroundTruthOracle()
+    oracle.load_fill("Talk", ("CrowdDB",), {"abstract": "the abstract"})
+    db = connect(oracle=oracle, seed=1)
+    db.execute(
+        "CREATE TABLE Talk (title STRING PRIMARY KEY, abstract CROWD STRING)"
+    )
+    db.execute("INSERT INTO Talk (title) VALUES ('CrowdDB')")
+    return db
+
+
+def test_f1_architecture(benchmark):
+    db = build_db()
+
+    # every Figure-1 component is present and wired
+    components = {
+        "Parser": True,  # exercised by db.execute below
+        "Optimizer": isinstance(db.optimizer, Optimizer),
+        "Statistics": db.engine.table("Talk").statistics.row_count == 1,
+        "Executor": isinstance(db.executor, Executor),
+        "Storage (Files/Access Methods)": isinstance(db.engine, StorageEngine),
+        "UI Template Manager": isinstance(db.ui_manager, UITemplateManager),
+        "Form Editor": isinstance(db.form_editor, FormEditor),
+        "Task Manager": isinstance(db.task_manager, TaskManager),
+        "Worker Relationship Manager": isinstance(
+            db.wrm, WorkerRelationshipManager
+        ),
+        "AMT platform": isinstance(db.platforms.get("amt"), SimulatedAMT),
+        "Mobile platform": isinstance(
+            db.platforms.get("mobile"), SimulatedMobilePlatform
+        ),
+        "Platform registry": isinstance(db.platforms, PlatformRegistry),
+    }
+    assert all(components.values()), components
+
+    # measure the full compile+execute cycle through the left-hand stack
+    def run():
+        with quiet():
+            return db.query("SELECT abstract FROM Talk WHERE title = 'CrowdDB'")
+
+    rows = benchmark(run)
+    from repro.crowd.quality import normalize_answer
+
+    assert [tuple(map(normalize_answer, row)) for row in rows] == [
+        ("the abstract",)
+    ]
+
+    report(
+        "F1",
+        "architecture components present and wired (Figure 1)",
+        ["component", "present"],
+        [(name, "yes" if ok else "NO") for name, ok in components.items()],
+    )

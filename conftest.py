@@ -1,0 +1,6 @@
+"""Ensure the in-tree sources are importable even without installation."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

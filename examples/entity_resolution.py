@@ -1,0 +1,77 @@
+"""Entity resolution with CROWDEQUAL (the companion paper's §6.4 use case).
+
+A Company table holds messy, real-world spellings ("I.B.M.", "Int. Business
+Machines", "MSFT").  Standard equality misses them; CROWDEQUAL asks the
+crowd whether two representations denote the same company, majority-votes
+the ballots, and caches every verdict for reuse.
+
+Run:  python examples/entity_resolution.py
+"""
+
+from repro import CrowdConfig, connect
+from repro.crowd.sim.traces import GroundTruthOracle
+
+COMPANIES = {
+    "IBM": ["I.B.M.", "International Business Machines", "ibm Corp."],
+    "Microsoft": ["MSFT", "Microsoft Corporation"],
+    "Oracle": ["Oracle Corp", "ORCL"],
+    "SAP": ["S.A.P."],
+}
+
+
+def build_oracle() -> GroundTruthOracle:
+    oracle = GroundTruthOracle()
+    for canonical, variants in COMPANIES.items():
+        oracle.declare_same_entity(canonical, *variants)
+    return oracle
+
+
+def main() -> None:
+    oracle = build_oracle()
+    db = connect(
+        oracle=oracle,
+        seed=99,
+        crowd_config=CrowdConfig(replication=3, reward_cents=1),
+    )
+
+    db.execute("CREATE TABLE Company (name STRING PRIMARY KEY, hq STRING)")
+    rows = [
+        ("I.B.M.", "Armonk"),
+        ("International Business Machines", "Armonk"),
+        ("MSFT", "Redmond"),
+        ("Oracle Corp", "Austin"),
+        ("S.A.P.", "Walldorf"),
+        ("Tiny Startup", "Garage"),
+    ]
+    for name, hq in rows:
+        db.execute("INSERT INTO Company VALUES (?, ?)", (name, hq))
+
+    print("== Which stored rows are IBM? ==")
+    result = db.execute(
+        "SELECT name, hq FROM Company WHERE "
+        "CROWDEQUAL(name, 'IBM', 'Do these names refer to the same company?')"
+    )
+    print(result.pretty())
+
+    print("\n== Which rows are Microsoft? ==")
+    result = db.execute(
+        "SELECT name FROM Company WHERE CROWDEQUAL(name, 'Microsoft')"
+    )
+    print(result.pretty())
+
+    print("\n== Ballots are cached: asking again is free ==")
+    before = db.crowd_stats["compare_requests"]
+    db.execute("SELECT name FROM Company WHERE CROWDEQUAL(name, 'IBM')")
+    after = db.crowd_stats["compare_requests"]
+    print(f"  new crowd comparisons on the repeated query: {after - before}")
+    print(f"  cache hits so far: {db.crowd_stats['cache_hits']}")
+
+    print("\n== Crowd cost ==")
+    stats = db.crowd_stats
+    print(f"  comparisons asked: {stats['compare_requests']}")
+    print(f"  assignments:       {stats['assignments_received']}")
+    print(f"  cost:              {stats['cost_cents']} cents")
+
+
+if __name__ == "__main__":
+    main()

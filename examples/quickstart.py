@@ -1,0 +1,73 @@
+"""Quickstart: the paper's motivating query, end to end.
+
+A traditional database returns an empty answer for
+
+    SELECT abstract FROM Talk WHERE title = 'CrowdDB'
+
+when the abstract was never entered.  CrowdDB marks the column CROWD,
+compiles the query into a plan with a CrowdProbe operator, posts a task
+to the (simulated) crowd, majority-votes the answers, memorizes the
+result, and returns it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import connect
+from repro.crowd.sim.traces import GroundTruthOracle
+
+
+def main() -> None:
+    # 1. Ground truth the simulated workers draw their answers from.
+    #    (With live Mechanical Turk this knowledge lives in people's heads;
+    #    offline we make it explicit so answer quality can be scored.)
+    oracle = GroundTruthOracle()
+    oracle.load_fill(
+        "Talk",
+        ("CrowdDB",),
+        {
+            "abstract": "CrowdDB uses crowdsourcing to answer queries "
+            "that databases cannot.",
+            "nb_attendees": 120,
+        },
+    )
+
+    # 2. Connect: two simulated platforms (AMT + mobile) come attached.
+    db = connect(oracle=oracle, seed=7)
+
+    # 3. CrowdSQL DDL — Example 1 of the paper.
+    db.execute(
+        """CREATE TABLE Talk (
+               title STRING PRIMARY KEY,
+               abstract CROWD STRING,
+               nb_attendees CROWD INTEGER
+           )"""
+    )
+    db.execute("INSERT INTO Talk (title) VALUES ('CrowdDB')")
+
+    # 4. Compile-time view: the optimized plan contains a CrowdProbe.
+    query = "SELECT abstract FROM Talk WHERE title = 'CrowdDB'"
+    print("== EXPLAIN ==")
+    print(db.explain(query))
+    print()
+
+    # 5. Execute: the CNULL abstract is sourced from the crowd.
+    result = db.execute(query)
+    print("== RESULT ==")
+    print(result.pretty())
+    print()
+
+    # 6. What it cost, and what the crowd subsystem did.
+    print("== CROWD STATS ==")
+    for key, value in db.crowd_stats.items():
+        print(f"  {key:22s} {value}")
+    print(f"  total paid (WRM)       {db.wrm.total_paid_cents} cents")
+
+    # 7. The answer is memorized: running the query again is free.
+    before = db.crowd_stats["hits_posted"]
+    db.execute(query)
+    assert db.crowd_stats["hits_posted"] == before
+    print("\nSecond run posted no new HITs: the answer was memorized.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "CrowdDB reproduction: a crowd-enabled SQL database with "
+        "simulated crowdsourcing platforms (VLDB 2011 demo)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,247 @@
+"""Public API: connect to a CrowdDB instance and run CrowdSQL.
+
+Typical use::
+
+    from repro import connect
+    from repro.crowd.sim.traces import GroundTruthOracle
+
+    oracle = GroundTruthOracle()
+    oracle.load_fill("Talk", ("CrowdDB",), {"abstract": "..."})
+
+    db = connect(oracle=oracle, seed=7)
+    db.execute(\"\"\"CREATE TABLE Talk (
+        title STRING PRIMARY KEY,
+        abstract CROWD STRING,
+        nb_attendees CROWD INTEGER)\"\"\")
+    db.execute("INSERT INTO Talk (title) VALUES ('CrowdDB')")
+    result = db.execute("SELECT abstract FROM Talk WHERE title = 'CrowdDB'")
+
+The connection owns the whole stack of the paper's Figure 1: parser,
+optimizer, executor and storage on the left; UI template manager, task
+manager, worker relationship manager and the two simulated platforms on
+the right.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.catalog.catalog import Catalog
+from repro.crowd.platform import CrowdPlatform, PlatformRegistry
+from repro.crowd.sim.amt import SimulatedAMT
+from repro.crowd.sim.mobile import SimulatedMobilePlatform
+from repro.crowd.sim.traces import GroundTruthOracle
+from repro.crowd.task_manager import CrowdConfig, TaskManager
+from repro.crowd.wrm import WorkerRelationshipManager
+from repro.engine.executor import Executor, ResultSet
+from repro.errors import ExecutionError
+from repro.optimizer.optimizer import OptimizationResult, Optimizer
+from repro.sql import ast
+from repro.sql.parser import parse, parse_script
+from repro.storage.engine import StorageEngine
+from repro.ui.form_editor import FormEditor
+from repro.ui.manager import UITemplateManager
+
+
+class Connection:
+    """One CrowdDB instance: storage + compiler + crowd subsystem."""
+
+    def __init__(
+        self,
+        engine: Optional[StorageEngine] = None,
+        platforms: Optional[PlatformRegistry] = None,
+        crowd_config: Optional[CrowdConfig] = None,
+        strict_boundedness: bool = False,
+        default_platform: Optional[str] = None,
+    ) -> None:
+        self.engine = engine if engine is not None else StorageEngine()
+        self.catalog: Catalog = self.engine.catalog
+        self.platforms = platforms
+        self.ui_manager = UITemplateManager(self.catalog)
+        self.form_editor = FormEditor(self.ui_manager)
+        self.wrm = WorkerRelationshipManager()
+        self.task_manager: Optional[TaskManager] = None
+        if platforms is not None:
+            self.task_manager = TaskManager(
+                platforms, self.ui_manager, config=crowd_config
+            )
+        self.optimizer = Optimizer(
+            self.engine, strict_boundedness=strict_boundedness
+        )
+        self.executor = Executor(
+            self.engine,
+            optimizer=self.optimizer,
+            task_manager=self.task_manager,
+            ui_manager=self.ui_manager,
+            platform=default_platform,
+        )
+
+    # -- statement execution ------------------------------------------------------
+
+    def execute(self, sql: str, parameters: Sequence[Any] = ()) -> ResultSet:
+        """Parse and execute one CrowdSQL statement."""
+        statement = parse(sql)
+        return self.executor.execute(statement, parameters)
+
+    def executescript(self, sql: str) -> list[ResultSet]:
+        """Execute a semicolon-separated script; returns all results."""
+        return [
+            self.executor.execute(statement)
+            for statement in parse_script(sql)
+        ]
+
+    def query(self, sql: str, parameters: Sequence[Any] = ()) -> list[tuple]:
+        """Execute and return just the rows."""
+        return self.execute(sql, parameters).rows
+
+    def explain(self, sql: str) -> str:
+        """The optimized plan (with boundedness verdict) for a SELECT."""
+        statement = parse(sql)
+        if isinstance(statement, ast.Explain):
+            statement = statement.statement
+        if not isinstance(statement, (ast.Select, ast.SetOp)):
+            raise ExecutionError("explain() supports SELECT statements only")
+        return self.executor.compile_select(statement).explain()
+
+    def compile(self, sql: str) -> OptimizationResult:
+        """Compile a SELECT without executing it."""
+        statement = parse(sql)
+        if not isinstance(statement, (ast.Select, ast.SetOp)):
+            raise ExecutionError("compile() supports SELECT statements only")
+        return self.executor.compile_select(statement)
+
+    def cursor(self) -> "Cursor":
+        return Cursor(self)
+
+    # -- crowd plumbing -----------------------------------------------------------------
+
+    def set_platform(self, name: Optional[str]) -> None:
+        """Choose the default crowdsourcing platform for queries."""
+        self.executor.platform = name
+
+    @property
+    def crowd_stats(self) -> dict[str, int]:
+        if self.task_manager is None:
+            return {}
+        return self.task_manager.stats.snapshot()
+
+    def close(self) -> None:  # symmetry with DB-API; nothing to release
+        pass
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class Cursor:
+    """Minimal DB-API-flavoured cursor over a :class:`Connection`."""
+
+    def __init__(self, connection: Connection) -> None:
+        self.connection = connection
+        self._result: Optional[ResultSet] = None
+        self._position = 0
+
+    @property
+    def description(self) -> Optional[list[tuple]]:
+        if self._result is None or not self._result.columns:
+            return None
+        return [
+            (name, None, None, None, None, None, None)
+            for name in self._result.columns
+        ]
+
+    @property
+    def rowcount(self) -> int:
+        return -1 if self._result is None else self._result.rowcount
+
+    def execute(self, sql: str, parameters: Sequence[Any] = ()) -> "Cursor":
+        self._result = self.connection.execute(sql, parameters)
+        self._position = 0
+        return self
+
+    def fetchone(self) -> Optional[tuple]:
+        if self._result is None or self._position >= len(self._result.rows):
+            return None
+        row = self._result.rows[self._position]
+        self._position += 1
+        return row
+
+    def fetchmany(self, size: int = 1) -> list[tuple]:
+        rows = []
+        for _ in range(size):
+            row = self.fetchone()
+            if row is None:
+                break
+            rows.append(row)
+        return rows
+
+    def fetchall(self) -> list[tuple]:
+        if self._result is None:
+            return []
+        rows = self._result.rows[self._position :]
+        self._position = len(self._result.rows)
+        return rows
+
+    def __iter__(self):
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    def close(self) -> None:
+        self._result = None
+
+
+def connect(
+    oracle: Optional[GroundTruthOracle] = None,
+    seed: int = 42,
+    crowd_config: Optional[CrowdConfig] = None,
+    strict_boundedness: bool = False,
+    amt_population: int = 200,
+    mobile_population: int = 60,
+    platforms: Optional[Iterable[CrowdPlatform]] = None,
+    default_platform: str = "amt",
+    with_crowd: bool = True,
+) -> Connection:
+    """Create a CrowdDB connection.
+
+    By default two simulated platforms are attached — ``"amt"`` (the
+    worldwide crowd) and ``"mobile"`` (the locality-aware conference
+    crowd) — both answering from ``oracle``.  Pass ``with_crowd=False``
+    for a traditional, crowd-less database.
+    """
+    if not with_crowd:
+        return Connection(strict_boundedness=strict_boundedness)
+    if oracle is None:
+        oracle = GroundTruthOracle()
+    registry = PlatformRegistry()
+    if platforms is None:
+        platforms = (
+            SimulatedAMT(oracle, population=amt_population, seed=seed),
+            SimulatedMobilePlatform(
+                oracle, population=mobile_population, seed=seed
+            ),
+        )
+    for platform in platforms:
+        registry.register(
+            platform, default=(platform.name == default_platform)
+        )
+    connection = Connection(
+        platforms=registry,
+        crowd_config=crowd_config,
+        strict_boundedness=strict_boundedness,
+        default_platform=default_platform,
+    )
+    # wire the Worker Relationship Manager into every simulated platform:
+    # payments/bonuses flow on each assignment, and the WRM's blocklist and
+    # qualification checks gate worker eligibility
+    for platform in platforms:
+        hook = getattr(platform, "on_assignment", None)
+        if isinstance(hook, list):
+            hook.append(connection.wrm.on_assignment)
+        if hasattr(platform, "wrm"):
+            platform.wrm = connection.wrm
+    return connection

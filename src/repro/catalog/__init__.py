@@ -1,0 +1,8 @@
+"""Catalog: table schemas, columns, constraints, and the registry."""
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.column import Column
+from repro.catalog.ddl import build_table_schema
+from repro.catalog.table import ForeignKey, TableSchema
+
+__all__ = ["Catalog", "Column", "ForeignKey", "TableSchema", "build_table_schema"]

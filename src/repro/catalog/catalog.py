@@ -1,0 +1,107 @@
+"""The catalog: all table schemas known to a CrowdDB instance.
+
+Case-insensitive table names, FK validation at registration time, and a
+change counter so cached plans can be invalidated on DDL.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.catalog.table import TableSchema
+from repro.errors import CatalogError
+
+
+class Catalog:
+    """Mutable registry of table schemas."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableSchema] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every DDL change."""
+        return self._version
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def __iter__(self) -> Iterator[TableSchema]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def table_names(self) -> list[str]:
+        """All table names, in creation order."""
+        return [schema.name for schema in self._tables.values()]
+
+    def get(self, name: str) -> Optional[TableSchema]:
+        return self._tables.get(name.lower())
+
+    def table(self, name: str) -> TableSchema:
+        """Look up a schema; raises :class:`CatalogError` when unknown."""
+        schema = self.get(name)
+        if schema is None:
+            raise CatalogError(f"no such table: {name!r}")
+        return schema
+
+    def register(self, schema: TableSchema, replace: bool = False) -> None:
+        """Add a table schema, validating foreign keys against the catalog."""
+        key = schema.name.lower()
+        if key in self._tables and not replace:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        for fk in schema.foreign_keys:
+            if len(fk.columns) != len(fk.ref_columns):
+                raise CatalogError(
+                    f"foreign key on {schema.name!r} has mismatched column counts"
+                )
+            for column in fk.columns:
+                if not schema.has_column(column):
+                    raise CatalogError(
+                        f"foreign key column {column!r} not in table {schema.name!r}"
+                    )
+            ref = self.get(fk.ref_table)
+            if fk.ref_table.lower() == key:
+                ref = schema  # self-reference
+            if ref is None:
+                raise CatalogError(
+                    f"foreign key on {schema.name!r} references unknown table "
+                    f"{fk.ref_table!r}"
+                )
+            for column in fk.ref_columns:
+                if not ref.has_column(column):
+                    raise CatalogError(
+                        f"foreign key references unknown column "
+                        f"{fk.ref_table}.{column}"
+                    )
+        self._tables[key] = schema
+        self._version += 1
+
+    def drop(self, name: str, if_exists: bool = False) -> bool:
+        """Remove a table schema.  Returns True when something was dropped."""
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return False
+            raise CatalogError(f"no such table: {name!r}")
+        dropped = self._tables[key]
+        for other in self._tables.values():
+            if other.name.lower() == key:
+                continue
+            if other.foreign_key_to(dropped.name) is not None:
+                raise CatalogError(
+                    f"cannot drop {dropped.name!r}: referenced by {other.name!r}"
+                )
+        del self._tables[key]
+        self._version += 1
+        return True
+
+    def referencing_tables(self, name: str) -> list[TableSchema]:
+        """Tables holding a foreign key into ``name``."""
+        return [
+            schema
+            for schema in self._tables.values()
+            if schema.foreign_key_to(name) is not None
+        ]

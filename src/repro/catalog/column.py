@@ -1,0 +1,44 @@
+"""Column metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.sqltypes import CNULL, NULL, SQLType
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table schema.
+
+    ``crowd`` marks a crowdsourced column (paper §2.1, Example 1): its
+    values default to CNULL and are sourced by CrowdProbe on first use.
+    ``comment`` is the optional free-text annotation the UI generator
+    includes in worker instructions (paper §3.1).
+    """
+
+    name: str
+    sql_type: SQLType
+    ordinal: int
+    crowd: bool = False
+    primary_key: bool = False
+    not_null: bool = False
+    unique: bool = False
+    default: Any = None
+    comment: Optional[str] = None
+
+    @property
+    def missing_value(self) -> Any:
+        """The value stored when no value was supplied at insert time.
+
+        CROWD columns default to CNULL (sourceable); regular columns
+        default to their declared default or NULL.
+        """
+        if self.default is not None:
+            return self.default
+        return CNULL if self.crowd else NULL
+
+    def __str__(self) -> str:
+        crowd = " CROWD" if self.crowd else ""
+        return f"{self.name}{crowd} {self.sql_type}"

@@ -1,0 +1,77 @@
+"""Translate parsed DDL statements into catalog schema objects."""
+
+from __future__ import annotations
+
+from repro.catalog.column import Column
+from repro.catalog.table import ForeignKey, TableSchema
+from repro.errors import CatalogError
+from repro.sql import ast
+from repro.sqltypes import type_from_name
+
+
+def build_table_schema(stmt: ast.CreateTable) -> TableSchema:
+    """Validate a CREATE [CROWD] TABLE statement and build its schema.
+
+    Rules beyond vanilla SQL (from the paper and its companion [3]):
+
+    * a CROWD TABLE must declare a primary key — it is what lets CrowdDB
+      de-duplicate worker-contributed tuples under the open-world
+      assumption;
+    * primary-key columns may not themselves be CROWD columns (the key is
+      how a task is addressed, so it must be electronically known).
+    """
+    table_pk = list(stmt.primary_key)
+    columns: list[Column] = []
+    for ordinal, column_def in enumerate(stmt.columns):
+        sql_type = type_from_name(column_def.type_name)
+        is_pk = column_def.primary_key or column_def.name.lower() in {
+            name.lower() for name in table_pk
+        }
+        if column_def.primary_key and column_def.name not in table_pk:
+            table_pk.append(column_def.name)
+        default = None
+        if column_def.default is not None:
+            if isinstance(column_def.default, ast.Literal):
+                default = column_def.default.value
+            elif isinstance(column_def.default, ast.CNullLiteral):
+                default = None  # CNULL is already the crowd-column default
+            else:
+                raise CatalogError(
+                    f"DEFAULT for column {column_def.name!r} must be a literal"
+                )
+        if is_pk and column_def.crowd:
+            raise CatalogError(
+                f"primary key column {column_def.name!r} cannot be a CROWD column"
+            )
+        columns.append(
+            Column(
+                name=column_def.name,
+                sql_type=sql_type,
+                ordinal=ordinal,
+                crowd=column_def.crowd,
+                primary_key=is_pk,
+                not_null=column_def.not_null or is_pk,
+                unique=column_def.unique or is_pk,
+                default=default,
+                comment=column_def.comment,
+            )
+        )
+
+    if stmt.crowd and not table_pk:
+        raise CatalogError(
+            f"CROWD TABLE {stmt.name!r} must declare a primary key: the key "
+            "is required to de-duplicate crowdsourced tuples"
+        )
+
+    foreign_keys = tuple(
+        ForeignKey(fk.columns, fk.ref_table, fk.ref_columns)
+        for fk in stmt.foreign_keys
+    )
+    return TableSchema(
+        name=stmt.name,
+        columns=tuple(columns),
+        crowd=stmt.crowd,
+        primary_key=tuple(table_pk),
+        foreign_keys=foreign_keys,
+        comment=stmt.comment,
+    )

@@ -1,0 +1,232 @@
+"""Interactive CrowdSQL shell.
+
+A small REPL over :class:`repro.api.Connection`, in the spirit of the
+demo booth: type CrowdSQL, watch tasks go to the (simulated) crowd, and
+inspect plans, templates, and worker relationships with dot-commands.
+
+Usage::
+
+    python -m repro.cli [script.sql ...]
+
+Dot-commands:
+
+    .tables              list tables
+    .schema TABLE        show a table's schema
+    .explain SQL         show the optimized plan + boundedness verdict
+    .platform [NAME]     show or switch the default platform
+    .stats               Task Manager counters
+    .workers [N]         top-N workers by approved assignments (WRM)
+    .templates           generated UI template ids
+    .form TEMPLATE_ID    print a template's HTML
+    .load TABLE FILE     import a CSV file
+    .save FILE           write a JSON snapshot
+    .open FILE           load a JSON snapshot
+    .quit                exit
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Optional, TextIO
+
+from repro.api import Connection, connect
+from repro.errors import CrowdDBError
+from repro.io_utils import dump_csv, load_csv, load_snapshot, save_snapshot
+
+
+class Shell:
+    """The REPL engine (I/O injected, so it is unit-testable)."""
+
+    def __init__(
+        self,
+        connection: Optional[Connection] = None,
+        stdout: TextIO = sys.stdout,
+    ) -> None:
+        self.connection = connection if connection is not None else connect()
+        self.stdout = stdout
+        self.running = True
+        self._commands: dict[str, Callable[[str], None]] = {
+            ".tables": self._cmd_tables,
+            ".schema": self._cmd_schema,
+            ".explain": self._cmd_explain,
+            ".platform": self._cmd_platform,
+            ".stats": self._cmd_stats,
+            ".workers": self._cmd_workers,
+            ".templates": self._cmd_templates,
+            ".form": self._cmd_form,
+            ".load": self._cmd_load,
+            ".save": self._cmd_save,
+            ".open": self._cmd_open,
+            ".help": self._cmd_help,
+            ".quit": self._cmd_quit,
+            ".exit": self._cmd_quit,
+        }
+
+    # -- driving ------------------------------------------------------------
+
+    def handle_line(self, line: str) -> None:
+        """Process one input line (a dot-command or CrowdSQL)."""
+        stripped = line.strip()
+        if not stripped:
+            return
+        try:
+            if stripped.startswith("."):
+                self._dispatch_command(stripped)
+            else:
+                self._run_sql(stripped)
+        except CrowdDBError as error:
+            self._print(f"error: {error}")
+
+    def run(self, stdin: TextIO = sys.stdin) -> None:
+        """Interactive loop: statements may span lines until ``;``."""
+        buffer: list[str] = []
+        self._print("CrowdDB shell — .help for commands, .quit to exit")
+        for line in stdin:
+            stripped = line.strip()
+            if not buffer and stripped.startswith("."):
+                self.handle_line(stripped)
+            else:
+                buffer.append(line)
+                if stripped.endswith(";"):
+                    self.handle_line(" ".join(buffer))
+                    buffer = []
+            if not self.running:
+                return
+        if buffer:
+            self.handle_line(" ".join(buffer))
+
+    def run_script(self, path: str) -> None:
+        with open(path) as handle:
+            source = handle.read()
+        for result in self.connection.executescript(source):
+            if result.columns:
+                self._print(result.pretty())
+
+    # -- SQL ------------------------------------------------------------------
+
+    def _run_sql(self, sql: str) -> None:
+        result = self.connection.execute(sql)
+        if result.columns:
+            self._print(result.pretty())
+        else:
+            self._print(f"ok ({result.rowcount} row(s) affected)")
+
+    # -- dot-commands ------------------------------------------------------------
+
+    def _dispatch_command(self, line: str) -> None:
+        name, _, argument = line.partition(" ")
+        handler = self._commands.get(name.lower())
+        if handler is None:
+            self._print(f"unknown command {name!r} — try .help")
+            return
+        handler(argument.strip())
+
+    def _cmd_tables(self, _argument: str) -> None:
+        for name in self.connection.engine.table_names():
+            schema = self.connection.catalog.table(name)
+            kind = "CROWD TABLE" if schema.crowd else "TABLE"
+            rows = self.connection.engine.table(name).statistics.row_count
+            self._print(f"  {name}  ({kind}, {rows} row(s))")
+
+    def _cmd_schema(self, argument: str) -> None:
+        if not argument:
+            self._print("usage: .schema TABLE")
+            return
+        self._print(str(self.connection.catalog.table(argument)))
+
+    def _cmd_explain(self, argument: str) -> None:
+        if not argument:
+            self._print("usage: .explain SELECT ...")
+            return
+        self._print(self.connection.explain(argument.rstrip(";")))
+
+    def _cmd_platform(self, argument: str) -> None:
+        if argument:
+            self.connection.platforms.get(argument)  # validates
+            self.connection.set_platform(argument)
+            self._print(f"default platform: {argument}")
+        else:
+            current = self.connection.executor.platform or "(registry default)"
+            names = ", ".join(self.connection.platforms.names()) if (
+                self.connection.platforms
+            ) else "none"
+            self._print(f"default platform: {current}; available: {names}")
+
+    def _cmd_stats(self, _argument: str) -> None:
+        stats = self.connection.crowd_stats
+        if not stats:
+            self._print("no crowd attached")
+            return
+        for key, value in stats.items():
+            self._print(f"  {key:22s} {value}")
+
+    def _cmd_workers(self, argument: str) -> None:
+        count = int(argument) if argument else 5
+        top = self.connection.wrm.top_workers(count)
+        if not top:
+            self._print("no workers yet")
+        for account in top:
+            self._print(
+                f"  {account.worker_id:12s} approved={account.approved:4d} "
+                f"earned={account.earned_cents}c"
+            )
+
+    def _cmd_templates(self, _argument: str) -> None:
+        templates = self.connection.ui_manager.all_templates()
+        if not templates:
+            self._print("no templates generated yet")
+        for template in templates:
+            flag = " (edited)" if template.edited else ""
+            self._print(f"  {template.template_id}{flag}")
+
+    def _cmd_form(self, argument: str) -> None:
+        if not argument:
+            self._print("usage: .form TEMPLATE_ID")
+            return
+        template = self.connection.ui_manager.get(argument)
+        self._print(template.instantiate({}))
+
+    def _cmd_load(self, argument: str) -> None:
+        parts = argument.split()
+        if len(parts) != 2:
+            self._print("usage: .load TABLE FILE")
+            return
+        count = load_csv(self.connection, parts[0], parts[1])
+        self._print(f"loaded {count} row(s) into {parts[0]}")
+
+    def _cmd_save(self, argument: str) -> None:
+        if not argument:
+            self._print("usage: .save FILE")
+            return
+        save_snapshot(self.connection, argument)
+        self._print(f"snapshot written to {argument}")
+
+    def _cmd_open(self, argument: str) -> None:
+        if not argument:
+            self._print("usage: .open FILE")
+            return
+        created = load_snapshot(self.connection, argument)
+        self._print(f"loaded tables: {', '.join(created)}")
+
+    def _cmd_help(self, _argument: str) -> None:
+        self._print(__doc__.split("Dot-commands:")[1].strip())
+
+    def _cmd_quit(self, _argument: str) -> None:
+        self.running = False
+
+    def _print(self, text: str) -> None:
+        print(text, file=self.stdout)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    shell = Shell()
+    for path in argv:
+        shell.run_script(path)
+    if not argv:
+        shell.run()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""Crowdsourcing subsystem: tasks, platforms, quality control, WRM."""
+
+from repro.crowd.model import (
+    HIT,
+    Assignment,
+    AssignmentStatus,
+    CompareEqualTask,
+    CompareOrderTask,
+    FillTask,
+    HITStatus,
+    NewTupleTask,
+    TaskKind,
+)
+from repro.crowd.platform import CrowdPlatform, PlatformRegistry
+from repro.crowd.quality import MajorityVote, VoteResult, normalize_answer
+from repro.crowd.task_manager import CrowdConfig, TaskManager
+from repro.crowd.wrm import WorkerRelationshipManager
+
+__all__ = [
+    "HIT", "Assignment", "AssignmentStatus", "CompareEqualTask",
+    "CompareOrderTask", "FillTask", "HITStatus", "NewTupleTask", "TaskKind",
+    "CrowdPlatform", "PlatformRegistry", "MajorityVote", "VoteResult",
+    "normalize_answer", "CrowdConfig", "TaskManager",
+    "WorkerRelationshipManager",
+]

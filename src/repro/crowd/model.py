@@ -1,0 +1,190 @@
+"""Data model of the crowdsourcing subsystem.
+
+Terminology follows Amazon Mechanical Turk, which the paper targets:
+
+* a **Task** describes the work in CrowdDB terms (fill in missing column
+  values, contribute a new tuple, compare two values, order two items);
+* a **HIT** (Human Intelligence Task) is a posted unit of work carrying a
+  task, a reward, and a requested number of **assignments** (the
+  replication factor used for majority voting);
+* an **Assignment** is one worker's submitted answer for a HIT.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class TaskKind(enum.Enum):
+    """The four task shapes CrowdDB's operators generate."""
+
+    FILL = "FILL"              # CrowdProbe: instantiate CNULL values
+    NEW_TUPLE = "NEW_TUPLE"    # CrowdProbe/CrowdJoin: contribute new tuples
+    COMPARE_EQUAL = "COMPARE_EQUAL"  # CrowdCompare: entity resolution
+    COMPARE_ORDER = "COMPARE_ORDER"  # CrowdCompare: binary ordering
+
+
+@dataclass(frozen=True)
+class FillTask:
+    """Ask the crowd for the missing CROWD-column values of one tuple.
+
+    ``known_values`` pre-populate the form (paper §3.1: "user interface
+    templates are instantiated by copying the known field values from a
+    tuple into the HTML form").
+    """
+
+    table: str
+    primary_key: tuple[Any, ...]
+    columns: tuple[str, ...]
+    known_values: dict[str, Any]
+    column_types: dict[str, str] = field(default_factory=dict)
+    instructions: str = ""
+
+    @property
+    def kind(self) -> TaskKind:
+        return TaskKind.FILL
+
+    @property
+    def group_key(self) -> str:
+        """HITs of the same shape form one HIT group on the platform."""
+        return f"fill:{self.table}:{','.join(self.columns)}"
+
+
+@dataclass(frozen=True)
+class NewTupleTask:
+    """Ask the crowd to contribute a new tuple of a CROWD table.
+
+    ``fixed_values`` constrain the tuple (e.g. the foreign-key value a
+    CrowdJoin probes with); workers fill in every other column.
+    """
+
+    table: str
+    columns: tuple[str, ...]
+    fixed_values: dict[str, Any] = field(default_factory=dict)
+    column_types: dict[str, str] = field(default_factory=dict)
+    instructions: str = ""
+
+    @property
+    def kind(self) -> TaskKind:
+        return TaskKind.NEW_TUPLE
+
+    @property
+    def group_key(self) -> str:
+        fixed = ",".join(sorted(self.fixed_values))
+        return f"new:{self.table}:{fixed}"
+
+
+@dataclass(frozen=True)
+class CompareEqualTask:
+    """Ask whether two values denote the same real-world entity."""
+
+    left: Any
+    right: Any
+    question: str = "Do these two values refer to the same thing?"
+
+    @property
+    def kind(self) -> TaskKind:
+        return TaskKind.COMPARE_EQUAL
+
+    @property
+    def group_key(self) -> str:
+        return "crowdequal"
+
+
+@dataclass(frozen=True)
+class CompareOrderTask:
+    """Ask which of two items ranks higher for the given question."""
+
+    left: Any
+    right: Any
+    question: str
+
+    @property
+    def kind(self) -> TaskKind:
+        return TaskKind.COMPARE_ORDER
+
+    @property
+    def group_key(self) -> str:
+        return f"crowdorder:{self.question}"
+
+
+Task = FillTask | NewTupleTask | CompareEqualTask | CompareOrderTask
+
+
+class HITStatus(enum.Enum):
+    OPEN = "OPEN"            # accepting assignments
+    COMPLETED = "COMPLETED"  # all requested assignments submitted
+    EXPIRED = "EXPIRED"      # deadline passed before completion
+    CANCELLED = "CANCELLED"
+
+
+class AssignmentStatus(enum.Enum):
+    SUBMITTED = "SUBMITTED"
+    APPROVED = "APPROVED"
+    REJECTED = "REJECTED"
+
+
+_hit_counter = itertools.count(1)
+_assignment_counter = itertools.count(1)
+
+
+def reset_id_counters() -> None:
+    """Reset global id counters (deterministic tests/benchmarks)."""
+    global _hit_counter, _assignment_counter
+    _hit_counter = itertools.count(1)
+    _assignment_counter = itertools.count(1)
+
+
+@dataclass
+class HIT:
+    """One posted unit of crowd work."""
+
+    task: Task
+    reward_cents: int
+    assignments_requested: int
+    hit_id: str = field(default_factory=lambda: f"hit-{next(_hit_counter)}")
+    status: HITStatus = HITStatus.OPEN
+    created_at: float = 0.0
+    expires_at: Optional[float] = None
+    form_html: str = ""
+    locality: Optional[tuple[float, float, float]] = None  # lat, lon, radius_km
+    assignments: list["Assignment"] = field(default_factory=list)
+
+    @property
+    def group_key(self) -> str:
+        return self.task.group_key
+
+    @property
+    def assignments_remaining(self) -> int:
+        return max(0, self.assignments_requested - len(self.assignments))
+
+    @property
+    def is_open(self) -> bool:
+        return self.status is HITStatus.OPEN and self.assignments_remaining > 0
+
+    def add_assignment(self, assignment: "Assignment") -> None:
+        self.assignments.append(assignment)
+        if self.assignments_remaining == 0:
+            self.status = HITStatus.COMPLETED
+
+
+@dataclass
+class Assignment:
+    """One worker's answer to a HIT.
+
+    ``answer`` is a dict for FILL/NEW_TUPLE tasks (column -> raw text) and
+    a scalar for comparison tasks (bool for COMPARE_EQUAL; "left"/"right"
+    for COMPARE_ORDER).
+    """
+
+    hit_id: str
+    worker_id: str
+    answer: Any
+    submitted_at: float
+    assignment_id: str = field(
+        default_factory=lambda: f"asg-{next(_assignment_counter)}"
+    )
+    status: AssignmentStatus = AssignmentStatus.SUBMITTED

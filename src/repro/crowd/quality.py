@@ -1,0 +1,117 @@
+"""Quality control: answer cleansing and majority voting.
+
+"Since human inputs are inherently error prone and diverse in formats,
+answers from the crowd workers can never be assumed to be complete or
+correct.  The ... operators also have majority-vote driven quality control
+measures built-in." (paper §3.2.1)
+
+Cleansing normalizes the free-text diversity (whitespace, case, trivial
+punctuation) before voting, so "IBM " and "ibm" count as the same answer;
+the *stored* value is the most common raw spelling within the winning
+normalized class.
+"""
+
+from __future__ import annotations
+
+import re
+import warnings
+from collections import Counter, OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.errors import LowQualityWarning, QualityControlError
+
+_WHITESPACE = re.compile(r"\s+")
+_PUNCTUATION = re.compile(r"[.,;:!?'\"()\[\]]")
+
+
+def normalize_answer(value: Any) -> Any:
+    """Canonical form of a worker answer used as the voting key."""
+    if isinstance(value, str):
+        text = value.strip()
+        text = _PUNCTUATION.sub("", text)
+        text = _WHITESPACE.sub(" ", text)
+        return text.casefold()
+    return value
+
+
+@dataclass(frozen=True)
+class VoteResult:
+    """Outcome of majority voting over one question."""
+
+    value: Any                  # representative raw answer of the winners
+    votes: int                  # votes for the winning class
+    total: int                  # valid ballots counted
+    agreement: float            # votes / total
+
+    @property
+    def unanimous(self) -> bool:
+        return self.votes == self.total
+
+
+class MajorityVote:
+    """Majority vote with normalization and a confidence threshold.
+
+    ``min_agreement`` below which a :class:`LowQualityWarning` is issued;
+    the winning answer is still returned (the paper performs "simple
+    quality control", not rejection).  Ties break toward the earliest
+    submitted answer, which is deterministic for the simulators.
+    """
+
+    def __init__(self, min_agreement: float = 0.5) -> None:
+        self.min_agreement = min_agreement
+
+    def vote(self, answers: list[Any]) -> VoteResult:
+        """Vote over raw answers ordered by submission time."""
+        if not answers:
+            raise QualityControlError("majority vote over zero answers")
+        counts: "OrderedDict[Any, int]" = OrderedDict()
+        raw_by_class: dict[Any, Counter] = {}
+        for raw in answers:
+            key = normalize_answer(raw)
+            counts[key] = counts.get(key, 0) + 1
+            raw_by_class.setdefault(key, Counter())[_hashable(raw)] += 1
+        winner_key, winner_votes = max(
+            counts.items(), key=lambda item: item[1]
+        )  # max() is stable: first-seen wins ties
+        representative = raw_by_class[winner_key].most_common(1)[0][0]
+        total = len(answers)
+        agreement = winner_votes / total
+        if agreement < self.min_agreement:
+            warnings.warn(
+                f"majority vote agreement {agreement:.0%} below threshold "
+                f"{self.min_agreement:.0%} (answer {representative!r})",
+                LowQualityWarning,
+                stacklevel=2,
+            )
+        return VoteResult(
+            value=representative,
+            votes=winner_votes,
+            total=total,
+            agreement=agreement,
+        )
+
+    def vote_fields(self, answers: list[dict[str, Any]]) -> dict[str, VoteResult]:
+        """Vote per form field over dict-shaped answers (FILL/NEW_TUPLE)."""
+        if not answers:
+            raise QualityControlError("majority vote over zero answers")
+        fields: dict[str, list[Any]] = {}
+        for answer in answers:
+            for field_name, value in answer.items():
+                fields.setdefault(field_name, []).append(value)
+        return {
+            field_name: self.vote(values)
+            for field_name, values in fields.items()
+        }
+
+    def vote_boolean(self, answers: list[bool]) -> VoteResult:
+        """Specialized vote for COMPARE_EQUAL ballots."""
+        return self.vote([bool(a) for a in answers])
+
+
+def _hashable(value: Any) -> Any:
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)

@@ -1,0 +1,16 @@
+"""Discrete-event crowd simulation: clock, workers, platforms, oracle."""
+
+from repro.crowd.sim.amt import SimulatedAMT
+from repro.crowd.sim.base import SimulatedCrowdPlatform
+from repro.crowd.sim.behavior import BehaviorConfig
+from repro.crowd.sim.clock import EventQueue, SimClock
+from repro.crowd.sim.mobile import VLDB_VENUE, SimulatedMobilePlatform
+from repro.crowd.sim.population import generate_population
+from repro.crowd.sim.traces import GroundTruthOracle
+from repro.crowd.sim.worker import SimWorker
+
+__all__ = [
+    "SimulatedAMT", "SimulatedCrowdPlatform", "BehaviorConfig", "EventQueue",
+    "SimClock", "VLDB_VENUE", "SimulatedMobilePlatform",
+    "generate_population", "GroundTruthOracle", "SimWorker",
+]

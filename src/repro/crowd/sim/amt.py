@@ -1,0 +1,37 @@
+"""Simulated Amazon Mechanical Turk.
+
+A global marketplace: a large worker population, no geographic
+constraints, steady arrival profile.  This stands in for the live AMT the
+paper used (offline substitution documented in DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.crowd.sim.base import SimulatedCrowdPlatform
+from repro.crowd.sim.behavior import BehaviorConfig
+from repro.crowd.sim.population import generate_population
+from repro.crowd.sim.traces import GroundTruthOracle
+from repro.crowd.sim.worker import SimWorker
+
+
+class SimulatedAMT(SimulatedCrowdPlatform):
+    """The general, worldwide crowd."""
+
+    name = "amt"
+
+    def __init__(
+        self,
+        oracle: GroundTruthOracle,
+        workers: Optional[list[SimWorker]] = None,
+        population: int = 200,
+        config: Optional[BehaviorConfig] = None,
+        seed: int = 42,
+        wrm=None,
+    ) -> None:
+        if workers is None:
+            workers = generate_population(
+                population, seed=seed, id_prefix="amt-"
+            )
+        super().__init__(workers, oracle, config=config, seed=seed, wrm=wrm)

@@ -1,0 +1,228 @@
+"""Shared engine of the simulated crowdsourcing platforms.
+
+Implements the marketplace loop as a discrete-event process:
+
+1. workers *browse* the marketplace according to a Poisson arrival
+   process weighted by their activity (heavy tail);
+2. a browsing worker picks a HIT group — bigger groups are more visible,
+   familiar groups get the affinity boost — then the oldest open HIT in
+   it, and accepts with a reward-dependent probability;
+3. acceptance locks one assignment slot; after a lognormal completion
+   time the worker submits an answer generated from the ground-truth
+   oracle plus noise.
+
+AMT and the mobile platform specialize eligibility (locality) and the
+arrival-rate profile.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Callable, Optional
+
+from repro.crowd.model import HIT, Assignment, HITStatus
+from repro.crowd.platform import CrowdPlatform
+from repro.crowd.sim.behavior import (
+    BehaviorConfig,
+    acceptance_probability,
+    completion_time,
+    group_attractiveness,
+)
+from repro.crowd.sim.clock import EventQueue, SimClock
+from repro.crowd.sim.population import pick_weighted
+from repro.crowd.sim.traces import GroundTruthOracle
+from repro.crowd.sim.worker import SimWorker
+from repro.errors import CrowdPlatformError
+
+
+class SimulatedCrowdPlatform(CrowdPlatform):
+    """Discrete-event marketplace shared by the AMT and mobile simulators."""
+
+    name = "simulated"
+
+    def __init__(
+        self,
+        workers: list[SimWorker],
+        oracle: GroundTruthOracle,
+        config: Optional[BehaviorConfig] = None,
+        seed: int = 42,
+        wrm: Optional[Any] = None,
+    ) -> None:
+        if not workers:
+            raise CrowdPlatformError("a platform needs at least one worker")
+        self.workers = workers
+        self.oracle = oracle
+        self.config = config if config is not None else BehaviorConfig()
+        self.wrm = wrm  # WorkerRelationshipManager, used for block/qualify
+        self.min_approval_rate: Optional[float] = None  # HIT qualification
+        self.rng = random.Random(seed)
+        self.clock = SimClock()
+        self.events = EventQueue(self.clock)
+        self._hits: dict[str, HIT] = {}
+        self._in_flight: dict[str, int] = {}
+        self._taken: set[tuple[str, str]] = set()  # (hit_id, worker_id)
+        self._arrival_scheduled = False
+        self.on_assignment: list[Callable[[HIT, Assignment], None]] = []
+        self.total_cost_cents = 0
+        self.assignments_submitted = 0
+
+    # -- CrowdPlatform API -------------------------------------------------------
+
+    def post_hit(self, hit: HIT) -> str:
+        if hit.hit_id in self._hits:
+            raise CrowdPlatformError(f"HIT {hit.hit_id} already posted")
+        hit.created_at = self.clock.now
+        hit.status = HITStatus.OPEN
+        self._hits[hit.hit_id] = hit
+        self._in_flight[hit.hit_id] = 0
+        if hit.expires_at is not None:
+            self.events.schedule_at(
+                hit.expires_at, lambda h=hit: self._expire(h)
+            )
+        self._ensure_arrivals()
+        return hit.hit_id
+
+    def get_hit(self, hit_id: str) -> HIT:
+        try:
+            return self._hits[hit_id]
+        except KeyError:
+            raise CrowdPlatformError(f"unknown HIT {hit_id!r}") from None
+
+    def expire_hit(self, hit_id: str) -> None:
+        self._expire(self.get_hit(hit_id))
+
+    def run_until(self, condition: Callable[[], bool], timeout: float) -> bool:
+        self._ensure_arrivals()
+        return self.events.run_until(condition, timeout)
+
+    # -- marketplace dynamics ----------------------------------------------------------
+
+    def arrival_rate(self) -> float:
+        """Worker browse events per simulated second (subclass hook)."""
+        open_count = sum(1 for hit in self._hits.values() if hit.is_open)
+        return self.config.base_arrival_rate * (
+            1.0 + 0.3 * math.log1p(open_count)
+        ) * max(1, len(self.workers)) ** 0.5
+
+    def eligible(self, worker: SimWorker, hit: HIT) -> bool:
+        """Whether a worker may take a HIT.
+
+        Base rules: one assignment per worker per HIT; requester-side
+        exclusions through the Worker Relationship Manager (blocked
+        workers never see the requester's HITs; a qualification may
+        demand a minimum approval rate).  Subclasses add locality.
+        """
+        if (hit.hit_id, worker.worker_id) in self._taken:
+            return False
+        if self.wrm is not None:
+            if self.wrm.is_blocked(worker.worker_id):
+                return False
+            if self.min_approval_rate is not None:
+                account = self.wrm.accounts.get(worker.worker_id)
+                if (
+                    account is not None
+                    and account.submitted > 0
+                    and account.approval_rate < self.min_approval_rate
+                ):
+                    return False
+        return True
+
+    # -- internals --------------------------------------------------------------------
+
+    def _ensure_arrivals(self) -> None:
+        if self._arrival_scheduled:
+            return
+        if not self._has_available_work():
+            return
+        self._arrival_scheduled = True
+        delay = self.rng.expovariate(self.arrival_rate())
+        self.events.schedule(delay, self._on_arrival)
+
+    def _has_available_work(self) -> bool:
+        for hit in self._hits.values():
+            if not hit.is_open:
+                continue
+            if hit.assignments_remaining - self._in_flight[hit.hit_id] > 0:
+                return True
+        return False
+
+    def _on_arrival(self) -> None:
+        self._arrival_scheduled = False
+        worker = pick_weighted(self.workers, self.rng)
+        hit = self._choose_hit(worker)
+        if hit is not None:
+            accept_p = acceptance_probability(
+                hit.reward_cents, worker.price_sensitivity, self.config
+            )
+            if self.rng.random() < accept_p:
+                self._accept(worker, hit)
+        self._ensure_arrivals()
+
+    def _choose_hit(self, worker: SimWorker) -> Optional[HIT]:
+        """Pick a HIT: group by visibility+affinity, then oldest first."""
+        groups: dict[str, list[HIT]] = {}
+        for hit in self._hits.values():
+            if not hit.is_open:
+                continue
+            if hit.assignments_remaining - self._in_flight[hit.hit_id] <= 0:
+                continue
+            if not self.eligible(worker, hit):
+                continue
+            groups.setdefault(hit.group_key, []).append(hit)
+        if not groups:
+            return None
+        keys = list(groups)
+        weights = [
+            group_attractiveness(
+                len(groups[key]), key in worker.familiar_groups, self.config
+            )
+            for key in keys
+        ]
+        chosen_key = self.rng.choices(keys, weights=weights, k=1)[0]
+        return min(groups[chosen_key], key=lambda hit: hit.created_at)
+
+    def _accept(self, worker: SimWorker, hit: HIT) -> None:
+        self._taken.add((hit.hit_id, worker.worker_id))
+        self._in_flight[hit.hit_id] += 1
+        latency = completion_time(self.rng, worker.speed, self.config)
+        self.events.schedule(
+            latency, lambda: self._on_complete(worker, hit)
+        )
+
+    def _on_complete(self, worker: SimWorker, hit: HIT) -> None:
+        self._in_flight[hit.hit_id] -= 1
+        if hit.status is not HITStatus.OPEN:
+            return  # expired or cancelled while the worker was busy
+        answer = worker.answer(hit.task, self.oracle, self.rng, self.config)
+        assignment = Assignment(
+            hit_id=hit.hit_id,
+            worker_id=worker.worker_id,
+            answer=answer,
+            submitted_at=self.clock.now,
+        )
+        hit.add_assignment(assignment)
+        worker.remember_group(hit.group_key)
+        self.total_cost_cents += hit.reward_cents
+        self.assignments_submitted += 1
+        for callback in self.on_assignment:
+            callback(hit, assignment)
+
+    def _expire(self, hit: HIT) -> None:
+        if hit.status is HITStatus.OPEN:
+            hit.status = HITStatus.EXPIRED
+
+    # -- introspection (benchmarks) ---------------------------------------------------
+
+    def all_hits(self) -> list[HIT]:
+        return list(self._hits.values())
+
+    def hits_per_worker(self) -> dict[str, int]:
+        """How many assignments each worker submitted (affinity metric)."""
+        counts: dict[str, int] = {}
+        for hit in self._hits.values():
+            for assignment in hit.assignments:
+                counts[assignment.worker_id] = (
+                    counts.get(assignment.worker_id, 0) + 1
+                )
+        return counts

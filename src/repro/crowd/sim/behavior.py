@@ -1,0 +1,109 @@
+"""Behavioural models of the simulated crowd.
+
+Calibrated to reproduce the qualitative findings of the CrowdDB
+evaluation (SIGMOD'11 companion paper, Section 6.1):
+
+* **price sensitivity** — higher rewards recruit workers faster, with
+  diminishing returns;
+* **group-size visibility** — HIT groups with more open HITs surface
+  higher in the marketplace listing and attract workers faster;
+* **worker affinity** — workers keep working on HIT groups they have
+  done before, producing a heavy-tailed HITs-per-worker distribution;
+* **latency** — task completion times are lognormal.
+
+The constants are model parameters, not measured AMT values; benchmarks
+verify shapes (monotonicity, crossovers, tail heaviness), never absolute
+numbers.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.crowd.model import HIT, TaskKind
+
+
+@dataclass
+class BehaviorConfig:
+    """Tunable knobs of the crowd model."""
+
+    # Marketplace dynamics
+    base_arrival_rate: float = 1.0 / 20.0   # worker browse events per second
+    group_visibility_boost: float = 0.35    # log-boost per open HIT in group
+    affinity_boost: float = 3.0             # preference for familiar groups
+
+    # Price sensitivity: acceptance probability 1 - exp(-reward/scale)
+    reward_scale_cents: float = 2.0
+
+    # Latency (lognormal, seconds)
+    completion_time_median: float = 90.0
+    completion_time_sigma: float = 0.8
+
+    # Accuracy
+    base_accuracy: float = 0.9
+    difficulty: dict[TaskKind, float] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.difficulty is None:
+            self.difficulty = {
+                TaskKind.FILL: 0.10,
+                TaskKind.NEW_TUPLE: 0.15,
+                TaskKind.COMPARE_EQUAL: 0.05,
+                TaskKind.COMPARE_ORDER: 0.12,
+            }
+
+
+def acceptance_probability(
+    reward_cents: int, price_sensitivity: float, config: BehaviorConfig
+) -> float:
+    """Probability a browsing worker accepts a HIT at this reward.
+
+    ``price_sensitivity`` > 1 means the worker demands more money.
+    Saturating exponential: going from 1¢ to 4¢ helps a lot, 50¢ to 53¢
+    barely — matching the diminishing returns in the paper's Figure 6.
+    """
+    scale = config.reward_scale_cents * price_sensitivity
+    return 1.0 - math.exp(-reward_cents / scale)
+
+
+def group_attractiveness(
+    open_hits_in_group: int,
+    familiar: bool,
+    config: BehaviorConfig,
+) -> float:
+    """Relative weight of one HIT group when a worker picks work.
+
+    Bigger groups are more visible; groups the worker already knows get
+    the affinity boost.
+    """
+    weight = 1.0 + config.group_visibility_boost * math.log1p(open_hits_in_group)
+    if familiar:
+        weight *= config.affinity_boost
+    return weight
+
+
+def completion_time(
+    rng: random.Random, speed: float, config: BehaviorConfig
+) -> float:
+    """Seconds between acceptance and submission (lognormal)."""
+    mu = math.log(config.completion_time_median)
+    sample = rng.lognormvariate(mu, config.completion_time_sigma)
+    return max(5.0, sample / speed)
+
+
+def error_probability(
+    skill: float, kind: TaskKind, config: BehaviorConfig
+) -> float:
+    """Per-answer probability of an incorrect/garbled response.
+
+    Composed of a platform-wide floor (``1 - base_accuracy``) plus a
+    skill- and difficulty-dependent term.  With the default population
+    (skill uniform in [0.55, 1.0]) this lands most answers in the
+    80-97% accuracy band the paper's AMT experiments report.
+    """
+    difficulty = config.difficulty.get(kind, 0.1)
+    base_error = 1.0 - config.base_accuracy
+    skill_error = (1.0 - skill) * (0.15 + difficulty)
+    return min(0.95, max(0.005, base_error * (0.5 + difficulty) + skill_error))

@@ -1,0 +1,105 @@
+"""Simulated time for the crowd platforms.
+
+All platform dynamics (worker arrivals, task completion latencies, HIT
+expiry) run against this discrete-event clock, so experiments that took
+the paper's authors days of wall-clock AMT time replay in milliseconds —
+deterministically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class SimClock:
+    """Monotonic simulated clock (seconds)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        if timestamp < self._now:
+            raise ValueError(
+                f"clock cannot move backwards ({timestamp} < {self._now})"
+            )
+        self._now = timestamp
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventQueue:
+    """Priority queue of timed callbacks driving one simulation."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self._heap: list[_Event] = []
+        self._sequence = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> _Event:
+        """Run ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        event = _Event(self.clock.now + delay, next(self._sequence), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, timestamp: float, callback: Callable[[], None]) -> _Event:
+        return self.schedule(max(0.0, timestamp - self.clock.now), callback)
+
+    def cancel(self, event: _Event) -> None:
+        event.cancelled = True
+
+    def step(self) -> bool:
+        """Pop and run the next event.  Returns False when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock.advance_to(event.time)
+            event.callback()
+            return True
+        return False
+
+    def run_until(
+        self,
+        condition: Callable[[], bool],
+        timeout: Optional[float] = None,
+    ) -> bool:
+        """Step events until ``condition()`` holds or ``timeout`` elapses.
+
+        Returns whether the condition was met.  The clock ends either at
+        the event that satisfied the condition or at the deadline.
+        """
+        deadline = None if timeout is None else self.clock.now + timeout
+        if condition():
+            return True
+        while self._heap:
+            next_event = self._heap[0]
+            if next_event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if deadline is not None and next_event.time > deadline:
+                self.clock.advance_to(deadline)
+                return condition()
+            self.step()
+            if condition():
+                return True
+        if deadline is not None:
+            self.clock.advance_to(deadline)
+        return condition()

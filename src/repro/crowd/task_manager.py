@@ -1,0 +1,399 @@
+"""Task Manager: the abstraction layer between CrowdDB and the platforms.
+
+"The Task Manager provides an abstraction layer that manages the
+interaction between CrowdDB and the crowdsourcing platforms.  It
+instantiates the user interfaces, makes the API calls to post tasks,
+assess their status, and obtain results.  The Task Manager also interacts
+with the storage engine to obtain values to pre-load into the task user
+interfaces and to memorize the results sourced from the crowd."
+(paper §3)
+
+Operator-facing API:
+
+* :meth:`fill_values` — CrowdProbe sourcing of CNULL column values;
+* :meth:`source_new_tuples` — open-world tuple sourcing (CrowdProbe on
+  CROWD tables, CrowdJoin inner probes);
+* :meth:`compare_equal` / :meth:`compare_order` — CrowdCompare ballots,
+  cached ("results obtained from the crowd are always stored ... for
+  future use").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.catalog.table import TableSchema
+from repro.crowd.model import (
+    HIT,
+    CompareEqualTask,
+    CompareOrderTask,
+    FillTask,
+    NewTupleTask,
+)
+from repro.crowd.platform import PlatformRegistry
+from repro.crowd.quality import MajorityVote, normalize_answer
+from repro.errors import BudgetExceededError, TypeError_
+from repro.sqltypes import NULL, parse_literal
+from repro.ui.manager import UITemplateManager
+
+
+@dataclass
+class CrowdConfig:
+    """Per-connection crowdsourcing policy."""
+
+    replication: int = 3           # assignments per HIT (majority voting)
+    reward_cents: int = 2
+    timeout_seconds: float = 6 * 3600.0
+    budget_cents: Optional[int] = None
+    min_agreement: float = 0.5
+    platform: Optional[str] = None  # default platform name
+    locality: Optional[tuple[float, float, float]] = None
+    fuzzy_cleansing: bool = True  # merge typo-variant keys when sourcing
+
+
+@dataclass
+class TaskManagerStats:
+    """Counters the benchmarks report."""
+
+    hits_posted: int = 0
+    assignments_received: int = 0
+    cost_cents: int = 0
+    fill_requests: int = 0
+    new_tuple_requests: int = 0
+    compare_requests: int = 0
+    cache_hits: int = 0
+    timeouts: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class TaskManager:
+    """Posts tasks, waits for answers, votes, and parses results."""
+
+    def __init__(
+        self,
+        platforms: PlatformRegistry,
+        ui_manager: UITemplateManager,
+        config: Optional[CrowdConfig] = None,
+    ) -> None:
+        self.platforms = platforms
+        self.ui_manager = ui_manager
+        self.config = config if config is not None else CrowdConfig()
+        self.stats = TaskManagerStats()
+        self._voter = MajorityVote(self.config.min_agreement)
+        # comparison caches: the paper stores every crowd answer for reuse
+        self._equal_cache: dict[tuple, bool] = {}
+        self._order_cache: dict[tuple, str] = {}
+
+    # -- CrowdProbe: fill CNULL values --------------------------------------------
+
+    def fill_values(
+        self,
+        schema: TableSchema,
+        primary_key: tuple[Any, ...],
+        columns: tuple[str, ...],
+        known_values: dict[str, Any],
+        platform: Optional[str] = None,
+    ) -> dict[str, Any]:
+        """Source the missing values of one tuple.
+
+        Returns ``column -> typed value`` — NULL when the crowd answered
+        "no value" or never answered within the timeout.
+        """
+        self.stats.fill_requests += 1
+        task = FillTask(
+            table=schema.name,
+            primary_key=primary_key,
+            columns=columns,
+            known_values=dict(known_values),
+            column_types={
+                c: str(schema.column(c).sql_type) for c in columns
+            },
+            instructions=(
+                f"Fill in the missing fields of this {schema.name} record."
+            ),
+        )
+        template = self.ui_manager.fill_template(schema, columns)
+        form_html = self.ui_manager.instantiate(template, known_values)
+        hit = self._make_hit(task, form_html)
+        self._post_and_wait([hit], platform)
+        answers = [a.answer for a in hit.assignments if isinstance(a.answer, dict)]
+        result: dict[str, Any] = {}
+        for column in columns:
+            ballots = [a.get(column, "") for a in answers]
+            ballots = [b for b in ballots if str(b).strip()]
+            if not ballots:
+                result[column] = NULL
+                continue
+            vote = self._voter.vote(ballots)
+            result[column] = self._parse(schema, column, vote.value)
+        return result
+
+    # -- CrowdProbe / CrowdJoin: source new tuples -----------------------------------
+
+    def source_new_tuples(
+        self,
+        schema: TableSchema,
+        count: int,
+        fixed_values: Optional[dict[str, Any]] = None,
+        platform: Optional[str] = None,
+        known_keys: Optional[set] = None,
+    ) -> list[dict[str, Any]]:
+        """Ask the crowd for up to ``count`` new tuples of a CROWD table.
+
+        ``fixed_values`` pre-fill constrained columns (e.g. the join key a
+        CrowdJoin probes with).  Tuples whose primary key normalizes into
+        ``known_keys`` (already stored) are dropped, as are duplicates
+        within the batch — the open-world de-duplication rule.
+        """
+        self.stats.new_tuple_requests += 1
+        fixed = {k.lower(): v for k, v in (fixed_values or {}).items()}
+        task = NewTupleTask(
+            table=schema.name,
+            columns=schema.column_names,
+            fixed_values=fixed,
+            column_types={
+                c.name: str(c.sql_type) for c in schema.columns
+            },
+            instructions=f"Contribute a new {schema.name} record.",
+        )
+        template = self.ui_manager.new_tuple_template(
+            schema, tuple(fixed.keys())
+        )
+        form_html = self.ui_manager.instantiate(template, fixed)
+        hits = [self._make_hit(task, form_html) for _ in range(count)]
+        self._post_and_wait(hits, platform)
+
+        # Different assignments of one HIT legitimately contribute
+        # *different* tuples, so voting happens within primary-key groups:
+        # assignments agreeing on the key are replicas of one entity and
+        # their non-key fields are majority-voted; distinct keys are
+        # distinct new tuples (open-world de-duplication).
+        pk_columns = tuple(schema.primary_key)
+        answers: list[dict[str, Any]] = []
+        for hit in hits:
+            for assignment in hit.assignments:
+                if not isinstance(assignment.answer, dict):
+                    continue
+                if not any(str(v).strip() for v in assignment.answer.values()):
+                    continue
+                answers.append(assignment.answer)
+        if not answers:
+            return []
+
+        groups: dict[tuple, list[dict[str, Any]]] = {}
+        order: list[tuple] = []
+        for answer in answers:
+            key = tuple(
+                normalize_answer(str(answer.get(c, "")).strip())
+                for c in pk_columns
+            )
+            if pk_columns and any(part == "" for part in key):
+                continue  # a tuple without its key cannot be stored
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(answer)
+
+        # Cleansing: merge near-duplicate keys (worker typos) into the
+        # best-supported spelling, then drop keys that are merely typo
+        # variants of tuples already stored.
+        if pk_columns and len(order) > 1 and self.config.fuzzy_cleansing:
+            order = _merge_similar_keys(groups, order)
+
+        seen: set = set(known_keys or set())
+        if pk_columns and self.config.fuzzy_cleansing:
+            order = [
+                key for key in order if not _is_near_duplicate(key, seen)
+            ]
+        tuples: list[dict[str, Any]] = []
+        for key in order:
+            if pk_columns and key in seen:
+                continue
+            votes = self._voter.vote_fields(groups[key])
+            row: dict[str, Any] = {}
+            for column in schema.columns:
+                if column.name.lower() in fixed:
+                    row[column.name] = fixed[column.name.lower()]
+                    continue
+                vote = votes.get(column.name)
+                if vote is None or not str(vote.value).strip():
+                    row[column.name] = NULL
+                else:
+                    row[column.name] = self._parse(schema, column.name, vote.value)
+            if pk_columns:
+                seen.add(key)
+            tuples.append(row)
+        return tuples
+
+    # -- CrowdCompare --------------------------------------------------------------------
+
+    def compare_equal(
+        self,
+        left: Any,
+        right: Any,
+        question: Optional[str] = None,
+        platform: Optional[str] = None,
+    ) -> bool:
+        """CROWDEQUAL ballot: do the two values denote the same entity?"""
+        cache_key = (normalize_answer(left), normalize_answer(right))
+        cached = self._equal_cache.get(cache_key)
+        if cached is None:
+            cached = self._equal_cache.get((cache_key[1], cache_key[0]))
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        self.stats.compare_requests += 1
+        task = CompareEqualTask(
+            left=left,
+            right=right,
+            question=question or "Do these two values refer to the same thing?",
+        )
+        template = self.ui_manager.compare_equal_template()
+        form_html = self.ui_manager.instantiate(
+            template, {"left": left, "right": right}
+        )
+        hit = self._make_hit(task, form_html)
+        self._post_and_wait([hit], platform)
+        ballots = [bool(a.answer) for a in hit.assignments]
+        if not ballots:
+            answer = False  # no worker responded: conservatively not equal
+        else:
+            answer = bool(self._voter.vote_boolean(ballots).value)
+        self._equal_cache[cache_key] = answer
+        return answer
+
+    def compare_order(
+        self,
+        left: Any,
+        right: Any,
+        question: str,
+        platform: Optional[str] = None,
+    ) -> bool:
+        """CROWDORDER ballot: should ``left`` be ranked before ``right``?"""
+        left_key = normalize_answer(left)
+        right_key = normalize_answer(right)
+        if left_key == right_key:
+            return True
+        cache_key = (question, left_key, right_key)
+        cached = self._order_cache.get(cache_key)
+        if cached is None:
+            mirrored = self._order_cache.get((question, right_key, left_key))
+            if mirrored is not None:
+                cached = "right" if mirrored == "left" else "left"
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached == "left"
+        self.stats.compare_requests += 1
+        task = CompareOrderTask(left=left, right=right, question=question)
+        template = self.ui_manager.compare_order_template(question)
+        form_html = self.ui_manager.instantiate(
+            template, {"left": left, "right": right}
+        )
+        hit = self._make_hit(task, form_html)
+        self._post_and_wait([hit], platform)
+        ballots = [
+            a.answer for a in hit.assignments if a.answer in ("left", "right")
+        ]
+        if not ballots:
+            winner = "left"  # stable fallback: keep current order
+        else:
+            winner = str(self._voter.vote(ballots).value)
+        self._order_cache[cache_key] = winner
+        return winner == "left"
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _make_hit(self, task: Any, form_html: str) -> HIT:
+        return HIT(
+            task=task,
+            reward_cents=self.config.reward_cents,
+            assignments_requested=self.config.replication,
+            form_html=form_html,
+            locality=self.config.locality,
+        )
+
+    def _post_and_wait(self, hits: list[HIT], platform_name: Optional[str]) -> None:
+        projected = sum(
+            hit.reward_cents * hit.assignments_requested for hit in hits
+        )
+        if (
+            self.config.budget_cents is not None
+            and self.stats.cost_cents + projected > self.config.budget_cents
+        ):
+            raise BudgetExceededError(
+                f"posting {len(hits)} HIT(s) (~{projected}c) would exceed the "
+                f"budget of {self.config.budget_cents}c "
+                f"({self.stats.cost_cents}c already spent)"
+            )
+        platform = self.platforms.get(platform_name or self.config.platform)
+        ids = platform.post_hits(hits)
+        self.stats.hits_posted += len(hits)
+        done = platform.wait_for_hits(ids, self.config.timeout_seconds)
+        if not done:
+            self.stats.timeouts += 1
+            for hit_id in ids:
+                platform.expire_hit(hit_id)
+        received = sum(len(hit.assignments) for hit in hits)
+        self.stats.assignments_received += received
+        self.stats.cost_cents += sum(
+            hit.reward_cents * len(hit.assignments) for hit in hits
+        )
+
+    @staticmethod
+    def _parse(schema: TableSchema, column: str, raw: Any) -> Any:
+        sql_type = schema.column(column).sql_type
+        try:
+            return parse_literal(str(raw), sql_type)
+        except TypeError_:
+            return NULL
+
+
+_SIMILARITY_THRESHOLD = 0.82
+
+
+def _keys_similar(a: tuple, b: tuple) -> bool:
+    """Typo-level similarity between two normalized key tuples."""
+    import difflib
+
+    if len(a) != len(b):
+        return False
+    for part_a, part_b in zip(a, b):
+        text_a, text_b = str(part_a), str(part_b)
+        if text_a == text_b:
+            continue
+        ratio = difflib.SequenceMatcher(None, text_a, text_b).ratio()
+        if ratio < _SIMILARITY_THRESHOLD:
+            return False
+    return True
+
+
+def _merge_similar_keys(
+    groups: dict[tuple, list[dict[str, Any]]], order: list[tuple]
+) -> list[tuple]:
+    """Fold typo-variant key groups into the best-supported spelling.
+
+    Keys are processed by descending support, so a singleton typo merges
+    into the group the majority of workers agreed on.
+    """
+    by_support = sorted(order, key=lambda key: -len(groups[key]))
+    canonical: list[tuple] = []
+    for key in by_support:
+        merged = False
+        for existing in canonical:
+            if _keys_similar(key, existing):
+                groups[existing].extend(groups.pop(key))
+                merged = True
+                break
+        if not merged:
+            canonical.append(key)
+    return [key for key in order if key in groups]
+
+
+def _is_near_duplicate(key: tuple, known: set) -> bool:
+    """Is ``key`` exactly or approximately one of the stored keys?"""
+    if key in known:
+        return True
+    return any(_keys_similar(key, stored) for stored in known)

@@ -1,0 +1,194 @@
+"""Worker Relationship Manager.
+
+"Unlike computer processors, crowd workers are not fungible resources and
+the worker/requester relationship evolves over time and thus, requires
+special care.  Currently, the WRM component assists the requester with
+paying workers in time, granting bonuses and reporting and answering
+worker complaints." (paper §3)
+
+The WRM observes every submitted assignment (the platforms call
+:meth:`on_assignment`), keeps a per-worker ledger, auto-approves and pays
+within the payment deadline, grants loyalty bonuses, and tracks
+complaints with response deadlines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crowd.model import HIT, Assignment, AssignmentStatus
+from repro.errors import CrowdPlatformError
+
+
+@dataclass
+class WorkerAccount:
+    """Relationship state for one worker."""
+
+    worker_id: str
+    submitted: int = 0
+    approved: int = 0
+    rejected: int = 0
+    earned_cents: int = 0
+    bonus_cents: int = 0
+    blocked: bool = False
+
+    @property
+    def approval_rate(self) -> float:
+        total = self.approved + self.rejected
+        return self.approved / total if total else 1.0
+
+
+@dataclass
+class Complaint:
+    """A worker complaint awaiting a requester response."""
+
+    worker_id: str
+    assignment_id: str
+    message: str
+    filed_at: float
+    response: Optional[str] = None
+    responded_at: Optional[float] = None
+
+    @property
+    def open(self) -> bool:
+        return self.response is None
+
+
+@dataclass
+class Payment:
+    """One ledger entry."""
+
+    worker_id: str
+    assignment_id: str
+    amount_cents: int
+    kind: str  # "reward" | "bonus"
+    paid_at: float
+
+
+class WorkerRelationshipManager:
+    """Requester-side worker relationship state machine."""
+
+    def __init__(
+        self,
+        bonus_every: int = 10,
+        bonus_cents: int = 5,
+        auto_approve: bool = True,
+    ) -> None:
+        self.bonus_every = bonus_every
+        self.bonus_cents = bonus_cents
+        self.auto_approve = auto_approve
+        self.accounts: dict[str, WorkerAccount] = {}
+        self.payments: list[Payment] = []
+        self.complaints: list[Complaint] = []
+
+    # -- platform hook --------------------------------------------------------------
+
+    def on_assignment(self, hit: HIT, assignment: Assignment) -> None:
+        """Observe a submitted assignment (wired into the platform)."""
+        account = self.account(assignment.worker_id)
+        account.submitted += 1
+        if self.auto_approve:
+            self.approve(hit, assignment)
+
+    # -- approval & payment -----------------------------------------------------------
+
+    def account(self, worker_id: str) -> WorkerAccount:
+        if worker_id not in self.accounts:
+            self.accounts[worker_id] = WorkerAccount(worker_id)
+        return self.accounts[worker_id]
+
+    def approve(self, hit: HIT, assignment: Assignment) -> None:
+        if assignment.status is AssignmentStatus.APPROVED:
+            return
+        assignment.status = AssignmentStatus.APPROVED
+        account = self.account(assignment.worker_id)
+        account.approved += 1
+        account.earned_cents += hit.reward_cents
+        self.payments.append(
+            Payment(
+                worker_id=assignment.worker_id,
+                assignment_id=assignment.assignment_id,
+                amount_cents=hit.reward_cents,
+                kind="reward",
+                paid_at=assignment.submitted_at,
+            )
+        )
+        if self.bonus_every and account.approved % self.bonus_every == 0:
+            self.grant_bonus(
+                assignment.worker_id,
+                self.bonus_cents,
+                assignment.assignment_id,
+                at=assignment.submitted_at,
+            )
+
+    def reject(self, assignment: Assignment, reason: str = "") -> None:
+        if assignment.status is AssignmentStatus.APPROVED:
+            raise CrowdPlatformError(
+                "cannot reject an already approved assignment"
+            )
+        assignment.status = AssignmentStatus.REJECTED
+        self.account(assignment.worker_id).rejected += 1
+
+    def grant_bonus(
+        self,
+        worker_id: str,
+        amount_cents: int,
+        assignment_id: str = "",
+        at: float = 0.0,
+    ) -> None:
+        account = self.account(worker_id)
+        account.bonus_cents += amount_cents
+        account.earned_cents += amount_cents
+        self.payments.append(
+            Payment(
+                worker_id=worker_id,
+                assignment_id=assignment_id,
+                amount_cents=amount_cents,
+                kind="bonus",
+                paid_at=at,
+            )
+        )
+
+    # -- complaints -----------------------------------------------------------------------
+
+    def file_complaint(
+        self, worker_id: str, assignment_id: str, message: str, at: float = 0.0
+    ) -> Complaint:
+        complaint = Complaint(
+            worker_id=worker_id,
+            assignment_id=assignment_id,
+            message=message,
+            filed_at=at,
+        )
+        self.complaints.append(complaint)
+        return complaint
+
+    def respond(self, complaint: Complaint, response: str, at: float = 0.0) -> None:
+        if not complaint.open:
+            raise CrowdPlatformError("complaint already answered")
+        complaint.response = response
+        complaint.responded_at = at
+
+    def open_complaints(self) -> list[Complaint]:
+        return [c for c in self.complaints if c.open]
+
+    # -- blocking -----------------------------------------------------------------------
+
+    def block(self, worker_id: str) -> None:
+        self.account(worker_id).blocked = True
+
+    def is_blocked(self, worker_id: str) -> bool:
+        account = self.accounts.get(worker_id)
+        return bool(account and account.blocked)
+
+    # -- reporting -----------------------------------------------------------------------
+
+    @property
+    def total_paid_cents(self) -> int:
+        return sum(payment.amount_cents for payment in self.payments)
+
+    def top_workers(self, count: int = 10) -> list[WorkerAccount]:
+        return sorted(
+            self.accounts.values(), key=lambda a: -a.approved
+        )[:count]

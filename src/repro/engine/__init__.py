@@ -1,0 +1,7 @@
+"""Physical execution engine: operators, planner, executor."""
+
+from repro.engine.context import ExecutionContext
+from repro.engine.executor import Executor, ResultSet
+from repro.engine.planner import PhysicalPlanner
+
+__all__ = ["ExecutionContext", "Executor", "PhysicalPlanner", "ResultSet"]

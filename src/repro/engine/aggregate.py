@@ -1,0 +1,152 @@
+"""Hash aggregation (GROUP BY and scalar aggregates)."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.engine.base import Correlation, PhysicalOperator
+from repro.engine.context import ExecutionContext
+from repro.errors import ExecutionError
+from repro.sql import ast
+from repro.sql.pretty import format_expression
+from repro.sqltypes import NULL, is_missing
+from repro.storage.row import Scope
+
+
+class _Accumulator:
+    """State for one aggregate function within one group."""
+
+    def __init__(self, call: ast.FunctionCall) -> None:
+        self.name = call.name.upper()
+        self.distinct = call.distinct
+        self.count = 0
+        self.total: Any = None
+        self.extreme: Any = None
+        self._seen: set = set()
+
+    def add(self, value: Any) -> None:
+        if self.name == "COUNT" and value is _STAR:
+            self.count += 1
+            return
+        if is_missing(value):
+            return
+        if self.distinct:
+            key = value if _hashable(value) else repr(value)
+            if key in self._seen:
+                return
+            self._seen.add(key)
+        self.count += 1
+        if self.name in ("SUM", "AVG"):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ExecutionError(f"{self.name} needs numeric input")
+            self.total = value if self.total is None else self.total + value
+        elif self.name == "MIN":
+            if self.extreme is None or value < self.extreme:
+                self.extreme = value
+        elif self.name == "MAX":
+            if self.extreme is None or value > self.extreme:
+                self.extreme = value
+
+    def result(self) -> Any:
+        if self.name == "COUNT":
+            return self.count
+        if self.name == "SUM":
+            return NULL if self.total is None else self.total
+        if self.name == "AVG":
+            return NULL if self.total is None else self.total / self.count
+        if self.name in ("MIN", "MAX"):
+            return NULL if self.extreme is None else self.extreme
+        raise ExecutionError(f"unknown aggregate {self.name!r}")
+
+
+class _Star:
+    pass
+
+
+_STAR = _Star()
+
+
+class AggregateOp(PhysicalOperator):
+    """Group rows and evaluate aggregate calls.
+
+    Output scope: one column per group-by expression (bound under the
+    original table for plain column refs, so upstream references still
+    resolve) followed by one column per aggregate, named by its rendered
+    SQL (``COUNT(*)``), which the evaluator looks up when an aggregate
+    call appears in upper expressions.
+    """
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        child: PhysicalOperator,
+        group_by: tuple[ast.Expression, ...],
+        aggregates: tuple[ast.FunctionCall, ...],
+        correlation: Correlation = None,
+    ) -> None:
+        super().__init__(context, correlation)
+        self.child = child
+        self.group_by = group_by
+        self.aggregates = aggregates
+        entries: list[tuple[str, str]] = []
+        for expr in group_by:
+            if isinstance(expr, ast.ColumnRef):
+                entries.append((expr.table or "", expr.name))
+            else:
+                entries.append(("", format_expression(expr)))
+        for call in aggregates:
+            entries.append(("", format_expression(call)))
+        self._scope = Scope(entries)
+
+    @property
+    def scope(self) -> Scope:
+        return self._scope
+
+    def __iter__(self) -> Iterator[tuple]:
+        child_scope = self.child.scope
+        groups: dict[tuple, tuple[tuple, list[_Accumulator]]] = {}
+        order: list[tuple] = []
+        for values in self.child:
+            key_values = tuple(
+                self.eval(expr, values, child_scope) for expr in self.group_by
+            )
+            key = tuple(
+                v if _hashable(v) else repr(v) for v in key_values
+            )
+            entry = groups.get(key)
+            if entry is None:
+                entry = (
+                    key_values,
+                    [_Accumulator(call) for call in self.aggregates],
+                )
+                groups[key] = entry
+                order.append(key)
+            _key_values, accumulators = entry
+            for call, accumulator in zip(self.aggregates, accumulators):
+                accumulator.add(self._aggregate_input(call, values, child_scope))
+
+        if not groups and not self.group_by:
+            # global aggregate over empty input: one row of identities
+            yield tuple(
+                _Accumulator(call).result() for call in self.aggregates
+            )
+            return
+        for key in order:
+            key_values, accumulators = groups[key]
+            yield key_values + tuple(acc.result() for acc in accumulators)
+
+    def _aggregate_input(
+        self, call: ast.FunctionCall, values: tuple, scope: Scope
+    ) -> Any:
+        (argument,) = call.args
+        if isinstance(argument, ast.Star):
+            return _STAR
+        return self.eval(argument, values, scope)
+
+
+def _hashable(value: Any) -> bool:
+    try:
+        hash(value)
+        return True
+    except TypeError:
+        return False

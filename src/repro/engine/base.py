@@ -1,0 +1,58 @@
+"""Physical operator base class.
+
+Operators follow the iterator model: construct, then iterate value
+tuples; ``scope`` names the tuple positions.  ``correlation`` carries the
+outer row of a correlated subquery — expression evaluation appends the
+outer values and scope so outer column references resolve.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterator, Optional
+
+from repro.engine.context import ExecutionContext
+from repro.sql import ast
+from repro.sqltypes import TriBool
+from repro.storage.row import Scope
+
+Correlation = Optional[tuple[tuple, Scope]]
+
+
+class PhysicalOperator(abc.ABC):
+    """One node of a physical plan."""
+
+    def __init__(
+        self, context: ExecutionContext, correlation: Correlation = None
+    ) -> None:
+        self.context = context
+        self.correlation = correlation
+
+    @property
+    @abc.abstractmethod
+    def scope(self) -> Scope:
+        """Names for the value tuples this operator produces."""
+
+    @abc.abstractmethod
+    def __iter__(self) -> Iterator[tuple]:
+        """Yield value tuples."""
+
+    # -- expression helpers -------------------------------------------------------
+
+    def _full(self, values: tuple, scope: Scope) -> tuple[tuple, Scope]:
+        if self.correlation is None:
+            return values, scope
+        from repro.storage.row import LayeredScope
+
+        outer_values, outer_scope = self.correlation
+        return values + outer_values, LayeredScope(scope, outer_scope)
+
+    def eval(self, expr: ast.Expression, values: tuple, scope: Scope) -> Any:
+        full_values, full_scope = self._full(values, scope)
+        return self.context.evaluator.value(expr, full_values, full_scope)
+
+    def predicate(
+        self, expr: ast.Expression, values: tuple, scope: Scope
+    ) -> TriBool:
+        full_values, full_scope = self._full(values, scope)
+        return self.context.evaluator.predicate(expr, full_values, full_scope)

@@ -1,0 +1,90 @@
+"""Execution context: the runtime services physical operators share.
+
+One context serves one statement execution.  It bundles the storage
+engine, the Task Manager (absent for purely electronic queries), the
+expression evaluator, and the subquery executor, and implements the
+:class:`~repro.plan.expressions.EvalContext` protocol so CROWDEQUAL and
+subqueries evaluate inside ordinary predicates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.errors import ExecutionError
+from repro.plan.expressions import Evaluator
+from repro.sql import ast
+from repro.sqltypes import NULL
+from repro.storage.engine import StorageEngine
+from repro.storage.row import Scope
+
+
+class ExecutionContext:
+    """Shared runtime state for one statement."""
+
+    def __init__(
+        self,
+        engine: StorageEngine,
+        task_manager: Optional[Any] = None,  # TaskManager, optional import cycle
+        parameters: tuple = (),
+        platform: Optional[str] = None,
+        subquery_executor: Optional[
+            Callable[[ast.Select, tuple, Scope], list[tuple]]
+        ] = None,
+    ) -> None:
+        self.engine = engine
+        self.task_manager = task_manager
+        self.parameters = parameters
+        self.platform = platform
+        self._subquery_executor = subquery_executor
+        self.evaluator = Evaluator(context=self, parameters=parameters)
+        # per-execution metrics surfaced by EXPLAIN ANALYZE-style reporting
+        self.rows_scanned = 0
+        self.crowd_probe_tasks = 0
+        self.crowd_join_tasks = 0
+        self.crowd_compare_tasks = 0
+
+    # -- EvalContext protocol -----------------------------------------------------
+
+    def crowd_equal(self, left: Any, right: Any, question: Optional[str]) -> bool:
+        if self.task_manager is None:
+            raise ExecutionError(
+                "query needs CROWDEQUAL but no crowd platform is configured"
+            )
+        self.crowd_compare_tasks += 1
+        return self.task_manager.compare_equal(
+            left, right, question, platform=self.platform
+        )
+
+    def crowd_order(self, left: Any, right: Any, question: str) -> bool:
+        if self.task_manager is None:
+            raise ExecutionError(
+                "query needs CROWDORDER but no crowd platform is configured"
+            )
+        self.crowd_compare_tasks += 1
+        return self.task_manager.compare_order(
+            left, right, question, platform=self.platform
+        )
+
+    def scalar_subquery(self, query: ast.Select, values: tuple, scope: Scope) -> Any:
+        rows = self._run_subquery(query, values, scope)
+        if not rows:
+            return NULL
+        if len(rows) > 1:
+            raise ExecutionError("scalar subquery returned more than one row")
+        if len(rows[0]) != 1:
+            raise ExecutionError("scalar subquery must select exactly one column")
+        return rows[0][0]
+
+    def subquery_values(self, query: ast.Select, values: tuple, scope: Scope) -> list:
+        rows = self._run_subquery(query, values, scope)
+        if rows and len(rows[0]) != 1:
+            raise ExecutionError("subquery must select exactly one column")
+        return [row[0] for row in rows]
+
+    def _run_subquery(
+        self, query: ast.Select, values: tuple, scope: Scope
+    ) -> list[tuple]:
+        if self._subquery_executor is None:
+            raise ExecutionError("subqueries are not available in this context")
+        return self._subquery_executor(query, values, scope)

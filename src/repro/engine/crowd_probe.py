@@ -1,0 +1,145 @@
+"""The CrowdProbe operator.
+
+"This operator crowdsources missing data from CROWD columns and new
+tuples" (paper §3.2.1).  Concretely:
+
+* **anti-probes** first: for every primary-key value the predicate pinned
+  (attached by the boundedness analysis) that has no stored tuple, ask
+  the crowd to contribute the whole tuple and memorize it — this is what
+  makes ``SELECT ... WHERE pk = 'X'`` return an answer a traditional
+  DBMS cannot give;
+* then, for every tuple flowing by whose *needed* crowd columns are
+  CNULL, post a fill task, majority-vote the answers, memorize, and emit
+  the completed tuple.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.catalog.table import TableSchema
+from repro.engine.base import Correlation, PhysicalOperator
+from repro.engine.context import ExecutionContext
+from repro.sqltypes import NULL, is_cnull, is_missing
+from repro.storage.row import Scope
+
+
+class CrowdProbeOp(PhysicalOperator):
+    """Fill CNULL values (and anti-probe missing key-pinned tuples)."""
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        child: PhysicalOperator,
+        table: TableSchema,
+        binding: str,
+        columns: tuple[str, ...],
+        anti_probe_keys: tuple[tuple, ...] = (),
+        correlation: Correlation = None,
+    ) -> None:
+        super().__init__(context, correlation)
+        self.child = child
+        self.table = table
+        self.binding = binding
+        self.columns = columns
+        self.anti_probe_keys = anti_probe_keys
+
+    @property
+    def scope(self) -> Scope:
+        return self.child.scope
+
+    def __iter__(self) -> Iterator[tuple]:
+        if self.anti_probe_keys and self.table.crowd:
+            self._run_anti_probes()
+        child_scope = self.child.scope
+        positions = self._column_positions(child_scope)
+        for values in self.child:
+            missing = [
+                column
+                for column, position in positions
+                if is_cnull(values[position])
+            ]
+            if missing and self.context.task_manager is not None:
+                values = self._fill(values, child_scope, missing, positions)
+            yield values
+
+    # -- anti-probe: source pinned-but-missing tuples ---------------------------------
+
+    def _run_anti_probes(self) -> None:
+        if self.context.task_manager is None:
+            return
+        heap = self.context.engine.table(self.table.name)
+        for key in self.anti_probe_keys:
+            if heap.lookup_primary_key(key) is not None:
+                continue
+            fixed = dict(zip(self.table.primary_key, key))
+            new_tuples = self.context.task_manager.source_new_tuples(
+                self.table,
+                1,
+                fixed_values=fixed,
+                platform=self.context.platform,
+            )
+            self.context.crowd_probe_tasks += 1
+            for row in new_tuples:
+                try:
+                    self.context.engine.insert(
+                        self.table.name,
+                        [row.get(c, NULL) for c in self.table.column_names],
+                        origin="crowd",
+                    )
+                except Exception:
+                    continue  # lost a race with a concurrent memorization
+
+    # -- fill CNULL values --------------------------------------------------------------
+
+    def _column_positions(self, scope: Scope) -> list[tuple[str, int]]:
+        positions = []
+        for column in self.columns:
+            if scope.has(column, self.binding):
+                positions.append((column, scope.resolve(column, self.binding)))
+        return positions
+
+    def _fill(
+        self,
+        values: tuple,
+        scope: Scope,
+        missing: list[str],
+        positions: list[tuple[str, int]],
+    ) -> tuple:
+        known = {}
+        for column in self.table.columns:
+            if not scope.has(column.name, self.binding):
+                continue
+            value = values[scope.resolve(column.name, self.binding)]
+            if not is_missing(value):
+                known[column.name] = value
+        pk = tuple(
+            values[scope.resolve(c, self.binding)]
+            for c in self.table.primary_key
+        )
+        answers = self.context.task_manager.fill_values(
+            self.table,
+            pk,
+            tuple(missing),
+            known,
+            platform=self.context.platform,
+        )
+        self.context.crowd_probe_tasks += 1
+        new_values = list(values)
+        for column, answer in answers.items():
+            new_values[scope.resolve(column, self.binding)] = answer
+        self._memorize(pk, answers)
+        return tuple(new_values)
+
+    def _memorize(self, pk: tuple, answers: dict) -> None:
+        """Write crowd answers back to storage (always, per the paper)."""
+        if not self.table.primary_key:
+            return
+        heap = self.context.engine.table(self.table.name)
+        row = heap.lookup_primary_key(pk)
+        if row is None:
+            return
+        for column, answer in answers.items():
+            self.context.engine.set_value(
+                self.table.name, row.rowid, column, answer, origin="crowd"
+            )

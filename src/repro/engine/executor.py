@@ -1,0 +1,285 @@
+"""Statement execution: the top of the engine.
+
+The executor compiles and runs any CrowdSQL statement: DDL goes to the
+catalog/storage (and triggers compile-time UI template generation for
+crowd-related tables, per paper §3.1); DML evaluates expressions and
+mutates heaps; SELECTs run through build → optimize → physical plan →
+iterate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.catalog.ddl import build_table_schema
+from repro.engine.context import ExecutionContext
+from repro.engine.planner import PhysicalPlanner
+from repro.errors import ExecutionError, PlanError
+from repro.optimizer.optimizer import OptimizationResult, Optimizer
+from repro.plan.builder import PlanBuilder
+from repro.plan.expressions import Evaluator
+from repro.sql import ast
+from repro.sqltypes import NULL, is_missing
+from repro.storage.engine import StorageEngine
+from repro.storage.row import Scope
+
+
+@dataclass
+class ResultSet:
+    """The outcome of one statement."""
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+    rowcount: int = 0
+    statement: str = ""
+    plan: Optional[OptimizationResult] = None
+    crowd_stats: dict[str, int] = field(default_factory=dict)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise ExecutionError(
+                f"expected a 1x1 result, got {len(self.rows)} row(s)"
+            )
+        return self.rows[0][0]
+
+    def column(self, index: int = 0) -> list:
+        return [row[index] for row in self.rows]
+
+    def pretty(self) -> str:
+        """ASCII table rendering for examples and the demo."""
+        from repro.sqltypes import format_value
+
+        if not self.columns:
+            return f"({self.rowcount} row(s) affected)"
+        rendered = [
+            [format_value(value) for value in row] for row in self.rows
+        ]
+        widths = [
+            max(len(name), *(len(r[i]) for r in rendered)) if rendered else len(name)
+            for i, name in enumerate(self.columns)
+        ]
+        def line(ch: str = "-") -> str:
+            return "+" + "+".join(ch * (w + 2) for w in widths) + "+"
+        out = [line(), "| " + " | ".join(
+            name.ljust(widths[i]) for i, name in enumerate(self.columns)
+        ) + " |", line("=")]
+        for row in rendered:
+            out.append(
+                "| "
+                + " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+                + " |"
+            )
+        out.append(line())
+        out.append(f"({len(self.rows)} row(s))")
+        return "\n".join(out)
+
+
+class Executor:
+    """Compiles and executes statements against one storage engine."""
+
+    def __init__(
+        self,
+        engine: StorageEngine,
+        optimizer: Optional[Optimizer] = None,
+        task_manager: Optional[Any] = None,
+        ui_manager: Optional[Any] = None,
+        platform: Optional[str] = None,
+    ) -> None:
+        self.engine = engine
+        self.optimizer = optimizer if optimizer is not None else Optimizer(engine)
+        self.task_manager = task_manager
+        self.ui_manager = ui_manager
+        self.platform = platform
+        self.builder = PlanBuilder(engine.catalog)
+
+    # -- public entry point ---------------------------------------------------------
+
+    def execute(
+        self, stmt: ast.Statement, parameters: Sequence[Any] = ()
+    ) -> ResultSet:
+        parameters = tuple(parameters)
+        if isinstance(stmt, (ast.Select, ast.SetOp)):
+            return self._execute_select(stmt, parameters)
+        if isinstance(stmt, ast.CreateTable):
+            return self._execute_create_table(stmt)
+        if isinstance(stmt, ast.DropTable):
+            self.engine.drop_table(stmt.name, if_exists=stmt.if_exists)
+            return ResultSet(statement="DROP TABLE")
+        if isinstance(stmt, ast.CreateIndex):
+            heap = self.engine.table(stmt.table)
+            heap.create_index(stmt.name, stmt.columns, unique=stmt.unique)
+            return ResultSet(statement="CREATE INDEX")
+        if isinstance(stmt, ast.Insert):
+            return self._execute_insert(stmt, parameters)
+        if isinstance(stmt, ast.Update):
+            return self._execute_update(stmt, parameters)
+        if isinstance(stmt, ast.Delete):
+            return self._execute_delete(stmt, parameters)
+        if isinstance(stmt, ast.Explain):
+            return self._execute_explain(stmt)
+        if isinstance(stmt, ast.ShowTables):
+            rows = [(name,) for name in self.engine.table_names()]
+            return ResultSet(
+                columns=["table_name"], rows=rows, rowcount=len(rows),
+                statement="SHOW TABLES",
+            )
+        raise ExecutionError(f"cannot execute {type(stmt).__name__}")
+
+    # -- SELECT -----------------------------------------------------------------------
+
+    def compile_select(self, stmt: ast.Statement) -> OptimizationResult:
+        """Compile a SELECT or compound (set-operation) query."""
+        plan = self.builder.build_statement(stmt)
+        return self.optimizer.optimize(plan)
+
+    def _execute_select(
+        self, stmt: ast.Statement, parameters: tuple
+    ) -> ResultSet:
+        compiled = self.compile_select(stmt)
+        context = self._make_context(parameters)
+        operator = PhysicalPlanner(context).plan(compiled.plan)
+        rows = list(operator)
+        columns = [entry[1] for entry in operator.scope.entries]
+        return ResultSet(
+            columns=columns,
+            rows=rows,
+            rowcount=len(rows),
+            statement="SELECT",
+            plan=compiled,
+            crowd_stats={
+                "probe_tasks": context.crowd_probe_tasks,
+                "join_tasks": context.crowd_join_tasks,
+                "compare_tasks": context.crowd_compare_tasks,
+                "rows_scanned": context.rows_scanned,
+            },
+        )
+
+    def _execute_explain(self, stmt: ast.Explain) -> ResultSet:
+        inner = stmt.statement
+        if not isinstance(inner, (ast.Select, ast.SetOp)):
+            raise ExecutionError("EXPLAIN supports SELECT statements only")
+        compiled = self.compile_select(inner)
+        lines = compiled.explain().splitlines()
+        return ResultSet(
+            columns=["plan"],
+            rows=[(line,) for line in lines],
+            rowcount=len(lines),
+            statement="EXPLAIN",
+            plan=compiled,
+        )
+
+    # -- DDL ---------------------------------------------------------------------------
+
+    def _execute_create_table(self, stmt: ast.CreateTable) -> ResultSet:
+        schema = build_table_schema(stmt)
+        created = self.engine.create_table(
+            schema, if_not_exists=stmt.if_not_exists
+        )
+        if created and self.ui_manager is not None and schema.is_crowd_related:
+            # compile-time UI creation (paper §3.1)
+            columns = tuple(c.name for c in schema.crowd_columns)
+            if columns:
+                self.ui_manager.fill_template(schema, columns)
+            if schema.crowd:
+                self.ui_manager.new_tuple_template(schema)
+        return ResultSet(statement="CREATE TABLE")
+
+    # -- DML ---------------------------------------------------------------------------
+
+    def _execute_insert(self, stmt: ast.Insert, parameters: tuple) -> ResultSet:
+        evaluator = Evaluator(parameters=parameters)
+        empty_scope = Scope([])
+        count = 0
+        if stmt.query is not None:
+            result = self._execute_select(stmt.query, parameters)
+            for row in result.rows:
+                self.engine.insert(
+                    stmt.table, list(row), stmt.columns or None
+                )
+                count += 1
+        else:
+            for row_exprs in stmt.rows:
+                values = [
+                    evaluator.value(expr, (), empty_scope) for expr in row_exprs
+                ]
+                self.engine.insert(stmt.table, values, stmt.columns or None)
+                count += 1
+        return ResultSet(rowcount=count, statement="INSERT")
+
+    def _execute_update(self, stmt: ast.Update, parameters: tuple) -> ResultSet:
+        heap = self.engine.table(stmt.table)
+        schema = heap.schema
+        context = self._make_context(parameters)
+        scope = Scope.for_table(stmt.table, schema.column_names)
+        evaluator = context.evaluator
+        for name, _expr in stmt.assignments:
+            schema.column(name)  # validate
+        targets = []
+        for row in heap.scan():
+            if stmt.where is not None:
+                verdict = evaluator.predicate(stmt.where, row.values, scope)
+                if verdict.value is not True:
+                    continue
+            targets.append(row)
+        for row in targets:
+            new_values = list(row.values)
+            for name, expr in stmt.assignments:
+                value = evaluator.value(expr, row.values, scope)
+                column = schema.column(name)
+                from repro.sqltypes import coerce
+
+                new_values[column.ordinal] = (
+                    value if is_missing(value) else coerce(value, column.sql_type)
+                )
+            self.engine.update(stmt.table, row.rowid, tuple(new_values))
+        return ResultSet(rowcount=len(targets), statement="UPDATE")
+
+    def _execute_delete(self, stmt: ast.Delete, parameters: tuple) -> ResultSet:
+        heap = self.engine.table(stmt.table)
+        schema = heap.schema
+        context = self._make_context(parameters)
+        scope = Scope.for_table(stmt.table, schema.column_names)
+        evaluator = context.evaluator
+        targets = []
+        for row in heap.scan():
+            if stmt.where is not None:
+                verdict = evaluator.predicate(stmt.where, row.values, scope)
+                if verdict.value is not True:
+                    continue
+            targets.append(row.rowid)
+        for rowid in targets:
+            self.engine.delete(stmt.table, rowid)
+        return ResultSet(rowcount=len(targets), statement="DELETE")
+
+    # -- plumbing -----------------------------------------------------------------------
+
+    def _make_context(self, parameters: tuple) -> ExecutionContext:
+        context = ExecutionContext(
+            engine=self.engine,
+            task_manager=self.task_manager,
+            parameters=parameters,
+            platform=self.platform,
+            subquery_executor=self._run_subquery,
+        )
+        return context
+
+    def _run_subquery(
+        self, query: ast.Select, outer_values: tuple, outer_scope: Scope
+    ) -> list[tuple]:
+        """Execute a (possibly correlated) subquery for one outer row."""
+        plan = self.builder.build_select(query)
+        compiled = self.optimizer.optimize(plan)
+        context = self._make_context(())
+        planner = PhysicalPlanner(
+            context, correlation=(outer_values, outer_scope)
+        )
+        operator = planner.plan(compiled.plan)
+        return list(operator)

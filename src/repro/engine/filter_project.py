@@ -1,0 +1,212 @@
+"""Filter, projection, distinct, limit, and alias operators."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.engine.base import Correlation, PhysicalOperator
+from repro.engine.context import ExecutionContext
+from repro.sql import ast
+from repro.storage.row import Scope
+
+
+class FilterOp(PhysicalOperator):
+    """Keep rows whose predicate evaluates to TRUE (3VL)."""
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        child: PhysicalOperator,
+        predicate: ast.Expression,
+        correlation: Correlation = None,
+    ) -> None:
+        super().__init__(context, correlation)
+        self.child = child
+        self.predicate_expr = predicate
+
+    @property
+    def scope(self) -> Scope:
+        return self.child.scope
+
+    def __iter__(self) -> Iterator[tuple]:
+        child_scope = self.child.scope
+        for values in self.child:
+            if self.predicate(self.predicate_expr, values, child_scope).value is True:
+                yield values
+
+
+class ProjectOp(PhysicalOperator):
+    """Compute the select-list expressions."""
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        child: PhysicalOperator,
+        items: tuple[tuple[ast.Expression, str], ...],
+        correlation: Correlation = None,
+    ) -> None:
+        super().__init__(context, correlation)
+        self.child = child
+        self.items = items
+        self._scope = Scope([("", name) for _expr, name in items])
+
+    @property
+    def scope(self) -> Scope:
+        return self._scope
+
+    def __iter__(self) -> Iterator[tuple]:
+        child_scope = self.child.scope
+        for values in self.child:
+            yield tuple(
+                self.eval(expr, values, child_scope) for expr, _name in self.items
+            )
+
+
+class DistinctOp(PhysicalOperator):
+    """Hash-based duplicate elimination."""
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        child: PhysicalOperator,
+        correlation: Correlation = None,
+    ) -> None:
+        super().__init__(context, correlation)
+        self.child = child
+
+    @property
+    def scope(self) -> Scope:
+        return self.child.scope
+
+    def __iter__(self) -> Iterator[tuple]:
+        seen: set = set()
+        for values in self.child:
+            key = tuple(_hashable(v) for v in values)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield values
+
+
+class LimitOp(PhysicalOperator):
+    """Stop-after: skip ``offset`` rows, then yield at most ``limit``."""
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        child: PhysicalOperator,
+        limit: Optional[int],
+        offset: int = 0,
+        correlation: Correlation = None,
+    ) -> None:
+        super().__init__(context, correlation)
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+
+    @property
+    def scope(self) -> Scope:
+        return self.child.scope
+
+    def __iter__(self) -> Iterator[tuple]:
+        skipped = 0
+        emitted = 0
+        for values in self.child:
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            if self.limit is not None and emitted >= self.limit:
+                return
+            emitted += 1
+            yield values
+            if self.limit is not None and emitted >= self.limit:
+                return
+
+
+class SubqueryAliasOp(PhysicalOperator):
+    """Re-bind a derived table's columns under its alias."""
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        child: PhysicalOperator,
+        alias: str,
+        correlation: Correlation = None,
+    ) -> None:
+        super().__init__(context, correlation)
+        self.child = child
+        self.alias = alias
+        self._scope = child.scope.rename(alias)
+
+    @property
+    def scope(self) -> Scope:
+        return self._scope
+
+    def __iter__(self) -> Iterator[tuple]:
+        yield from self.child
+
+
+class SetOpOp(PhysicalOperator):
+    """UNION [ALL] / EXCEPT / INTERSECT with SQL set semantics.
+
+    UNION, EXCEPT, and INTERSECT eliminate duplicates (per the SQL
+    standard); UNION ALL concatenates.
+    """
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        op: str,
+        correlation: Correlation = None,
+    ) -> None:
+        super().__init__(context, correlation)
+        self.left = left
+        self.right = right
+        self.op = op
+
+    @property
+    def scope(self) -> Scope:
+        return self.left.scope
+
+    def __iter__(self) -> Iterator[tuple]:
+        if self.op == "UNION ALL":
+            yield from self.left
+            yield from self.right
+            return
+        if self.op == "UNION":
+            seen: set = set()
+            for values in self.left:
+                key = tuple(_hashable(v) for v in values)
+                if key not in seen:
+                    seen.add(key)
+                    yield values
+            for values in self.right:
+                key = tuple(_hashable(v) for v in values)
+                if key not in seen:
+                    seen.add(key)
+                    yield values
+            return
+        right_keys = {
+            tuple(_hashable(v) for v in values) for values in self.right
+        }
+        emitted: set = set()
+        for values in self.left:
+            key = tuple(_hashable(v) for v in values)
+            if key in emitted:
+                continue
+            if self.op == "EXCEPT" and key in right_keys:
+                continue
+            if self.op == "INTERSECT" and key not in right_keys:
+                continue
+            emitted.add(key)
+            yield values
+
+
+def _hashable(value):
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)

@@ -1,0 +1,252 @@
+"""Join operators: block nested-loop, hash equi-join, and the CrowdJoin."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.catalog.table import TableSchema
+from repro.engine.base import Correlation, PhysicalOperator
+from repro.engine.context import ExecutionContext
+from repro.errors import ExecutionError
+from repro.sql import ast
+from repro.sqltypes import NULL, is_missing
+from repro.storage.row import Scope
+
+
+class NestedLoopJoinOp(PhysicalOperator):
+    """Materializing nested-loop join supporting INNER, CROSS, and LEFT."""
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        join_type: str = "INNER",
+        condition: Optional[ast.Expression] = None,
+        correlation: Correlation = None,
+    ) -> None:
+        super().__init__(context, correlation)
+        if join_type not in ("INNER", "CROSS", "LEFT"):
+            raise ExecutionError(f"unsupported join type {join_type!r}")
+        self.left = left
+        self.right = right
+        self.join_type = join_type
+        self.condition = condition
+        self._scope = left.scope.concat(right.scope)
+
+    @property
+    def scope(self) -> Scope:
+        return self._scope
+
+    def __iter__(self) -> Iterator[tuple]:
+        right_rows = list(self.right)
+        right_width = len(self.right.scope)
+        for left_values in self.left:
+            matched = False
+            for right_values in right_rows:
+                combined = left_values + right_values
+                if self.condition is not None:
+                    verdict = self.predicate(
+                        self.condition, combined, self._scope
+                    )
+                    if verdict.value is not True:
+                        continue
+                matched = True
+                yield combined
+            if not matched and self.join_type == "LEFT":
+                yield left_values + (NULL,) * right_width
+
+
+class HashJoinOp(PhysicalOperator):
+    """Hash equi-join for INNER joins with extractable key pairs.
+
+    ``left_keys``/``right_keys`` are parallel expression lists; a residual
+    condition (the full original one) is re-checked on each candidate to
+    keep semantics identical to the nested-loop plan.
+    """
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        left_keys: tuple[ast.Expression, ...],
+        right_keys: tuple[ast.Expression, ...],
+        condition: Optional[ast.Expression] = None,
+        correlation: Correlation = None,
+    ) -> None:
+        super().__init__(context, correlation)
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.condition = condition
+        self._scope = left.scope.concat(right.scope)
+
+    @property
+    def scope(self) -> Scope:
+        return self._scope
+
+    def __iter__(self) -> Iterator[tuple]:
+        table: dict[tuple, list[tuple]] = {}
+        right_scope = self.right.scope
+        for right_values in self.right:
+            key = tuple(
+                self.eval(expr, right_values, right_scope)
+                for expr in self.right_keys
+            )
+            if any(is_missing(part) for part in key):
+                continue
+            table.setdefault(key, []).append(right_values)
+        left_scope = self.left.scope
+        for left_values in self.left:
+            key = tuple(
+                self.eval(expr, left_values, left_scope)
+                for expr in self.left_keys
+            )
+            if any(is_missing(part) for part in key):
+                continue
+            for right_values in table.get(key, ()):
+                combined = left_values + right_values
+                if self.condition is not None:
+                    verdict = self.predicate(
+                        self.condition, combined, self._scope
+                    )
+                    if verdict.value is not True:
+                        continue
+                yield combined
+
+
+class CrowdJoinOp(PhysicalOperator):
+    """The paper's CrowdJoin: index nested-loop join over a CROWD inner.
+
+    Per outer tuple: evaluate the join key, probe the stored inner tuples
+    through an index, and — when nothing is stored — ask the crowd for
+    matching tuples, memorize them, and join.  Crowd columns the query
+    needs (``needed_columns``) are probed on every matched inner tuple.
+    """
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        left: PhysicalOperator,
+        inner_table: TableSchema,
+        inner_binding: str,
+        condition: ast.Expression,
+        inner_key_columns: tuple[str, ...],
+        outer_key_exprs: tuple[ast.Expression, ...],
+        needed_columns: tuple[str, ...] = (),
+        correlation: Correlation = None,
+    ) -> None:
+        super().__init__(context, correlation)
+        self.left = left
+        self.inner_table = inner_table
+        self.inner_binding = inner_binding
+        self.condition = condition
+        self.inner_key_columns = inner_key_columns
+        self.outer_key_exprs = outer_key_exprs
+        self.needed_columns = needed_columns
+        self._inner_scope = Scope.for_table(
+            inner_binding, inner_table.column_names
+        )
+        self._scope = left.scope.concat(self._inner_scope)
+        self._probed_keys: set[tuple] = set()
+
+    @property
+    def scope(self) -> Scope:
+        return self._scope
+
+    def __iter__(self) -> Iterator[tuple]:
+        left_scope = self.left.scope
+        for left_values in self.left:
+            key = tuple(
+                self.eval(expr, left_values, left_scope)
+                for expr in self.outer_key_exprs
+            )
+            if any(is_missing(part) for part in key):
+                continue
+            for inner_values in self._inner_rows(key):
+                combined = left_values + inner_values
+                verdict = self.predicate(self.condition, combined, self._scope)
+                if verdict.value is True:
+                    yield combined
+
+    # -- inner-side probing ---------------------------------------------------
+
+    def _inner_rows(self, key: tuple) -> list[tuple]:
+        heap = self.context.engine.table(self.inner_table.name)
+        index = heap.index_on(self.inner_key_columns)
+        if index is None:
+            index = heap.create_index(
+                f"{self.inner_table.name}_auto_{'_'.join(self.inner_key_columns)}",
+                self.inner_key_columns,
+            )
+        rowids = sorted(index.lookup(key))
+        if not rowids and key not in self._probed_keys:
+            self._probed_keys.add(key)
+            self._crowd_probe(key)
+            rowids = sorted(index.lookup(key))
+        rows = []
+        for rowid in rowids:
+            self.context.rows_scanned += 1
+            values = heap.get(rowid).values
+            values = self._fill_needed(rowid, values)
+            rows.append(values)
+        return rows
+
+    def _crowd_probe(self, key: tuple) -> None:
+        """Ask the crowd for inner tuples matching ``key``."""
+        if self.context.task_manager is None:
+            return
+        fixed = dict(zip(self.inner_key_columns, key))
+        new_tuples = self.context.task_manager.source_new_tuples(
+            self.inner_table,
+            1,
+            fixed_values=fixed,
+            platform=self.context.platform,
+            known_keys=None,
+        )
+        self.context.crowd_join_tasks += 1
+        for values in new_tuples:
+            try:
+                self.context.engine.insert(
+                    self.inner_table.name,
+                    [values.get(c, NULL) for c in self.inner_table.column_names],
+                    origin="crowd",
+                )
+            except Exception:  # duplicate key: another probe stored it first
+                continue
+
+    def _fill_needed(self, rowid: int, values: tuple) -> tuple:
+        """Probe the needed crowd columns of a matched inner tuple."""
+        from repro.sqltypes import is_cnull
+
+        missing = [
+            column
+            for column in self.needed_columns
+            if is_cnull(values[self.inner_table.column_index(column)])
+        ]
+        if not missing or self.context.task_manager is None:
+            return values
+        known = {
+            column.name: values[column.ordinal]
+            for column in self.inner_table.columns
+            if not is_missing(values[column.ordinal])
+        }
+        pk = tuple(
+            values[self.inner_table.column_index(c)]
+            for c in self.inner_table.primary_key
+        )
+        answers = self.context.task_manager.fill_values(
+            self.inner_table, pk, tuple(missing), known,
+            platform=self.context.platform,
+        )
+        self.context.crowd_probe_tasks += 1
+        new_values = list(values)
+        for column, answer in answers.items():
+            position = self.inner_table.column_index(column)
+            new_values[position] = answer
+            self.context.engine.set_value(
+                self.inner_table.name, rowid, column, answer, origin="crowd"
+            )
+        return tuple(new_values)

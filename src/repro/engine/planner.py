@@ -1,0 +1,273 @@
+"""Physical planning: translate optimized logical plans into operators."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.aggregate import AggregateOp
+from repro.engine.base import Correlation, PhysicalOperator
+from repro.engine.context import ExecutionContext
+from repro.engine.crowd_probe import CrowdProbeOp
+from repro.engine.filter_project import (
+    DistinctOp,
+    FilterOp,
+    LimitOp,
+    ProjectOp,
+    SetOpOp,
+    SubqueryAliasOp,
+)
+from repro.engine.joins import CrowdJoinOp, HashJoinOp, NestedLoopJoinOp
+from repro.engine.scans import SingleRowOp, TableScan
+from repro.engine.sort_limit import SortOp
+from repro.errors import PlanError
+from repro.optimizer.rules import split_conjuncts
+from repro.plan import logical
+from repro.sql import ast
+from repro.storage.row import Scope
+
+
+class PhysicalPlanner:
+    """Maps each logical node to its physical operator."""
+
+    def __init__(
+        self, context: ExecutionContext, correlation: Correlation = None
+    ) -> None:
+        self.context = context
+        self.correlation = correlation
+
+    def plan(self, node: logical.LogicalPlan) -> PhysicalOperator:
+        if isinstance(node, logical.Scan):
+            return TableScan(
+                self.context,
+                node.table,
+                node.binding,
+                limit_hint=node.limit_hint,
+                correlation=self.correlation,
+            )
+        if isinstance(node, logical.SingleRow):
+            return SingleRowOp(self.context, self.correlation)
+        if isinstance(node, logical.CrowdProbe):
+            return CrowdProbeOp(
+                self.context,
+                self.plan(node.child),
+                node.table,
+                node.binding,
+                node.columns,
+                anti_probe_keys=node.anti_probe_keys,
+                correlation=self.correlation,
+            )
+        if isinstance(node, logical.Filter):
+            indexed = self._try_index_scan(node)
+            if indexed is not None:
+                return indexed
+            return FilterOp(
+                self.context,
+                self.plan(node.child),
+                node.predicate,
+                correlation=self.correlation,
+            )
+        if isinstance(node, logical.Project):
+            return ProjectOp(
+                self.context,
+                self.plan(node.child),
+                node.items,
+                correlation=self.correlation,
+            )
+        if isinstance(node, logical.Join):
+            return self._plan_join(node)
+        if isinstance(node, logical.CrowdJoin):
+            return CrowdJoinOp(
+                self.context,
+                self.plan(node.left),
+                node.inner_table,
+                node.inner_binding,
+                node.condition,
+                node.inner_key_columns,
+                node.outer_key_exprs,
+                node.needed_columns,
+                correlation=self.correlation,
+            )
+        if isinstance(node, logical.Aggregate):
+            return AggregateOp(
+                self.context,
+                self.plan(node.child),
+                node.group_by,
+                node.aggregates,
+                correlation=self.correlation,
+            )
+        if isinstance(node, logical.Sort):
+            return SortOp(
+                self.context,
+                self.plan(node.child),
+                node.keys,
+                top_k=node.top_k,
+                correlation=self.correlation,
+            )
+        if isinstance(node, logical.Limit):
+            return LimitOp(
+                self.context,
+                self.plan(node.child),
+                node.limit,
+                node.offset,
+                correlation=self.correlation,
+            )
+        if isinstance(node, logical.Distinct):
+            return DistinctOp(
+                self.context, self.plan(node.child), correlation=self.correlation
+            )
+        if isinstance(node, logical.SubqueryAlias):
+            return SubqueryAliasOp(
+                self.context,
+                self.plan(node.child),
+                node.alias,
+                correlation=self.correlation,
+            )
+        if isinstance(node, logical.SetOperation):
+            return SetOpOp(
+                self.context,
+                self.plan(node.left),
+                self.plan(node.right),
+                node.op,
+                correlation=self.correlation,
+            )
+        raise PlanError(f"no physical operator for {type(node).__name__}")
+
+    # -- access-path selection ------------------------------------------------------
+
+    def _try_index_scan(
+        self, node: logical.Filter
+    ) -> Optional[PhysicalOperator]:
+        """Filter(Scan) with an indexed equality conjunct becomes an index
+        lookup plus a residual filter — the access-method selection H2
+        would perform.
+
+        Skipped for crowd scans carrying a limit hint (those must run the
+        open-world sourcing path of :class:`TableScan`).
+        """
+        from repro.engine.scans import IndexLookup
+        from repro.sqltypes import coerce
+
+        scan = node.child
+        if not isinstance(scan, logical.Scan) or scan.limit_hint is not None:
+            return None
+        if not self.context.engine.has_table(scan.table.name):
+            return None
+        heap = self.context.engine.table(scan.table.name)
+        for conjunct in split_conjuncts(node.predicate):
+            if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+                continue
+            column, literal = _column_literal(conjunct)
+            if column is None:
+                continue
+            if column.table is not None and (
+                column.table.lower() != scan.binding.lower()
+            ):
+                continue
+            if not scan.table.has_column(column.name):
+                continue
+            index = heap.index_on((column.name,))
+            if index is None:
+                continue
+            try:
+                key = coerce(literal, scan.table.column(column.name).sql_type)
+            except Exception:
+                return None  # mistyped literal: fall back to a scan
+            lookup = IndexLookup(
+                self.context,
+                scan.table,
+                scan.binding,
+                (column.name,),
+                (key,),
+                correlation=self.correlation,
+            )
+            # keep the full predicate as a residual: cheap and always safe
+            return FilterOp(
+                self.context, lookup, node.predicate,
+                correlation=self.correlation,
+            )
+        return None
+
+    # -- join strategy ------------------------------------------------------------
+
+    def _plan_join(self, node: logical.Join) -> PhysicalOperator:
+        left = self.plan(node.left)
+        right = self.plan(node.right)
+        if node.join_type == "INNER" and node.condition is not None:
+            keys = _extract_equi_keys(node.condition, left.scope, right.scope)
+            if keys:
+                left_keys, right_keys = keys
+                return HashJoinOp(
+                    self.context,
+                    left,
+                    right,
+                    left_keys,
+                    right_keys,
+                    condition=node.condition,
+                    correlation=self.correlation,
+                )
+        return NestedLoopJoinOp(
+            self.context,
+            left,
+            right,
+            join_type=node.join_type,
+            condition=node.condition,
+            correlation=self.correlation,
+        )
+
+
+def _extract_equi_keys(
+    condition: ast.Expression, left_scope: Scope, right_scope: Scope
+) -> Optional[tuple[tuple[ast.Expression, ...], tuple[ast.Expression, ...]]]:
+    """Split equality conjuncts into (left keys, right keys) when possible."""
+    left_keys: list[ast.Expression] = []
+    right_keys: list[ast.Expression] = []
+    for conjunct in split_conjuncts(condition):
+        if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+            continue
+        if ast.contains_crowd_builtin(conjunct):
+            continue
+        a_side = _side_of(conjunct.left, left_scope, right_scope)
+        b_side = _side_of(conjunct.right, left_scope, right_scope)
+        if a_side == "left" and b_side == "right":
+            left_keys.append(conjunct.left)
+            right_keys.append(conjunct.right)
+        elif a_side == "right" and b_side == "left":
+            left_keys.append(conjunct.right)
+            right_keys.append(conjunct.left)
+    if not left_keys:
+        return None
+    return tuple(left_keys), tuple(right_keys)
+
+
+def _column_literal(
+    conjunct: ast.BinaryOp,
+) -> tuple[Optional[ast.ColumnRef], object]:
+    """Unpack ``col = literal`` (either orientation)."""
+    if isinstance(conjunct.left, ast.ColumnRef) and isinstance(
+        conjunct.right, ast.Literal
+    ):
+        return conjunct.left, conjunct.right.value
+    if isinstance(conjunct.right, ast.ColumnRef) and isinstance(
+        conjunct.left, ast.Literal
+    ):
+        return conjunct.right, conjunct.left.value
+    return None, None
+
+
+def _side_of(
+    expr: ast.Expression, left_scope: Scope, right_scope: Scope
+) -> Optional[str]:
+    refs = list(ast.expression_columns(expr))
+    if not refs:
+        return None
+    in_left = all(ref_resolves(ref, left_scope) for ref in refs)
+    in_right = all(ref_resolves(ref, right_scope) for ref in refs)
+    if in_left and not in_right:
+        return "left"
+    if in_right and not in_left:
+        return "right"
+    return None
+
+
+def ref_resolves(ref: ast.ColumnRef, scope: Scope) -> bool:
+    return scope.has(ref.name, ref.table)

@@ -1,0 +1,136 @@
+"""Scan operators, including the open-world CROWD-table scan."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.catalog.table import TableSchema
+from repro.engine.base import Correlation, PhysicalOperator
+from repro.engine.context import ExecutionContext
+from repro.sqltypes import NULL, is_missing
+from repro.storage.row import Scope
+
+
+class TableScan(PhysicalOperator):
+    """Scan the stored tuples of a table.
+
+    For a CROWD table with a ``limit_hint`` (attached by stop-after
+    push-down), the scan embodies the open-world assumption: when the
+    stored tuples run out before the bound is reached, it asks the crowd
+    for more, memorizes them, and keeps yielding — exactly the bounded
+    sourcing the paper's optimizer guarantees.
+    """
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        table: TableSchema,
+        binding: str,
+        limit_hint: Optional[int] = None,
+        correlation: Correlation = None,
+    ) -> None:
+        super().__init__(context, correlation)
+        self.table = table
+        self.binding = binding
+        self.limit_hint = limit_hint
+        self._scope = Scope.for_table(binding, table.column_names)
+
+    @property
+    def scope(self) -> Scope:
+        return self._scope
+
+    def __iter__(self) -> Iterator[tuple]:
+        heap = self.context.engine.table(self.table.name)
+        yielded = 0
+        for row in heap.scan():
+            self.context.rows_scanned += 1
+            yielded += 1
+            yield row.values
+        if (
+            self.table.crowd
+            and self.limit_hint is not None
+            and yielded < self.limit_hint
+            and self.context.task_manager is not None
+        ):
+            yield from self._source_more(self.limit_hint - yielded)
+
+    def _source_more(self, count: int) -> Iterator[tuple]:
+        """Open-world sourcing, bounded by the stop-after hint."""
+        heap = self.context.engine.table(self.table.name)
+        known = _known_primary_keys(heap, self.table)
+        new_tuples = self.context.task_manager.source_new_tuples(
+            self.table,
+            count,
+            platform=self.context.platform,
+            known_keys=known,
+        )
+        self.context.crowd_probe_tasks += len(new_tuples)
+        for values in new_tuples:
+            row = self.context.engine.insert(
+                self.table.name,
+                [values.get(c, NULL) for c in self.table.column_names],
+                origin="crowd",
+            )
+            yield row.values
+
+
+class IndexLookup(PhysicalOperator):
+    """Equality lookup through an index (used by CrowdJoin probes)."""
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        table: TableSchema,
+        binding: str,
+        key_columns: tuple[str, ...],
+        key_values: tuple,
+        correlation: Correlation = None,
+    ) -> None:
+        super().__init__(context, correlation)
+        self.table = table
+        self.binding = binding
+        self.key_columns = key_columns
+        self.key_values = key_values
+        self._scope = Scope.for_table(binding, table.column_names)
+
+    @property
+    def scope(self) -> Scope:
+        return self._scope
+
+    def __iter__(self) -> Iterator[tuple]:
+        heap = self.context.engine.table(self.table.name)
+        if any(is_missing(value) for value in self.key_values):
+            return
+        index = heap.index_on(self.key_columns)
+        if index is None:
+            index = heap.create_index(
+                f"{self.table.name}_auto_{'_'.join(self.key_columns)}",
+                self.key_columns,
+            )
+        for rowid in sorted(index.lookup(self.key_values)):
+            self.context.rows_scanned += 1
+            yield heap.get(rowid).values
+
+
+class SingleRowOp(PhysicalOperator):
+    """Produces exactly one empty tuple (SELECT without FROM)."""
+
+    @property
+    def scope(self) -> Scope:
+        return Scope([])
+
+    def __iter__(self) -> Iterator[tuple]:
+        yield ()
+
+
+def _known_primary_keys(heap, table: TableSchema) -> set:
+    """Normalized PK tuples already stored (for open-world dedup)."""
+    from repro.crowd.quality import normalize_answer
+
+    positions = [table.column_index(c) for c in table.primary_key]
+    known = set()
+    for row in heap.scan():
+        known.add(
+            tuple(normalize_answer(row.values[p]) for p in positions)
+        )
+    return known

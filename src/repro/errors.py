@@ -1,0 +1,105 @@
+"""Exception and warning hierarchy for the CrowdDB reproduction.
+
+Every error raised by the library derives from :class:`CrowdDBError`, so
+callers can catch one type at the API boundary.  The taxonomy mirrors the
+stages of query processing described in the paper: parsing (CrowdSQL),
+catalog/DDL, planning/optimization (including the boundedness analysis of
+Section 3.2.2), execution, storage, and the crowdsourcing substrate.
+"""
+
+from __future__ import annotations
+
+
+class CrowdDBError(Exception):
+    """Base class for all errors raised by the CrowdDB reproduction."""
+
+
+class ParseError(CrowdDBError):
+    """A CrowdSQL statement could not be lexed or parsed.
+
+    Carries the source position so tools can point at the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class CatalogError(CrowdDBError):
+    """Schema-level failure: unknown table/column, duplicate definition,
+    invalid foreign key, or a malformed CROWD annotation."""
+
+
+class TypeError_(CrowdDBError):
+    """A value does not conform to its declared SQL type, or an expression
+    combines incompatible types.  Named with a trailing underscore to avoid
+    shadowing the Python builtin."""
+
+
+class PlanError(CrowdDBError):
+    """The logical planner could not translate an AST into a plan
+    (e.g. aggregate misuse, unresolvable column reference)."""
+
+
+class OptimizerError(CrowdDBError):
+    """An optimizer rule produced or detected an inconsistent plan."""
+
+
+class UnboundedQueryError(CrowdDBError):
+    """Raised in strict mode when the boundedness analysis determines that
+    the amount of data requested from the crowd cannot be bounded
+    (open-world scan of a CROWD table without a limiting predicate)."""
+
+
+class ExecutionError(CrowdDBError):
+    """Runtime failure while executing a physical plan."""
+
+
+class StorageError(CrowdDBError):
+    """Failure in the storage substrate (heap, index, or log)."""
+
+
+class ConstraintError(StorageError):
+    """A primary-key, uniqueness, or foreign-key constraint was violated."""
+
+
+class CrowdPlatformError(CrowdDBError):
+    """The crowdsourcing platform rejected an operation (bad HIT, unknown
+    assignment, expired task, insufficient funds, ...)."""
+
+
+class BudgetExceededError(CrowdPlatformError):
+    """The query's monetary or task budget was exhausted before the crowd
+    produced the required answers."""
+
+
+class TaskTimeoutError(CrowdPlatformError):
+    """The crowd did not complete the required assignments before the
+    configured deadline."""
+
+
+class QualityControlError(CrowdDBError):
+    """Answer cleansing/majority voting could not produce a usable value
+    (e.g. zero valid assignments after normalization)."""
+
+
+class UITemplateError(CrowdDBError):
+    """User-interface template generation or instantiation failed."""
+
+
+class CrowdDBWarning(UserWarning):
+    """Base class for warnings issued by the CrowdDB reproduction."""
+
+
+class UnboundedQueryWarning(CrowdDBWarning):
+    """Issued at compile time when the rule-based optimizer cannot bound the
+    number of crowd requests a plan may make (paper, Section 3.2.2).  In
+    strict mode the same condition raises :class:`UnboundedQueryError`."""
+
+
+class LowQualityWarning(CrowdDBWarning):
+    """Issued when majority voting had to accept an answer with agreement
+    below the configured confidence threshold."""

@@ -1,0 +1,14 @@
+"""Rule-based optimizer with crowd-specific rules (paper §3.2.2)."""
+
+from repro.optimizer.boundedness import BoundednessAnalysis, BoundednessReport
+from repro.optimizer.crowd_join import CrowdJoinRewrite
+from repro.optimizer.join_ordering import JoinOrdering
+from repro.optimizer.optimizer import OptimizationResult, Optimizer
+from repro.optimizer.predicate_pushdown import PredicatePushdown
+from repro.optimizer.stopafter import StopAfterPushdown
+
+__all__ = [
+    "BoundednessAnalysis", "BoundednessReport", "CrowdJoinRewrite",
+    "JoinOrdering", "OptimizationResult", "Optimizer",
+    "PredicatePushdown", "StopAfterPushdown",
+]

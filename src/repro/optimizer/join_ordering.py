@@ -1,0 +1,203 @@
+"""Join ordering.
+
+Flattens chains of INNER/CROSS joins into a relation set plus equi-join
+conditions, then rebuilds a left-deep tree greedily.  The crowd-specific
+heuristic from the paper: crowd-related relations are joined *last*, so the
+number of outer tuples reaching a crowd operator — and therefore the number
+of crowd requests — is minimized.  Among non-crowd relations, smaller
+estimated cardinality goes first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.optimizer.rules import (
+    OptimizerContext,
+    conjoin,
+    plan_bindings,
+    plan_columns,
+    predicate_applies_to,
+    split_conjuncts,
+)
+from repro.plan import logical
+from repro.sql import ast
+
+
+@dataclass
+class _Relation:
+    plan: logical.LogicalPlan
+    rows: float
+    crowd: bool
+
+
+class JoinOrdering:
+    """Greedy left-deep join ordering with crowd tables deferred."""
+
+    name = "join-ordering"
+
+    def apply(
+        self, plan: logical.LogicalPlan, context: OptimizerContext
+    ) -> logical.LogicalPlan:
+        return self._rewrite(plan, context)
+
+    def _rewrite(
+        self, plan: logical.LogicalPlan, context: OptimizerContext
+    ) -> logical.LogicalPlan:
+        if isinstance(plan, logical.Join) and plan.join_type in ("INNER", "CROSS"):
+            relations: list[logical.LogicalPlan] = []
+            conditions: list[ast.Expression] = []
+            self._flatten(plan, relations, conditions)
+            relations = [self._rewrite(r, context) for r in relations]
+            if len(relations) > 2 or (len(relations) == 2 and conditions):
+                reordered = self._order(relations, conditions, context)
+                if reordered is not None:
+                    context.record(self.name)
+                    return reordered
+            rebuilt = relations[0]
+            for right in relations[1:]:
+                rebuilt = logical.Join(rebuilt, right, "CROSS", None)
+            predicate = conjoin(conditions)
+            if predicate is not None:
+                return _attach_condition(rebuilt, predicate)
+            return rebuilt
+        children = plan.children()
+        if not children:
+            return plan
+        return plan.with_children(
+            *(self._rewrite(child, context) for child in children)
+        )
+
+    def _flatten(
+        self,
+        plan: logical.LogicalPlan,
+        relations: list[logical.LogicalPlan],
+        conditions: list[ast.Expression],
+    ) -> None:
+        if isinstance(plan, logical.Join) and plan.join_type in ("INNER", "CROSS"):
+            self._flatten(plan.left, relations, conditions)
+            self._flatten(plan.right, relations, conditions)
+            if plan.condition is not None:
+                conditions.extend(split_conjuncts(plan.condition))
+        else:
+            relations.append(plan)
+
+    def _order(
+        self,
+        plans: list[logical.LogicalPlan],
+        conditions: list[ast.Expression],
+        context: OptimizerContext,
+    ) -> logical.LogicalPlan | None:
+        relations = [
+            _Relation(
+                plan=plan,
+                rows=context.estimator.estimate_rows(plan),
+                crowd=_is_crowd_related(plan),
+            )
+            for plan in plans
+        ]
+
+        # seed: cheapest non-crowd relation (fall back to cheapest overall)
+        non_crowd = [r for r in relations if not r.crowd]
+        pool = non_crowd if non_crowd else relations
+        current = min(pool, key=lambda r: r.rows)
+        remaining = [r for r in relations if r is not current]
+        tree: logical.LogicalPlan = current.plan
+        pending = list(conditions)
+
+        while remaining:
+            best = None
+            best_score = None
+            for candidate in remaining:
+                connected = any(
+                    self._connects(cond, tree, candidate.plan)
+                    for cond in pending
+                )
+                # score: crowd relations sort after everything else, then
+                # disconnected (cartesian) relations, then by cardinality
+                score = (candidate.crowd, not connected, candidate.rows)
+                if best_score is None or score < best_score:
+                    best_score = score
+                    best = candidate
+            assert best is not None
+            applicable = [
+                cond
+                for cond in pending
+                if self._connects(cond, tree, best.plan)
+                or predicate_applies_to(cond, logical.Join(tree, best.plan, "CROSS"))
+            ]
+            usable = []
+            for cond in applicable:
+                joined = logical.Join(tree, best.plan, "CROSS")
+                if predicate_applies_to(cond, joined):
+                    usable.append(cond)
+            pending = [c for c in pending if c not in usable]
+            condition = conjoin(usable)
+            join_type = "INNER" if condition is not None else "CROSS"
+            tree = logical.Join(tree, best.plan, join_type, condition)
+            remaining = [r for r in remaining if r is not best]
+
+        leftover = conjoin(pending)
+        if leftover is not None:
+            tree = logical.Filter(tree, leftover)
+        return tree
+
+    @staticmethod
+    def _connects(
+        condition: ast.Expression,
+        left: logical.LogicalPlan,
+        right: logical.LogicalPlan,
+    ) -> bool:
+        """True when ``condition`` references columns from both sides."""
+        touches_left = touches_right = False
+        left_bindings = plan_bindings(left)
+        right_bindings = plan_bindings(right)
+        left_columns = plan_columns(left)
+        right_columns = plan_columns(right)
+        for ref in ast.expression_columns(condition):
+            if ref.table is not None:
+                key = ref.table.lower()
+                if key in left_bindings:
+                    touches_left = True
+                if key in right_bindings:
+                    touches_right = True
+            else:
+                name = ref.name.lower()
+                if name in left_columns:
+                    touches_left = True
+                if name in right_columns:
+                    touches_right = True
+        return touches_left and touches_right
+
+
+def _is_crowd_related(plan: logical.LogicalPlan) -> bool:
+    return any(
+        isinstance(node, (logical.CrowdProbe, logical.CrowdJoin))
+        or (isinstance(node, logical.Scan) and node.table.crowd)
+        for node in plan.walk()
+    )
+
+
+def _attach_condition(
+    plan: logical.LogicalPlan, predicate: ast.Expression
+) -> logical.LogicalPlan:
+    if isinstance(plan, logical.Join) and plan.join_type in ("INNER", "CROSS"):
+        usable = []
+        rest = []
+        for conjunct in split_conjuncts(predicate):
+            if predicate_applies_to(conjunct, plan):
+                usable.append(conjunct)
+            else:
+                rest.append(conjunct)
+        condition = conjoin(
+            (split_conjuncts(plan.condition) if plan.condition else []) + usable
+        )
+        join_type = "INNER" if condition is not None else plan.join_type
+        result: logical.LogicalPlan = logical.Join(
+            plan.left, plan.right, join_type, condition
+        )
+        leftover = conjoin(rest)
+        if leftover is not None:
+            result = logical.Filter(result, leftover)
+        return result
+    return logical.Filter(plan, predicate)

@@ -1,0 +1,100 @@
+"""The rule-based optimizer driver.
+
+Pipeline order matters and mirrors Section 3.2.2 of the paper: first the
+traditional rewrites (predicate push-down, join ordering), then the
+crowd-specific ones (CrowdJoin rewrite, stop-after push-down), and finally
+the boundedness analysis, which annotates plans with cardinality
+predictions and warns at compile time when crowd requests cannot be
+bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.optimizer.boundedness import BoundednessAnalysis, BoundednessReport
+from repro.optimizer.crowd_join import CrowdJoinRewrite
+from repro.optimizer.join_ordering import JoinOrdering
+from repro.optimizer.predicate_pushdown import PredicatePushdown
+from repro.optimizer.rules import OptimizerContext
+from repro.optimizer.stopafter import StopAfterPushdown
+from repro.plan import logical
+from repro.plan.cardinality import CardinalityEstimator, Estimate
+from repro.storage.engine import StorageEngine
+
+
+@dataclass
+class OptimizationResult:
+    """An optimized plan plus its compile-time annotations."""
+
+    plan: logical.LogicalPlan
+    boundedness: BoundednessReport
+    applied_rules: list[str]
+    annotations: dict[int, Estimate] = field(default_factory=dict)
+
+    @property
+    def estimated_rows(self) -> float:
+        estimate = self.annotations.get(id(self.plan))
+        return estimate.rows if estimate else 0.0
+
+    @property
+    def estimated_crowd_calls(self) -> float:
+        estimate = self.annotations.get(id(self.plan))
+        return estimate.crowd_calls if estimate else 0.0
+
+    def explain(self) -> str:
+        lines = [self.plan.explain()]
+        lines.append(f"-- boundedness: {self.boundedness.describe()}")
+        estimate = self.annotations.get(id(self.plan))
+        if estimate is not None:
+            lines.append(f"-- estimate: {estimate}")
+        if self.applied_rules:
+            lines.append(f"-- rules: {', '.join(self.applied_rules)}")
+        return "\n".join(lines)
+
+
+class Optimizer:
+    """Applies the rule pipeline to a logical plan."""
+
+    def __init__(
+        self,
+        engine: StorageEngine,
+        strict_boundedness: bool = False,
+        enable_rules: Optional[set[str]] = None,
+    ) -> None:
+        self.engine = engine
+        self.strict_boundedness = strict_boundedness
+        self.enable_rules = enable_rules
+        self._boundedness = BoundednessAnalysis()
+        self._rules = [
+            PredicatePushdown(),
+            JoinOrdering(),
+            CrowdJoinRewrite(),
+            StopAfterPushdown(),
+            self._boundedness,
+        ]
+
+    def optimize(self, plan: logical.LogicalPlan) -> OptimizationResult:
+        estimator = CardinalityEstimator(self.engine)
+        context = OptimizerContext(
+            engine=self.engine,
+            estimator=estimator,
+            strict_boundedness=self.strict_boundedness,
+        )
+        for rule in self._rules:
+            if (
+                self.enable_rules is not None
+                and rule.name not in self.enable_rules
+                and rule.name != "boundedness-analysis"
+            ):
+                continue
+            plan = rule.apply(plan, context)
+        report = self._boundedness.last_report or BoundednessReport()
+        annotations = estimator.annotate(plan)
+        return OptimizationResult(
+            plan=plan,
+            boundedness=report,
+            applied_rules=list(dict.fromkeys(context.applied_rules)),
+            annotations=annotations,
+        )

@@ -1,0 +1,86 @@
+"""Stop-after (LIMIT) push-down.
+
+The paper lists "stopafter push-down" among the essential rewriting rules
+(Section 3.2.2).  Two effects matter for crowdsourcing cost:
+
+* ``Limit`` above a ``Sort`` turns the sort into a top-k sort — for a
+  crowd-backed sort this caps the number of CROWDORDER comparisons;
+* a limit that reaches a CROWD table scan bounds open-world tuple
+  sourcing (``limit_hint``), which is what makes such plans *bounded*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.optimizer.rules import OptimizerContext
+from repro.plan import logical
+
+
+class StopAfterPushdown:
+    """Propagate LIMIT bounds down through order-preserving operators."""
+
+    name = "stopafter-pushdown"
+
+    def apply(
+        self, plan: logical.LogicalPlan, context: OptimizerContext
+    ) -> logical.LogicalPlan:
+        rewritten = self._rewrite(plan, None, context)
+        if rewritten is not plan:
+            context.record(self.name)
+        return rewritten
+
+    def _rewrite(
+        self,
+        plan: logical.LogicalPlan,
+        bound: Optional[int],
+        context: OptimizerContext,
+    ) -> logical.LogicalPlan:
+        if isinstance(plan, logical.Limit):
+            child_bound = None
+            if plan.limit is not None:
+                child_bound = plan.limit + plan.offset
+                if bound is not None:
+                    child_bound = min(child_bound, bound)
+            else:
+                child_bound = bound
+            child = self._rewrite(plan.child, child_bound, context)
+            return replace(plan, child=child)
+
+        if isinstance(plan, logical.Sort):
+            # a sort consumes its whole input, but a bound above it makes
+            # it a top-k sort; below it the bound no longer applies
+            child = self._rewrite(plan.child, None, context)
+            if bound is not None:
+                return replace(plan, child=child, top_k=bound)
+            return replace(plan, child=child)
+
+        if isinstance(plan, logical.Project):
+            child = self._rewrite(plan.child, bound, context)
+            return replace(plan, child=child)
+
+        if isinstance(plan, logical.CrowdProbe):
+            child = self._rewrite(plan.child, bound, context)
+            return replace(plan, child=child)
+
+        if isinstance(plan, logical.Scan):
+            if bound is not None and plan.table.crowd:
+                current = plan.limit_hint
+                hint = bound if current is None else min(current, bound)
+                return replace(plan, limit_hint=hint)
+            return plan
+
+        if isinstance(plan, logical.SubqueryAlias):
+            child = self._rewrite(plan.child, bound, context)
+            return replace(plan, child=child)
+
+        # Filters, joins, aggregates, distinct: a bound above them does not
+        # bound their inputs (they may drop or merge rows), so recurse with
+        # no bound.
+        children = plan.children()
+        if not children:
+            return plan
+        return plan.with_children(
+            *(self._rewrite(child, None, context) for child in children)
+        )

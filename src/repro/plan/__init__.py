@@ -1,0 +1,7 @@
+"""Logical planning: expressions, plan nodes, builder, cardinality."""
+
+from repro.plan.builder import PlanBuilder, output_names
+from repro.plan.cardinality import CardinalityEstimator, Estimate
+from repro.plan.expressions import Evaluator
+
+__all__ = ["PlanBuilder", "output_names", "CardinalityEstimator", "Estimate", "Evaluator"]

@@ -1,0 +1,243 @@
+"""Cardinality estimation for logical plans.
+
+The paper's optimizer "first annotates the query plan with the cardinality
+predictions between the operators" (Section 3.2.2).  Estimates combine
+live table statistics with textbook selectivity guesses; crowd operators
+additionally expose an estimate of how many *crowd requests* they will
+issue, which the cost model and the boundedness analysis consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.plan import logical
+from repro.sql import ast
+from repro.storage.engine import StorageEngine
+
+EQUALITY_SELECTIVITY_DEFAULT = 0.1
+RANGE_SELECTIVITY_DEFAULT = 0.3
+LIKE_SELECTIVITY_DEFAULT = 0.25
+UNBOUNDED = float("inf")
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Annotation for one plan node."""
+
+    rows: float
+    crowd_calls: float = 0.0
+
+    def __str__(self) -> str:
+        crowd = f", crowd~{self.crowd_calls:g}" if self.crowd_calls else ""
+        return f"~{self.rows:g} rows{crowd}"
+
+
+class CardinalityEstimator:
+    """Bottom-up row-count and crowd-call estimation."""
+
+    def __init__(self, engine: StorageEngine) -> None:
+        self.engine = engine
+
+    def annotate(self, plan: logical.LogicalPlan) -> dict[int, Estimate]:
+        """Estimate every node; returns ``id(node) -> Estimate``."""
+        annotations: dict[int, Estimate] = {}
+        self._estimate(plan, annotations)
+        return annotations
+
+    def estimate_rows(self, plan: logical.LogicalPlan) -> float:
+        return self._estimate(plan, {}).rows
+
+    # -- internals ---------------------------------------------------------------
+
+    def _estimate(
+        self,
+        plan: logical.LogicalPlan,
+        annotations: dict[int, Estimate],
+    ) -> Estimate:
+        estimate = self._estimate_node(plan, annotations)
+        annotations[id(plan)] = estimate
+        return estimate
+
+    def _estimate_node(
+        self,
+        plan: logical.LogicalPlan,
+        annotations: dict[int, Estimate],
+    ) -> Estimate:
+        if isinstance(plan, logical.SingleRow):
+            return Estimate(rows=1)
+        if isinstance(plan, logical.Scan):
+            rows = float(self._table_rows(plan.table.name))
+            if plan.table.crowd:
+                # Open-world: a bare crowd-table scan may keep asking the
+                # crowd for more tuples.  The boundedness analysis decides
+                # whether something above bounds it.
+                return Estimate(rows=rows, crowd_calls=UNBOUNDED)
+            return Estimate(rows=rows)
+        if isinstance(plan, logical.CrowdProbe):
+            child = self._estimate(plan.child, annotations)
+            calls = child.crowd_calls
+            probe_calls = 0.0
+            for column in plan.columns:
+                probe_calls += self._cnull_count(plan.table.name, column)
+            if child.rows and child.rows != UNBOUNDED:
+                probe_calls = min(probe_calls, child.rows * len(plan.columns))
+            calls += probe_calls + len(plan.anti_probe_keys)
+            return Estimate(rows=child.rows, crowd_calls=calls)
+        if isinstance(plan, logical.Filter):
+            child = self._estimate(plan.child, annotations)
+            selectivity = self._selectivity(plan.predicate, plan.child)
+            return Estimate(
+                rows=child.rows * selectivity, crowd_calls=child.crowd_calls
+            )
+        if isinstance(plan, logical.Project):
+            child = self._estimate(plan.child, annotations)
+            return Estimate(rows=child.rows, crowd_calls=child.crowd_calls)
+        if isinstance(plan, logical.Join):
+            left = self._estimate(plan.left, annotations)
+            right = self._estimate(plan.right, annotations)
+            crowd = left.crowd_calls + right.crowd_calls
+            if plan.join_type == "CROSS" or plan.condition is None:
+                return Estimate(rows=left.rows * right.rows, crowd_calls=crowd)
+            selectivity = self._selectivity(plan.condition, plan)
+            rows = left.rows * right.rows * selectivity
+            if plan.join_type == "LEFT":
+                rows = max(rows, left.rows)
+            return Estimate(rows=rows, crowd_calls=crowd)
+        if isinstance(plan, logical.CrowdJoin):
+            left = self._estimate(plan.left, annotations)
+            # one lookup (and possibly one crowd task) per outer tuple
+            per_outer = 1.0
+            rows = left.rows * max(
+                self._join_fanout(plan.inner_table.name), 1.0
+            )
+            calls = left.crowd_calls + left.rows * per_outer
+            return Estimate(rows=rows, crowd_calls=calls)
+        if isinstance(plan, logical.Aggregate):
+            child = self._estimate(plan.child, annotations)
+            if not plan.group_by:
+                return Estimate(rows=1, crowd_calls=child.crowd_calls)
+            groups = max(1.0, child.rows ** 0.5)
+            return Estimate(rows=groups, crowd_calls=child.crowd_calls)
+        if isinstance(plan, logical.Sort):
+            child = self._estimate(plan.child, annotations)
+            crowd = child.crowd_calls
+            if plan.is_crowd_sort:
+                # comparison sort: ~n log2 n crowd comparisons
+                import math
+
+                n = child.rows
+                if n == UNBOUNDED:
+                    crowd = UNBOUNDED
+                elif n > 1:
+                    crowd += n * math.log2(n)
+            return Estimate(rows=child.rows, crowd_calls=crowd)
+        if isinstance(plan, logical.Limit):
+            child = self._estimate(plan.child, annotations)
+            rows = child.rows
+            if plan.limit is not None:
+                rows = min(rows, float(plan.limit))
+            crowd = child.crowd_calls
+            if crowd == UNBOUNDED and plan.limit is not None:
+                # stop-after bounds the crowd requests of an open-world scan
+                crowd = float(plan.limit + plan.offset)
+            return Estimate(rows=rows, crowd_calls=crowd)
+        if isinstance(plan, logical.Distinct):
+            child = self._estimate(plan.child, annotations)
+            return Estimate(
+                rows=max(1.0, child.rows * 0.9) if child.rows else 0.0,
+                crowd_calls=child.crowd_calls,
+            )
+        if isinstance(plan, logical.SubqueryAlias):
+            child = self._estimate(plan.child, annotations)
+            return Estimate(rows=child.rows, crowd_calls=child.crowd_calls)
+        if isinstance(plan, logical.SetOperation):
+            left = self._estimate(plan.left, annotations)
+            right = self._estimate(plan.right, annotations)
+            crowd = left.crowd_calls + right.crowd_calls
+            if plan.op == "UNION ALL":
+                rows = left.rows + right.rows
+            elif plan.op == "UNION":
+                rows = max(left.rows, right.rows, (left.rows + right.rows) * 0.75)
+            elif plan.op == "EXCEPT":
+                rows = max(0.0, left.rows - right.rows * 0.5)
+            else:  # INTERSECT
+                rows = min(left.rows, right.rows) * 0.5
+            return Estimate(rows=rows, crowd_calls=crowd)
+        raise TypeError(f"cannot estimate {type(plan).__name__}")
+
+    # -- statistics helpers ---------------------------------------------------------
+
+    def _table_rows(self, name: str) -> int:
+        if self.engine.has_table(name):
+            return self.engine.table(name).statistics.row_count
+        return 0
+
+    def _cnull_count(self, table: str, column: str) -> float:
+        if not self.engine.has_table(table):
+            return 0.0
+        return float(
+            self.engine.table(table).statistics.column(column).cnull_count
+        )
+
+    def _join_fanout(self, inner_table: str) -> float:
+        rows = self._table_rows(inner_table)
+        return max(1.0, rows / 10.0) if rows else 1.0
+
+    def _selectivity(
+        self, predicate: ast.Expression, below: logical.LogicalPlan
+    ) -> float:
+        if isinstance(predicate, ast.BinaryOp):
+            if predicate.op == "AND":
+                return self._selectivity(predicate.left, below) * self._selectivity(
+                    predicate.right, below
+                )
+            if predicate.op == "OR":
+                a = self._selectivity(predicate.left, below)
+                b = self._selectivity(predicate.right, below)
+                return min(1.0, a + b - a * b)
+            if predicate.op == "=":
+                return self._equality_selectivity(predicate, below)
+            if predicate.op in ("<", "<=", ">", ">="):
+                return RANGE_SELECTIVITY_DEFAULT
+            if predicate.op == "<>":
+                return 1.0 - self._equality_selectivity(predicate, below)
+            if predicate.op == "LIKE":
+                return LIKE_SELECTIVITY_DEFAULT
+        if isinstance(predicate, ast.UnaryOp) and predicate.op == "NOT":
+            return 1.0 - self._selectivity(predicate.operand, below)
+        if isinstance(predicate, ast.InList):
+            base = EQUALITY_SELECTIVITY_DEFAULT * len(predicate.items)
+            return min(1.0, base)
+        if isinstance(predicate, ast.Between):
+            return RANGE_SELECTIVITY_DEFAULT
+        if isinstance(predicate, ast.IsNull):
+            return 0.1
+        if isinstance(predicate, ast.CrowdEqual):
+            return EQUALITY_SELECTIVITY_DEFAULT
+        return 0.5
+
+    def _equality_selectivity(
+        self, predicate: ast.BinaryOp, below: logical.LogicalPlan
+    ) -> float:
+        column: Optional[ast.ColumnRef] = None
+        if isinstance(predicate.left, ast.ColumnRef) and isinstance(
+            predicate.right, ast.Literal
+        ):
+            column = predicate.left
+        elif isinstance(predicate.right, ast.ColumnRef) and isinstance(
+            predicate.left, ast.Literal
+        ):
+            column = predicate.right
+        if column is None:
+            return EQUALITY_SELECTIVITY_DEFAULT
+        for node in below.walk():
+            if isinstance(node, logical.Scan) and node.table.has_column(column.name):
+                if column.table is not None and column.table.lower() != node.binding.lower():
+                    continue
+                if not self.engine.has_table(node.table.name):
+                    break
+                stats = self.engine.table(node.table.name).statistics
+                return stats.column(column.name).selectivity_equals()
+        return EQUALITY_SELECTIVITY_DEFAULT

@@ -1,0 +1,429 @@
+"""Abstract syntax tree for CrowdSQL statements and expressions.
+
+Plain frozen dataclasses; nothing here knows about catalogs or execution.
+The crowd extensions surface as:
+
+* ``ColumnDef.crowd`` — a column declared ``CROWD <type>`` (Example 1);
+* ``CreateTable.crowd`` — ``CREATE CROWD TABLE`` (Example 2);
+* ``CNullLiteral`` — the CNULL value in DML;
+* ``CrowdEqual`` / ``CrowdOrder`` — the two builtin functions of §2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+
+class Node:
+    """Marker base class for all AST nodes."""
+
+    __slots__ = ()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expression(Node):
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant: string, number, boolean, or NULL (value=None)."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class CNullLiteral(Expression):
+    """The CNULL literal — crowd-sourceable unknown (paper §2.1)."""
+
+
+@dataclass(frozen=True)
+class Parameter(Expression):
+    """A positional ``?`` parameter; ``index`` is 0-based."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A (possibly qualified) column reference."""
+
+    name: str
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expression):
+    """``*`` or ``table.*`` in a select list or COUNT(*)."""
+
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expression):
+    """NOT x, -x, +x."""
+
+    op: str
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    """Binary operator: comparisons, arithmetic, AND/OR, LIKE, ``||``."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    """``x IS [NOT] NULL`` and the crowd variant ``x IS [NOT] CNULL``."""
+
+    operand: Expression
+    negated: bool = False
+    cnull: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``x [NOT] IN (v1, v2, ...)``."""
+
+    operand: Expression
+    items: tuple[Expression, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    """``x [NOT] BETWEEN low AND high``."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A scalar or aggregate function call."""
+
+    name: str
+    args: tuple[Expression, ...]
+    distinct: bool = False
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name.upper() in {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+@dataclass(frozen=True)
+class CaseExpr(Expression):
+    """``CASE [operand] WHEN ... THEN ... [ELSE ...] END``."""
+
+    operand: Optional[Expression]
+    whens: tuple[tuple[Expression, Expression], ...]
+    default: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class CrowdEqual(Expression):
+    """``CROWDEQUAL(lvalue, rvalue [, question])`` — ask the crowd whether
+    two values denote the same real-world entity (paper §2.2)."""
+
+    left: Expression
+    right: Expression
+    question: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CrowdOrder(Expression):
+    """``CROWDORDER(expr, question)`` — crowd-supplied ordering key, legal
+    only inside ORDER BY (paper Example 3)."""
+
+    operand: Expression
+    question: str
+
+
+@dataclass(frozen=True)
+class ExistsExpr(Expression):
+    """``[NOT] EXISTS (subquery)``."""
+
+    query: "Select"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(Expression):
+    """A parenthesised SELECT used as a scalar value."""
+
+    query: "Select"
+
+
+@dataclass(frozen=True)
+class InSubquery(Expression):
+    """``x [NOT] IN (subquery)``."""
+
+    operand: Expression
+    query: "Select"
+    negated: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Table references
+# ---------------------------------------------------------------------------
+
+
+class TableRef(Node):
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class NamedTable(TableRef):
+    """``FROM name [AS alias]``."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """The name this table is visible as in the query scope."""
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class Join(TableRef):
+    """Explicit join: ``left [join_type] JOIN right [ON condition]``."""
+
+    left: TableRef
+    right: TableRef
+    join_type: str = "INNER"  # INNER | LEFT | CROSS
+    condition: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class SubqueryTable(TableRef):
+    """``FROM (SELECT ...) AS alias``."""
+
+    query: "Select"
+    alias: str
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Statement(Node):
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SelectItem(Node):
+    """One entry of the select list."""
+
+    expression: Expression
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderItem(Node):
+    """One entry of ORDER BY; ``expression`` may be a CrowdOrder."""
+
+    expression: Expression
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class Select(Statement):
+    """A SELECT query block."""
+
+    items: tuple[SelectItem, ...]
+    from_clause: Optional[TableRef] = None
+    where: Optional[Expression] = None
+    group_by: tuple[Expression, ...] = ()
+    having: Optional[Expression] = None
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[Expression] = None
+    offset: Optional[Expression] = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class SetOp(Statement):
+    """Compound query: UNION [ALL] / EXCEPT / INTERSECT.
+
+    ORDER BY/LIMIT written after the compound apply to the whole result;
+    their keys reference output column names or ordinals.
+    """
+
+    op: str  # UNION | UNION ALL | EXCEPT | INTERSECT
+    left: Statement  # Select or SetOp
+    right: Select
+    order_by: tuple[OrderItem, ...] = ()
+    limit: Optional[Expression] = None
+    offset: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class ColumnDef(Node):
+    """One column of CREATE TABLE.
+
+    ``crowd`` marks a crowdsourced column (``abstract CROWD STRING``):
+    its value defaults to CNULL and is sourced on first use.
+    """
+
+    name: str
+    type_name: str
+    crowd: bool = False
+    primary_key: bool = False
+    not_null: bool = False
+    unique: bool = False
+    default: Optional[Expression] = None
+    comment: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ForeignKeyDef(Node):
+    """Table-level FOREIGN KEY constraint.
+
+    The paper's Example 2 spells the referenced table clause ``REF``;
+    standard SQL says ``REFERENCES``.  Both are accepted.
+    """
+
+    columns: tuple[str, ...]
+    ref_table: str
+    ref_columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    """CREATE [CROWD] TABLE."""
+
+    name: str
+    columns: tuple[ColumnDef, ...]
+    crowd: bool = False
+    primary_key: tuple[str, ...] = ()
+    foreign_keys: tuple[ForeignKeyDef, ...] = ()
+    if_not_exists: bool = False
+    comment: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class DropTable(Statement):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class CreateIndex(Statement):
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    unique: bool = False
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    """INSERT INTO t [(cols)] VALUES (...), (...) | SELECT ..."""
+
+    table: str
+    columns: tuple[str, ...] = ()
+    rows: tuple[tuple[Expression, ...], ...] = ()
+    query: Optional[Select] = None
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    table: str
+    assignments: tuple[tuple[str, Expression], ...] = ()
+    where: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    table: str
+    where: Optional[Expression] = None
+
+
+@dataclass(frozen=True)
+class Explain(Statement):
+    """EXPLAIN <select> — show the optimized plan without executing."""
+
+    statement: Statement
+
+
+@dataclass(frozen=True)
+class ShowTables(Statement):
+    """SHOW TABLES."""
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def walk_expression(expr: Expression):
+    """Yield ``expr`` and all of its sub-expressions, pre-order."""
+    yield expr
+    if isinstance(expr, UnaryOp):
+        yield from walk_expression(expr.operand)
+    elif isinstance(expr, BinaryOp):
+        yield from walk_expression(expr.left)
+        yield from walk_expression(expr.right)
+    elif isinstance(expr, IsNull):
+        yield from walk_expression(expr.operand)
+    elif isinstance(expr, InList):
+        yield from walk_expression(expr.operand)
+        for item in expr.items:
+            yield from walk_expression(item)
+    elif isinstance(expr, Between):
+        yield from walk_expression(expr.operand)
+        yield from walk_expression(expr.low)
+        yield from walk_expression(expr.high)
+    elif isinstance(expr, FunctionCall):
+        for arg in expr.args:
+            yield from walk_expression(arg)
+    elif isinstance(expr, CaseExpr):
+        if expr.operand is not None:
+            yield from walk_expression(expr.operand)
+        for when, then in expr.whens:
+            yield from walk_expression(when)
+            yield from walk_expression(then)
+        if expr.default is not None:
+            yield from walk_expression(expr.default)
+    elif isinstance(expr, CrowdEqual):
+        yield from walk_expression(expr.left)
+        yield from walk_expression(expr.right)
+    elif isinstance(expr, CrowdOrder):
+        yield from walk_expression(expr.operand)
+    elif isinstance(expr, (InSubquery,)):
+        yield from walk_expression(expr.operand)
+
+
+def expression_columns(expr: Expression) -> set[ColumnRef]:
+    """All column references appearing anywhere in ``expr``."""
+    return {e for e in walk_expression(expr) if isinstance(e, ColumnRef)}
+
+
+def contains_crowd_builtin(expr: Expression) -> bool:
+    """True when ``expr`` contains CROWDEQUAL or CROWDORDER anywhere."""
+    return any(
+        isinstance(e, (CrowdEqual, CrowdOrder)) for e in walk_expression(expr)
+    )
+
+
+def contains_aggregate(expr: Expression) -> bool:
+    """True when ``expr`` contains an aggregate function call."""
+    return any(
+        isinstance(e, FunctionCall) and e.is_aggregate
+        for e in walk_expression(expr)
+    )

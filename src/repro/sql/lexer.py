@@ -1,0 +1,181 @@
+"""Hand-written lexer for CrowdSQL.
+
+Produces a stream of :class:`repro.sql.tokens.Token`.  Follows standard SQL
+lexical rules: case-insensitive keywords, single-quoted strings with ``''``
+escaping (double-quoted strings are also accepted, as the paper's examples
+use ``"CrowdDB"``), ``--`` line comments and ``/* */`` block comments, and
+``?`` positional parameters.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.sql.tokens import KEYWORDS, OPERATORS, PUNCTUATION, Token, TokenType
+
+
+class Lexer:
+    """Tokenizes one CrowdSQL string."""
+
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def tokenize(self) -> list[Token]:
+        """Return all tokens, ending with a single EOF token."""
+        tokens: list[Token] = []
+        while True:
+            token = self._next_token()
+            tokens.append(token)
+            if token.type is TokenType.EOF:
+                return tokens
+
+    # -- internals ---------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index >= len(self._source):
+            return ""
+        return self._source[index]
+
+    def _advance(self, count: int = 1) -> str:
+        text = self._source[self._pos : self._pos + count]
+        for ch in text:
+            if ch == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += count
+        return text
+
+    def _skip_trivia(self) -> None:
+        while self._pos < len(self._source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                while self._pos < len(self._source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self._line, self._column
+                self._advance(2)
+                while self._pos < len(self._source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise ParseError(
+                        "unterminated block comment", start_line, start_col
+                    )
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        line, column = self._line, self._column
+        if self._pos >= len(self._source):
+            return Token(TokenType.EOF, None, line, column)
+
+        ch = self._peek()
+        if ch.isalpha() or ch == "_":
+            return self._lex_word(line, column)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number(line, column)
+        if ch == "'":
+            return self._lex_string(line, column, quote="'")
+        if ch == '"':
+            # The paper's examples use double quotes for string literals
+            # (e.g. WHERE title = "CrowdDB"), so we lex them as strings,
+            # not as delimited identifiers.
+            return self._lex_string(line, column, quote='"')
+        if ch == "`":
+            return self._lex_quoted_identifier(line, column)
+        if ch == "?":
+            self._advance()
+            return Token(TokenType.PARAMETER, "?", line, column)
+        for op in OPERATORS:
+            if self._source.startswith(op, self._pos):
+                self._advance(len(op))
+                return Token(TokenType.OPERATOR, op, line, column)
+        if ch in PUNCTUATION:
+            self._advance()
+            return Token(TokenType.PUNCTUATION, ch, line, column)
+        raise ParseError(f"unexpected character {ch!r}", line, column)
+
+    def _lex_word(self, line: int, column: int) -> Token:
+        start = self._pos
+        while self._pos < len(self._source) and (
+            self._peek().isalnum() or self._peek() == "_"
+        ):
+            self._advance()
+        text = self._source[start : self._pos]
+        if text.upper() in KEYWORDS:
+            return Token(TokenType.KEYWORD, text.upper(), line, column)
+        return Token(TokenType.IDENTIFIER, text, line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self._pos
+        saw_dot = False
+        saw_exp = False
+        while self._pos < len(self._source):
+            ch = self._peek()
+            if ch.isdigit():
+                self._advance()
+            elif ch == "." and not saw_dot and not saw_exp:
+                saw_dot = True
+                self._advance()
+            elif ch in "eE" and not saw_exp and self._pos > start:
+                nxt = self._peek(1)
+                if nxt.isdigit() or (nxt in "+-" and self._peek(2).isdigit()):
+                    saw_exp = True
+                    self._advance()
+                    if self._peek() in "+-":
+                        self._advance()
+                else:
+                    break
+            else:
+                break
+        text = self._source[start : self._pos]
+        value: int | float
+        if saw_dot or saw_exp:
+            value = float(text)
+        else:
+            value = int(text)
+        return Token(TokenType.NUMBER, value, line, column)
+
+    def _lex_string(self, line: int, column: int, quote: str) -> Token:
+        self._advance()  # opening quote
+        parts: list[str] = []
+        while True:
+            if self._pos >= len(self._source):
+                raise ParseError("unterminated string literal", line, column)
+            ch = self._peek()
+            if ch == quote:
+                if self._peek(1) == quote:  # doubled quote escape
+                    parts.append(quote)
+                    self._advance(2)
+                else:
+                    self._advance()
+                    return Token(TokenType.STRING, "".join(parts), line, column)
+            else:
+                parts.append(ch)
+                self._advance()
+
+    def _lex_quoted_identifier(self, line: int, column: int) -> Token:
+        self._advance()  # opening backtick
+        start = self._pos
+        while self._pos < len(self._source) and self._peek() != "`":
+            self._advance()
+        if self._pos >= len(self._source):
+            raise ParseError("unterminated quoted identifier", line, column)
+        text = self._source[start : self._pos]
+        self._advance()
+        return Token(TokenType.IDENTIFIER, text, line, column)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: lex ``source`` into a token list."""
+    return Lexer(source).tokenize()

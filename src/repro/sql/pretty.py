@@ -1,0 +1,250 @@
+"""Render CrowdSQL AST nodes back to SQL text.
+
+Used by EXPLAIN output, error messages, UI task instructions, and by the
+property-based round-trip tests (``parse(pretty(parse(q)))`` must equal
+``parse(q)``).
+"""
+
+from __future__ import annotations
+
+from repro.sql import ast
+
+
+def _quote_string(value: str) -> str:
+    return "'" + value.replace("'", "''") + "'"
+
+
+def format_literal(value: object) -> str:
+    """Render a Python literal value as SQL source."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        return _quote_string(value)
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def format_expression(expr: ast.Expression) -> str:
+    """Render an expression as SQL source (fully parenthesised)."""
+    if isinstance(expr, ast.Literal):
+        return format_literal(expr.value)
+    if isinstance(expr, ast.CNullLiteral):
+        return "CNULL"
+    if isinstance(expr, ast.Parameter):
+        return "?"
+    if isinstance(expr, ast.ColumnRef):
+        return str(expr)
+    if isinstance(expr, ast.Star):
+        return f"{expr.table}.*" if expr.table else "*"
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == "NOT":
+            return f"(NOT {format_expression(expr.operand)})"
+        return f"({expr.op}{format_expression(expr.operand)})"
+    if isinstance(expr, ast.BinaryOp):
+        return (
+            f"({format_expression(expr.left)} {expr.op} "
+            f"{format_expression(expr.right)})"
+        )
+    if isinstance(expr, ast.IsNull):
+        op = "IS NOT" if expr.negated else "IS"
+        kind = "CNULL" if expr.cnull else "NULL"
+        return f"({format_expression(expr.operand)} {op} {kind})"
+    if isinstance(expr, ast.InList):
+        op = "NOT IN" if expr.negated else "IN"
+        items = ", ".join(format_expression(item) for item in expr.items)
+        return f"({format_expression(expr.operand)} {op} ({items}))"
+    if isinstance(expr, ast.Between):
+        op = "NOT BETWEEN" if expr.negated else "BETWEEN"
+        return (
+            f"({format_expression(expr.operand)} {op} "
+            f"{format_expression(expr.low)} AND {format_expression(expr.high)})"
+        )
+    if isinstance(expr, ast.FunctionCall):
+        distinct = "DISTINCT " if expr.distinct else ""
+        args = ", ".join(format_expression(arg) for arg in expr.args)
+        return f"{expr.name}({distinct}{args})"
+    if isinstance(expr, ast.CaseExpr):
+        parts = ["CASE"]
+        if expr.operand is not None:
+            parts.append(format_expression(expr.operand))
+        for when, then in expr.whens:
+            parts.append(f"WHEN {format_expression(when)} THEN {format_expression(then)}")
+        if expr.default is not None:
+            parts.append(f"ELSE {format_expression(expr.default)}")
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(expr, ast.CrowdEqual):
+        args = [format_expression(expr.left), format_expression(expr.right)]
+        if expr.question is not None:
+            args.append(_quote_string(expr.question))
+        return f"CROWDEQUAL({', '.join(args)})"
+    if isinstance(expr, ast.CrowdOrder):
+        return (
+            f"CROWDORDER({format_expression(expr.operand)}, "
+            f"{_quote_string(expr.question)})"
+        )
+    if isinstance(expr, ast.ExistsExpr):
+        prefix = "NOT EXISTS" if expr.negated else "EXISTS"
+        return f"{prefix} ({format_statement(expr.query)})"
+    if isinstance(expr, ast.ScalarSubquery):
+        return f"({format_statement(expr.query)})"
+    if isinstance(expr, ast.InSubquery):
+        op = "NOT IN" if expr.negated else "IN"
+        return (
+            f"({format_expression(expr.operand)} {op} "
+            f"({format_statement(expr.query)}))"
+        )
+    raise TypeError(f"cannot format expression node {type(expr).__name__}")
+
+
+def _format_table_ref(ref: ast.TableRef) -> str:
+    if isinstance(ref, ast.NamedTable):
+        return f"{ref.name} AS {ref.alias}" if ref.alias else ref.name
+    if isinstance(ref, ast.Join):
+        left = _format_table_ref(ref.left)
+        right = _format_table_ref(ref.right)
+        if ref.join_type == "CROSS":
+            return f"{left} CROSS JOIN {right}"
+        clause = f"{left} {ref.join_type} JOIN {right}"
+        if ref.condition is not None:
+            clause += f" ON {format_expression(ref.condition)}"
+        return clause
+    if isinstance(ref, ast.SubqueryTable):
+        return f"({format_statement(ref.query)}) AS {ref.alias}"
+    raise TypeError(f"cannot format table ref {type(ref).__name__}")
+
+
+def _format_select(stmt: ast.Select) -> str:
+    parts = ["SELECT"]
+    if stmt.distinct:
+        parts.append("DISTINCT")
+    items = []
+    for item in stmt.items:
+        text = format_expression(item.expression)
+        if item.alias:
+            text += f" AS {item.alias}"
+        items.append(text)
+    parts.append(", ".join(items))
+    if stmt.from_clause is not None:
+        parts.append("FROM " + _format_table_ref(stmt.from_clause))
+    if stmt.where is not None:
+        parts.append("WHERE " + format_expression(stmt.where))
+    if stmt.group_by:
+        parts.append(
+            "GROUP BY " + ", ".join(format_expression(e) for e in stmt.group_by)
+        )
+    if stmt.having is not None:
+        parts.append("HAVING " + format_expression(stmt.having))
+    if stmt.order_by:
+        rendered = []
+        for item in stmt.order_by:
+            text = format_expression(item.expression)
+            rendered.append(text if item.ascending else f"{text} DESC")
+        parts.append("ORDER BY " + ", ".join(rendered))
+    if stmt.limit is not None:
+        parts.append("LIMIT " + format_expression(stmt.limit))
+    if stmt.offset is not None:
+        parts.append("OFFSET " + format_expression(stmt.offset))
+    return " ".join(parts)
+
+
+def _format_column_def(column: ast.ColumnDef) -> str:
+    parts = [column.name]
+    if column.crowd:
+        parts.append("CROWD")
+    parts.append(column.type_name.upper())
+    if column.primary_key:
+        parts.append("PRIMARY KEY")
+    if column.not_null:
+        parts.append("NOT NULL")
+    if column.unique:
+        parts.append("UNIQUE")
+    if column.default is not None:
+        parts.append("DEFAULT " + format_expression(column.default))
+    return " ".join(parts)
+
+
+def _format_create_table(stmt: ast.CreateTable) -> str:
+    crowd = "CROWD " if stmt.crowd else ""
+    elements = [_format_column_def(c) for c in stmt.columns]
+    if stmt.primary_key:
+        elements.append("PRIMARY KEY (" + ", ".join(stmt.primary_key) + ")")
+    for fk in stmt.foreign_keys:
+        elements.append(
+            "FOREIGN KEY ("
+            + ", ".join(fk.columns)
+            + f") REFERENCES {fk.ref_table}("
+            + ", ".join(fk.ref_columns)
+            + ")"
+        )
+    body = ", ".join(elements)
+    return f"CREATE {crowd}TABLE {stmt.name} ({body})"
+
+
+def _format_setop(stmt: ast.SetOp) -> str:
+    parts = [
+        format_statement(stmt.left),
+        stmt.op,
+        format_statement(stmt.right),
+    ]
+    if stmt.order_by:
+        rendered = []
+        for item in stmt.order_by:
+            text = format_expression(item.expression)
+            rendered.append(text if item.ascending else f"{text} DESC")
+        parts.append("ORDER BY " + ", ".join(rendered))
+    if stmt.limit is not None:
+        parts.append("LIMIT " + format_expression(stmt.limit))
+    if stmt.offset is not None:
+        parts.append("OFFSET " + format_expression(stmt.offset))
+    return " ".join(parts)
+
+
+def format_statement(stmt: ast.Statement) -> str:
+    """Render any statement as a single-line SQL string."""
+    if isinstance(stmt, ast.Select):
+        return _format_select(stmt)
+    if isinstance(stmt, ast.SetOp):
+        return _format_setop(stmt)
+    if isinstance(stmt, ast.CreateTable):
+        return _format_create_table(stmt)
+    if isinstance(stmt, ast.DropTable):
+        suffix = " IF EXISTS" if stmt.if_exists else ""
+        return f"DROP TABLE{suffix} {stmt.name}"
+    if isinstance(stmt, ast.CreateIndex):
+        unique = "UNIQUE " if stmt.unique else ""
+        cols = ", ".join(stmt.columns)
+        return f"CREATE {unique}INDEX {stmt.name} ON {stmt.table} ({cols})"
+    if isinstance(stmt, ast.Insert):
+        parts = [f"INSERT INTO {stmt.table}"]
+        if stmt.columns:
+            parts.append("(" + ", ".join(stmt.columns) + ")")
+        if stmt.query is not None:
+            parts.append(format_statement(stmt.query))
+        else:
+            rows = []
+            for row in stmt.rows:
+                rows.append("(" + ", ".join(format_expression(v) for v in row) + ")")
+            parts.append("VALUES " + ", ".join(rows))
+        return " ".join(parts)
+    if isinstance(stmt, ast.Update):
+        sets = ", ".join(
+            f"{name} = {format_expression(value)}" for name, value in stmt.assignments
+        )
+        text = f"UPDATE {stmt.table} SET {sets}"
+        if stmt.where is not None:
+            text += " WHERE " + format_expression(stmt.where)
+        return text
+    if isinstance(stmt, ast.Delete):
+        text = f"DELETE FROM {stmt.table}"
+        if stmt.where is not None:
+            text += " WHERE " + format_expression(stmt.where)
+        return text
+    if isinstance(stmt, ast.Explain):
+        return "EXPLAIN " + format_statement(stmt.statement)
+    if isinstance(stmt, ast.ShowTables):
+        return "SHOW TABLES"
+    raise TypeError(f"cannot format statement {type(stmt).__name__}")

@@ -1,0 +1,13 @@
+"""Storage substrate: heaps, indexes, statistics, log, and the engine."""
+
+from repro.storage.engine import StorageEngine
+from repro.storage.heap import HeapTable
+from repro.storage.index import HashIndex, OrderedIndex
+from repro.storage.row import Row, Scope
+from repro.storage.statistics import ColumnStatistics, TableStatistics
+from repro.storage.transaction_log import LogEntry, LogOp, TransactionLog
+
+__all__ = [
+    "StorageEngine", "HeapTable", "HashIndex", "OrderedIndex", "Row", "Scope",
+    "ColumnStatistics", "TableStatistics", "LogEntry", "LogOp", "TransactionLog",
+]

@@ -1,0 +1,185 @@
+"""The storage engine: catalog + heap tables + log + FK enforcement.
+
+This is the substrate the paper built on H2; everything above it (planner,
+optimizer, executor, crowd subsystem) only talks to this interface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.table import TableSchema
+from repro.errors import ConstraintError, StorageError
+from repro.sqltypes import is_missing
+from repro.storage.heap import HeapTable
+from repro.storage.row import Row
+from repro.storage.transaction_log import LogOp, TransactionLog
+
+
+class StorageEngine:
+    """Owns all table data for one CrowdDB instance."""
+
+    def __init__(self, catalog: Optional[Catalog] = None) -> None:
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.log = TransactionLog()
+        self._tables: dict[str, HeapTable] = {}
+
+    # -- DDL -------------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema, if_not_exists: bool = False) -> bool:
+        """Register a schema and allocate its heap.  Returns False when the
+        table already existed and ``if_not_exists`` was set."""
+        if schema.name.lower() in self._tables:
+            if if_not_exists:
+                return False
+            raise StorageError(f"table {schema.name!r} already exists")
+        self.catalog.register(schema)
+        self._tables[schema.name.lower()] = HeapTable(schema)
+        self.log.append(LogOp.CREATE_TABLE, schema.name, (schema,))
+        return True
+
+    def drop_table(self, name: str, if_exists: bool = False) -> bool:
+        if name.lower() not in self._tables:
+            if if_exists:
+                return False
+            raise StorageError(f"no such table: {name!r}")
+        self.catalog.drop(name)
+        del self._tables[name.lower()]
+        self.log.append(LogOp.DROP_TABLE, name)
+        return True
+
+    def table(self, name: str) -> HeapTable:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise StorageError(f"no such table: {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        return self.catalog.table_names()
+
+    # -- foreign keys ---------------------------------------------------------------
+
+    def _check_foreign_keys(self, schema: TableSchema, values: tuple[Any, ...]) -> None:
+        for fk in schema.foreign_keys:
+            key = tuple(
+                values[schema.column_index(column)] for column in fk.columns
+            )
+            if any(is_missing(part) for part in key):
+                continue  # SQL: missing FK values are not checked
+            parent = self.table(fk.ref_table)
+            parent_schema = parent.schema
+            if tuple(c.lower() for c in fk.ref_columns) == tuple(
+                c.lower() for c in parent_schema.primary_key
+            ):
+                if parent.lookup_primary_key(key) is None:
+                    raise ConstraintError(
+                        f"foreign key violation: {schema.name}{fk.columns} -> "
+                        f"{fk.ref_table}{fk.ref_columns} value {key!r}"
+                    )
+                continue
+            index = parent.index_on(fk.ref_columns)
+            if index is not None:
+                if not index.contains_key(key):
+                    raise ConstraintError(
+                        f"foreign key violation: {schema.name}{fk.columns} -> "
+                        f"{fk.ref_table}{fk.ref_columns} value {key!r}"
+                    )
+                continue
+            positions = [parent_schema.column_index(c) for c in fk.ref_columns]
+            for row in parent.scan():
+                if tuple(row.values[p] for p in positions) == key:
+                    break
+            else:
+                raise ConstraintError(
+                    f"foreign key violation: {schema.name}{fk.columns} -> "
+                    f"{fk.ref_table}{fk.ref_columns} value {key!r}"
+                )
+
+    # -- DML -------------------------------------------------------------------
+
+    def insert(
+        self,
+        table_name: str,
+        values: Iterable[Any],
+        column_names: Optional[tuple[str, ...]] = None,
+        origin: str = "client",
+    ) -> Row:
+        """Insert one row (partial column lists allowed)."""
+        heap = self.table(table_name)
+        prepared = heap.prepare_values(values, column_names)
+        self._check_foreign_keys(heap.schema, prepared)
+        row = heap.insert(prepared)
+        self.log.append(LogOp.INSERT, heap.name, (row.rowid, prepared), origin)
+        return row
+
+    def delete(self, table_name: str, rowid: int, origin: str = "client") -> Row:
+        heap = self.table(table_name)
+        row = heap.delete(rowid)
+        self.log.append(LogOp.DELETE, heap.name, (rowid, row.values), origin)
+        return row
+
+    def update(
+        self,
+        table_name: str,
+        rowid: int,
+        values: tuple[Any, ...],
+        origin: str = "client",
+    ) -> Row:
+        heap = self.table(table_name)
+        old = heap.get(rowid)
+        self._check_foreign_keys(heap.schema, values)
+        row = heap.update(rowid, values)
+        self.log.append(
+            LogOp.UPDATE, heap.name, (rowid, old.values, values), origin
+        )
+        return row
+
+    def set_value(
+        self,
+        table_name: str,
+        rowid: int,
+        column_name: str,
+        value: Any,
+        origin: str = "client",
+    ) -> Row:
+        """Single-column update; the crowd subsystem's memorization path."""
+        heap = self.table(table_name)
+        old = heap.get(rowid)
+        row = heap.set_value(rowid, column_name, value)
+        self.log.append(
+            LogOp.UPDATE, heap.name, (rowid, old.values, row.values), origin
+        )
+        return row
+
+    # -- replay -----------------------------------------------------------------
+
+    @staticmethod
+    def replay(log: TransactionLog) -> "StorageEngine":
+        """Rebuild an engine from a log (durability check used in tests)."""
+        engine = StorageEngine()
+        rowid_maps: dict[str, dict[int, int]] = {}
+        for entry in log:
+            if entry.op is LogOp.CREATE_TABLE:
+                engine.create_table(entry.payload[0])
+                rowid_maps[entry.table.lower()] = {}
+            elif entry.op is LogOp.DROP_TABLE:
+                engine.drop_table(entry.table)
+                rowid_maps.pop(entry.table.lower(), None)
+            elif entry.op is LogOp.INSERT:
+                old_rowid, values = entry.payload
+                heap = engine.table(entry.table)
+                row = heap.insert(values)
+                rowid_maps[entry.table.lower()][old_rowid] = row.rowid
+            elif entry.op is LogOp.DELETE:
+                old_rowid, _values = entry.payload
+                mapping = rowid_maps[entry.table.lower()]
+                engine.table(entry.table).delete(mapping.pop(old_rowid))
+            elif entry.op is LogOp.UPDATE:
+                old_rowid, _old, new = entry.payload
+                mapping = rowid_maps[entry.table.lower()]
+                engine.table(entry.table).update(mapping[old_rowid], new)
+        return engine

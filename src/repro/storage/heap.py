@@ -1,0 +1,231 @@
+"""Heap table: the primary store for one table's rows.
+
+Rows live in an insertion-ordered dict keyed by row id.  The heap owns its
+indexes (a primary-key hash index, per-UNIQUE-column indexes, and any user
+indexes) and its incremental statistics, and keeps all of them consistent
+across insert/update/delete.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.catalog.table import TableSchema
+from repro.errors import ConstraintError, StorageError
+from repro.sqltypes import coerce, is_missing
+from repro.storage.index import HashIndex, OrderedIndex
+from repro.storage.row import Row
+from repro.storage.statistics import TableStatistics
+
+
+class HeapTable:
+    """In-memory heap with index and statistics maintenance."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: dict[int, tuple[Any, ...]] = {}
+        self._next_rowid = 0
+        self.statistics = TableStatistics(schema.column_names)
+        self.indexes: dict[str, HashIndex | OrderedIndex] = {}
+        if schema.primary_key:
+            self._pk_index: Optional[HashIndex] = HashIndex(
+                f"{schema.name}_pk", tuple(schema.primary_key), unique=True
+            )
+            self.indexes[self._pk_index.name] = self._pk_index
+        else:
+            self._pk_index = None
+        for column in schema.columns:
+            if column.unique and not column.primary_key:
+                index = HashIndex(
+                    f"{schema.name}_{column.name}_unique",
+                    (column.name,),
+                    unique=True,
+                )
+                self.indexes[index.name] = index
+
+    # -- basics ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def scan(self) -> Iterator[Row]:
+        """Yield all rows in insertion order."""
+        for rowid, values in list(self._rows.items()):
+            yield Row(rowid, values)
+
+    def get(self, rowid: int) -> Row:
+        try:
+            return Row(rowid, self._rows[rowid])
+        except KeyError:
+            raise StorageError(
+                f"table {self.name!r} has no row id {rowid}"
+            ) from None
+
+    def has_rowid(self, rowid: int) -> bool:
+        return rowid in self._rows
+
+    # -- key helpers ------------------------------------------------------------
+
+    def _key_for(self, values: tuple[Any, ...], columns: tuple[str, ...]) -> tuple:
+        return tuple(values[self.schema.column_index(c)] for c in columns)
+
+    def primary_key_of(self, values: tuple[Any, ...]) -> tuple:
+        if not self.schema.primary_key:
+            raise StorageError(f"table {self.name!r} has no primary key")
+        return self._key_for(values, tuple(self.schema.primary_key))
+
+    def lookup_primary_key(self, key: tuple[Any, ...]) -> Optional[Row]:
+        """Find the row with the given primary-key tuple, if present."""
+        if self._pk_index is None:
+            raise StorageError(f"table {self.name!r} has no primary key")
+        rowids = self._pk_index.lookup(key)
+        if not rowids:
+            return None
+        return self.get(next(iter(rowids)))
+
+    # -- mutations ---------------------------------------------------------------
+
+    def prepare_values(
+        self,
+        values: Iterable[Any],
+        column_names: Optional[tuple[str, ...]] = None,
+    ) -> tuple[Any, ...]:
+        """Coerce client values into a full storage tuple.
+
+        ``column_names`` restricts to a subset (INSERT column list); any
+        unlisted column takes its missing value — CNULL for CROWD columns,
+        NULL (or the declared default) otherwise.
+        """
+        values = list(values)
+        if column_names is None:
+            if len(values) != len(self.schema.columns):
+                raise StorageError(
+                    f"table {self.name!r} expects {len(self.schema.columns)} "
+                    f"values, got {len(values)}"
+                )
+            pairs = dict(zip(self.schema.column_names, values))
+        else:
+            if len(values) != len(column_names):
+                raise StorageError(
+                    f"INSERT lists {len(column_names)} columns but "
+                    f"{len(values)} values"
+                )
+            for name in column_names:
+                self.schema.column(name)  # validates existence
+            pairs = dict(zip(column_names, values))
+            lowered = {name.lower() for name in column_names}
+            if len(lowered) != len(column_names):
+                raise StorageError("duplicate column in INSERT column list")
+
+        full: list[Any] = []
+        provided = {name.lower(): value for name, value in pairs.items()}
+        for column in self.schema.columns:
+            if column.name.lower() in provided:
+                value = coerce(provided[column.name.lower()], column.sql_type)
+            else:
+                value = column.missing_value
+            full.append(value)
+        return tuple(full)
+
+    def _check_not_null(self, values: tuple[Any, ...]) -> None:
+        for column in self.schema.columns:
+            value = values[column.ordinal]
+            if column.not_null and is_missing(value):
+                raise ConstraintError(
+                    f"column {self.name}.{column.name} is NOT NULL"
+                )
+
+    def insert(self, values: tuple[Any, ...]) -> Row:
+        """Insert a fully prepared storage tuple.  Returns the stored row."""
+        self._check_not_null(values)
+        rowid = self._next_rowid
+        # Probe all unique indexes before touching any of them, so a
+        # violation leaves the heap unchanged.
+        for index in self.indexes.values():
+            key = self._key_for(values, index.columns)
+            if index.unique and index.contains_key(key):
+                raise ConstraintError(
+                    f"duplicate key {key!r} for index {index.name!r}"
+                )
+        for index in self.indexes.values():
+            index.insert(self._key_for(values, index.columns), rowid)
+        self._rows[rowid] = values
+        self._next_rowid += 1
+        self.statistics.on_insert(values, self.schema.column_names)
+        return Row(rowid, values)
+
+    def delete(self, rowid: int) -> Row:
+        row = self.get(rowid)
+        for index in self.indexes.values():
+            index.delete(self._key_for(row.values, index.columns), rowid)
+        del self._rows[rowid]
+        self.statistics.on_delete(row.values, self.schema.column_names)
+        return row
+
+    def update(self, rowid: int, values: tuple[Any, ...]) -> Row:
+        """Replace the values of ``rowid`` (indexes and stats maintained)."""
+        old = self.get(rowid)
+        self._check_not_null(values)
+        for index in self.indexes.values():
+            old_key = self._key_for(old.values, index.columns)
+            new_key = self._key_for(values, index.columns)
+            if old_key == new_key:
+                continue
+            if index.unique and index.contains_key(new_key):
+                raise ConstraintError(
+                    f"duplicate key {new_key!r} for index {index.name!r}"
+                )
+        for index in self.indexes.values():
+            old_key = self._key_for(old.values, index.columns)
+            new_key = self._key_for(values, index.columns)
+            if old_key != new_key:
+                index.delete(old_key, rowid)
+                index.insert(new_key, rowid)
+        self._rows[rowid] = values
+        self.statistics.on_delete(old.values, self.schema.column_names)
+        self.statistics.on_insert(values, self.schema.column_names)
+        return Row(rowid, values)
+
+    def set_value(self, rowid: int, column_name: str, value: Any) -> Row:
+        """Update a single column in place (used when memorizing crowd answers)."""
+        column = self.schema.column(column_name)
+        row = self.get(rowid)
+        new_values = list(row.values)
+        new_values[column.ordinal] = coerce(value, column.sql_type)
+        return self.update(rowid, tuple(new_values))
+
+    # -- secondary indexes ----------------------------------------------------------
+
+    def create_index(
+        self,
+        name: str,
+        columns: tuple[str, ...],
+        unique: bool = False,
+        ordered: bool = False,
+    ) -> HashIndex | OrderedIndex:
+        """Build a secondary index over existing rows."""
+        if name in self.indexes:
+            raise StorageError(f"index {name!r} already exists")
+        for column in columns:
+            self.schema.column(column)
+        index: HashIndex | OrderedIndex
+        if ordered:
+            index = OrderedIndex(name, columns, unique=unique)
+        else:
+            index = HashIndex(name, columns, unique=unique)
+        for rowid, values in self._rows.items():
+            index.insert(self._key_for(values, columns), rowid)
+        self.indexes[name] = index
+        return index
+
+    def index_on(self, columns: tuple[str, ...]) -> Optional[HashIndex | OrderedIndex]:
+        """An index whose key is exactly ``columns`` (case-insensitive)."""
+        wanted = tuple(c.lower() for c in columns)
+        for index in self.indexes.values():
+            if tuple(c.lower() for c in index.columns) == wanted:
+                return index
+        return None

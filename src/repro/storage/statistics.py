@@ -1,0 +1,108 @@
+"""Table statistics for the rule-based optimizer.
+
+The paper's optimizer annotates plans with cardinality predictions before
+re-ordering operators (Section 3.2.2).  These statistics are maintained
+incrementally on every insert/delete/update, so they are always fresh —
+adequate for the in-memory substrate and deterministic for tests.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+from repro.sqltypes import is_cnull, is_null
+
+
+class ColumnStatistics:
+    """Incremental statistics for one column."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.null_count = 0
+        self.cnull_count = 0
+        self._value_counts: Counter[Any] = Counter()
+
+    @property
+    def distinct_count(self) -> int:
+        return len(self._value_counts)
+
+    @property
+    def known_count(self) -> int:
+        return sum(self._value_counts.values())
+
+    def add(self, value: Any) -> None:
+        if is_null(value):
+            self.null_count += 1
+        elif is_cnull(value):
+            self.cnull_count += 1
+        else:
+            try:
+                self._value_counts[value] += 1
+            except TypeError:  # unhashable — statistics stay coarse
+                self._value_counts[repr(value)] += 1
+
+    def remove(self, value: Any) -> None:
+        if is_null(value):
+            self.null_count = max(0, self.null_count - 1)
+        elif is_cnull(value):
+            self.cnull_count = max(0, self.cnull_count - 1)
+        else:
+            try:
+                key = value
+                count = self._value_counts.get(key)
+            except TypeError:
+                key = repr(value)
+                count = self._value_counts.get(key)
+            if count:
+                if count == 1:
+                    del self._value_counts[key]
+                else:
+                    self._value_counts[key] = count - 1
+
+    def selectivity_equals(self) -> float:
+        """Estimated fraction of rows matched by ``column = constant``."""
+        total = self.known_count + self.null_count + self.cnull_count
+        if total == 0 or self.distinct_count == 0:
+            return 0.1  # textbook default guess
+        return max(1.0 / self.distinct_count, 1.0 / max(total, 1))
+
+    def frequency(self, value: Any) -> int:
+        """Exact count of rows storing ``value`` (0 for missing values)."""
+        try:
+            return self._value_counts.get(value, 0)
+        except TypeError:
+            return self._value_counts.get(repr(value), 0)
+
+
+class TableStatistics:
+    """Incremental statistics for one table."""
+
+    def __init__(self, column_names: tuple[str, ...]) -> None:
+        self.row_count = 0
+        self.columns: dict[str, ColumnStatistics] = {
+            name.lower(): ColumnStatistics(name) for name in column_names
+        }
+
+    def column(self, name: str) -> ColumnStatistics:
+        return self.columns[name.lower()]
+
+    def on_insert(self, values: tuple[Any, ...], column_names: tuple[str, ...]) -> None:
+        self.row_count += 1
+        for name, value in zip(column_names, values):
+            self.columns[name.lower()].add(value)
+
+    def on_delete(self, values: tuple[Any, ...], column_names: tuple[str, ...]) -> None:
+        self.row_count = max(0, self.row_count - 1)
+        for name, value in zip(column_names, values):
+            self.columns[name.lower()].remove(value)
+
+    def cnull_fraction(self, column_name: str) -> float:
+        """Fraction of rows whose ``column_name`` is still CNULL.
+
+        This drives the optimizer's estimate of how many CrowdProbe tasks a
+        plan will create.
+        """
+        if self.row_count == 0:
+            return 0.0
+        return self.column(column_name).cnull_count / self.row_count

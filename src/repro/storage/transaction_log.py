@@ -1,0 +1,77 @@
+"""Append-only operation log for the storage substrate.
+
+A lightweight stand-in for H2's transaction log: every mutation is recorded
+as a structured entry.  Supports replay onto an empty engine — used by the
+durability tests and by the Task Manager's audit trail of crowd-sourced
+writes (crowd answers are always memorized; the log shows when and why).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+class LogOp(enum.Enum):
+    CREATE_TABLE = "CREATE_TABLE"
+    DROP_TABLE = "DROP_TABLE"
+    INSERT = "INSERT"
+    DELETE = "DELETE"
+    UPDATE = "UPDATE"
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One logged mutation.
+
+    ``origin`` distinguishes regular client DML from writes performed by
+    the crowd subsystem ("crowd") when memorizing worker answers.
+    """
+
+    lsn: int
+    op: LogOp
+    table: str
+    payload: tuple[Any, ...] = ()
+    origin: str = "client"
+
+
+class TransactionLog:
+    """In-memory append-only log with replay support."""
+
+    def __init__(self) -> None:
+        self._entries: list[LogEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self._entries)
+
+    def append(
+        self,
+        op: LogOp,
+        table: str,
+        payload: tuple[Any, ...] = (),
+        origin: str = "client",
+    ) -> LogEntry:
+        entry = LogEntry(
+            lsn=len(self._entries),
+            op=op,
+            table=table,
+            payload=payload,
+            origin=origin,
+        )
+        self._entries.append(entry)
+        return entry
+
+    def entries_for_table(self, table: str) -> list[LogEntry]:
+        lowered = table.lower()
+        return [e for e in self._entries if e.table.lower() == lowered]
+
+    def crowd_entries(self) -> list[LogEntry]:
+        """All mutations performed by the crowd subsystem."""
+        return [e for e in self._entries if e.origin == "crowd"]
+
+    def truncate(self) -> None:
+        self._entries.clear()

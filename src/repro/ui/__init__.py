@@ -1,0 +1,11 @@
+"""Schema-driven user-interface generation (paper §3.1)."""
+
+from repro.ui.form_editor import FormEditor
+from repro.ui.manager import UITemplateManager
+from repro.ui.render import render_for_amt, render_for_mobile
+from repro.ui.templates import UITemplate
+
+__all__ = [
+    "FormEditor", "UITemplateManager", "UITemplate",
+    "render_for_amt", "render_for_mobile",
+]

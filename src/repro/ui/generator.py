@@ -1,0 +1,172 @@
+"""UI Creation: compile-time generation of task templates from schemas.
+
+"At compile-time, the UI Creation component creates templates to
+crowdsource missing information from all CROWD tables and all regular
+tables which have CROWD columns.  These user interfaces are HTML
+templates that are generated based on the CROWD annotations in the schema
+and optional free-text annotations of columns and tables" (paper §3.1).
+"""
+
+from __future__ import annotations
+
+from repro.catalog.table import TableSchema
+from repro.crowd.model import TaskKind
+from repro.ui.templates import UITemplate
+
+
+def fill_template(schema: TableSchema, columns: tuple[str, ...]) -> UITemplate:
+    """Template asking workers for missing CROWD-column values of a tuple."""
+    known = tuple(
+        column.name
+        for column in schema.columns
+        if column.name.lower() not in {c.lower() for c in columns}
+    )
+    instructions = (
+        f"Please fill in the missing information for the {schema.name} "
+        "record shown below."
+    )
+    if schema.comment:
+        instructions += f" ({schema.comment})"
+    rows = []
+    for name in known:
+        rows.append(_known_row(schema, name))
+    for name in columns:
+        rows.append(_input_row(schema, name))
+    html = _form_shell(schema.name, instructions_note=True, rows=rows)
+    return UITemplate(
+        template_id=f"fill:{schema.name}:{','.join(c.lower() for c in columns)}",
+        table=schema.name,
+        kind=TaskKind.FILL,
+        html=html,
+        instructions=instructions,
+        input_columns=tuple(columns),
+        known_columns=known,
+    )
+
+
+def new_tuple_template(
+    schema: TableSchema, fixed_columns: tuple[str, ...] = ()
+) -> UITemplate:
+    """Template asking workers to contribute a whole new tuple."""
+    fixed = {c.lower() for c in fixed_columns}
+    inputs = tuple(
+        column.name for column in schema.columns if column.name.lower() not in fixed
+    )
+    instructions = (
+        f"Please provide a new {schema.name} record."
+        if not fixed_columns
+        else (
+            f"Please provide a new {schema.name} record matching the "
+            "given values."
+        )
+    )
+    if schema.comment:
+        instructions += f" ({schema.comment})"
+    rows = [_known_row(schema, name) for name in fixed_columns]
+    rows += [_input_row(schema, name) for name in inputs]
+    html = _form_shell(schema.name, instructions_note=True, rows=rows)
+    return UITemplate(
+        template_id=(
+            f"new:{schema.name}:{','.join(sorted(fixed))}"
+        ),
+        table=schema.name,
+        kind=TaskKind.NEW_TUPLE,
+        html=html,
+        instructions=instructions,
+        input_columns=inputs,
+        known_columns=tuple(fixed_columns),
+    )
+
+
+def compare_equal_template() -> UITemplate:
+    """Generic CROWDEQUAL ballot (two values, yes/no)."""
+    html = (
+        '<div class="crowddb-task crowddb-compare">\n'
+        "  <p>{{instructions}}</p>\n"
+        '  <table class="values">\n'
+        "    <tr><th>Value A</th><td>{{value:left}}</td></tr>\n"
+        "    <tr><th>Value B</th><td>{{value:right}}</td></tr>\n"
+        "  </table>\n"
+        '  <label><input type="radio" name="same" value="yes" /> '
+        "Yes, they refer to the same thing</label>\n"
+        '  <label><input type="radio" name="same" value="no" /> '
+        "No, they are different</label>\n"
+        '  <button type="submit">Submit</button>\n'
+        "</div>"
+    )
+    return UITemplate(
+        template_id="compare:equal",
+        table="",
+        kind=TaskKind.COMPARE_EQUAL,
+        html=html,
+        instructions="Do these two values refer to the same thing?",
+        input_columns=(),
+        known_columns=("left", "right"),
+    )
+
+
+def compare_order_template(question: str) -> UITemplate:
+    """Generic CROWDORDER ballot (pick the better of two items)."""
+    html = (
+        '<div class="crowddb-task crowddb-order">\n'
+        "  <p>{{instructions}}</p>\n"
+        '  <table class="values">\n'
+        "    <tr><th>Option A</th><td>{{value:left}}</td></tr>\n"
+        "    <tr><th>Option B</th><td>{{value:right}}</td></tr>\n"
+        "  </table>\n"
+        '  <label><input type="radio" name="pick" value="left" /> Option A'
+        "</label>\n"
+        '  <label><input type="radio" name="pick" value="right" /> Option B'
+        "</label>\n"
+        '  <button type="submit">Submit</button>\n'
+        "</div>"
+    )
+    return UITemplate(
+        template_id=f"compare:order:{question}",
+        table="",
+        kind=TaskKind.COMPARE_ORDER,
+        html=html,
+        instructions=question,
+        input_columns=(),
+        known_columns=("left", "right"),
+    )
+
+
+# -- HTML helpers ------------------------------------------------------------
+
+
+def _known_row(schema: TableSchema, name: str) -> str:
+    label = _label(schema, name)
+    return (
+        f'  <tr><th>{label}</th><td class="known">{{{{value:{name}}}}}</td></tr>'
+    )
+
+
+def _input_row(schema: TableSchema, name: str) -> str:
+    label = _label(schema, name)
+    hint = ""
+    column = schema.column(name)
+    if column.comment:
+        hint = f' <span class="hint">({column.comment})</span>'
+    return (
+        f'  <tr><th><label for="field-{name}">{label}</label>{hint}</th>'
+        f"<td>{{{{input:{name}}}}}</td></tr>"
+    )
+
+
+def _label(schema: TableSchema, name: str) -> str:
+    return name.replace("_", " ").title()
+
+
+def _form_shell(table: str, instructions_note: bool, rows: list[str]) -> str:
+    body = "\n".join(rows)
+    note = "  <p>{{instructions}}</p>\n" if instructions_note else ""
+    return (
+        f'<div class="crowddb-task crowddb-{table.lower()}">\n'
+        f"{note}"
+        f'  <table class="fields">\n'
+        f"{body}\n"
+        "  </table>\n"
+        '  <button type="submit">Submit</button>\n'
+        "</div>"
+    )

@@ -1,0 +1,111 @@
+"""UI Template Manager: the central template registry.
+
+"All generated templates are centrally managed by the UI Template
+Manager.  Furthermore, these templates can be edited by application
+developers in order to provide additional custom instructions.  Finally,
+at runtime the Task Manager instantiates the templates on request of the
+crowd operators" (paper §3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.table import TableSchema
+from repro.crowd.model import TaskKind
+from repro.errors import UITemplateError
+from repro.ui import generator
+from repro.ui.templates import UITemplate
+
+
+class UITemplateManager:
+    """Creates (lazily), stores, and instantiates task templates."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self._templates: dict[str, UITemplate] = {}
+
+    # -- compile-time generation -------------------------------------------------
+
+    def generate_all(self) -> list[UITemplate]:
+        """Generate the default templates for every crowd-related table."""
+        created: list[UITemplate] = []
+        for schema in self.catalog:
+            if not schema.is_crowd_related:
+                continue
+            columns = tuple(c.name for c in schema.crowd_columns)
+            if columns:
+                created.append(
+                    self._store(generator.fill_template(schema, columns))
+                )
+            if schema.crowd:
+                created.append(
+                    self._store(generator.new_tuple_template(schema))
+                )
+        return created
+
+    # -- lookup / lazy creation --------------------------------------------------------
+
+    def fill_template(
+        self, schema: TableSchema, columns: tuple[str, ...]
+    ) -> UITemplate:
+        key = f"fill:{schema.name}:{','.join(c.lower() for c in columns)}"
+        template = self._templates.get(key)
+        if template is None:
+            template = self._store(generator.fill_template(schema, columns))
+        return template
+
+    def new_tuple_template(
+        self, schema: TableSchema, fixed_columns: tuple[str, ...] = ()
+    ) -> UITemplate:
+        key = f"new:{schema.name}:{','.join(sorted(c.lower() for c in fixed_columns))}"
+        template = self._templates.get(key)
+        if template is None:
+            template = self._store(
+                generator.new_tuple_template(schema, fixed_columns)
+            )
+        return template
+
+    def compare_equal_template(self) -> UITemplate:
+        template = self._templates.get("compare:equal")
+        if template is None:
+            template = self._store(generator.compare_equal_template())
+        return template
+
+    def compare_order_template(self, question: str) -> UITemplate:
+        key = f"compare:order:{question}"
+        template = self._templates.get(key)
+        if template is None:
+            template = self._store(generator.compare_order_template(question))
+        return template
+
+    def get(self, template_id: str) -> UITemplate:
+        try:
+            return self._templates[template_id]
+        except KeyError:
+            raise UITemplateError(f"unknown template {template_id!r}") from None
+
+    def all_templates(self) -> list[UITemplate]:
+        return list(self._templates.values())
+
+    # -- editing (Form Editor integration) ------------------------------------------------
+
+    def replace(self, template: UITemplate) -> None:
+        if template.template_id not in self._templates:
+            raise UITemplateError(
+                f"cannot replace unknown template {template.template_id!r}"
+            )
+        self._templates[template.template_id] = template
+
+    # -- runtime instantiation -------------------------------------------------------------
+
+    def instantiate(
+        self, template: UITemplate, known_values: dict[str, Any]
+    ) -> str:
+        lowered = {k.lower(): v for k, v in known_values.items()}
+        return template.instantiate(lowered)
+
+    def _store(self, template: UITemplate) -> UITemplate:
+        self._templates[template.template_id] = template
+        return template

@@ -1,0 +1,74 @@
+"""Platform-specific task rendering.
+
+The same instantiated form is wrapped differently per platform — the
+web/Mechanical Turk page of the paper's Figure 2 versus the compact
+mobile card of Figure 3.  The form body is identical; only the chrome
+differs, which is the demo's point about compiling one task to two
+platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.ui.templates import UITemplate, _escape
+
+
+def render_for_amt(
+    template: UITemplate,
+    known_values: dict[str, Any],
+    reward_cents: int,
+    requester: str = "CrowdDB",
+) -> str:
+    """Full Mechanical Turk HIT page (paper Figure 2)."""
+    body = template.instantiate(_lower(known_values))
+    title = _title(template)
+    return (
+        "<!DOCTYPE html>\n"
+        "<html>\n<head>\n"
+        f"  <title>{_escape(title)}</title>\n"
+        '  <meta name="viewport" content="width=device-width" />\n'
+        "</head>\n<body>\n"
+        '<div class="mturk-hit">\n'
+        f'  <div class="hit-header">\n'
+        f"    <h1>{_escape(title)}</h1>\n"
+        f'    <span class="requester">Requester: {_escape(requester)}</span>\n'
+        f'    <span class="reward">Reward: ${reward_cents / 100.0:.2f}</span>\n'
+        "  </div>\n"
+        f"{body}\n"
+        "</div>\n"
+        "</body>\n</html>"
+    )
+
+
+def render_for_mobile(
+    template: UITemplate,
+    known_values: dict[str, Any],
+    distance_km: Optional[float] = None,
+) -> str:
+    """Compact mobile card (paper Figure 3): no registration, optional
+    distance badge from the locality filter."""
+    body = template.instantiate(_lower(known_values))
+    title = _title(template)
+    distance = (
+        f'  <span class="distance">{distance_km:.1f} km away</span>\n'
+        if distance_km is not None
+        else ""
+    )
+    return (
+        '<div class="mobile-task">\n'
+        f'  <div class="task-bar"><h2>{_escape(title)}</h2>\n{distance}  </div>\n'
+        f"{body}\n"
+        '  <div class="task-footer">Thanks for helping the VLDB crowd!</div>\n'
+        "</div>"
+    )
+
+
+def _title(template: UITemplate) -> str:
+    if template.table:
+        return f"{template.kind.value.replace('_', ' ').title()}: {template.table}"
+    return template.instructions
+
+
+def _lower(values: dict[str, Any]) -> dict[str, Any]:
+    return {k.lower(): v for k, v in values.items()}

@@ -1,0 +1,94 @@
+"""User-interface template objects.
+
+Templates are created at compile time from schema information (paper
+§3.1), managed centrally, optionally edited by application developers,
+and instantiated at runtime with the known field values of a concrete
+tuple.  Placeholders:
+
+* ``{{value:<column>}}``   — a known value copied into the form;
+* ``{{input:<column>}}``   — an input field the worker must fill;
+* ``{{instructions}}``     — the (editable) task instructions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.crowd.model import TaskKind
+from repro.errors import UITemplateError
+
+_PLACEHOLDER = re.compile(r"\{\{(value|input|instructions)(?::([A-Za-z0-9_]+))?\}\}")
+
+
+@dataclass(frozen=True)
+class UITemplate:
+    """One HTML task template."""
+
+    template_id: str
+    table: str
+    kind: TaskKind
+    html: str
+    instructions: str
+    input_columns: tuple[str, ...]
+    known_columns: tuple[str, ...] = ()
+    edited: bool = False
+
+    def with_instructions(self, instructions: str) -> "UITemplate":
+        return replace(self, instructions=instructions, edited=True)
+
+    def with_html(self, html: str) -> "UITemplate":
+        _validate_placeholders(html, self.input_columns)
+        return replace(self, html=html, edited=True)
+
+    def instantiate(self, known_values: dict[str, Any]) -> str:
+        """Fill the template for one concrete tuple.
+
+        Known placeholders become display values; input placeholders
+        become HTML form fields named after the column.
+        """
+
+        def substitute(match: "re.Match[str]") -> str:
+            kind, column = match.group(1), match.group(2)
+            if kind == "instructions":
+                return _escape(self.instructions)
+            if column is None:
+                raise UITemplateError(
+                    f"placeholder {{{{{kind}}}}} needs a column name"
+                )
+            if kind == "value":
+                value = known_values.get(column.lower(), "")
+                return _escape("" if value is None else str(value))
+            prefill = known_values.get(column.lower())
+            prefill_attr = (
+                f' value="{_escape(str(prefill))}"' if prefill is not None else ""
+            )
+            return (
+                f'<input type="text" name="{column}" id="field-{column}"'
+                f"{prefill_attr} />"
+            )
+
+        return _PLACEHOLDER.sub(substitute, self.html)
+
+
+def _validate_placeholders(html: str, input_columns: tuple[str, ...]) -> None:
+    found_inputs = {
+        match.group(2).lower()
+        for match in _PLACEHOLDER.finditer(html)
+        if match.group(1) == "input" and match.group(2)
+    }
+    missing = {c.lower() for c in input_columns} - found_inputs
+    if missing:
+        raise UITemplateError(
+            f"edited template drops input fields: {sorted(missing)}"
+        )
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )

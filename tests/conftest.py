@@ -1,0 +1,112 @@
+"""Shared fixtures for the CrowdDB reproduction test suite."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import connect
+from repro.api import Connection
+from repro.crowd.platform import PlatformRegistry
+from repro.crowd.scripted import ScriptedPlatform, oracle_answer_fn
+from repro.crowd.sim.traces import GroundTruthOracle
+from repro.crowd.task_manager import CrowdConfig, TaskManager
+from repro.errors import UnboundedQueryWarning
+from repro.storage.engine import StorageEngine
+from repro.ui.manager import UITemplateManager
+
+TALK_DDL = """CREATE TABLE Talk (
+    title STRING PRIMARY KEY,
+    abstract CROWD STRING,
+    nb_attendees CROWD INTEGER
+)"""
+
+ATTENDEE_DDL = """CREATE CROWD TABLE NotableAttendee (
+    name STRING PRIMARY KEY,
+    title STRING,
+    FOREIGN KEY (title) REF Talk(title)
+)"""
+
+
+@pytest.fixture(autouse=True)
+def _silence_unbounded_warnings():
+    """Unbounded-query warnings are expected in many tests."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UnboundedQueryWarning)
+        yield
+
+
+@pytest.fixture
+def plain_db() -> Connection:
+    """A crowd-less CrowdDB connection (traditional database)."""
+    return connect(with_crowd=False)
+
+
+@pytest.fixture
+def demo_oracle() -> GroundTruthOracle:
+    """Ground truth for the paper's running example (VLDB talks)."""
+    oracle = GroundTruthOracle()
+    for title, abstract, attendees in [
+        ("CrowdDB", "CrowdDB answers queries with crowdsourcing.", 120),
+        ("Qurk", "Qurk is a query processor for human operators.", 80),
+        ("PIQL", "PIQL provides scale-independent queries.", 60),
+    ]:
+        oracle.load_fill(
+            "Talk", (title,), {"abstract": abstract, "nb_attendees": attendees}
+        )
+    oracle.load_new_tuples(
+        "NotableAttendee",
+        [
+            {"name": "Mike Franklin", "title": "CrowdDB"},
+            {"name": "Donald Kossmann", "title": "CrowdDB"},
+            {"name": "Sam Madden", "title": "Qurk"},
+        ],
+        fixed_columns=("title",),
+    )
+    oracle.declare_same_entity(
+        "I.B.M.", "IBM", "International Business Machines"
+    )
+    oracle.load_ranking(
+        "Which talk did you like better",
+        {"CrowdDB": 3.0, "Qurk": 2.0, "PIQL": 1.0},
+    )
+    return oracle
+
+
+@pytest.fixture
+def scripted_db(demo_oracle) -> Connection:
+    """CrowdDB over a perfect, instantaneous scripted crowd."""
+    platform = ScriptedPlatform(oracle_answer_fn(demo_oracle))
+    return connect(
+        oracle=demo_oracle,
+        platforms=(platform,),
+        default_platform="scripted",
+    )
+
+
+@pytest.fixture
+def sim_db(demo_oracle) -> Connection:
+    """CrowdDB over the simulated AMT + mobile platforms."""
+    return connect(oracle=demo_oracle, seed=1234)
+
+
+@pytest.fixture
+def demo_db(scripted_db) -> Connection:
+    """Scripted connection with the demo schema and talks loaded."""
+    scripted_db.execute(TALK_DDL)
+    scripted_db.execute(ATTENDEE_DDL)
+    scripted_db.execute(
+        "INSERT INTO Talk (title) VALUES ('CrowdDB'), ('Qurk'), ('PIQL')"
+    )
+    return scripted_db
+
+
+@pytest.fixture
+def scripted_task_manager(demo_oracle):
+    """A TaskManager wired to a scripted platform (no SQL involved)."""
+    registry = PlatformRegistry()
+    registry.register(ScriptedPlatform(oracle_answer_fn(demo_oracle)))
+    engine = StorageEngine()
+    ui = UITemplateManager(engine.catalog)
+    return TaskManager(registry, ui, config=CrowdConfig(replication=3))

@@ -1,0 +1,136 @@
+"""Tests for the public API surface (connect, Connection, scripts)."""
+
+import pytest
+
+from repro import CNULL, NULL, Connection, CrowdConfig, connect
+from repro.crowd.scripted import ScriptedPlatform
+from repro.errors import BudgetExceededError, ExecutionError
+
+
+class TestConnect:
+    def test_crowdless_connection(self):
+        db = connect(with_crowd=False)
+        assert db.task_manager is None
+        db.execute("CREATE TABLE t (a INT)")
+        db.execute("INSERT INTO t VALUES (1)")
+        assert db.query("SELECT a FROM t") == [(1,)]
+
+    def test_default_platforms_registered(self, demo_oracle):
+        db = connect(oracle=demo_oracle)
+        assert set(db.platforms.names()) == {"amt", "mobile"}
+
+    def test_custom_platform_list(self, demo_oracle):
+        platform = ScriptedPlatform(lambda task, replica: None)
+        db = connect(
+            oracle=demo_oracle,
+            platforms=(platform,),
+            default_platform="scripted",
+        )
+        assert db.platforms.names() == ["scripted"]
+
+    def test_crowd_config_applied(self, demo_oracle):
+        config = CrowdConfig(replication=5, reward_cents=7, budget_cents=1)
+        db = connect(oracle=demo_oracle, crowd_config=config)
+        assert db.task_manager.config.replication == 5
+        db.execute(
+            "CREATE TABLE Talk (title STRING PRIMARY KEY, abstract CROWD STRING)"
+        )
+        db.execute("INSERT INTO Talk (title) VALUES ('CrowdDB')")
+        with pytest.raises(BudgetExceededError):
+            db.execute("SELECT abstract FROM Talk WHERE title = 'CrowdDB'")
+
+    def test_context_manager(self):
+        with connect(with_crowd=False) as db:
+            assert isinstance(db, Connection)
+
+    def test_crowdless_query_needing_crowd_fails_cleanly(self):
+        db = connect(with_crowd=False)
+        db.execute("CREATE TABLE c (name STRING PRIMARY KEY)")
+        db.execute("INSERT INTO c VALUES ('IBM'), ('I.B.M.')")
+        with pytest.raises(ExecutionError, match="CROWDEQUAL"):
+            db.query("SELECT name FROM c WHERE CROWDEQUAL(name, 'Big Blue')")
+
+
+class TestExecuteHelpers:
+    def test_executescript_returns_all_results(self, plain_db):
+        results = plain_db.executescript(
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2); "
+            "SELECT COUNT(*) FROM t"
+        )
+        assert len(results) == 3
+        assert results[-1].scalar() == 2
+
+    def test_query_returns_rows(self, plain_db):
+        plain_db.execute("CREATE TABLE t (a INT)")
+        assert plain_db.query("SELECT 1 + 2") == [(3,)]
+
+    def test_explain_text(self, demo_db):
+        text = demo_db.explain("SELECT abstract FROM Talk WHERE title = 'x'")
+        assert "CrowdProbe" in text
+        assert "boundedness" in text
+
+    def test_explain_rejects_dml(self, plain_db):
+        with pytest.raises(ExecutionError):
+            plain_db.explain("DROP TABLE t")
+
+    def test_compile_exposes_plan(self, demo_db):
+        compiled = demo_db.compile("SELECT name FROM NotableAttendee LIMIT 1")
+        assert compiled.boundedness.bounded
+        assert compiled.estimated_rows >= 0
+
+    def test_explain_of_explain(self, demo_db):
+        text = demo_db.explain("EXPLAIN SELECT title FROM Talk")
+        assert "Scan" in text
+
+    def test_crowd_stats_empty_without_crowd(self, plain_db):
+        assert plain_db.crowd_stats == {}
+
+
+class TestValuesExposed:
+    def test_cnull_visible_in_results(self, plain_db):
+        plain_db.execute(
+            "CREATE TABLE Talk (title STRING PRIMARY KEY, abstract CROWD STRING)"
+        )
+        plain_db.execute("INSERT INTO Talk (title) VALUES ('X')")
+        rows = plain_db.query("SELECT abstract FROM Talk")
+        assert rows == [(CNULL,)]
+
+    def test_is_cnull_queryable(self, plain_db):
+        plain_db.execute(
+            "CREATE TABLE Talk (title STRING PRIMARY KEY, abstract CROWD STRING)"
+        )
+        plain_db.execute("INSERT INTO Talk (title) VALUES ('X')")
+        plain_db.execute("INSERT INTO Talk VALUES ('Y', 'done')")
+        rows = plain_db.query("SELECT title FROM Talk WHERE abstract IS CNULL")
+        assert rows == [("X",)]
+
+    def test_insert_explicit_cnull(self, plain_db):
+        plain_db.execute(
+            "CREATE TABLE Talk (title STRING PRIMARY KEY, abstract CROWD STRING)"
+        )
+        plain_db.execute("INSERT INTO Talk VALUES ('X', CNULL)")
+        assert plain_db.query("SELECT abstract FROM Talk") == [(CNULL,)]
+
+    def test_update_to_cnull_reopens_sourcing(self, demo_db):
+        demo_db.execute("SELECT abstract FROM Talk WHERE title = 'Qurk'")
+        demo_db.execute(
+            "UPDATE Talk SET abstract = CNULL WHERE title = 'Qurk'"
+        )
+        result = demo_db.execute(
+            "SELECT abstract FROM Talk WHERE title = 'Qurk'"
+        )
+        assert result.rows[0][0] == "Qurk is a query processor for human operators."
+
+
+class TestUICompileTime:
+    def test_templates_created_on_ddl(self, demo_db):
+        ids = {t.template_id for t in demo_db.ui_manager.all_templates()}
+        assert any(i.startswith("fill:Talk") for i in ids)
+        assert any(i.startswith("new:NotableAttendee") for i in ids)
+
+    def test_form_editor_accessible(self, demo_db):
+        templates = demo_db.ui_manager.all_templates()
+        edited = demo_db.form_editor.append_instructions(
+            templates[0].template_id, "Check the conference site first."
+        )
+        assert "conference site" in edited.instructions

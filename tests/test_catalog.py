@@ -1,0 +1,191 @@
+"""Unit tests for catalog schemas, DDL translation, and the registry."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.column import Column
+from repro.catalog.ddl import build_table_schema
+from repro.catalog.table import ForeignKey, TableSchema
+from repro.errors import CatalogError
+from repro.sql.parser import parse
+from repro.sqltypes import CNULL, NULL, SQLType
+
+
+def make_schema(sql):
+    return build_table_schema(parse(sql))
+
+
+TALK = (
+    "CREATE TABLE Talk (title STRING PRIMARY KEY, "
+    "abstract CROWD STRING, nb_attendees CROWD INTEGER)"
+)
+ATTENDEE = (
+    "CREATE CROWD TABLE NotableAttendee (name STRING PRIMARY KEY, "
+    "title STRING, FOREIGN KEY (title) REF Talk(title))"
+)
+
+
+class TestColumn:
+    def test_missing_value_for_crowd_column(self):
+        column = Column("abstract", SQLType.STRING, 1, crowd=True)
+        assert column.missing_value is CNULL
+
+    def test_missing_value_for_regular_column(self):
+        column = Column("title", SQLType.STRING, 0)
+        assert column.missing_value is NULL
+
+    def test_missing_value_with_default(self):
+        column = Column("n", SQLType.INTEGER, 0, default=7)
+        assert column.missing_value == 7
+
+
+class TestBuildSchema:
+    def test_talk_example(self):
+        schema = make_schema(TALK)
+        assert not schema.crowd
+        assert schema.primary_key == ("title",)
+        assert [c.name for c in schema.crowd_columns] == [
+            "abstract",
+            "nb_attendees",
+        ]
+        assert schema.is_crowd_related
+
+    def test_crowd_table_example(self):
+        schema = make_schema(ATTENDEE)
+        assert schema.crowd
+        # in a CROWD table every non-key column is crowd-sourceable
+        assert [c.name for c in schema.crowd_columns] == ["title"]
+        assert schema.foreign_keys[0].ref_table == "Talk"
+
+    def test_crowd_table_requires_primary_key(self):
+        with pytest.raises(CatalogError, match="primary key"):
+            make_schema("CREATE CROWD TABLE t (a STRING)")
+
+    def test_crowd_primary_key_is_rejected(self):
+        with pytest.raises(CatalogError, match="cannot be a CROWD column"):
+            make_schema("CREATE TABLE t (a CROWD STRING PRIMARY KEY)")
+
+    def test_table_level_primary_key(self):
+        schema = make_schema(
+            "CREATE TABLE t (a STRING, b INT, PRIMARY KEY (a, b))"
+        )
+        assert schema.primary_key == ("a", "b")
+        assert schema.column("a").primary_key
+
+    def test_pk_columns_are_not_null_unique(self):
+        schema = make_schema(TALK)
+        title = schema.column("title")
+        assert title.not_null and title.unique
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError, match="duplicate column"):
+            make_schema("CREATE TABLE t (a INT, A STRING)")
+
+    def test_unknown_pk_column_rejected(self):
+        with pytest.raises(CatalogError):
+            make_schema("CREATE TABLE t (a INT, PRIMARY KEY (b))")
+
+    def test_non_literal_default_rejected(self):
+        with pytest.raises(CatalogError, match="literal"):
+            make_schema("CREATE TABLE t (a INT DEFAULT (1 + 2))")
+
+    def test_regular_table_is_not_crowd_related(self):
+        schema = make_schema("CREATE TABLE t (a INT)")
+        assert not schema.is_crowd_related
+        assert schema.crowd_columns == ()
+
+
+class TestSchemaLookups:
+    def test_column_lookup_case_insensitive(self):
+        schema = make_schema(TALK)
+        assert schema.column("TITLE").name == "title"
+        assert schema.has_column("Abstract")
+        assert schema.column_index("nb_attendees") == 2
+
+    def test_unknown_column_raises(self):
+        schema = make_schema(TALK)
+        with pytest.raises(CatalogError):
+            schema.column("speaker")
+
+    def test_known_columns(self):
+        schema = make_schema(TALK)
+        assert [c.name for c in schema.known_columns] == ["title"]
+
+    def test_foreign_key_to(self):
+        schema = make_schema(ATTENDEE)
+        assert schema.foreign_key_to("talk") is not None
+        assert schema.foreign_key_to("other") is None
+
+    def test_str(self):
+        assert "CROWD TABLE" in str(make_schema(ATTENDEE))
+
+
+class TestCatalog:
+    def test_register_and_lookup(self):
+        catalog = Catalog()
+        catalog.register(make_schema(TALK))
+        assert "talk" in catalog
+        assert catalog.table("TALK").name == "Talk"
+        assert len(catalog) == 1
+
+    def test_duplicate_registration_rejected(self):
+        catalog = Catalog()
+        catalog.register(make_schema(TALK))
+        with pytest.raises(CatalogError, match="already exists"):
+            catalog.register(make_schema(TALK))
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(CatalogError, match="no such table"):
+            Catalog().table("missing")
+
+    def test_foreign_key_target_must_exist(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError, match="unknown table"):
+            catalog.register(make_schema(ATTENDEE))
+
+    def test_foreign_key_target_column_must_exist(self):
+        catalog = Catalog()
+        catalog.register(make_schema("CREATE TABLE Talk (name STRING)"))
+        with pytest.raises(CatalogError, match="unknown column"):
+            catalog.register(make_schema(ATTENDEE))
+
+    def test_drop_blocked_by_reference(self):
+        catalog = Catalog()
+        catalog.register(make_schema(TALK))
+        catalog.register(make_schema(ATTENDEE))
+        with pytest.raises(CatalogError, match="referenced by"):
+            catalog.drop("Talk")
+        catalog.drop("NotableAttendee")
+        assert catalog.drop("Talk")
+
+    def test_drop_if_exists(self):
+        catalog = Catalog()
+        assert catalog.drop("nope", if_exists=True) is False
+        with pytest.raises(CatalogError):
+            catalog.drop("nope")
+
+    def test_version_bumps_on_ddl(self):
+        catalog = Catalog()
+        before = catalog.version
+        catalog.register(make_schema(TALK))
+        assert catalog.version == before + 1
+        catalog.drop("Talk")
+        assert catalog.version == before + 2
+
+    def test_referencing_tables(self):
+        catalog = Catalog()
+        catalog.register(make_schema(TALK))
+        catalog.register(make_schema(ATTENDEE))
+        refs = catalog.referencing_tables("Talk")
+        assert [schema.name for schema in refs] == ["NotableAttendee"]
+
+    def test_mismatched_fk_columns(self):
+        catalog = Catalog()
+        catalog.register(make_schema(TALK))
+        schema = TableSchema(
+            name="bad",
+            columns=(Column("x", SQLType.STRING, 0),),
+            foreign_keys=(ForeignKey(("x",), "Talk", ("title", "abstract")),),
+        )
+        with pytest.raises(CatalogError, match="mismatched"):
+            catalog.register(schema)

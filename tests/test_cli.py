@@ -1,0 +1,137 @@
+"""Tests for the interactive CrowdSQL shell."""
+
+import io
+
+import pytest
+
+from repro import connect
+from repro.cli import Shell
+
+
+@pytest.fixture
+def shell(scripted_db):
+    scripted_db.execute(
+        "CREATE TABLE Talk (title STRING PRIMARY KEY, abstract CROWD STRING)"
+    )
+    scripted_db.execute("INSERT INTO Talk (title) VALUES ('CrowdDB')")
+    return Shell(scripted_db, stdout=io.StringIO())
+
+
+def output_of(shell):
+    return shell.stdout.getvalue()
+
+
+class TestSQL:
+    def test_select_prints_table(self, shell):
+        shell.handle_line("SELECT title FROM Talk;")
+        assert "CrowdDB" in output_of(shell)
+
+    def test_crowd_query_works(self, shell):
+        shell.handle_line("SELECT abstract FROM Talk WHERE title = 'CrowdDB';")
+        assert "crowdsourcing" in output_of(shell).lower()
+
+    def test_dml_prints_rowcount(self, shell):
+        shell.handle_line("INSERT INTO Talk (title) VALUES ('X');")
+        assert "1 row(s) affected" in output_of(shell)
+
+    def test_error_is_reported_not_raised(self, shell):
+        shell.handle_line("SELECT * FROM missing;")
+        assert "error:" in output_of(shell)
+
+    def test_parse_error_reported(self, shell):
+        shell.handle_line("SELEC title;")
+        assert "error:" in output_of(shell)
+
+    def test_empty_line_ignored(self, shell):
+        shell.handle_line("   ")
+        assert output_of(shell) == ""
+
+
+class TestDotCommands:
+    def test_tables(self, shell):
+        shell.handle_line(".tables")
+        assert "Talk" in output_of(shell)
+        assert "1 row(s)" in output_of(shell)
+
+    def test_schema(self, shell):
+        shell.handle_line(".schema Talk")
+        assert "abstract CROWD STRING" in output_of(shell)
+
+    def test_explain(self, shell):
+        shell.handle_line(".explain SELECT abstract FROM Talk WHERE title = 'x'")
+        assert "CrowdProbe" in output_of(shell)
+
+    def test_platform_show_and_switch(self, shell):
+        shell.handle_line(".platform")
+        assert "scripted" in output_of(shell)
+        shell.handle_line(".platform scripted")
+        assert "default platform: scripted" in output_of(shell)
+
+    def test_platform_unknown(self, shell):
+        shell.handle_line(".platform mars")
+        assert "error:" in output_of(shell)
+
+    def test_stats(self, shell):
+        shell.handle_line("SELECT abstract FROM Talk WHERE title = 'CrowdDB';")
+        shell.handle_line(".stats")
+        assert "hits_posted" in output_of(shell)
+
+    def test_templates_and_form(self, shell):
+        shell.handle_line(".templates")
+        out = output_of(shell)
+        assert "fill:Talk" in out
+        template_id = next(
+            line.strip() for line in out.splitlines() if "fill:Talk" in line
+        )
+        shell.handle_line(f".form {template_id}")
+        assert "<input" in output_of(shell)
+
+    def test_workers_empty(self, shell):
+        shell.handle_line(".workers")
+        assert "no workers yet" in output_of(shell)
+
+    def test_help(self, shell):
+        shell.handle_line(".help")
+        assert ".tables" in output_of(shell)
+
+    def test_unknown_command(self, shell):
+        shell.handle_line(".frobnicate")
+        assert "unknown command" in output_of(shell)
+
+    def test_quit(self, shell):
+        shell.handle_line(".quit")
+        assert not shell.running
+
+    def test_load_and_save(self, shell, tmp_path):
+        csv_path = tmp_path / "talks.csv"
+        csv_path.write_text("title\nImported\n")
+        shell.handle_line(f".load Talk {csv_path}")
+        assert "loaded 1 row(s)" in output_of(shell)
+        snap = tmp_path / "snap.json"
+        shell.handle_line(f".save {snap}")
+        assert snap.exists()
+
+        fresh = Shell(connect(with_crowd=False), stdout=io.StringIO())
+        fresh.handle_line(f".open {snap}")
+        assert "Talk" in output_of(fresh)
+
+    def test_usage_messages(self, shell):
+        for cmd in (".schema", ".explain", ".form", ".load", ".save", ".open"):
+            shell.handle_line(cmd)
+        assert output_of(shell).count("usage:") == 6
+
+
+class TestRunLoop:
+    def test_multiline_statement(self, shell):
+        stdin = io.StringIO("SELECT title\nFROM Talk;\n.quit\n")
+        shell.run(stdin)
+        assert "CrowdDB" in output_of(shell)
+
+    def test_script_execution(self, shell, tmp_path):
+        script = tmp_path / "script.sql"
+        script.write_text(
+            "INSERT INTO Talk (title) VALUES ('S1');\n"
+            "SELECT COUNT(*) FROM Talk;\n"
+        )
+        shell.run_script(str(script))
+        assert "2" in output_of(shell)

@@ -1,0 +1,176 @@
+"""Tests for engine features beyond the core paper path: index-scan
+access-path selection, WRM-gated worker eligibility, and failure modes."""
+
+import pytest
+
+from repro import CrowdConfig, connect
+from repro.crowd.model import HIT, FillTask
+from repro.crowd.sim.amt import SimulatedAMT
+from repro.crowd.sim.traces import GroundTruthOracle
+from repro.crowd.wrm import WorkerRelationshipManager
+from repro.engine.scans import IndexLookup
+
+
+class TestIndexScanSelection:
+    @pytest.fixture
+    def db(self, plain_db):
+        plain_db.executescript(
+            """
+            CREATE TABLE t (k STRING PRIMARY KEY, v INTEGER);
+            INSERT INTO t VALUES ('a', 1), ('b', 2), ('c', 3), ('d', 4);
+            """
+        )
+        return plain_db
+
+    def test_pk_equality_uses_index(self, db):
+        result = db.execute("SELECT v FROM t WHERE k = 'c'")
+        assert result.rows == [(3,)]
+        # an index lookup touches exactly one row, a scan touches four
+        assert result.crowd_stats["rows_scanned"] == 1
+
+    def test_residual_predicate_still_applied(self, db):
+        result = db.execute("SELECT v FROM t WHERE k = 'c' AND v > 5")
+        assert result.rows == []
+
+    def test_reversed_orientation(self, db):
+        result = db.execute("SELECT v FROM t WHERE 'b' = k")
+        assert result.rows == [(2,)]
+        assert result.crowd_stats["rows_scanned"] == 1
+
+    def test_non_indexed_column_scans(self, db):
+        result = db.execute("SELECT k FROM t WHERE v = 2")
+        assert result.rows == [("b",)]
+        assert result.crowd_stats["rows_scanned"] == 4
+
+    def test_secondary_index_used_after_create(self, db):
+        db.execute("CREATE INDEX by_v ON t (v)")
+        result = db.execute("SELECT k FROM t WHERE v = 2")
+        assert result.rows == [("b",)]
+        assert result.crowd_stats["rows_scanned"] == 1
+
+    def test_null_equality_returns_nothing(self, db):
+        result = db.execute("SELECT k FROM t WHERE k = NULL")
+        assert result.rows == []
+
+    def test_crowd_scan_with_limit_hint_not_indexed(self, plain_db):
+        # open-world sourcing must keep the TableScan path
+        plain_db.execute(
+            "CREATE CROWD TABLE c (k STRING PRIMARY KEY, v STRING)"
+        )
+        result = plain_db.execute("SELECT k FROM c LIMIT 2")
+        assert result.rows == []  # no crowd attached: closed world
+
+
+class TestWRMEligibility:
+    def make_platform(self):
+        oracle = GroundTruthOracle()
+        oracle.load_fill("t", ("k",), {"v": "answer"})
+        wrm = WorkerRelationshipManager()
+        platform = SimulatedAMT(oracle, population=20, seed=6, wrm=wrm)
+        return platform, wrm
+
+    def test_blocked_workers_are_ineligible(self):
+        platform, wrm = self.make_platform()
+        for worker in platform.workers:
+            wrm.block(worker.worker_id)
+        hit = HIT(
+            task=FillTask("t", ("k",), ("v",), {}),
+            reward_cents=2,
+            assignments_requested=1,
+        )
+        platform.post_hit(hit)
+        done = platform.wait_for_hits([hit.hit_id], timeout=6 * 3600)
+        assert not done and len(hit.assignments) == 0
+
+    def test_unblocked_workers_still_work(self):
+        platform, wrm = self.make_platform()
+        wrm.block(platform.workers[0].worker_id)  # block just one
+        hit = HIT(
+            task=FillTask("t", ("k",), ("v",), {}),
+            reward_cents=2,
+            assignments_requested=2,
+        )
+        platform.post_hit(hit)
+        assert platform.wait_for_hits([hit.hit_id], timeout=48 * 3600)
+        workers = {a.worker_id for a in hit.assignments}
+        assert platform.workers[0].worker_id not in workers
+
+    def test_qualification_gate(self):
+        platform, wrm = self.make_platform()
+        platform.min_approval_rate = 0.9
+        bad = platform.workers[0]
+        account = wrm.account(bad.worker_id)
+        account.submitted = 10
+        account.approved = 1
+        account.rejected = 9
+        hit = HIT(
+            task=FillTask("t", ("k",), ("v",), {}),
+            reward_cents=2,
+            assignments_requested=1,
+        )
+        platform.post_hit(hit)
+        assert not platform.eligible(bad, hit)
+        good = platform.workers[1]
+        assert platform.eligible(good, hit)
+
+    def test_connect_wires_wrm_into_platforms(self, demo_oracle):
+        db = connect(oracle=demo_oracle, seed=4)
+        assert db.platforms.get("amt").wrm is db.wrm
+        assert db.platforms.get("mobile").wrm is db.wrm
+
+
+class TestFailureModes:
+    def test_timeout_returns_null_and_counts(self, demo_oracle):
+        from repro.crowd.scripted import ScriptedPlatform
+        from repro.sqltypes import NULL
+
+        silent = ScriptedPlatform(lambda task, replica: None)
+        db = connect(
+            oracle=demo_oracle,
+            platforms=(silent,),
+            default_platform="scripted",
+            crowd_config=CrowdConfig(timeout_seconds=10.0),
+        )
+        db.execute(
+            "CREATE TABLE Talk (title STRING PRIMARY KEY, abstract CROWD STRING)"
+        )
+        db.execute("INSERT INTO Talk (title) VALUES ('X')")
+        result = db.execute("SELECT abstract FROM Talk WHERE title = 'X'")
+        assert result.rows == [(NULL,)]
+        assert db.crowd_stats["timeouts"] == 1
+
+    def test_partial_worker_participation(self, demo_oracle):
+        from repro.crowd.scripted import ScriptedPlatform
+
+        # only the first replica answers; majority vote still works on 1
+        def sometimes(task, replica):
+            if replica > 0:
+                return None
+            return {"abstract": "only one answer"}
+
+        db = connect(
+            oracle=demo_oracle,
+            platforms=(ScriptedPlatform(sometimes),),
+            default_platform="scripted",
+        )
+        db.execute(
+            "CREATE TABLE Talk (title STRING PRIMARY KEY, abstract CROWD STRING)"
+        )
+        db.execute("INSERT INTO Talk (title) VALUES ('X')")
+        result = db.execute("SELECT abstract FROM Talk WHERE title = 'X'")
+        assert result.rows == [("only one answer",)]
+
+    def test_budget_error_propagates_from_query(self, demo_oracle):
+        from repro.errors import BudgetExceededError
+
+        db = connect(
+            oracle=demo_oracle,
+            seed=8,
+            crowd_config=CrowdConfig(budget_cents=0),
+        )
+        db.execute(
+            "CREATE TABLE Talk (title STRING PRIMARY KEY, abstract CROWD STRING)"
+        )
+        db.execute("INSERT INTO Talk (title) VALUES ('X')")
+        with pytest.raises(BudgetExceededError):
+            db.execute("SELECT abstract FROM Talk WHERE title = 'X'")

@@ -1,0 +1,128 @@
+"""Unit tests for the CrowdSQL lexer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenType
+
+
+def kinds(source):
+    return [t.type for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].type is TokenType.EOF
+
+    def test_keywords_are_case_insensitive(self):
+        for text in ("select", "SELECT", "SeLeCt"):
+            token = tokenize(text)[0]
+            assert token.type is TokenType.KEYWORD and token.value == "SELECT"
+
+    def test_identifier(self):
+        token = tokenize("nb_attendees")[0]
+        assert token.type is TokenType.IDENTIFIER
+        assert token.value == "nb_attendees"
+
+    def test_crowd_keywords(self):
+        for word in ("CROWD", "CNULL", "CROWDEQUAL", "CROWDORDER"):
+            assert tokenize(word)[0].type is TokenType.KEYWORD
+
+    def test_positions(self):
+        tokens = tokenize("SELECT\n  title")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestLiterals:
+    def test_integer(self):
+        assert values("42") == [42]
+
+    def test_float(self):
+        assert values("3.25") == [3.25]
+
+    def test_leading_dot_float(self):
+        assert values(".5") == [0.5]
+
+    def test_scientific(self):
+        assert values("1e3 2.5E-1") == [1000.0, 0.25]
+
+    def test_single_quoted_string(self):
+        assert values("'CrowdDB'") == ["CrowdDB"]
+
+    def test_double_quoted_string(self):
+        # the paper writes WHERE title = "CrowdDB"
+        assert values('"CrowdDB"') == ["CrowdDB"]
+
+    def test_quote_escaping(self):
+        assert values("'it''s'") == ["it's"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_backtick_identifier(self):
+        tokens = tokenize("`select`")
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].value == "select"
+
+
+class TestOperators:
+    def test_two_char_operators(self):
+        assert values("<= >= <> != ||") == ["<=", ">=", "<>", "!=", "||"]
+
+    def test_single_char_operators(self):
+        assert values("= < > + - * / %") == ["=", "<", ">", "+", "-", "*", "/", "%"]
+
+    def test_parameter(self):
+        tokens = tokenize("?")
+        assert tokens[0].type is TokenType.PARAMETER
+
+    def test_punctuation(self):
+        assert values("( ) , ; .") == ["(", ")", ",", ";", "."]
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError) as excinfo:
+            tokenize("SELECT @")
+        assert excinfo.value.column == 8
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("SELECT -- the select list\n1") == ["SELECT", 1]
+
+    def test_block_comment(self):
+        assert values("SELECT /* hi\nthere */ 1") == ["SELECT", 1]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("SELECT /* oops")
+
+
+class TestTokenHelpers:
+    def test_matches(self):
+        token = tokenize("select")[0]
+        assert token.matches(TokenType.KEYWORD, "SELECT")
+        assert token.matches(TokenType.KEYWORD)
+        assert not token.matches(TokenType.IDENTIFIER)
+
+    def test_full_statement_shape(self):
+        source = "SELECT abstract FROM paper WHERE title = 'CrowdDB';"
+        assert kinds(source) == [
+            TokenType.KEYWORD,
+            TokenType.IDENTIFIER,
+            TokenType.KEYWORD,
+            TokenType.IDENTIFIER,
+            TokenType.KEYWORD,
+            TokenType.IDENTIFIER,
+            TokenType.OPERATOR,
+            TokenType.STRING,
+            TokenType.PUNCTUATION,
+            TokenType.EOF,
+        ]

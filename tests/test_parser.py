@@ -1,0 +1,283 @@
+"""Unit tests for the CrowdSQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast
+from repro.sql.parser import parse, parse_script
+
+
+class TestSelect:
+    def test_minimal(self):
+        stmt = parse("SELECT 1")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.items[0].expression == ast.Literal(1)
+        assert stmt.from_clause is None
+
+    def test_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expression, ast.Star)
+
+    def test_qualified_star(self):
+        stmt = parse("SELECT t.* FROM t")
+        assert stmt.items[0].expression == ast.Star(table="t")
+
+    def test_aliases(self):
+        stmt = parse("SELECT title AS t, abstract a FROM paper")
+        assert stmt.items[0].alias == "t"
+        assert stmt.items[1].alias == "a"
+
+    def test_where(self):
+        stmt = parse("SELECT title FROM paper WHERE title = 'CrowdDB'")
+        where = stmt.where
+        assert isinstance(where, ast.BinaryOp) and where.op == "="
+        assert where.right == ast.Literal("CrowdDB")
+
+    def test_paper_double_quote_example(self):
+        stmt = parse('SELECT abstract FROM paper WHERE title = "CrowdDB"')
+        assert stmt.where.right == ast.Literal("CrowdDB")
+
+    def test_group_by_having(self):
+        stmt = parse(
+            "SELECT title, COUNT(*) FROM t GROUP BY title HAVING COUNT(*) > 2"
+        )
+        assert len(stmt.group_by) == 1
+        assert isinstance(stmt.having, ast.BinaryOp)
+
+    def test_order_limit_offset(self):
+        stmt = parse("SELECT a FROM t ORDER BY a DESC, b LIMIT 10 OFFSET 5")
+        assert stmt.order_by[0].ascending is False
+        assert stmt.order_by[1].ascending is True
+        assert stmt.limit == ast.Literal(10)
+        assert stmt.offset == ast.Literal(5)
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_joins(self):
+        stmt = parse(
+            "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y"
+        )
+        outer = stmt.from_clause
+        assert isinstance(outer, ast.Join) and outer.join_type == "LEFT"
+        inner = outer.left
+        assert isinstance(inner, ast.Join) and inner.join_type == "INNER"
+
+    def test_comma_join_is_cross(self):
+        stmt = parse("SELECT * FROM a, b")
+        assert isinstance(stmt.from_clause, ast.Join)
+        assert stmt.from_clause.join_type == "CROSS"
+
+    def test_right_join_unsupported(self):
+        with pytest.raises(ParseError):
+            parse("SELECT * FROM a RIGHT JOIN b ON a.x = b.x")
+
+    def test_derived_table(self):
+        stmt = parse("SELECT * FROM (SELECT a FROM t) AS s")
+        assert isinstance(stmt.from_clause, ast.SubqueryTable)
+        assert stmt.from_clause.alias == "s"
+
+    def test_parameters_are_numbered(self):
+        stmt = parse("SELECT * FROM t WHERE a = ? AND b = ?")
+        params = [
+            node
+            for node in ast.walk_expression(stmt.where)
+            if isinstance(node, ast.Parameter)
+        ]
+        assert [p.index for p in params] == [0, 1]
+
+
+class TestCrowdSQL:
+    def test_crowd_column(self):
+        stmt = parse(
+            "CREATE TABLE Talk (title STRING PRIMARY KEY, "
+            "abstract CROWD STRING, nb_attendees CROWD INTEGER)"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert not stmt.crowd
+        assert [c.crowd for c in stmt.columns] == [False, True, True]
+        assert stmt.columns[0].primary_key
+
+    def test_crowd_table_with_ref(self):
+        stmt = parse(
+            "CREATE CROWD TABLE NotableAttendee (name STRING PRIMARY KEY, "
+            "title STRING, FOREIGN KEY (title) REF Talk(title))"
+        )
+        assert stmt.crowd
+        fk = stmt.foreign_keys[0]
+        assert fk.columns == ("title",)
+        assert fk.ref_table == "Talk"
+        assert fk.ref_columns == ("title",)
+
+    def test_references_spelling_also_accepted(self):
+        stmt = parse(
+            "CREATE TABLE t (a STRING, FOREIGN KEY (a) REFERENCES u(b))"
+        )
+        assert stmt.foreign_keys[0].ref_table == "u"
+
+    def test_cnull_literal(self):
+        stmt = parse("INSERT INTO t VALUES ('x', CNULL)")
+        assert isinstance(stmt.rows[0][1], ast.CNullLiteral)
+
+    def test_is_cnull_predicate(self):
+        stmt = parse("SELECT * FROM t WHERE a IS CNULL")
+        assert isinstance(stmt.where, ast.IsNull) and stmt.where.cnull
+
+    def test_is_not_cnull(self):
+        stmt = parse("SELECT * FROM t WHERE a IS NOT CNULL")
+        assert stmt.where.negated and stmt.where.cnull
+
+    def test_crowdequal(self):
+        stmt = parse("SELECT * FROM c WHERE CROWDEQUAL(name, 'IBM')")
+        assert isinstance(stmt.where, ast.CrowdEqual)
+        assert stmt.where.question is None
+
+    def test_crowdequal_with_question(self):
+        stmt = parse(
+            "SELECT * FROM c WHERE CROWDEQUAL(name, 'IBM', 'Same company?')"
+        )
+        assert stmt.where.question == "Same company?"
+
+    def test_crowdorder_example3(self):
+        stmt = parse(
+            "SELECT title FROM Talk ORDER BY "
+            "CROWDORDER(title, \"Which talk did you like better\") LIMIT 10"
+        )
+        key = stmt.order_by[0].expression
+        assert isinstance(key, ast.CrowdOrder)
+        assert key.question == "Which talk did you like better"
+        assert stmt.limit == ast.Literal(10)
+
+
+class TestExpressions:
+    def test_precedence_or_and(self):
+        stmt = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert stmt.where.op == "OR"
+        assert stmt.where.right.op == "AND"
+
+    def test_precedence_arithmetic(self):
+        stmt = parse("SELECT 1 + 2 * 3")
+        expr = stmt.items[0].expression
+        assert expr.op == "+" and expr.right.op == "*"
+
+    def test_parentheses(self):
+        stmt = parse("SELECT (1 + 2) * 3")
+        assert stmt.items[0].expression.op == "*"
+
+    def test_not(self):
+        stmt = parse("SELECT * FROM t WHERE NOT a = 1")
+        assert isinstance(stmt.where, ast.UnaryOp) and stmt.where.op == "NOT"
+
+    def test_in_list(self):
+        stmt = parse("SELECT * FROM t WHERE a IN (1, 2, 3)")
+        assert isinstance(stmt.where, ast.InList)
+        assert len(stmt.where.items) == 3
+
+    def test_not_in(self):
+        stmt = parse("SELECT * FROM t WHERE a NOT IN (1)")
+        assert stmt.where.negated
+
+    def test_between(self):
+        stmt = parse("SELECT * FROM t WHERE a BETWEEN 1 AND 10")
+        assert isinstance(stmt.where, ast.Between)
+
+    def test_like(self):
+        stmt = parse("SELECT * FROM t WHERE a LIKE 'Crowd%'")
+        assert stmt.where.op == "LIKE"
+
+    def test_not_like(self):
+        stmt = parse("SELECT * FROM t WHERE a NOT LIKE 'x%'")
+        assert isinstance(stmt.where, ast.UnaryOp)
+
+    def test_case(self):
+        stmt = parse(
+            "SELECT CASE WHEN a = 1 THEN 'one' ELSE 'other' END FROM t"
+        )
+        expr = stmt.items[0].expression
+        assert isinstance(expr, ast.CaseExpr)
+        assert expr.default == ast.Literal("other")
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse("SELECT CASE ELSE 1 END")
+
+    def test_aggregates(self):
+        stmt = parse("SELECT COUNT(*), SUM(x), AVG(x), MIN(x), MAX(x) FROM t")
+        names = [item.expression.name for item in stmt.items]
+        assert names == ["COUNT", "SUM", "AVG", "MIN", "MAX"]
+
+    def test_count_distinct(self):
+        stmt = parse("SELECT COUNT(DISTINCT x) FROM t")
+        assert stmt.items[0].expression.distinct
+
+    def test_exists_subquery(self):
+        stmt = parse(
+            "SELECT * FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.a = t.a)"
+        )
+        assert isinstance(stmt.where, ast.ExistsExpr)
+
+    def test_in_subquery(self):
+        stmt = parse("SELECT * FROM t WHERE a IN (SELECT b FROM u)")
+        assert isinstance(stmt.where, ast.InSubquery)
+
+    def test_scalar_subquery(self):
+        stmt = parse("SELECT (SELECT MAX(a) FROM t)")
+        assert isinstance(stmt.items[0].expression, ast.ScalarSubquery)
+
+    def test_string_concat(self):
+        stmt = parse("SELECT a || b FROM t")
+        assert stmt.items[0].expression.op == "||"
+
+
+class TestOtherStatements:
+    def test_insert_values(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert stmt.columns == ("a", "b")
+        assert len(stmt.rows) == 2
+
+    def test_insert_select(self):
+        stmt = parse("INSERT INTO t SELECT a FROM u")
+        assert isinstance(stmt.query, ast.Select)
+
+    def test_update(self):
+        stmt = parse("UPDATE t SET a = 1, b = 'x' WHERE c = 2")
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse("DELETE FROM t WHERE a = 1")
+        assert stmt.table == "t"
+
+    def test_drop(self):
+        assert parse("DROP TABLE t").name == "t"
+        assert parse("DROP TABLE IF EXISTS t").if_exists
+
+    def test_create_index(self):
+        stmt = parse("CREATE UNIQUE INDEX idx ON t (a, b)")
+        assert stmt.unique and stmt.columns == ("a", "b")
+
+    def test_explain(self):
+        stmt = parse("EXPLAIN SELECT 1")
+        assert isinstance(stmt, ast.Explain)
+
+    def test_show_tables(self):
+        assert isinstance(parse("SHOW TABLES"), ast.ShowTables)
+
+    def test_script(self):
+        statements = parse_script(
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1);; SELECT a FROM t"
+        )
+        assert len(statements) == 3
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("SELECT 1 SELECT 2")
+
+    def test_type_with_length(self):
+        stmt = parse("CREATE TABLE t (a VARCHAR(100), b DECIMAL(10, 2))")
+        assert stmt.columns[0].type_name == "VARCHAR"
+
+    def test_helpful_error_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("SELECT FROM t")
+        assert "expression" in str(excinfo.value)

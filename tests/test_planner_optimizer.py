@@ -1,0 +1,304 @@
+"""Tests for the logical plan builder and the rule-based optimizer."""
+
+import warnings
+
+import pytest
+
+from repro import connect
+from repro.errors import PlanError, UnboundedQueryError, UnboundedQueryWarning
+from repro.plan import logical
+from repro.sql.parser import parse
+
+
+@pytest.fixture
+def db(plain_db):
+    plain_db.executescript(
+        """
+        CREATE TABLE Talk (title STRING PRIMARY KEY,
+                           abstract CROWD STRING,
+                           nb_attendees CROWD INTEGER);
+        CREATE CROWD TABLE NotableAttendee (name STRING PRIMARY KEY,
+                                            title STRING,
+                                            FOREIGN KEY (title) REF Talk(title));
+        CREATE TABLE Room (room STRING PRIMARY KEY, capacity INTEGER);
+        """
+    )
+    return plain_db
+
+
+def compiled(db, sql):
+    return db.compile(sql)
+
+
+def find(plan, node_type):
+    return [n for n in plan.walk() if isinstance(n, node_type)]
+
+
+class TestBuilder:
+    def test_simple_shape(self, db):
+        plan = compiled(db, "SELECT title FROM Talk").plan
+        assert isinstance(plan, logical.Project)
+        assert isinstance(plan.child, logical.Scan)
+
+    def test_star_expansion(self, db):
+        plan = compiled(db, "SELECT * FROM Talk").plan
+        assert [name for _e, name in plan.items] == [
+            "title", "abstract", "nb_attendees",
+        ]
+
+    def test_crowd_probe_inserted_for_crowd_columns(self, db):
+        result = compiled(db, "SELECT abstract FROM Talk")
+        probes = find(result.plan, logical.CrowdProbe)
+        assert len(probes) == 1
+        assert probes[0].columns == ("abstract",)
+
+    def test_no_probe_when_no_crowd_columns_used(self, db):
+        result = compiled(db, "SELECT title FROM Talk")
+        assert not find(result.plan, logical.CrowdProbe)
+
+    def test_probe_covers_predicate_columns(self, db):
+        result = compiled(db, "SELECT title FROM Talk WHERE nb_attendees > 50")
+        probes = find(result.plan, logical.CrowdProbe)
+        assert probes and probes[0].columns == ("nb_attendees",)
+
+    def test_order_by_alias(self, db):
+        plan = compiled(db, "SELECT title AS t FROM Talk ORDER BY t").plan
+        sorts = find(plan, logical.Sort)
+        assert sorts
+
+    def test_order_by_ordinal(self, db):
+        plan = compiled(db, "SELECT title FROM Talk ORDER BY 1").plan
+        assert find(plan, logical.Sort)
+
+    def test_order_by_bad_ordinal(self, db):
+        with pytest.raises(PlanError, match="out of range"):
+            compiled(db, "SELECT title FROM Talk ORDER BY 5")
+
+    def test_having_without_group_by_rejected(self, db):
+        with pytest.raises(PlanError, match="HAVING"):
+            compiled(db, "SELECT title FROM Talk HAVING title = 'x'")
+
+    def test_crowdorder_rejected_in_where(self, db):
+        with pytest.raises(PlanError, match="not allowed"):
+            compiled(db, "SELECT title FROM Talk WHERE CROWDORDER(title, 'q') = 1")
+
+    def test_limit_must_be_integer(self, db):
+        with pytest.raises(PlanError, match="LIMIT"):
+            compiled(db, "SELECT title FROM Talk LIMIT 'x'")
+
+    def test_duplicate_binding_rejected(self, db):
+        with pytest.raises(PlanError, match="duplicate table binding"):
+            compiled(db, "SELECT 1 FROM Talk, Talk")
+
+    def test_alias_allows_self_join(self, db):
+        result = compiled(db, "SELECT 1 FROM Talk a, Talk b")
+        assert len(find(result.plan, logical.Scan)) == 2
+
+
+class TestPredicatePushdown:
+    def test_non_crowd_predicate_pushed_below_probe(self, db):
+        result = compiled(
+            db, "SELECT abstract FROM Talk WHERE title = 'CrowdDB'"
+        )
+        probe = find(result.plan, logical.CrowdProbe)[0]
+        # the title predicate must be evaluated before crowdsourcing
+        filters_below = find(probe.child, logical.Filter)
+        assert filters_below, result.plan.explain()
+
+    def test_crowd_predicate_stays_above_probe(self, db):
+        result = compiled(
+            db, "SELECT title FROM Talk WHERE nb_attendees > 100"
+        )
+        probe = find(result.plan, logical.CrowdProbe)[0]
+        assert not find(probe.child, logical.Filter)
+        # the filter sits above the probe
+        assert isinstance(result.plan.child, logical.Filter) or find(
+            result.plan, logical.Filter
+        )
+
+    def test_join_condition_extracted_from_where(self, db):
+        result = compiled(
+            db,
+            "SELECT t.title FROM Talk t, Room r "
+            "WHERE t.title = r.room AND r.capacity > 10",
+        )
+        joins = find(result.plan, logical.Join)
+        assert joins and joins[0].join_type == "INNER"
+        assert joins[0].condition is not None
+
+    def test_single_table_predicates_pushed_into_join_sides(self, db):
+        result = compiled(
+            db,
+            "SELECT t.title FROM Talk t, Room r "
+            "WHERE t.title = 'X' AND r.capacity > 10 AND t.title = r.room",
+        )
+        join = find(result.plan, logical.Join)[0]
+        assert find(join.left, logical.Filter) or find(join.right, logical.Filter)
+
+
+class TestStopAfter:
+    def test_limit_reaches_crowd_scan(self, db):
+        result = compiled(db, "SELECT name FROM NotableAttendee LIMIT 5")
+        scan = find(result.plan, logical.Scan)[0]
+        assert scan.limit_hint == 5
+
+    def test_offset_added_to_hint(self, db):
+        result = compiled(db, "SELECT name FROM NotableAttendee LIMIT 5 OFFSET 2")
+        scan = find(result.plan, logical.Scan)[0]
+        assert scan.limit_hint == 7
+
+    def test_sort_becomes_top_k(self, db):
+        result = compiled(
+            db,
+            "SELECT title FROM Talk ORDER BY "
+            "CROWDORDER(title, 'better?') LIMIT 10",
+        )
+        sort = find(result.plan, logical.Sort)[0]
+        assert sort.top_k == 10
+        assert sort.is_crowd_sort
+
+    def test_no_hint_through_filter(self, db):
+        result = compiled(
+            db, "SELECT name FROM NotableAttendee WHERE title = 'X' LIMIT 5"
+        )
+        scan = find(result.plan, logical.Scan)[0]
+        assert scan.limit_hint is None  # a filter may drop rows: unbounded
+
+
+class TestJoinOrdering:
+    def test_crowd_table_joined_last(self, db):
+        db.execute("INSERT INTO Room VALUES ('R1', 10)")
+        result = compiled(
+            db,
+            "SELECT * FROM NotableAttendee n, Room r, Talk t "
+            "WHERE n.title = t.title AND t.title = r.room",
+        )
+        # the crowd relation must not be the leftmost leaf of the join tree
+        def leftmost(plan):
+            while True:
+                children = plan.children()
+                if not children:
+                    return plan
+                plan = children[0]
+
+        leaf = leftmost(result.plan)
+        assert isinstance(leaf, (logical.Scan,))
+        assert not leaf.table.crowd
+
+
+class TestCrowdJoinRewrite:
+    def test_join_with_crowd_inner_becomes_crowdjoin(self, db):
+        result = compiled(
+            db,
+            "SELECT t.title, n.name FROM Talk t "
+            "JOIN NotableAttendee n ON n.title = t.title",
+        )
+        crowd_joins = find(result.plan, logical.CrowdJoin)
+        assert len(crowd_joins) == 1
+        cj = crowd_joins[0]
+        assert cj.inner_key_columns == ("title",)
+        assert cj.inner_table.name == "NotableAttendee"
+
+    def test_regular_join_not_rewritten(self, db):
+        result = compiled(
+            db, "SELECT * FROM Talk t JOIN Room r ON t.title = r.room"
+        )
+        assert not find(result.plan, logical.CrowdJoin)
+        assert find(result.plan, logical.Join)
+
+
+class TestBoundedness:
+    def test_pk_equality_is_bounded(self, db):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", UnboundedQueryWarning)
+            result = compiled(
+                db, "SELECT title FROM NotableAttendee WHERE name = 'Mike'"
+            )
+        assert result.boundedness.bounded
+        probe = find(result.plan, logical.CrowdProbe)[0]
+        assert probe.anti_probe_keys == (("Mike",),)
+
+    def test_pk_in_list_is_bounded(self, db):
+        result = compiled(
+            db,
+            "SELECT title FROM NotableAttendee WHERE name IN ('A', 'B')",
+        )
+        assert result.boundedness.bounded
+        probe = find(result.plan, logical.CrowdProbe)[0]
+        assert probe.anti_probe_keys == (("A",), ("B",))
+
+    def test_limit_is_bounded(self, db):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", UnboundedQueryWarning)
+            result = compiled(db, "SELECT name FROM NotableAttendee LIMIT 3")
+        assert result.boundedness.bounded
+
+    def test_crowdjoin_inner_is_bounded(self, db):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", UnboundedQueryWarning)
+            result = compiled(
+                db,
+                "SELECT n.name FROM Talk t "
+                "JOIN NotableAttendee n ON n.title = t.title",
+            )
+        assert result.boundedness.bounded
+
+    def test_open_scan_warns(self, db):
+        with pytest.warns(UnboundedQueryWarning):
+            result = compiled(db, "SELECT name FROM NotableAttendee")
+        assert not result.boundedness.bounded
+
+    def test_non_key_predicate_warns(self, db):
+        with pytest.warns(UnboundedQueryWarning):
+            result = compiled(
+                db, "SELECT name FROM NotableAttendee WHERE title = 'X'"
+            )
+        assert not result.boundedness.bounded
+
+    def test_strict_mode_raises(self, demo_oracle):
+        db = connect(with_crowd=False, strict_boundedness=True)
+        db.execute(
+            "CREATE CROWD TABLE c (k STRING PRIMARY KEY, v STRING)"
+        )
+        with pytest.raises(UnboundedQueryError):
+            db.compile("SELECT k FROM c")
+
+    def test_regular_tables_never_flagged(self, db):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", UnboundedQueryWarning)
+            result = compiled(db, "SELECT abstract FROM Talk")
+        assert result.boundedness.bounded
+        assert result.boundedness.entries == []
+
+
+class TestCardinality:
+    def test_estimates_present(self, db):
+        db.executescript(
+            "INSERT INTO Talk (title) VALUES ('A'), ('B'), ('C')"
+        )
+        result = compiled(db, "SELECT abstract FROM Talk")
+        assert result.estimated_rows == pytest.approx(3.0)
+        # three CNULL abstracts to source
+        assert result.estimated_crowd_calls == pytest.approx(3.0)
+
+    def test_limit_caps_estimate(self, db):
+        db.executescript(
+            "INSERT INTO Talk (title) VALUES ('A'), ('B'), ('C')"
+        )
+        result = compiled(db, "SELECT title FROM Talk LIMIT 2")
+        assert result.estimated_rows <= 2.0
+
+    def test_crowd_sort_counts_comparisons(self, db):
+        db.executescript(
+            "INSERT INTO Talk (title) VALUES ('A'), ('B'), ('C'), ('D')"
+        )
+        result = compiled(
+            db,
+            "SELECT title FROM Talk ORDER BY CROWDORDER(title, 'q') LIMIT 2",
+        )
+        assert result.estimated_crowd_calls > 0
+
+    def test_explain_includes_verdict(self, db):
+        text = db.explain("SELECT name FROM NotableAttendee LIMIT 2")
+        assert "bounded" in text
+        assert "StopAfter" in text or "stopafter" in text

@@ -1,0 +1,225 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import connect
+from repro.catalog.ddl import build_table_schema
+from repro.crowd.quality import MajorityVote, normalize_answer
+from repro.crowd.scripted import ScriptedPlatform, oracle_answer_fn
+from repro.crowd.sim.traces import GroundTruthOracle
+from repro.sql.parser import parse
+from repro.sqltypes import NULL
+from repro.storage.heap import HeapTable
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# -- storage invariants ----------------------------------------------------------
+
+_row_values = st.tuples(
+    st.integers(min_value=0, max_value=10_000),
+    st.text(max_size=12),
+    st.integers(min_value=-100, max_value=100),
+)
+
+
+def make_heap():
+    schema = build_table_schema(
+        parse("CREATE TABLE t (k INTEGER PRIMARY KEY, s STRING, n INTEGER)")
+    )
+    return HeapTable(schema)
+
+
+@given(st.lists(_row_values, max_size=60))
+@SETTINGS
+def test_heap_insert_scan_consistency(rows):
+    """Whatever is inserted (with unique keys) comes back from a scan,
+    and the PK index agrees with the heap on every key."""
+    heap = make_heap()
+    inserted = {}
+    for values in rows:
+        if values[0] in inserted:
+            continue
+        heap.insert(values)
+        inserted[values[0]] = values
+    scanned = {row.values[0]: row.values for row in heap.scan()}
+    assert scanned == inserted
+    for key, values in inserted.items():
+        found = heap.lookup_primary_key((key,))
+        assert found is not None and found.values == values
+    assert heap.statistics.row_count == len(inserted)
+
+
+@given(
+    st.lists(_row_values, min_size=1, max_size=40),
+    st.data(),
+)
+@SETTINGS
+def test_heap_delete_removes_everything(rows, data):
+    """After deleting a random subset, scan/index/stats all agree."""
+    heap = make_heap()
+    stored = {}
+    for values in rows:
+        if values[0] in stored:
+            continue
+        row = heap.insert(values)
+        stored[values[0]] = row.rowid
+    keys = sorted(stored)
+    to_delete = data.draw(st.sets(st.sampled_from(keys)) if keys else st.just(set()))
+    for key in to_delete:
+        heap.delete(stored[key])
+    remaining = {row.values[0] for row in heap.scan()}
+    assert remaining == set(keys) - set(to_delete)
+    for key in to_delete:
+        assert heap.lookup_primary_key((key,)) is None
+    assert heap.statistics.row_count == len(remaining)
+
+
+# -- majority vote invariants --------------------------------------------------------
+
+_ballot = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd"), max_codepoint=127),
+    min_size=1,
+    max_size=6,
+)
+
+
+@given(st.lists(_ballot, min_size=1, max_size=25))
+@SETTINGS
+def test_majority_vote_winner_is_plurality(ballots):
+    """The winner's class has at least as many votes as any other class,
+    and agreement = votes/total is in (0, 1]."""
+    result = MajorityVote(min_agreement=0.0).vote(ballots)
+    counts = {}
+    for ballot in ballots:
+        counts[normalize_answer(ballot)] = counts.get(normalize_answer(ballot), 0) + 1
+    assert result.votes == max(counts.values())
+    assert result.total == len(ballots)
+    assert 0 < result.agreement <= 1
+    assert normalize_answer(result.value) in counts
+
+
+@given(st.lists(_ballot, min_size=1, max_size=25))
+@SETTINGS
+def test_majority_vote_is_order_insensitive_on_strict_majority(ballots):
+    """When one class holds a strict majority, any permutation of the
+    ballots elects the same class."""
+    result = MajorityVote(min_agreement=0.0).vote(ballots)
+    if result.agreement <= 0.5:
+        return
+    reversed_result = MajorityVote(min_agreement=0.0).vote(list(reversed(ballots)))
+    assert normalize_answer(reversed_result.value) == normalize_answer(result.value)
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=15))
+@SETTINGS
+def test_boolean_vote_matches_counting(ballots):
+    result = MajorityVote(min_agreement=0.0).vote_boolean(ballots)
+    true_votes = sum(ballots)
+    false_votes = len(ballots) - true_votes
+    if true_votes > false_votes:
+        assert result.value is True
+    elif false_votes > true_votes:
+        assert result.value is False
+
+
+# -- crowd sort invariants --------------------------------------------------------------
+
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=30), min_size=1, max_size=12, unique=True
+    ),
+    st.integers(min_value=1, max_value=12),
+)
+@SETTINGS
+def test_crowd_sort_is_a_correct_permutation(scores, k):
+    """With a perfect crowd, CROWDORDER ... LIMIT k returns exactly the
+    top-k items by ground-truth score, in order."""
+    oracle = GroundTruthOracle()
+    items = {f"item{score:02d}": float(score) for score in scores}
+    oracle.load_ranking("best?", items)
+    db = connect(
+        oracle=oracle,
+        platforms=(ScriptedPlatform(oracle_answer_fn(oracle)),),
+        default_platform="scripted",
+    )
+    db.execute("CREATE TABLE items (name STRING PRIMARY KEY)")
+    for name in items:
+        db.execute(f"INSERT INTO items VALUES ('{name}')")
+    rows = db.query(
+        f"SELECT name FROM items ORDER BY CROWDORDER(name, 'best?') LIMIT {k}"
+    )
+    expected = sorted(items, key=lambda n: -items[n])[:k]
+    assert [row[0] for row in rows] == expected
+
+
+# -- optimizer equivalence ---------------------------------------------------------------
+
+_FILTERS = st.sampled_from(
+    [
+        "",
+        "WHERE n > 50",
+        "WHERE s = 'alpha'",
+        "WHERE n BETWEEN 10 AND 90 AND s <> 'beta'",
+        "WHERE s IN ('alpha', 'gamma') OR n < 25",
+        "WHERE s LIKE 'a%'",
+    ]
+)
+_ORDERS = st.sampled_from(["", "ORDER BY n DESC", "ORDER BY s, n"])
+_LIMITS = st.sampled_from(["", "LIMIT 3", "LIMIT 2 OFFSET 1"])
+
+
+@given(_FILTERS, _ORDERS, _LIMITS)
+@SETTINGS
+def test_optimizer_preserves_results(filter_sql, order_sql, limit_sql):
+    """The optimized plan returns the same rows as a plan compiled with
+    every rewrite rule disabled (modulo order when no ORDER BY)."""
+    from repro.optimizer.optimizer import Optimizer
+
+    db = connect(with_crowd=False)
+    db.executescript(
+        """
+        CREATE TABLE t (k INTEGER PRIMARY KEY, s STRING, n INTEGER);
+        INSERT INTO t VALUES
+            (1, 'alpha', 10), (2, 'beta', 95), (3, 'gamma', 40),
+            (4, 'alpha', 60), (5, 'delta', 25), (6, 'alpha', 80);
+        """
+    )
+    sql = f"SELECT s, n FROM t {filter_sql} {order_sql} {limit_sql}"
+    optimized_rows = db.query(sql)
+    db.executor.optimizer = Optimizer(db.engine, enable_rules=set())
+    naive_rows = db.query(sql)
+    if order_sql:
+        if limit_sql:
+            # deterministic prefix only when the sort key is unique enough;
+            # compare as multisets of the same length instead
+            assert len(optimized_rows) == len(naive_rows)
+            assert sorted(optimized_rows) == sorted(naive_rows)
+        else:
+            assert optimized_rows == naive_rows
+    elif limit_sql:
+        assert len(optimized_rows) == len(naive_rows)
+    else:
+        assert sorted(optimized_rows) == sorted(naive_rows)
+
+
+# -- answer normalization ------------------------------------------------------------------
+
+@given(_ballot)
+@SETTINGS
+def test_normalize_is_idempotent(text):
+    once = normalize_answer(text)
+    assert normalize_answer(once) == once
+
+
+@given(_ballot)
+@SETTINGS
+def test_normalize_ignores_surrounding_noise(text):
+    noisy = f"  {text.upper()}  "
+    assert normalize_answer(noisy) == normalize_answer(text)

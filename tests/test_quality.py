@@ -1,0 +1,84 @@
+"""Unit tests for answer cleansing and majority voting."""
+
+import warnings
+
+import pytest
+
+from repro.crowd.quality import MajorityVote, VoteResult, normalize_answer
+from repro.errors import LowQualityWarning, QualityControlError
+
+
+class TestNormalization:
+    def test_whitespace_collapsed(self):
+        assert normalize_answer("  New   York ") == "new york"
+
+    def test_case_folded(self):
+        assert normalize_answer("IBM") == normalize_answer("ibm")
+
+    def test_punctuation_stripped(self):
+        assert normalize_answer("I.B.M.") == "ibm"
+        assert normalize_answer("don't") == "dont"
+
+    def test_non_strings_pass_through(self):
+        assert normalize_answer(42) == 42
+        assert normalize_answer(True) is True
+
+
+class TestMajorityVote:
+    def test_simple_majority(self):
+        result = MajorityVote().vote(["IBM", "IBM", "Oracle"])
+        assert result.value == "IBM"
+        assert result.votes == 2 and result.total == 3
+        assert result.agreement == pytest.approx(2 / 3)
+        assert not result.unanimous
+
+    def test_normalized_classes_merge(self):
+        result = MajorityVote().vote(["I.B.M.", " ibm ", "Oracle"])
+        assert normalize_answer(result.value) == "ibm"
+        assert result.votes == 2
+
+    def test_representative_is_most_common_raw(self):
+        result = MajorityVote().vote(["IBM", "IBM", "i.b.m.", "Oracle"])
+        assert result.value == "IBM"
+
+    def test_tie_breaks_to_first_received(self):
+        result = MajorityVote().vote(["alpha", "beta"])
+        assert result.value == "alpha"
+
+    def test_unanimous(self):
+        assert MajorityVote().vote(["x", "x"]).unanimous
+
+    def test_zero_answers_raise(self):
+        with pytest.raises(QualityControlError):
+            MajorityVote().vote([])
+
+    def test_low_agreement_warns(self):
+        with pytest.warns(LowQualityWarning):
+            MajorityVote(min_agreement=0.9).vote(["a", "a", "b"])
+
+    def test_high_agreement_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", LowQualityWarning)
+            MajorityVote(min_agreement=0.5).vote(["a", "a", "b"])
+
+    def test_boolean_vote(self):
+        result = MajorityVote().vote_boolean([True, True, False])
+        assert result.value is True
+
+    def test_field_votes(self):
+        answers = [
+            {"dept": "EECS", "email": "a@x"},
+            {"dept": "eecs", "email": "b@x"},
+            {"dept": "Math", "email": "a@x"},
+        ]
+        votes = MajorityVote().vote_fields(answers)
+        assert normalize_answer(votes["dept"].value) == "eecs"
+        assert votes["email"].value == "a@x"
+
+    def test_field_votes_empty_raise(self):
+        with pytest.raises(QualityControlError):
+            MajorityVote().vote_fields([])
+
+    def test_numeric_answers(self):
+        result = MajorityVote().vote([120, 120, 80])
+        assert result.value == 120

@@ -1,0 +1,169 @@
+"""Tests for the simulated AMT and mobile platforms (marketplace loop)."""
+
+import pytest
+
+from repro.crowd.model import HIT, FillTask, HITStatus, reset_id_counters
+from repro.crowd.sim.amt import SimulatedAMT
+from repro.crowd.sim.behavior import BehaviorConfig
+from repro.crowd.sim.mobile import VLDB_VENUE, SimulatedMobilePlatform
+from repro.crowd.sim.population import generate_population
+from repro.crowd.sim.traces import GroundTruthOracle
+from repro.errors import CrowdPlatformError
+
+
+@pytest.fixture(autouse=True)
+def _fresh_ids():
+    reset_id_counters()
+
+
+@pytest.fixture
+def oracle():
+    oracle = GroundTruthOracle()
+    oracle.load_fill("Talk", ("CrowdDB",), {"abstract": "the abstract"})
+    return oracle
+
+
+def make_hit(reward=2, assignments=3):
+    task = FillTask(
+        table="Talk",
+        primary_key=("CrowdDB",),
+        columns=("abstract",),
+        known_values={"title": "CrowdDB"},
+    )
+    return HIT(task=task, reward_cents=reward, assignments_requested=assignments)
+
+
+class TestSimulatedAMT:
+    def test_hits_complete(self, oracle):
+        platform = SimulatedAMT(oracle, population=50, seed=1)
+        hit = make_hit()
+        platform.post_hit(hit)
+        done = platform.wait_for_hits([hit.hit_id], timeout=48 * 3600)
+        assert done
+        assert hit.status is HITStatus.COMPLETED
+        assert len(hit.assignments) == 3
+
+    def test_deterministic_given_seed(self, oracle):
+        def run(seed):
+            reset_id_counters()
+            platform = SimulatedAMT(oracle, population=50, seed=seed)
+            hit = make_hit()
+            platform.post_hit(hit)
+            platform.wait_for_hits([hit.hit_id], timeout=48 * 3600)
+            return [
+                (a.worker_id, a.submitted_at) for a in hit.assignments
+            ]
+
+        assert run(9) == run(9)
+        assert run(9) != run(10)
+
+    def test_worker_does_not_repeat_a_hit(self, oracle):
+        platform = SimulatedAMT(oracle, population=50, seed=2)
+        hit = make_hit(assignments=5)
+        platform.post_hit(hit)
+        platform.wait_for_hits([hit.hit_id], timeout=96 * 3600)
+        workers = [a.worker_id for a in hit.assignments]
+        assert len(workers) == len(set(workers))
+
+    def test_higher_reward_completes_faster(self, oracle):
+        def completion_time(reward):
+            reset_id_counters()
+            platform = SimulatedAMT(oracle, population=100, seed=3)
+            hits = [make_hit(reward=reward) for _ in range(20)]
+            for hit in hits:
+                platform.post_hit(hit)
+            platform.wait_for_hits([h.hit_id for h in hits], timeout=96 * 3600)
+            return platform.clock.now
+
+        assert completion_time(8) < completion_time(1)
+
+    def test_expiry(self, oracle):
+        platform = SimulatedAMT(oracle, population=5, seed=4)
+        hit = make_hit(assignments=50)
+        hit.expires_at = 60.0  # one minute: nowhere near enough
+        platform.post_hit(hit)
+        platform.wait_for_hits([hit.hit_id], timeout=3600)
+        assert hit.status is HITStatus.EXPIRED
+
+    def test_double_post_rejected(self, oracle):
+        platform = SimulatedAMT(oracle, population=5, seed=5)
+        hit = make_hit()
+        platform.post_hit(hit)
+        with pytest.raises(CrowdPlatformError):
+            platform.post_hit(hit)
+
+    def test_unknown_hit(self, oracle):
+        platform = SimulatedAMT(oracle, population=5, seed=6)
+        with pytest.raises(CrowdPlatformError):
+            platform.get_hit("nope")
+
+    def test_cost_accounting(self, oracle):
+        platform = SimulatedAMT(oracle, population=50, seed=7)
+        hit = make_hit(reward=5)
+        platform.post_hit(hit)
+        platform.wait_for_hits([hit.hit_id], timeout=48 * 3600)
+        assert platform.total_cost_cents == 15  # 3 assignments x 5c
+        assert platform.assignments_submitted == 3
+
+    def test_empty_population_rejected(self, oracle):
+        with pytest.raises(CrowdPlatformError):
+            SimulatedAMT(oracle, workers=[], population=0)
+
+    def test_hits_per_worker_distribution(self, oracle):
+        platform = SimulatedAMT(oracle, population=80, seed=8)
+        hits = [make_hit(assignments=1) for _ in range(120)]
+        for hit in hits:
+            platform.post_hit(hit)
+        platform.wait_for_hits([h.hit_id for h in hits], timeout=10 * 24 * 3600)
+        counts = sorted(platform.hits_per_worker().values(), reverse=True)
+        assert sum(counts) >= 100
+        # heavy tail: busiest decile does far more than its share
+        top = sum(counts[: max(1, len(counts) // 10)])
+        assert top / sum(counts) > 0.15
+
+    def test_on_assignment_hook(self, oracle):
+        platform = SimulatedAMT(oracle, population=50, seed=9)
+        seen = []
+        platform.on_assignment.append(lambda hit, a: seen.append(a.worker_id))
+        hit = make_hit()
+        platform.post_hit(hit)
+        platform.wait_for_hits([hit.hit_id], timeout=48 * 3600)
+        assert len(seen) == 3
+
+
+class TestMobilePlatform:
+    def test_local_hit_completes(self, oracle):
+        platform = SimulatedMobilePlatform(oracle, population=40, seed=1)
+        hit = make_hit()
+        hit.locality = (VLDB_VENUE[0], VLDB_VENUE[1], 5.0)
+        platform.post_hit(hit)
+        done = platform.wait_for_hits([hit.hit_id], timeout=48 * 3600)
+        assert done and len(hit.assignments) == 3
+
+    def test_locality_filter_excludes_far_workers(self, oracle):
+        # place every worker ~110 km away from the venue
+        far_region = (VLDB_VENUE[0] + 1.0, VLDB_VENUE[1], 0.5)
+        workers = generate_population(30, seed=2, region=far_region)
+        platform = SimulatedMobilePlatform(oracle, workers=workers, seed=2)
+        hit = make_hit()
+        hit.locality = (VLDB_VENUE[0], VLDB_VENUE[1], 2.0)
+        platform.post_hit(hit)
+        done = platform.wait_for_hits([hit.hit_id], timeout=6 * 3600)
+        assert not done
+        assert len(hit.assignments) == 0
+
+    def test_nonlocal_hit_open_to_everyone(self, oracle):
+        platform = SimulatedMobilePlatform(oracle, population=40, seed=3)
+        hit = make_hit()  # no locality constraint
+        platform.post_hit(hit)
+        assert platform.wait_for_hits([hit.hit_id], timeout=48 * 3600)
+
+    def test_burstiness_profile(self, oracle):
+        platform = SimulatedMobilePlatform(
+            oracle, population=40, seed=4,
+            session_minutes=90, break_minutes=30,
+        )
+        in_session = platform.arrival_rate()
+        platform.clock.advance_to(95 * 60.0)  # inside the coffee break
+        in_break = platform.arrival_rate()
+        assert in_break > in_session * 4

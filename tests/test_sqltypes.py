@@ -1,0 +1,196 @@
+"""Unit tests for the SQL type system and NULL/CNULL semantics."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.sqltypes import (
+    CNULL,
+    NULL,
+    TRI_FALSE,
+    TRI_TRUE,
+    TRI_UNKNOWN,
+    SQLType,
+    coerce,
+    compare_values,
+    format_value,
+    is_cnull,
+    is_missing,
+    is_null,
+    parse_literal,
+    tri_from,
+    type_from_name,
+)
+
+
+class TestSingletons:
+    def test_null_is_singleton(self):
+        assert type(NULL)() is NULL
+
+    def test_cnull_is_singleton(self):
+        assert type(CNULL)() is CNULL
+
+    def test_null_and_cnull_are_distinct(self):
+        assert NULL is not CNULL
+        assert is_null(NULL) and not is_null(CNULL)
+        assert is_cnull(CNULL) and not is_cnull(NULL)
+
+    def test_python_none_counts_as_null(self):
+        assert is_null(None)
+        assert is_missing(None)
+
+    def test_both_are_missing(self):
+        assert is_missing(NULL) and is_missing(CNULL)
+        assert not is_missing(0) and not is_missing("")
+
+    def test_falsiness(self):
+        assert not NULL
+        assert not CNULL
+
+    def test_repr(self):
+        assert repr(NULL) == "NULL"
+        assert repr(CNULL) == "CNULL"
+
+
+class TestTypeNames:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("STRING", SQLType.STRING),
+            ("varchar", SQLType.STRING),
+            ("TEXT", SQLType.STRING),
+            ("INT", SQLType.INTEGER),
+            ("Integer", SQLType.INTEGER),
+            ("BIGINT", SQLType.INTEGER),
+            ("FLOAT", SQLType.FLOAT),
+            ("double", SQLType.FLOAT),
+            ("BOOLEAN", SQLType.BOOLEAN),
+            ("bool", SQLType.BOOLEAN),
+        ],
+    )
+    def test_aliases(self, name, expected):
+        assert type_from_name(name) is expected
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError_):
+            type_from_name("BLOB")
+
+
+class TestCoerce:
+    def test_missing_passthrough(self):
+        assert coerce(None, SQLType.STRING) is NULL
+        assert coerce(NULL, SQLType.INTEGER) is NULL
+        assert coerce(CNULL, SQLType.FLOAT) is CNULL
+
+    def test_integer_from_string(self):
+        assert coerce(" 42 ", SQLType.INTEGER) == 42
+
+    def test_integer_from_whole_float(self):
+        assert coerce(3.0, SQLType.INTEGER) == 3
+
+    def test_integer_from_fractional_float_raises(self):
+        with pytest.raises(TypeError_):
+            coerce(3.5, SQLType.INTEGER)
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(TypeError_):
+            coerce(True, SQLType.INTEGER)
+
+    def test_float_from_int(self):
+        value = coerce(2, SQLType.FLOAT)
+        assert value == 2.0 and isinstance(value, float)
+
+    def test_float_from_string(self):
+        assert coerce("2.5", SQLType.FLOAT) == 2.5
+
+    def test_boolean_spellings(self):
+        assert coerce("yes", SQLType.BOOLEAN) is True
+        assert coerce("FALSE", SQLType.BOOLEAN) is False
+        assert coerce(1, SQLType.BOOLEAN) is True
+
+    def test_boolean_garbage_raises(self):
+        with pytest.raises(TypeError_):
+            coerce("maybe", SQLType.BOOLEAN)
+
+    def test_string_requires_str(self):
+        with pytest.raises(TypeError_):
+            coerce(12, SQLType.STRING)
+
+
+class TestParseLiteral:
+    def test_empty_text_is_null(self):
+        assert parse_literal("   ", SQLType.STRING) is NULL
+
+    def test_explicit_null_word(self):
+        assert parse_literal("null", SQLType.INTEGER) is NULL
+
+    def test_string_is_stripped(self):
+        assert parse_literal("  IBM  ", SQLType.STRING) == "IBM"
+
+    def test_integer_parsing(self):
+        assert parse_literal("120", SQLType.INTEGER) == 120
+
+    def test_bad_integer_raises(self):
+        with pytest.raises(TypeError_):
+            parse_literal("many", SQLType.INTEGER)
+
+
+class TestThreeValuedLogic:
+    def test_and_truth_table(self):
+        assert (TRI_TRUE & TRI_TRUE) is TRI_TRUE
+        assert (TRI_TRUE & TRI_FALSE) is TRI_FALSE
+        assert (TRI_FALSE & TRI_UNKNOWN) is TRI_FALSE
+        assert (TRI_TRUE & TRI_UNKNOWN) is TRI_UNKNOWN
+
+    def test_or_truth_table(self):
+        assert (TRI_FALSE | TRI_TRUE) is TRI_TRUE
+        assert (TRI_UNKNOWN | TRI_TRUE) is TRI_TRUE
+        assert (TRI_FALSE | TRI_UNKNOWN) is TRI_UNKNOWN
+        assert (TRI_FALSE | TRI_FALSE) is TRI_FALSE
+
+    def test_not(self):
+        assert (~TRI_TRUE) is TRI_FALSE
+        assert (~TRI_FALSE) is TRI_TRUE
+        assert (~TRI_UNKNOWN) is TRI_UNKNOWN
+
+    def test_bool_only_true_for_true(self):
+        assert bool(TRI_TRUE)
+        assert not bool(TRI_FALSE)
+        assert not bool(TRI_UNKNOWN)
+
+    def test_tri_from_missing(self):
+        assert tri_from(NULL) is TRI_UNKNOWN
+        assert tri_from(CNULL) is TRI_UNKNOWN
+        assert tri_from(1) is TRI_TRUE
+        assert tri_from(0) is TRI_FALSE
+
+
+class TestCompareValues:
+    def test_numbers(self):
+        assert compare_values(1, 2) == -1
+        assert compare_values(2.5, 2.5) == 0
+        assert compare_values(3, 2.5) == 1
+
+    def test_strings(self):
+        assert compare_values("a", "b") == -1
+
+    def test_missing_returns_none(self):
+        assert compare_values(NULL, 1) is None
+        assert compare_values("x", CNULL) is None
+
+    def test_cross_type_raises(self):
+        with pytest.raises(TypeError_):
+            compare_values("a", 1)
+
+    def test_booleans(self):
+        assert compare_values(True, False) == 1
+        with pytest.raises(TypeError_):
+            compare_values(True, 1)
+
+
+class TestFormatValue:
+    def test_rendering(self):
+        assert format_value(NULL) == "NULL"
+        assert format_value(CNULL) == "CNULL"
+        assert format_value(True) == "TRUE"
+        assert format_value(1.5) == "1.5"
+        assert format_value("x") == "x"

@@ -1,0 +1,192 @@
+"""Tests for schema-driven UI generation, management, editing, rendering."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.ddl import build_table_schema
+from repro.crowd.model import TaskKind
+from repro.errors import UITemplateError
+from repro.sql.parser import parse
+from repro.ui import generator
+from repro.ui.form_editor import FormEditor
+from repro.ui.manager import UITemplateManager
+from repro.ui.render import render_for_amt, render_for_mobile
+
+TALK = build_table_schema(
+    parse(
+        "CREATE TABLE Talk (title STRING PRIMARY KEY, "
+        "abstract CROWD STRING, nb_attendees CROWD INTEGER)"
+    )
+)
+ATTENDEE = build_table_schema(
+    parse(
+        "CREATE CROWD TABLE NotableAttendee (name STRING PRIMARY KEY, "
+        "title STRING)"
+    )
+)
+
+
+class TestFillTemplate:
+    def test_known_and_input_fields(self):
+        template = generator.fill_template(TALK, ("abstract",))
+        assert template.kind is TaskKind.FILL
+        assert template.input_columns == ("abstract",)
+        assert "title" in [c.lower() for c in template.known_columns]
+        assert "{{value:title}}" in template.html
+        assert "{{input:abstract}}" in template.html
+
+    def test_instantiation_copies_known_values(self):
+        """Paper Figure 2: the known 'CrowdDB' title is copied into the
+        form; the missing field becomes an input."""
+        template = generator.fill_template(TALK, ("abstract",))
+        html = template.instantiate({"title": "CrowdDB"})
+        assert "CrowdDB" in html
+        assert '<input type="text" name="abstract"' in html
+        assert "{{" not in html  # everything substituted
+
+    def test_instantiation_escapes_html(self):
+        template = generator.fill_template(TALK, ("abstract",))
+        html = template.instantiate({"title": "<script>alert(1)</script>"})
+        assert "<script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_prefilled_inputs(self):
+        template = generator.fill_template(TALK, ("abstract",))
+        html = template.instantiate({"title": "T", "abstract": "draft"})
+        assert 'value="draft"' in html
+
+
+class TestNewTupleTemplate:
+    def test_all_columns_are_inputs(self):
+        template = generator.new_tuple_template(ATTENDEE)
+        assert set(template.input_columns) == {"name", "title"}
+
+    def test_fixed_columns_shown_not_asked(self):
+        template = generator.new_tuple_template(ATTENDEE, ("title",))
+        assert template.input_columns == ("name",)
+        html = template.instantiate({"title": "CrowdDB"})
+        assert "CrowdDB" in html
+        assert '<input type="text" name="name"' in html
+        assert 'name="title"' not in html
+
+
+class TestCompareTemplates:
+    def test_equal_ballot(self):
+        template = generator.compare_equal_template()
+        html = template.instantiate({"left": "I.B.M.", "right": "IBM"})
+        assert "I.B.M." in html and "IBM" in html
+        assert 'name="same"' in html
+
+    def test_order_ballot(self):
+        template = generator.compare_order_template("Which talk was better?")
+        html = template.instantiate({"left": "A", "right": "B"})
+        assert "Which talk was better?" in html
+        assert 'value="left"' in html and 'value="right"' in html
+
+
+class TestTemplateManager:
+    def make_manager(self):
+        catalog = Catalog()
+        catalog.register(TALK)
+        catalog.register(ATTENDEE)
+        return UITemplateManager(catalog)
+
+    def test_generate_all(self):
+        manager = self.make_manager()
+        templates = manager.generate_all()
+        ids = {t.template_id for t in templates}
+        # fill template for Talk's crowd columns + fill & new for crowd table
+        assert any(i.startswith("fill:Talk") for i in ids)
+        assert any(i.startswith("new:NotableAttendee") for i in ids)
+
+    def test_lazy_creation_and_reuse(self):
+        manager = self.make_manager()
+        first = manager.fill_template(TALK, ("abstract",))
+        second = manager.fill_template(TALK, ("abstract",))
+        assert first is second
+
+    def test_get_unknown(self):
+        manager = self.make_manager()
+        with pytest.raises(UITemplateError):
+            manager.get("nope")
+
+    def test_instantiate_case_insensitive_values(self):
+        manager = self.make_manager()
+        template = manager.fill_template(TALK, ("abstract",))
+        html = manager.instantiate(template, {"TITLE": "CrowdDB"})
+        assert "CrowdDB" in html
+
+
+class TestFormEditor:
+    def make_editor(self):
+        catalog = Catalog()
+        catalog.register(TALK)
+        manager = UITemplateManager(catalog)
+        manager.fill_template(TALK, ("abstract",))
+        return manager, FormEditor(manager)
+
+    def test_set_instructions(self):
+        manager, editor = self.make_editor()
+        template_id = manager.all_templates()[0].template_id
+        edited = editor.set_instructions(template_id, "Please search DBLP.")
+        assert edited.edited
+        assert manager.get(template_id).instructions == "Please search DBLP."
+
+    def test_append_instructions(self):
+        manager, editor = self.make_editor()
+        template_id = manager.all_templates()[0].template_id
+        original = manager.get(template_id).instructions
+        editor.append_instructions(template_id, "Search DBLP first.")
+        assert manager.get(template_id).instructions.startswith(original)
+
+    def test_empty_instructions_rejected(self):
+        manager, editor = self.make_editor()
+        template_id = manager.all_templates()[0].template_id
+        with pytest.raises(UITemplateError):
+            editor.set_instructions(template_id, "  ")
+
+    def test_html_edit_must_keep_inputs(self):
+        manager, editor = self.make_editor()
+        template_id = manager.all_templates()[0].template_id
+        with pytest.raises(UITemplateError, match="drops input"):
+            editor.set_html(template_id, "<div>no fields at all</div>")
+
+    def test_valid_html_edit(self):
+        manager, editor = self.make_editor()
+        template_id = manager.all_templates()[0].template_id
+        edited = editor.set_html(
+            template_id,
+            "<div>{{instructions}} custom {{value:title}} {{input:abstract}}</div>",
+        )
+        assert edited.edited
+        html = edited.instantiate({"title": "T"})
+        assert "custom" in html
+
+
+class TestRendering:
+    def test_amt_page(self):
+        """Figure 2: a full MTurk-style page with reward and requester."""
+        template = generator.fill_template(TALK, ("abstract",))
+        page = render_for_amt(template, {"title": "CrowdDB"}, reward_cents=2)
+        assert page.startswith("<!DOCTYPE html>")
+        assert "Reward: $0.02" in page
+        assert "Requester: CrowdDB" in page
+        assert "CrowdDB" in page
+
+    def test_mobile_card(self):
+        """Figure 3: a compact card with a distance badge."""
+        template = generator.fill_template(TALK, ("abstract",))
+        card = render_for_mobile(
+            template, {"title": "CrowdDB"}, distance_km=0.4
+        )
+        assert "<!DOCTYPE" not in card  # embedded card, not a page
+        assert "0.4 km away" in card
+        assert "VLDB crowd" in card
+
+    def test_same_form_body_on_both_platforms(self):
+        """The demo's point: one compiled task, two platforms."""
+        template = generator.fill_template(TALK, ("abstract",))
+        body = template.instantiate({"title": "CrowdDB"})
+        page = render_for_amt(template, {"title": "CrowdDB"}, reward_cents=2)
+        card = render_for_mobile(template, {"title": "CrowdDB"})
+        assert body in page and body in card

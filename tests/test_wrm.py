@@ -1,0 +1,143 @@
+"""Tests for the Worker Relationship Manager."""
+
+import pytest
+
+from repro.crowd.model import HIT, Assignment, AssignmentStatus, FillTask
+from repro.crowd.wrm import WorkerRelationshipManager
+from repro.errors import CrowdPlatformError
+
+
+def make_hit(reward=4):
+    task = FillTask("t", ("k",), ("c",), {})
+    return HIT(task=task, reward_cents=reward, assignments_requested=1)
+
+
+def make_assignment(hit, worker="w1", at=10.0):
+    return Assignment(
+        hit_id=hit.hit_id, worker_id=worker, answer={"c": "x"}, submitted_at=at
+    )
+
+
+class TestApprovalAndPayment:
+    def test_auto_approve_pays_reward(self):
+        wrm = WorkerRelationshipManager()
+        hit = make_hit(reward=4)
+        wrm.on_assignment(hit, make_assignment(hit))
+        account = wrm.account("w1")
+        assert account.submitted == 1
+        assert account.approved == 1
+        assert account.earned_cents == 4
+        assert wrm.total_paid_cents == 4
+
+    def test_manual_mode(self):
+        wrm = WorkerRelationshipManager(auto_approve=False)
+        hit = make_hit()
+        assignment = make_assignment(hit)
+        wrm.on_assignment(hit, assignment)
+        assert wrm.account("w1").approved == 0
+        wrm.approve(hit, assignment)
+        assert wrm.account("w1").approved == 1
+        assert assignment.status is AssignmentStatus.APPROVED
+
+    def test_double_approve_is_idempotent(self):
+        wrm = WorkerRelationshipManager(auto_approve=False)
+        hit = make_hit()
+        assignment = make_assignment(hit)
+        wrm.approve(hit, assignment)
+        wrm.approve(hit, assignment)
+        assert wrm.account("w1").approved == 1
+
+    def test_reject(self):
+        wrm = WorkerRelationshipManager(auto_approve=False)
+        hit = make_hit()
+        assignment = make_assignment(hit)
+        wrm.on_assignment(hit, assignment)
+        wrm.reject(assignment, "spam")
+        account = wrm.account("w1")
+        assert account.rejected == 1
+        assert account.approval_rate == 0.0
+
+    def test_cannot_reject_approved(self):
+        wrm = WorkerRelationshipManager(auto_approve=False)
+        hit = make_hit()
+        assignment = make_assignment(hit)
+        wrm.approve(hit, assignment)
+        with pytest.raises(CrowdPlatformError):
+            wrm.reject(assignment)
+
+    def test_approval_rate_default(self):
+        wrm = WorkerRelationshipManager()
+        assert wrm.account("new").approval_rate == 1.0
+
+
+class TestBonuses:
+    def test_loyalty_bonus_every_n(self):
+        wrm = WorkerRelationshipManager(bonus_every=3, bonus_cents=5)
+        hit = make_hit(reward=1)
+        for i in range(7):
+            wrm.on_assignment(hit if i == 0 else make_hit(reward=1),
+                              make_assignment(hit, worker="w1", at=float(i)))
+        account = wrm.account("w1")
+        assert account.approved == 7
+        assert account.bonus_cents == 10  # after 3rd and 6th approval
+        bonuses = [p for p in wrm.payments if p.kind == "bonus"]
+        assert len(bonuses) == 2
+
+    def test_manual_bonus(self):
+        wrm = WorkerRelationshipManager()
+        wrm.grant_bonus("w9", 25)
+        assert wrm.account("w9").earned_cents == 25
+
+
+class TestComplaints:
+    def test_file_and_respond(self):
+        wrm = WorkerRelationshipManager()
+        complaint = wrm.file_complaint("w1", "asg-1", "payment late", at=5.0)
+        assert complaint.open
+        assert wrm.open_complaints() == [complaint]
+        wrm.respond(complaint, "bonus granted", at=6.0)
+        assert not complaint.open
+        assert wrm.open_complaints() == []
+
+    def test_double_response_rejected(self):
+        wrm = WorkerRelationshipManager()
+        complaint = wrm.file_complaint("w1", "asg-1", "x")
+        wrm.respond(complaint, "ok")
+        with pytest.raises(CrowdPlatformError):
+            wrm.respond(complaint, "again")
+
+
+class TestBlockingAndReporting:
+    def test_block(self):
+        wrm = WorkerRelationshipManager()
+        assert not wrm.is_blocked("w1")
+        wrm.block("w1")
+        assert wrm.is_blocked("w1")
+
+    def test_top_workers(self):
+        wrm = WorkerRelationshipManager()
+        for worker, n in (("a", 3), ("b", 5), ("c", 1)):
+            for i in range(n):
+                hit = make_hit()
+                wrm.on_assignment(hit, make_assignment(hit, worker=worker))
+        top = wrm.top_workers(2)
+        assert [a.worker_id for a in top] == ["b", "a"]
+
+
+class TestPlatformIntegration:
+    def test_wrm_wired_into_simulated_platform(self, demo_oracle):
+        from repro.crowd.sim.amt import SimulatedAMT
+        from repro.crowd.model import HIT, FillTask
+
+        platform = SimulatedAMT(demo_oracle, population=50, seed=3)
+        wrm = WorkerRelationshipManager()
+        platform.on_assignment.append(wrm.on_assignment)
+        hit = HIT(
+            task=FillTask("Talk", ("CrowdDB",), ("abstract",), {}),
+            reward_cents=3,
+            assignments_requested=2,
+        )
+        platform.post_hit(hit)
+        platform.wait_for_hits([hit.hit_id], timeout=48 * 3600)
+        assert wrm.total_paid_cents == 6
+        assert sum(a.approved for a in wrm.accounts.values()) == 2
