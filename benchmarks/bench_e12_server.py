@@ -1,0 +1,185 @@
+"""E12 — concurrent query server: shared task pool and clock overlap.
+
+The seed executed one statement at a time: every CrowdProbe spun the
+simulated marketplace clock alone, so an 8-user workload paid its crowd
+latency *serially* and its crowd HITs *per user*.  E12 measures the
+server subsystem (`repro.server`) against both baselines on one mixed
+workload — CrowdProbe fills over overlapping city windows plus repeated
+CROWDEQUAL entity-resolution targets:
+
+* ``serial-isolated`` — one fresh instance per session, run one after
+  another (the no-server world: every user pays full price);
+* ``serial-shared``  — one shared instance, sessions run back to back
+  (storage memorization reuses *settled* answers);
+* ``server``         — 8 concurrent sessions under the cooperative
+  scheduler with the shared in-flight task pool.
+
+Reproduced claims: the server posts fewer HITs than the isolated runs
+combined (cross-session dedup), no more than the shared serial run
+(in-flight sharing matches store-then-reuse), finishes the workload in
+less than half the simulated wall-clock of serial execution, and returns
+exactly the same per-query answers under one seed.
+"""
+
+import pytest
+
+from crowdbench import (
+    fresh,
+    quiet,
+    report,
+    server_connection,
+    server_oracle,
+    server_scripts,
+    server_setup_sql,
+)
+
+from repro.server import Server
+from repro.sql.parser import parse_script
+
+SESSIONS = 8
+SEED = 11
+
+
+def _setup(connection):
+    for statement in server_setup_sql():
+        connection.execute(statement)
+
+
+def _result_rows(results):
+    rows = []
+    for result in results:
+        if isinstance(result, Exception):  # pragma: no cover - fail loudly
+            raise result
+        rows.append(sorted(result.rows))
+    return rows
+
+
+def run_serial_isolated(scripts):
+    """Every session on its own instance — HITs and latency both add up."""
+    total_hits = 0
+    total_seconds = 0.0
+    answers = []
+    for script in scripts:
+        fresh()
+        db = server_connection(server_oracle(), seed=SEED)
+        _setup(db)
+        results = [
+            db.executor.execute(stmt) for stmt in parse_script(script)
+        ]
+        answers.append(_result_rows(results))
+        total_hits += db.crowd_stats["hits_posted"]
+        total_seconds += db.platforms.get("amt").clock.now
+    return {"hits": total_hits, "seconds": total_seconds, "answers": answers}
+
+
+def run_serial_shared(scripts):
+    """One instance, sessions back to back — memorization helps, the
+    clock still adds every wait."""
+    fresh()
+    db = server_connection(server_oracle(), seed=SEED)
+    _setup(db)
+    answers = []
+    for script in scripts:
+        results = [
+            db.executor.execute(stmt) for stmt in parse_script(script)
+        ]
+        answers.append(_result_rows(results))
+    return {
+        "hits": db.crowd_stats["hits_posted"],
+        "seconds": db.platforms.get("amt").clock.now,
+        "answers": answers,
+    }
+
+
+def run_server(scripts):
+    """All sessions concurrent over one instance + shared task pool."""
+    fresh()
+    db = server_connection(server_oracle(), seed=SEED)
+    server = Server(connection=db)
+    _setup(db)
+    per_session = server.run_scripts(scripts)
+    answers = [_result_rows(results) for results in per_session]
+    stats = server.stats()
+    server.shutdown()
+    return {
+        "hits": stats["task_manager"]["hits_posted"],
+        "seconds": stats["simulated_seconds"],
+        "answers": answers,
+        "stats": stats,
+    }
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    scripts = server_scripts(SESSIONS)
+    with quiet():
+        return {
+            "serial-isolated": run_serial_isolated(scripts),
+            "serial-shared": run_serial_shared(scripts),
+            "server": run_server(scripts),
+        }
+
+
+def test_report(measurements):
+    server_seconds = measurements["server"]["seconds"]
+    rows = []
+    for label in ("serial-isolated", "serial-shared", "server"):
+        data = measurements[label]
+        rows.append(
+            (
+                label,
+                data["hits"],
+                data["seconds"] / 3600.0,
+                data["seconds"] / server_seconds,
+            )
+        )
+    pool = measurements["server"]["stats"]["task_pool"]
+    scheduler = measurements["server"]["stats"]["scheduler"]
+    rows.append(
+        (
+            "(pool)",
+            f"saved={pool['hits_saved']}",
+            f"suspensions={scheduler['suspensions']}",
+            f"clock_advances={scheduler['clock_advances']}",
+        )
+    )
+    report(
+        "E12",
+        f"{SESSIONS}-session mixed workload: shared pool + overlapped waits",
+        ["configuration", "HITs posted", "sim hours", "vs server"],
+        rows,
+    )
+
+
+def test_server_dedups_across_sessions(measurements):
+    """(a) fewer HITs than the isolated serial runs combined, and never
+    more than the shared serial run."""
+    assert (
+        measurements["server"]["hits"]
+        < measurements["serial-isolated"]["hits"]
+    )
+    assert (
+        measurements["server"]["hits"]
+        <= measurements["serial-shared"]["hits"]
+    )
+    assert measurements["server"]["stats"]["task_pool"]["hits_saved"] > 0
+
+
+def test_server_halves_wall_clock(measurements):
+    """(b) >=2x lower simulated wall-clock than serial execution."""
+    assert (
+        measurements["serial-shared"]["seconds"]
+        >= 2.0 * measurements["server"]["seconds"]
+    )
+    assert (
+        measurements["serial-isolated"]["seconds"]
+        >= 2.0 * measurements["server"]["seconds"]
+    )
+
+
+def test_server_matches_serial_answers(measurements):
+    """Concurrency changes the schedule, not the answers."""
+    assert (
+        measurements["server"]["answers"]
+        == measurements["serial-shared"]["answers"]
+    )

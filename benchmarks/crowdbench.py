@@ -19,6 +19,28 @@ from repro.errors import CrowdDBWarning
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+#: The experiment index (DESIGN.md §3): every benchmark module tracked by
+#: the harness.  ``pytest benchmarks`` runs them all; results land in
+#: ``benchmarks/results/<id>.txt``.
+EXPERIMENTS = {
+    "D1": ("bench_d1_end_to_end", "end-to-end demo workload"),
+    "E1": ("bench_e1_responsiveness", "HIT-group responsiveness"),
+    "E2": ("bench_e2_worker_affinity", "worker affinity tail"),
+    "E3": ("bench_e3_probe_quality", "CrowdProbe quality"),
+    "E4": ("bench_e4_crowdjoin", "CrowdJoin probes"),
+    "E5": ("bench_e5_crowdequal", "CROWDEQUAL entity resolution"),
+    "E6": ("bench_e6_crowdorder", "CROWDORDER ranking"),
+    "E7": ("bench_e7_optimizer", "optimizer plan quality"),
+    "E8": ("bench_e8_boundedness", "boundedness analysis"),
+    "E9": ("bench_e9_caching", "answer caching"),
+    "E10": ("bench_e10_cleansing", "answer cleansing"),
+    "E11": ("bench_e11_platforms", "platform comparison"),
+    "E12": ("bench_e12_server", "concurrent query server throughput"),
+    "F1": ("bench_f1_architecture", "architecture walkthrough"),
+    "F2": ("bench_f2_ui_generation", "UI template generation"),
+    "F3": ("bench_f3_mobile_task", "mobile platform tasks"),
+}
+
 
 def report(experiment: str, title: str, headers: Sequence[str],
            rows: Iterable[Sequence]) -> str:
@@ -151,3 +173,97 @@ def picture_oracle(count: int = 12) -> GroundTruthOracle:
 def fresh(seed: int = 0):
     """Reset global id counters for deterministic runs."""
     reset_id_counters()
+
+
+# -- E12: concurrent-server workload ------------------------------------------------
+
+SERVER_CITY_COUNT = 24
+SERVER_COMPANY_TARGETS = ["IBM", "Microsoft", "Oracle", "HP"]
+
+
+def server_oracle(cities: int = SERVER_CITY_COUNT) -> GroundTruthOracle:
+    """Mixed workload ground truth for the E12 server benchmark:
+    integer-valued city facts (CrowdProbe fills) plus the company
+    entity-resolution pairs (CROWDEQUAL ballots)."""
+    oracle = company_oracle()
+    for i in range(cities):
+        oracle.load_fill(
+            "City",
+            (f"city{i:02d}",),
+            {"population": 10_000 + 137 * i, "elevation": 5 * i},
+        )
+    return oracle
+
+
+def server_setup_sql(cities: int = SERVER_CITY_COUNT) -> list[str]:
+    """DDL + electronic inserts shared by every E12 configuration."""
+    statements = [
+        "CREATE TABLE City (name STRING PRIMARY KEY, "
+        "population CROWD INTEGER, elevation CROWD INTEGER)",
+        "CREATE TABLE Company (name STRING PRIMARY KEY)",
+    ]
+    statements += [
+        f"INSERT INTO City (name) VALUES ('city{i:02d}')"
+        for i in range(cities)
+    ]
+    statements += [
+        f"INSERT INTO Company (name) VALUES ('{left}')"
+        for left, _right, _truth in COMPANY_PAIRS[:8]
+    ]
+    return statements
+
+
+def server_scripts(sessions: int = 8) -> list[str]:
+    """One mixed CrowdSQL script per session.
+
+    Neighbouring sessions probe overlapping city windows and repeat the
+    same CROWDEQUAL targets, so a shared server can deduplicate in-flight
+    crowd work that isolated instances each pay for in full.
+    """
+    scripts = []
+    for index in range(sessions):
+        statements = []
+        start = 2 * index  # windows overlap by 2 cities with the neighbour
+        for offset in range(4):
+            city = f"city{(start + offset) % SERVER_CITY_COUNT:02d}"
+            column = "population" if offset % 2 == 0 else "elevation"
+            statements.append(
+                f"SELECT {column} FROM City WHERE name = '{city}'"
+            )
+        target = SERVER_COMPANY_TARGETS[index % len(SERVER_COMPANY_TARGETS)]
+        statements.append(
+            "SELECT name FROM Company "
+            f"WHERE CROWDEQUAL(name, '{target}')"
+        )
+        scripts.append("; ".join(statements))
+    return scripts
+
+
+def server_connection(oracle: GroundTruthOracle, seed: int = 11,
+                      population: int = 200):
+    """A deterministic high-skill AMT-only instance for E12.
+
+    Worker skill and platform accuracy are pinned near-perfect so the
+    serial and concurrent executions produce *identical* answers under
+    one seed even though their marketplace event interleavings differ
+    (E12 measures scheduling and dedup, not quality control — E3/E5
+    cover noisy crowds)."""
+    from repro.crowd.sim.amt import SimulatedAMT
+    from repro.crowd.sim.behavior import BehaviorConfig
+    from repro.crowd.sim.population import generate_population
+
+    workers = generate_population(
+        population, seed=seed, skill_range=(0.995, 1.0), id_prefix="amt-"
+    )
+    platform = SimulatedAMT(
+        oracle,
+        workers=workers,
+        seed=seed,
+        config=BehaviorConfig(base_accuracy=0.999),
+    )
+    return connect(
+        oracle=oracle,
+        seed=seed,
+        platforms=(platform,),
+        default_platform="amt",
+    )

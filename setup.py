@@ -1,13 +1,51 @@
+import os
+
 from setuptools import find_packages, setup
+
+
+def _long_description() -> str:
+    readme = os.path.join(os.path.dirname(__file__), "README.md")
+    try:
+        with open(readme, encoding="utf-8") as handle:
+            return handle.read()
+    except OSError:
+        return ""
+
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "CrowdDB reproduction: a crowd-enabled SQL database with "
-        "simulated crowdsourcing platforms (VLDB 2011 demo)"
+        "simulated crowdsourcing platforms and a concurrent query "
+        "server (VLDB 2011 demo)"
     ),
+    long_description=_long_description(),
+    long_description_content_type="text/markdown",
+    author="CrowdDB reproduction contributors",
+    license="MIT",
+    url="https://example.org/crowddb-repro",
+    keywords="crowdsourcing database crowdsql query-processing simulation",
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Database :: Database Engines/Servers",
+    ],
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
+    install_requires=[],  # standard library only
+    extras_require={
+        "test": ["pytest>=7", "hypothesis>=6"],
+    },
+    entry_points={
+        "console_scripts": [
+            "crowddb = repro.cli:main",
+        ],
+    },
 )

@@ -8,20 +8,24 @@ simulated crowdsourcing platforms (Amazon Mechanical Turk and a
 locality-aware mobile platform).
 """
 
-from repro.api import Connection, Cursor, connect
-from repro.crowd.task_manager import CrowdConfig
+from repro.api import Connection, Cursor, connect, serve
+from repro.crowd.task_manager import CrowdConfig, CrowdFuture
 from repro.engine.executor import ResultSet
+from repro.server import Server
 from repro.sqltypes import CNULL, NULL
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CNULL",
     "NULL",
     "Connection",
     "CrowdConfig",
+    "CrowdFuture",
     "Cursor",
     "ResultSet",
+    "Server",
     "connect",
+    "serve",
     "__version__",
 ]

@@ -245,3 +245,33 @@ def connect(
         if hasattr(platform, "wrm"):
             platform.wrm = connection.wrm
     return connection
+
+
+def serve(
+    connection: Optional[Connection] = None,
+    max_active_sessions: Optional[int] = None,
+    max_waiting_sessions: Optional[int] = None,
+    **connect_kwargs: Any,
+):
+    """Create a concurrent query server over one CrowdDB instance.
+
+    Sessions opened on the returned :class:`~repro.server.Server` run
+    under a cooperative scheduler: a query waiting on crowd ballots
+    suspends, other sessions proceed, and identical in-flight crowd tasks
+    are deduplicated through the shared task pool.  ``connect_kwargs``
+    are forwarded to :func:`connect` when no ``connection`` is given.
+    """
+    from repro.server import AdmissionConfig, Server
+
+    admission = None
+    if max_active_sessions is not None or max_waiting_sessions is not None:
+        admission = AdmissionConfig()
+        if max_active_sessions is not None:
+            admission.max_active_sessions = max_active_sessions
+        if max_waiting_sessions is not None:
+            admission.max_waiting_sessions = max_waiting_sessions
+    # Server itself rejects connection + connect_kwargs together, so
+    # conflicting arguments raise instead of being silently dropped
+    return Server(
+        connection=connection, admission=admission, **connect_kwargs
+    )

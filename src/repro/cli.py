@@ -7,6 +7,7 @@ inspect plans, templates, and worker relationships with dot-commands.
 Usage::
 
     python -m repro.cli [script.sql ...]
+    python -m repro.cli --serve [--sessions N]
 
 Dot-commands:
 
@@ -22,6 +23,17 @@ Dot-commands:
     .save FILE           write a JSON snapshot
     .open FILE           load a JSON snapshot
     .quit                exit
+
+Serve-mode (``--serve``) adds a REPL over concurrent sessions: SQL lines
+are *queued* on the current session instead of executing immediately,
+and ``.run`` drives all sessions together under the cooperative
+scheduler (shared crowd-task pool, overlapping crowd waits):
+
+    .newsession          open another session and switch to it
+    .session [N]         show or switch the current session
+    .sessions            list sessions, states, and queue depths
+    .run                 run all queued statements concurrently
+    .server              pool/scheduler/admission statistics
 """
 
 from __future__ import annotations
@@ -29,7 +41,7 @@ from __future__ import annotations
 import sys
 from typing import Callable, Optional, TextIO
 
-from repro.api import Connection, connect
+from repro.api import Connection, connect, serve
 from repro.errors import CrowdDBError
 from repro.io_utils import dump_csv, load_csv, load_snapshot, save_snapshot
 
@@ -218,8 +230,117 @@ class Shell:
         print(text, file=self.stdout)
 
 
+class ServeShell(Shell):
+    """REPL over a concurrent query server.
+
+    SQL is queued on the *current* session; ``.run`` hands every session
+    to the cooperative scheduler so their crowd waits overlap and
+    identical pending tasks share HITs through the task pool.
+    """
+
+    def __init__(self, server=None, sessions: int = 1,
+                 stdout: TextIO = sys.stdout) -> None:
+        self.server = server if server is not None else serve()
+        super().__init__(connection=self.server.connection, stdout=stdout)
+        self._commands.update({
+            ".newsession": self._cmd_newsession,
+            ".session": self._cmd_session,
+            ".sessions": self._cmd_sessions,
+            ".run": self._cmd_run,
+            ".server": self._cmd_server,
+        })
+        for _ in range(max(1, sessions)):
+            self.server.open_session()
+        self.current = min(self.server.sessions)
+        self._printed: dict[int, int] = {}
+
+    # SQL lines queue on the current session instead of running inline
+    def _run_sql(self, sql: str) -> None:
+        session = self.server.sessions[self.current]
+        session.submit(sql)
+        self._print(
+            f"queued on session {self.current} "
+            f"({session.queued} pending) — .run to execute"
+        )
+
+    def run_script(self, path: str) -> None:
+        """Scripts queue on the current session and run under the
+        scheduler, like typed SQL (one session per invocation)."""
+        with open(path) as handle:
+            self.server.sessions[self.current].submit(handle.read())
+        self._cmd_run("")
+
+    def _cmd_newsession(self, _argument: str) -> None:
+        session = self.server.open_session()
+        self.current = session.session_id
+        self._print(f"session {session.session_id} opened (now current)")
+
+    def _cmd_session(self, argument: str) -> None:
+        if not argument:
+            self._print(f"current session: {self.current}")
+            return
+        try:
+            number = int(argument)
+        except ValueError:
+            self._print("usage: .session [N]")
+            return
+        if number not in self.server.sessions:
+            self._print(f"no session {number} — .sessions to list")
+            return
+        self.current = number
+        self._print(f"current session: {number}")
+
+    def _cmd_sessions(self, _argument: str) -> None:
+        for session_id, session in sorted(self.server.sessions.items()):
+            marker = "*" if session_id == self.current else " "
+            self._print(
+                f" {marker} session {session_id}: {session.state.value.lower()}, "
+                f"{session.queued} queued, {len(session.results)} result(s)"
+            )
+
+    def _cmd_run(self, _argument: str) -> None:
+        self.server.run()
+        for session_id, session in sorted(self.server.sessions.items()):
+            start = self._printed.get(session_id, 0)
+            fresh = session.results[start:]
+            self._printed[session_id] = len(session.results)
+            for result in fresh:
+                self._print(f"-- session {session_id} --")
+                if isinstance(result, Exception):
+                    self._print(f"error: {result}")
+                else:
+                    self._print(result.pretty())
+
+    def _cmd_server(self, _argument: str) -> None:
+        for subsystem, counters in self.server.stats().items():
+            if isinstance(counters, dict):
+                self._print(f"  {subsystem}:")
+                for key, value in counters.items():
+                    self._print(f"    {key:22s} {value}")
+            else:
+                self._print(f"  {subsystem:22s} {counters}")
+
+
 def main(argv: Optional[list[str]] = None) -> int:
-    argv = argv if argv is not None else sys.argv[1:]
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    if "--serve" in argv:
+        argv.remove("--serve")
+        sessions = 1
+        if "--sessions" in argv:
+            index = argv.index("--sessions")
+            try:
+                sessions = int(argv[index + 1])
+            except (IndexError, ValueError):
+                print("usage: python -m repro.cli --serve [--sessions N]",
+                      file=sys.stderr)
+                return 2
+            del argv[index : index + 2]
+        shell = ServeShell(sessions=sessions)
+        for path in argv:
+            shell.run_script(path)
+        if not argv:
+            shell.run()
+        return 0
     shell = Shell()
     for path in argv:
         shell.run_script(path)

@@ -16,24 +16,41 @@ Operator-facing API:
 * :meth:`compare_equal` / :meth:`compare_order` — CrowdCompare ballots,
   cached ("results obtained from the crowd are always stored ... for
   future use").
+
+Each blocking call is a thin wrapper over the issue/poll/resume protocol
+used by the concurrent query server (:mod:`repro.server`):
+
+* :meth:`begin_fill` / :meth:`begin_new_tuples` / :meth:`begin_compare_equal`
+  / :meth:`begin_compare_order` post the HITs and return a
+  :class:`CrowdFuture` without advancing the platform clock;
+* :meth:`wait` drives one future to completion (the serial path);
+* :meth:`settle` finalizes a future whose HITs have completed (or whose
+  deadline passed) — the cooperative scheduler's resume path.
+
+When a shared task pool is attached (``task_manager.task_pool``),
+``begin_*`` deduplicates identical pending requests across concurrent
+sessions: both callers receive the *same* future and resume on one HIT's
+answers — the cross-query generalization of the paper's "results are
+always stored for future use" memorization.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.catalog.table import TableSchema
 from repro.crowd.model import (
     HIT,
+    HITStatus,
     CompareEqualTask,
     CompareOrderTask,
     FillTask,
     NewTupleTask,
 )
-from repro.crowd.platform import PlatformRegistry
+from repro.crowd.platform import CrowdPlatform, PlatformRegistry
 from repro.crowd.quality import MajorityVote, normalize_answer
-from repro.errors import BudgetExceededError, TypeError_
+from repro.errors import BudgetExceededError, ExecutionError, TypeError_
 from repro.sqltypes import NULL, parse_literal
 from repro.ui.manager import UITemplateManager
 
@@ -69,6 +86,108 @@ class TaskManagerStats:
         return dict(self.__dict__)
 
 
+class CrowdFuture:
+    """One outstanding crowd request: posted HITs plus the recipe that
+    turns their assignments into a typed answer.
+
+    The future is *done* when every HIT stopped accepting assignments
+    (completed or expired) or its deadline passed; it must then be
+    *settled* (accounting + voting + parsing, exactly once) before
+    :meth:`result` is available.  Futures are shared across sessions by
+    the task pool, so settlement is idempotent and the computed value is
+    fanned out to every waiter.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        key: tuple,
+        hits: list[HIT],
+        platform: Optional[CrowdPlatform],
+        posted_at: float,
+        timeout_seconds: float,
+        finalize: Callable[[list[HIT]], Any],
+    ) -> None:
+        self.kind = kind
+        self.key = key
+        self.hits = hits
+        self.platform = platform
+        self.posted_at = posted_at
+        self.timeout_seconds = timeout_seconds
+        self._finalize = finalize
+        self._settled = False
+        self._value: Any = None
+        # a mirrored comparison rides another future's HITs (see
+        # ``mirrored``); settlement and accounting happen on the parent
+        self.mirror_of: Optional["CrowdFuture"] = None
+        self.invert = False
+
+    @classmethod
+    def resolved(cls, kind: str, key: tuple, value: Any) -> "CrowdFuture":
+        """A future that never reached a platform (answer was cached)."""
+        future = cls(kind, key, [], None, 0.0, 0.0, lambda hits: value)
+        future._settled = True
+        future._value = value
+        return future
+
+    @classmethod
+    def mirrored(
+        cls, parent: "CrowdFuture", key: tuple, invert: bool
+    ) -> "CrowdFuture":
+        """A view of ``parent`` asked in the opposite direction.
+
+        CROWDORDER('a', 'b') and CROWDORDER('b', 'a') are one ballot; the
+        mirror shares the parent's HITs and negates its settled value, so
+        symmetric concurrent requests never post twice (or cache
+        contradictory answers)."""
+        future = cls(
+            parent.kind,
+            key,
+            parent.hits,
+            parent.platform,
+            parent.posted_at,
+            parent.timeout_seconds,
+            finalize=lambda hits: None,
+        )
+        future.mirror_of = parent
+        future.invert = invert
+        return future
+
+    @property
+    def deadline(self) -> float:
+        return self.posted_at + self.timeout_seconds
+
+    @property
+    def settled(self) -> bool:
+        if self.mirror_of is not None:
+            return self.mirror_of.settled
+        return self._settled
+
+    def hits_closed(self) -> bool:
+        """Poll: has every HIT stopped accepting assignments?"""
+        return all(hit.status is not HITStatus.OPEN for hit in self.hits)
+
+    def past_deadline(self) -> bool:
+        clock = getattr(self.platform, "clock", None)
+        if clock is None:
+            return True  # platform has no clock: waiting cannot help
+        return clock.now >= self.deadline
+
+    def ready(self) -> bool:
+        """Poll: can this future be settled without further waiting?"""
+        return self._settled or self.hits_closed() or self.past_deadline()
+
+    def result(self) -> Any:
+        if self.mirror_of is not None:
+            value = self.mirror_of.result()
+            return (not value) if self.invert else value
+        if not self._settled:
+            raise ExecutionError(
+                f"crowd future {self.key!r} consumed before settlement"
+            )
+        return self._value
+
+
 class TaskManager:
     """Posts tasks, waits for answers, votes, and parses results."""
 
@@ -86,6 +205,9 @@ class TaskManager:
         # comparison caches: the paper stores every crowd answer for reuse
         self._equal_cache: dict[tuple, bool] = {}
         self._order_cache: dict[tuple, str] = {}
+        # optional shared pool (repro.server): dedups identical pending
+        # requests across concurrent sessions
+        self.task_pool: Optional[Any] = None
 
     # -- CrowdProbe: fill CNULL values --------------------------------------------
 
@@ -102,7 +224,32 @@ class TaskManager:
         Returns ``column -> typed value`` — NULL when the crowd answered
         "no value" or never answered within the timeout.
         """
+        future = self.begin_fill(
+            schema, primary_key, columns, known_values, platform
+        )
+        self.wait(future)
+        return future.result()
+
+    def begin_fill(
+        self,
+        schema: TableSchema,
+        primary_key: tuple[Any, ...],
+        columns: tuple[str, ...],
+        known_values: dict[str, Any],
+        platform: Optional[str] = None,
+    ) -> CrowdFuture:
+        """Post a fill task and return its future without waiting."""
         self.stats.fill_requests += 1
+        key = (
+            "fill",
+            schema.name,
+            tuple(primary_key),
+            tuple(columns),
+            self._platform_key(platform),
+        )
+        shared = self._pool_lookup(key)
+        if shared is not None:
+            return shared
         task = FillTask(
             table=schema.name,
             primary_key=primary_key,
@@ -118,7 +265,22 @@ class TaskManager:
         template = self.ui_manager.fill_template(schema, columns)
         form_html = self.ui_manager.instantiate(template, known_values)
         hit = self._make_hit(task, form_html)
-        self._post_and_wait([hit], platform)
+        future = self._issue(
+            "fill",
+            key,
+            [hit],
+            platform,
+            lambda hits: self._finish_fill(schema, columns, hits),
+        )
+        return future
+
+    def _finish_fill(
+        self,
+        schema: TableSchema,
+        columns: tuple[str, ...],
+        hits: list[HIT],
+    ) -> dict[str, Any]:
+        (hit,) = hits
         answers = [a.answer for a in hit.assignments if isinstance(a.answer, dict)]
         result: dict[str, Any] = {}
         for column in columns:
@@ -148,8 +310,34 @@ class TaskManager:
         ``known_keys`` (already stored) are dropped, as are duplicates
         within the batch — the open-world de-duplication rule.
         """
+        future = self.begin_new_tuples(
+            schema, count, fixed_values, platform, known_keys
+        )
+        self.wait(future)
+        return future.result()
+
+    def begin_new_tuples(
+        self,
+        schema: TableSchema,
+        count: int,
+        fixed_values: Optional[dict[str, Any]] = None,
+        platform: Optional[str] = None,
+        known_keys: Optional[set] = None,
+    ) -> CrowdFuture:
+        """Post new-tuple tasks and return their future without waiting."""
         self.stats.new_tuple_requests += 1
         fixed = {k.lower(): v for k, v in (fixed_values or {}).items()}
+        key = (
+            "new",
+            schema.name,
+            count,
+            tuple(sorted(fixed.items())),
+            frozenset(known_keys or ()),
+            self._platform_key(platform),
+        )
+        shared = self._pool_lookup(key)
+        if shared is not None:
+            return shared
         task = NewTupleTask(
             table=schema.name,
             columns=schema.column_names,
@@ -164,8 +352,24 @@ class TaskManager:
         )
         form_html = self.ui_manager.instantiate(template, fixed)
         hits = [self._make_hit(task, form_html) for _ in range(count)]
-        self._post_and_wait(hits, platform)
+        frozen_known = set(known_keys or set())
+        return self._issue(
+            "new",
+            key,
+            hits,
+            platform,
+            lambda done: self._finish_new_tuples(
+                schema, fixed, frozen_known, done
+            ),
+        )
 
+    def _finish_new_tuples(
+        self,
+        schema: TableSchema,
+        fixed: dict[str, Any],
+        known_keys: set,
+        hits: list[HIT],
+    ) -> list[dict[str, Any]]:
         # Different assignments of one HIT legitimately contribute
         # *different* tuples, so voting happens within primary-key groups:
         # assignments agreeing on the key are replicas of one entity and
@@ -203,7 +407,7 @@ class TaskManager:
         if pk_columns and len(order) > 1 and self.config.fuzzy_cleansing:
             order = _merge_similar_keys(groups, order)
 
-        seen: set = set(known_keys or set())
+        seen: set = set(known_keys)
         if pk_columns and self.config.fuzzy_cleansing:
             order = [
                 key for key in order if not _is_near_duplicate(key, seen)
@@ -238,13 +442,35 @@ class TaskManager:
         platform: Optional[str] = None,
     ) -> bool:
         """CROWDEQUAL ballot: do the two values denote the same entity?"""
+        future = self.begin_compare_equal(left, right, question, platform)
+        self.wait(future)
+        return future.result()
+
+    def begin_compare_equal(
+        self,
+        left: Any,
+        right: Any,
+        question: Optional[str] = None,
+        platform: Optional[str] = None,
+    ) -> CrowdFuture:
+        """Post (or reuse) a CROWDEQUAL ballot; never advances the clock."""
         cache_key = (normalize_answer(left), normalize_answer(right))
+        key = ("eq",) + cache_key + (self._platform_key(platform),)
         cached = self._equal_cache.get(cache_key)
         if cached is None:
             cached = self._equal_cache.get((cache_key[1], cache_key[0]))
         if cached is not None:
             self.stats.cache_hits += 1
-            return cached
+            return CrowdFuture.resolved("eq", key, cached)
+        shared = self._pool_lookup(key)
+        if shared is not None:
+            return shared
+        # equality is symmetric: a pending ballot for (b, a) answers (a, b)
+        mirrored_pending = self._pool_lookup(
+            ("eq", cache_key[1], cache_key[0], self._platform_key(platform))
+        )
+        if mirrored_pending is not None:
+            return mirrored_pending
         self.stats.compare_requests += 1
         task = CompareEqualTask(
             left=left,
@@ -256,7 +482,16 @@ class TaskManager:
             template, {"left": left, "right": right}
         )
         hit = self._make_hit(task, form_html)
-        self._post_and_wait([hit], platform)
+        return self._issue(
+            "eq",
+            key,
+            [hit],
+            platform,
+            lambda hits: self._finish_compare_equal(cache_key, hits),
+        )
+
+    def _finish_compare_equal(self, cache_key: tuple, hits: list[HIT]) -> bool:
+        (hit,) = hits
         ballots = [bool(a.answer) for a in hit.assignments]
         if not ballots:
             answer = False  # no worker responded: conservatively not equal
@@ -273,10 +508,23 @@ class TaskManager:
         platform: Optional[str] = None,
     ) -> bool:
         """CROWDORDER ballot: should ``left`` be ranked before ``right``?"""
+        future = self.begin_compare_order(left, right, question, platform)
+        self.wait(future)
+        return future.result()
+
+    def begin_compare_order(
+        self,
+        left: Any,
+        right: Any,
+        question: str,
+        platform: Optional[str] = None,
+    ) -> CrowdFuture:
+        """Post (or reuse) a CROWDORDER ballot; never advances the clock."""
         left_key = normalize_answer(left)
         right_key = normalize_answer(right)
+        key = ("ord", question, left_key, right_key, self._platform_key(platform))
         if left_key == right_key:
-            return True
+            return CrowdFuture.resolved("ord", key, True)
         cache_key = (question, left_key, right_key)
         cached = self._order_cache.get(cache_key)
         if cached is None:
@@ -285,7 +533,17 @@ class TaskManager:
                 cached = "right" if mirrored == "left" else "left"
         if cached is not None:
             self.stats.cache_hits += 1
-            return cached == "left"
+            return CrowdFuture.resolved("ord", key, cached == "left")
+        shared = self._pool_lookup(key)
+        if shared is not None:
+            return shared
+        # a pending ballot for the opposite direction is the same question
+        # with the answer inverted — ride its HITs instead of reposting
+        mirrored_pending = self._pool_lookup(
+            ("ord", question, right_key, left_key, self._platform_key(platform))
+        )
+        if mirrored_pending is not None:
+            return CrowdFuture.mirrored(mirrored_pending, key, invert=True)
         self.stats.compare_requests += 1
         task = CompareOrderTask(left=left, right=right, question=question)
         template = self.ui_manager.compare_order_template(question)
@@ -293,7 +551,16 @@ class TaskManager:
             template, {"left": left, "right": right}
         )
         hit = self._make_hit(task, form_html)
-        self._post_and_wait([hit], platform)
+        return self._issue(
+            "ord",
+            key,
+            [hit],
+            platform,
+            lambda hits: self._finish_compare_order(cache_key, hits),
+        )
+
+    def _finish_compare_order(self, cache_key: tuple, hits: list[HIT]) -> bool:
+        (hit,) = hits
         ballots = [
             a.answer for a in hit.assignments if a.answer in ("left", "right")
         ]
@@ -304,18 +571,17 @@ class TaskManager:
         self._order_cache[cache_key] = winner
         return winner == "left"
 
-    # -- internals -----------------------------------------------------------------------
+    # -- issue / poll / resume protocol -------------------------------------------------
 
-    def _make_hit(self, task: Any, form_html: str) -> HIT:
-        return HIT(
-            task=task,
-            reward_cents=self.config.reward_cents,
-            assignments_requested=self.config.replication,
-            form_html=form_html,
-            locality=self.config.locality,
-        )
-
-    def _post_and_wait(self, hits: list[HIT], platform_name: Optional[str]) -> None:
+    def _issue(
+        self,
+        kind: str,
+        key: tuple,
+        hits: list[HIT],
+        platform_name: Optional[str],
+        finalize: Callable[[list[HIT]], Any],
+    ) -> CrowdFuture:
+        """Budget-check, post, and wrap the HITs in an unsettled future."""
         projected = sum(
             hit.reward_cents * hit.assignments_requested for hit in hits
         )
@@ -329,17 +595,79 @@ class TaskManager:
                 f"({self.stats.cost_cents}c already spent)"
             )
         platform = self.platforms.get(platform_name or self.config.platform)
-        ids = platform.post_hits(hits)
+        platform.post_hits(hits)
         self.stats.hits_posted += len(hits)
-        done = platform.wait_for_hits(ids, self.config.timeout_seconds)
-        if not done:
+        clock = getattr(platform, "clock", None)
+        future = CrowdFuture(
+            kind=kind,
+            key=key,
+            hits=hits,
+            platform=platform,
+            posted_at=clock.now if clock is not None else 0.0,
+            timeout_seconds=self.config.timeout_seconds,
+            finalize=finalize,
+        )
+        if self.task_pool is not None:
+            self.task_pool.register(future)
+        return future
+
+    def wait(self, future: CrowdFuture) -> None:
+        """Serial path: advance the platform clock until the future is
+        done (or its deadline passes), then settle it."""
+        if future.settled:
+            return
+        remaining = future.timeout_seconds
+        clock = getattr(future.platform, "clock", None)
+        if clock is not None:
+            remaining = max(0.0, future.deadline - clock.now)
+        future.platform.run_until(future.hits_closed, remaining)
+        self.settle(future)
+
+    def settle(self, future: CrowdFuture) -> Any:
+        """Finalize a completed (or timed-out) future: expire stragglers,
+        account costs, vote, parse.  Idempotent — shared futures settle
+        once and fan the answer out to every waiter."""
+        if future.mirror_of is not None:
+            self.settle(future.mirror_of)
+            return future.result()
+        if future.settled:
+            return future._value
+        if not future.hits_closed():
             self.stats.timeouts += 1
-            for hit_id in ids:
-                platform.expire_hit(hit_id)
-        received = sum(len(hit.assignments) for hit in hits)
-        self.stats.assignments_received += received
+            for hit in future.hits:
+                if hit.status is HITStatus.OPEN:
+                    future.platform.expire_hit(hit.hit_id)
+        self.stats.assignments_received += sum(
+            len(hit.assignments) for hit in future.hits
+        )
         self.stats.cost_cents += sum(
-            hit.reward_cents * len(hit.assignments) for hit in hits
+            hit.reward_cents * len(hit.assignments) for hit in future.hits
+        )
+        future._value = future._finalize(future.hits)
+        future._settled = True
+        if self.task_pool is not None:
+            self.task_pool.forget(future)
+        return future._value
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _platform_key(self, platform_name: Optional[str]) -> str:
+        """The registry key two requests must share to be poolable."""
+        name = platform_name or self.config.platform
+        return (name or "").lower() or "@default"
+
+    def _pool_lookup(self, key: tuple) -> Optional[CrowdFuture]:
+        if self.task_pool is None:
+            return None
+        return self.task_pool.lookup(key)
+
+    def _make_hit(self, task: Any, form_html: str) -> HIT:
+        return HIT(
+            task=task,
+            reward_cents=self.config.reward_cents,
+            assignments_requested=self.config.replication,
+            form_html=form_html,
+            locality=self.config.locality,
         )
 
     @staticmethod

@@ -5,6 +5,15 @@ engine, the Task Manager (absent for purely electronic queries), the
 expression evaluator, and the subquery executor, and implements the
 :class:`~repro.plan.expressions.EvalContext` protocol so CROWDEQUAL and
 subqueries evaluate inside ordinary predicates.
+
+Every crowd request an operator makes flows through the ``crowd_*``
+helpers here, which implement the issue/yield/resume protocol: issue the
+tasks (non-blocking ``begin_*`` on the Task Manager), then hand the
+future to :meth:`wait_crowd`.  Standalone connections resolve the wait by
+advancing the simulated platform clock in place; under the concurrent
+query server a ``crowd_waiter`` callback is installed that *suspends the
+whole session* until the scheduler has results, so other sessions run
+while this one's HITs are pending.
 """
 
 from __future__ import annotations
@@ -31,18 +40,73 @@ class ExecutionContext:
         subquery_executor: Optional[
             Callable[[ast.Select, tuple, Scope], list[tuple]]
         ] = None,
+        crowd_waiter: Optional[Callable[[Any], None]] = None,
     ) -> None:
         self.engine = engine
         self.task_manager = task_manager
         self.parameters = parameters
         self.platform = platform
         self._subquery_executor = subquery_executor
+        self.crowd_waiter = crowd_waiter
         self.evaluator = Evaluator(context=self, parameters=parameters)
         # per-execution metrics surfaced by EXPLAIN ANALYZE-style reporting
         self.rows_scanned = 0
         self.crowd_probe_tasks = 0
         self.crowd_join_tasks = 0
         self.crowd_compare_tasks = 0
+
+    # -- issue / yield / resume ---------------------------------------------------
+
+    def wait_crowd(self, future: Any) -> None:
+        """Block until ``future`` is settled.
+
+        Serial mode advances the platform's discrete-event clock right
+        here; cooperative mode yields the session to the scheduler, which
+        resumes it only once the future has been settled.
+        """
+        if future.settled:
+            return
+        if self.crowd_waiter is not None:
+            self.crowd_waiter(future)
+            if not future.settled:
+                raise ExecutionError(
+                    "cooperative scheduler resumed a session before its "
+                    "crowd future settled"
+                )
+        else:
+            self.task_manager.wait(future)
+
+    def crowd_fill(
+        self,
+        schema: Any,
+        primary_key: tuple,
+        columns: tuple[str, ...],
+        known_values: dict[str, Any],
+    ) -> dict[str, Any]:
+        """Issue a fill task, yield until answered, return typed values."""
+        future = self.task_manager.begin_fill(
+            schema, primary_key, columns, known_values, platform=self.platform
+        )
+        self.wait_crowd(future)
+        return future.result()
+
+    def crowd_new_tuples(
+        self,
+        schema: Any,
+        count: int,
+        fixed_values: Optional[dict[str, Any]] = None,
+        known_keys: Optional[set] = None,
+    ) -> list[dict[str, Any]]:
+        """Issue new-tuple tasks, yield until answered, return the tuples."""
+        future = self.task_manager.begin_new_tuples(
+            schema,
+            count,
+            fixed_values=fixed_values,
+            platform=self.platform,
+            known_keys=known_keys,
+        )
+        self.wait_crowd(future)
+        return future.result()
 
     # -- EvalContext protocol -----------------------------------------------------
 
@@ -52,9 +116,11 @@ class ExecutionContext:
                 "query needs CROWDEQUAL but no crowd platform is configured"
             )
         self.crowd_compare_tasks += 1
-        return self.task_manager.compare_equal(
+        future = self.task_manager.begin_compare_equal(
             left, right, question, platform=self.platform
         )
+        self.wait_crowd(future)
+        return future.result()
 
     def crowd_order(self, left: Any, right: Any, question: str) -> bool:
         if self.task_manager is None:
@@ -62,9 +128,11 @@ class ExecutionContext:
                 "query needs CROWDORDER but no crowd platform is configured"
             )
         self.crowd_compare_tasks += 1
-        return self.task_manager.compare_order(
+        future = self.task_manager.begin_compare_order(
             left, right, question, platform=self.platform
         )
+        self.wait_crowd(future)
+        return future.result()
 
     def scalar_subquery(self, query: ast.Select, values: tuple, scope: Scope) -> Any:
         rows = self._run_subquery(query, values, scope)

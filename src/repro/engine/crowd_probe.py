@@ -73,11 +73,8 @@ class CrowdProbeOp(PhysicalOperator):
             if heap.lookup_primary_key(key) is not None:
                 continue
             fixed = dict(zip(self.table.primary_key, key))
-            new_tuples = self.context.task_manager.source_new_tuples(
-                self.table,
-                1,
-                fixed_values=fixed,
-                platform=self.context.platform,
+            new_tuples = self.context.crowd_new_tuples(
+                self.table, 1, fixed_values=fixed
             )
             self.context.crowd_probe_tasks += 1
             for row in new_tuples:
@@ -117,12 +114,8 @@ class CrowdProbeOp(PhysicalOperator):
             values[scope.resolve(c, self.binding)]
             for c in self.table.primary_key
         )
-        answers = self.context.task_manager.fill_values(
-            self.table,
-            pk,
-            tuple(missing),
-            known,
-            platform=self.context.platform,
+        answers = self.context.crowd_fill(
+            self.table, pk, tuple(missing), known
         )
         self.context.crowd_probe_tasks += 1
         new_values = list(values)

@@ -54,10 +54,19 @@ class ResultSet:
         return [row[index] for row in self.rows]
 
     def pretty(self) -> str:
-        """ASCII table rendering for examples and the demo."""
+        """ASCII table rendering for examples and the demo.
+
+        Zero-column results (DML, DDL) render as a row-count summary;
+        zero-row results render the header with a ``(0 row(s))`` footer —
+        both consistently derived from ``rows``/``rowcount``.
+        """
         from repro.sqltypes import format_value
 
         if not self.columns:
+            if self.rows:
+                # a degenerate SELECT with no output columns: count rows,
+                # don't silently claim "affected"
+                return f"({len(self.rows)} row(s))"
             return f"({self.rowcount} row(s) affected)"
         rendered = [
             [format_value(value) for value in row] for row in self.rows
@@ -99,6 +108,10 @@ class Executor:
         self.ui_manager = ui_manager
         self.platform = platform
         self.builder = PlanBuilder(engine.catalog)
+        # issue/yield/resume hook: the concurrent query server installs a
+        # callback here so crowd waits suspend the session instead of
+        # advancing the simulated platform clock in place
+        self.crowd_waiter: Optional[Any] = None
 
     # -- public entry point ---------------------------------------------------------
 
@@ -268,6 +281,7 @@ class Executor:
             parameters=parameters,
             platform=self.platform,
             subquery_executor=self._run_subquery,
+            crowd_waiter=self.crowd_waiter,
         )
         return context
 

@@ -199,12 +199,8 @@ class CrowdJoinOp(PhysicalOperator):
         if self.context.task_manager is None:
             return
         fixed = dict(zip(self.inner_key_columns, key))
-        new_tuples = self.context.task_manager.source_new_tuples(
-            self.inner_table,
-            1,
-            fixed_values=fixed,
-            platform=self.context.platform,
-            known_keys=None,
+        new_tuples = self.context.crowd_new_tuples(
+            self.inner_table, 1, fixed_values=fixed
         )
         self.context.crowd_join_tasks += 1
         for values in new_tuples:
@@ -237,9 +233,8 @@ class CrowdJoinOp(PhysicalOperator):
             values[self.inner_table.column_index(c)]
             for c in self.inner_table.primary_key
         )
-        answers = self.context.task_manager.fill_values(
-            self.inner_table, pk, tuple(missing), known,
-            platform=self.context.platform,
+        answers = self.context.crowd_fill(
+            self.inner_table, pk, tuple(missing), known
         )
         self.context.crowd_probe_tasks += 1
         new_values = list(values)

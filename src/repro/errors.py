@@ -81,6 +81,11 @@ class TaskTimeoutError(CrowdPlatformError):
     configured deadline."""
 
 
+class AdmissionError(CrowdDBError):
+    """The query server refused a new session: the active-session limit is
+    reached and the admission waitlist is full."""
+
+
 class QualityControlError(CrowdDBError):
     """Answer cleansing/majority voting could not produce a usable value
     (e.g. zero valid assignments after normalization)."""

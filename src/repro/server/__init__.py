@@ -1,0 +1,29 @@
+"""Concurrent query server: N CrowdSQL sessions over one CrowdDB instance.
+
+The subsystem the paper's production story implies but the demo never
+built: a server that keeps the relational half busy while the crowd half
+waits.  See :mod:`repro.server.server` for the entry point.
+"""
+
+from repro.server.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionStats,
+)
+from repro.server.scheduler import CooperativeScheduler, SchedulerStats
+from repro.server.server import Server
+from repro.server.session import Session, SessionState
+from repro.server.task_pool import TaskPool, TaskPoolStats
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionStats",
+    "CooperativeScheduler",
+    "SchedulerStats",
+    "Server",
+    "Session",
+    "SessionState",
+    "TaskPool",
+    "TaskPoolStats",
+]

@@ -1,0 +1,110 @@
+"""Admission control for the concurrent query server.
+
+A CrowdDB instance multiplexes many sessions over one storage engine and
+one crowd budget; admitting unbounded concurrent sessions would flood the
+(simulated) marketplace with HIT groups and starve everyone.  The
+controller enforces a simple two-tier policy:
+
+* up to ``max_active_sessions`` run concurrently under the scheduler;
+* up to ``max_waiting_sessions`` more queue FIFO and are promoted as
+  active sessions drain;
+* beyond that, :class:`~repro.errors.AdmissionError` — the caller should
+  back off and retry.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import AdmissionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.server.session import Session
+
+
+@dataclass
+class AdmissionConfig:
+    """Concurrency limits of one server."""
+
+    max_active_sessions: int = 32
+    max_waiting_sessions: int = 64
+
+
+@dataclass
+class AdmissionStats:
+    admitted: int = 0
+    waitlisted: int = 0
+    promoted: int = 0
+    rejected: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class AdmissionController:
+    """Tracks which sessions hold one of the server's active slots."""
+
+    def __init__(self, config: AdmissionConfig | None = None) -> None:
+        self.config = config if config is not None else AdmissionConfig()
+        self._active: set[int] = set()
+        self._waitlist: deque["Session"] = deque()
+        self.stats = AdmissionStats()
+
+    # -- queries -------------------------------------------------------------
+
+    def is_admitted(self, session: "Session") -> bool:
+        return session.session_id in self._active
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    @property
+    def waiting_count(self) -> int:
+        return len(self._waitlist)
+
+    # -- transitions ---------------------------------------------------------
+
+    def request(self, session: "Session") -> bool:
+        """Ask for an active slot.  True = admitted now; False =
+        waitlisted; raises :class:`AdmissionError` when both tiers are
+        full."""
+        if session.session_id in self._active:
+            return True
+        if any(s.session_id == session.session_id for s in self._waitlist):
+            return False
+        if len(self._active) < self.config.max_active_sessions:
+            self._active.add(session.session_id)
+            self.stats.admitted += 1
+            return True
+        if len(self._waitlist) < self.config.max_waiting_sessions:
+            self._waitlist.append(session)
+            self.stats.waitlisted += 1
+            return False
+        self.stats.rejected += 1
+        raise AdmissionError(
+            f"server full: {len(self._active)} active session(s) and "
+            f"{len(self._waitlist)} waiting (limits "
+            f"{self.config.max_active_sessions}/"
+            f"{self.config.max_waiting_sessions})"
+        )
+
+    def release(self, session: "Session") -> list["Session"]:
+        """Give back a slot; returns the sessions promoted off the
+        waitlist (in FIFO order) into the freed capacity."""
+        self._active.discard(session.session_id)
+        self._waitlist = deque(
+            s for s in self._waitlist if s.session_id != session.session_id
+        )
+        promoted: list["Session"] = []
+        while (
+            self._waitlist
+            and len(self._active) < self.config.max_active_sessions
+        ):
+            nxt = self._waitlist.popleft()
+            self._active.add(nxt.session_id)
+            self.stats.promoted += 1
+            promoted.append(nxt)
+        return promoted

@@ -1,0 +1,142 @@
+"""Cooperative scheduler: many suspended queries, one simulated clock.
+
+The seed executed one statement at a time, spinning the platform's
+discrete-event clock inside every crowd wait — a second query could not
+even start while the first waited on ballots.  The scheduler inverts
+that: sessions run until they *issue* crowd tasks and suspend; only when
+no session can make progress does the scheduler advance the simulated
+clock, once, for everyone.  All HITs pending across all sessions are in
+the marketplace together, so their latencies overlap instead of adding
+up, and the shared task pool collapses identical requests into single
+HITs while they are in flight.
+
+Scheduling is deterministic: runnable sessions are picked lowest
+session-id first, platforms are advanced in name order, and only one
+thread (a session's or the caller's) ever executes at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.errors import ExecutionError
+from repro.server.admission import AdmissionController
+from repro.server.session import Session, SessionState
+
+
+@dataclass
+class SchedulerStats:
+    slices: int = 0           # baton hand-offs into sessions
+    suspensions: int = 0      # times a session parked on a crowd future
+    clock_advances: int = 0   # times the simulated clock had to move
+    futures_settled: int = 0  # crowd futures resolved by the scheduler
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class CooperativeScheduler:
+    """Drives a set of sessions to completion over one shared engine."""
+
+    def __init__(self, task_manager: Optional[object]) -> None:
+        self.task_manager = task_manager
+        self.stats = SchedulerStats()
+
+    def drain(
+        self,
+        sessions: Iterable[Session],
+        admission: Optional[AdmissionController] = None,
+    ) -> None:
+        """Run until every session is quiescent (queue empty, nothing in
+        flight).  Admission-waitlisted sessions are promoted as admitted
+        sessions drain."""
+        ordered = sorted(sessions, key=lambda s: s.session_id)
+        if admission is not None:
+            for session in ordered:
+                if not session.quiescent() and not admission.is_admitted(
+                    session
+                ):
+                    admission.request(session)
+        while True:
+            active = [
+                s
+                for s in ordered
+                if admission is None or admission.is_admitted(s)
+            ]
+            session = self._next_runnable(active)
+            if session is not None:
+                before = session.suspensions
+                session.run_slice()
+                self.stats.slices += 1
+                self.stats.suspensions += session.suspensions - before
+                continue
+            waiting = [s for s in active if s.state is SessionState.WAITING]
+            if waiting:
+                self._advance(waiting)
+                continue
+            if admission is not None and admission.waiting_count > 0:
+                promoted = []
+                for s in active:
+                    if s.quiescent():
+                        promoted.extend(admission.release(s))
+                if promoted:
+                    continue
+                raise ExecutionError(
+                    "admission deadlock: waitlisted sessions but no "
+                    "active session can drain"
+                )
+            return
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _next_runnable(active: list[Session]) -> Optional[Session]:
+        for session in active:  # already sorted by session id
+            if session.runnable():
+                return session
+        return None
+
+    def _advance(self, waiting: list[Session]) -> None:
+        """Advance the simulated clock until at least one pending crowd
+        future can settle, then settle everything that is ready."""
+        if self.task_manager is None:  # pragma: no cover - defensive
+            raise ExecutionError("sessions wait on crowd but server has none")
+        futures = []
+        seen: set[int] = set()
+        for session in waiting:
+            future = session.waiting_on
+            if future is not None and id(future) not in seen:
+                seen.add(id(future))
+                futures.append(future)
+        by_platform: dict[str, list] = {}
+        for future in futures:
+            name = getattr(future.platform, "name", "?")
+            by_platform.setdefault(name, []).append(future)
+        progressed = False
+        for name in sorted(by_platform):
+            group = by_platform[name]
+            ready = [f for f in group if f.ready()]
+            if not ready:
+                platform = group[0].platform
+                clock = getattr(platform, "clock", None)
+                if clock is not None:
+                    timeout = min(
+                        max(0.0, f.deadline - clock.now) for f in group
+                    )
+                else:  # pragma: no cover - clockless platforms are ready()
+                    timeout = min(f.timeout_seconds for f in group)
+                platform.run_until(
+                    lambda: any(f.hits_closed() for f in group), timeout
+                )
+                self.stats.clock_advances += 1
+                ready = [f for f in group if f.ready()]
+            for future in ready:
+                self.task_manager.settle(future)
+                self.stats.futures_settled += 1
+                progressed = True
+        if not progressed:
+            raise ExecutionError(
+                "scheduler stalled: no pending crowd future can make "
+                "progress before its deadline"
+            )

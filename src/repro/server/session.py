@@ -1,0 +1,192 @@
+"""One client session of the concurrent query server.
+
+A session owns a statement queue, a results list, and a worker thread
+that runs statements against the *shared* storage engine.  Threads are
+used purely as suspendable stacks — the cooperative scheduler guarantees
+that at most one session (or the scheduler itself) executes at any
+moment, handing control back and forth with a pair of events:
+
+* the scheduler calls :meth:`run_slice`, which wakes the thread and
+  blocks until it *yields*;
+* the thread yields when it finishes its queue (state ``IDLE``) or when
+  a crowd operator issues tasks and parks on their future (state
+  ``WAITING`` — the ``crowd_waiter`` installed on the session's
+  executor).
+
+Because exactly one thread is ever runnable, execution is deterministic:
+same seed, same submission order, same interleaving, same answers.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from collections import deque
+from typing import Any, Optional
+
+from repro.engine.executor import Executor, ResultSet
+from repro.errors import ExecutionError
+from repro.sql.parser import parse_script
+
+
+class SessionState(enum.Enum):
+    IDLE = "IDLE"          # queue drained, parked, can take more work
+    RUNNING = "RUNNING"    # currently holds the execution baton
+    WAITING = "WAITING"    # parked on a pending crowd future
+    CLOSED = "CLOSED"      # thread exited
+
+
+#: how long run_slice waits for the worker thread before declaring it
+#: wedged — generous, since simulated work completes in milliseconds
+_SLICE_TIMEOUT_SECONDS = 60.0
+
+
+class Session:
+    """A suspendable CrowdSQL client multiplexed by the scheduler."""
+
+    def __init__(self, session_id: int, executor: Executor) -> None:
+        self.session_id = session_id
+        self.executor = executor
+        executor.crowd_waiter = self._crowd_wait
+        self.state = SessionState.IDLE
+        self.waiting_on: Optional[Any] = None  # CrowdFuture while WAITING
+        self.results: list[Any] = []  # ResultSet | Exception, per statement
+        self.errors: list[Exception] = []
+        self.statements_run = 0
+        self.suspensions = 0
+        self._statements: deque[str] = deque()
+        self._thread: Optional[threading.Thread] = None
+        self._resume = threading.Event()
+        self._yielded = threading.Event()
+        self._closing = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Session {self.session_id} {self.state.value} "
+            f"queued={len(self._statements)} results={len(self.results)}>"
+        )
+
+    # -- client API ----------------------------------------------------------
+
+    def submit(self, sql: str) -> "Session":
+        """Queue one statement (or ;-separated script) for execution."""
+        if self.state is SessionState.CLOSED:
+            raise ExecutionError(
+                f"session {self.session_id} is closed"
+            )
+        self._statements.append(sql)
+        return self
+
+    @property
+    def queued(self) -> int:
+        return len(self._statements)
+
+    def last_result(self) -> ResultSet:
+        """The most recent result; re-raises if it was an error."""
+        if not self.results:
+            raise ExecutionError(
+                f"session {self.session_id} has no results yet"
+            )
+        result = self.results[-1]
+        if isinstance(result, Exception):
+            raise result
+        return result
+
+    # -- scheduler API -------------------------------------------------------
+
+    def runnable(self) -> bool:
+        """Can this session make progress right now without the clock?"""
+        if self.state is SessionState.CLOSED:
+            return False
+        if self.state is SessionState.WAITING:
+            return self.waiting_on is not None and self.waiting_on.settled
+        return bool(self._statements)
+
+    def quiescent(self) -> bool:
+        """No queued work and nothing in flight (slot can be released)."""
+        return (
+            self.state in (SessionState.IDLE, SessionState.CLOSED)
+            and not self._statements
+        )
+
+    def run_slice(self) -> None:
+        """Hand the baton to this session until it parks again."""
+        if self.state is SessionState.CLOSED:
+            return
+        self._ensure_thread()
+        self._yielded.clear()
+        self._resume.set()
+        if not self._yielded.wait(_SLICE_TIMEOUT_SECONDS):
+            raise ExecutionError(
+                f"session {self.session_id} did not yield within "
+                f"{_SLICE_TIMEOUT_SECONDS}s — worker thread wedged?"
+            )
+
+    def close(self) -> None:
+        """Stop the worker thread.  In-flight work is aborted."""
+        if self.state is SessionState.CLOSED:
+            return
+        self._closing = True
+        if self._thread is not None and self._thread.is_alive():
+            self.run_slice()
+            self._thread.join(timeout=_SLICE_TIMEOUT_SECONDS)
+        self.state = SessionState.CLOSED
+
+    # -- worker thread -------------------------------------------------------
+
+    def _ensure_thread(self) -> None:
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._main,
+                name=f"crowddb-session-{self.session_id}",
+                daemon=True,
+            )
+            self._thread.start()
+
+    def _main(self) -> None:
+        try:
+            self._await_resume()
+            while not self._closing:
+                if self._statements:
+                    self._run_one(self._statements.popleft())
+                else:
+                    self.state = SessionState.IDLE
+                    self._park()
+        finally:
+            self.state = SessionState.CLOSED
+            self._yielded.set()
+
+    def _run_one(self, sql: str) -> None:
+        self.state = SessionState.RUNNING
+        try:
+            statements = parse_script(sql)
+        except Exception as error:
+            self.errors.append(error)
+            self.results.append(error)
+            return
+        for statement in statements:
+            try:
+                self.results.append(self.executor.execute(statement))
+                self.statements_run += 1
+            except Exception as error:  # surfaced per-statement, REPL-style
+                self.errors.append(error)
+                self.results.append(error)
+
+    def _crowd_wait(self, future: Any) -> None:
+        """The executor's yield point: park until the scheduler has
+        settled ``future`` (installed as ``executor.crowd_waiter``)."""
+        self.waiting_on = future
+        self.state = SessionState.WAITING
+        self.suspensions += 1
+        self._park()
+        self.waiting_on = None
+        self.state = SessionState.RUNNING
+
+    def _park(self) -> None:
+        """Yield the baton to the scheduler and sleep until resumed."""
+        self._yielded.set()
+        self._await_resume()
+
+    def _await_resume(self) -> None:
+        self._resume.wait()
+        self._resume.clear()

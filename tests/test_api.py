@@ -51,6 +51,38 @@ class TestConnect:
             db.query("SELECT name FROM c WHERE CROWDEQUAL(name, 'Big Blue')")
 
 
+class TestResultSetPretty:
+    def test_dml_renders_affected_count(self, plain_db):
+        plain_db.execute("CREATE TABLE t (a INT)")
+        result = plain_db.execute("INSERT INTO t VALUES (1), (2)")
+        assert result.pretty() == "(2 row(s) affected)"
+
+    def test_zero_column_zero_row_result(self):
+        from repro.engine.executor import ResultSet
+
+        assert ResultSet().pretty() == "(0 row(s) affected)"
+
+    def test_zero_column_result_with_rows_counts_rows(self):
+        from repro.engine.executor import ResultSet
+
+        result = ResultSet(columns=[], rows=[(), ()], rowcount=0)
+        assert result.pretty() == "(2 row(s))"
+
+    def test_empty_select_renders_header_and_zero_rows(self, plain_db):
+        plain_db.execute("CREATE TABLE t (a INT, b STRING)")
+        text = plain_db.execute("SELECT a, b FROM t").pretty()
+        lines = text.splitlines()
+        assert "| a | b |" in lines
+        assert lines[-1] == "(0 row(s))"
+
+    def test_populated_select_renders_all_rows(self, plain_db):
+        plain_db.execute("CREATE TABLE t (a INT)")
+        plain_db.execute("INSERT INTO t VALUES (7), (42)")
+        text = plain_db.execute("SELECT a FROM t").pretty()
+        assert "| 7" in text and "| 42 |" in text
+        assert text.splitlines()[-1] == "(2 row(s))"
+
+
 class TestExecuteHelpers:
     def test_executescript_returns_all_results(self, plain_db):
         results = plain_db.executescript(

@@ -135,3 +135,60 @@ class TestRunLoop:
         )
         shell.run_script(str(script))
         assert "2" in output_of(shell)
+
+
+class TestServeShell:
+    @pytest.fixture
+    def serve_shell(self, demo_oracle):
+        from repro.api import serve
+        from repro.cli import ServeShell
+
+        server = serve(oracle=demo_oracle, seed=17)
+        shell = ServeShell(server=server, sessions=2, stdout=io.StringIO())
+        shell.connection.execute(
+            "CREATE TABLE Talk (title STRING PRIMARY KEY, abstract CROWD STRING)"
+        )
+        shell.connection.execute("INSERT INTO Talk (title) VALUES ('CrowdDB')")
+        return shell
+
+    def test_sql_is_queued_not_executed(self, serve_shell):
+        serve_shell.handle_line("SELECT title FROM Talk;")
+        out = output_of(serve_shell)
+        assert "queued on session 1" in out
+        assert "CrowdDB" not in out
+
+    def test_run_executes_all_sessions(self, serve_shell):
+        serve_shell.handle_line("SELECT title FROM Talk;")
+        serve_shell.handle_line(".session 2")
+        serve_shell.handle_line("SELECT COUNT(*) FROM Talk;")
+        serve_shell.handle_line(".run")
+        out = output_of(serve_shell)
+        assert "-- session 1 --" in out and "-- session 2 --" in out
+        assert "CrowdDB" in out
+
+    def test_session_commands(self, serve_shell):
+        serve_shell.handle_line(".sessions")
+        serve_shell.handle_line(".newsession")
+        serve_shell.handle_line(".session 99")
+        out = output_of(serve_shell)
+        assert "session 1" in out and "session 2" in out
+        assert "session 3 opened" in out
+        assert "no session 99" in out
+
+    def test_server_stats_command(self, serve_shell):
+        serve_shell.handle_line(".server")
+        out = output_of(serve_shell)
+        assert "task_pool" in out and "scheduler" in out
+
+    def test_errors_surface_per_session(self, serve_shell):
+        serve_shell.handle_line("SELECT nope FROM Missing;")
+        serve_shell.handle_line(".run")
+        assert "error:" in output_of(serve_shell)
+
+    def test_run_script_goes_through_sessions(self, serve_shell, tmp_path):
+        script = tmp_path / "script.sql"
+        script.write_text("SELECT COUNT(*) FROM Talk;\n")
+        serve_shell.run_script(str(script))
+        out = output_of(serve_shell)
+        assert "-- session 1 --" in out
+        assert serve_shell.server.sessions[1].statements_run == 1

@@ -36,11 +36,63 @@ def run_demo(seed: int):
     return abstracts, ranking, db.crowd_stats
 
 
+def run_concurrent_demo(seed: int):
+    """The run_demo workload split over three server sessions, plus a
+    deliberately duplicated query so the task pool dedups in flight."""
+    from repro import serve
+
+    reset_id_counters()
+    oracle = GroundTruthOracle()
+    for i, title in enumerate(("A", "B", "C")):
+        oracle.load_fill(
+            "Talk", (title,), {"abstract": f"abs {title}", "nb_attendees": 10 + i}
+        )
+    oracle.load_ranking("q", {"A": 3.0, "B": 2.0, "C": 1.0})
+    server = serve(oracle=oracle, seed=seed)
+    server.connection.execute(
+        "CREATE TABLE Talk (title STRING PRIMARY KEY, "
+        "abstract CROWD STRING, nb_attendees CROWD INTEGER)"
+    )
+    server.connection.execute(
+        "INSERT INTO Talk (title) VALUES ('A'), ('B'), ('C')"
+    )
+    per_session = server.run_scripts(
+        [
+            "SELECT nb_attendees FROM Talk WHERE title = 'A'",
+            "SELECT nb_attendees FROM Talk WHERE title = 'A'; "
+            "SELECT nb_attendees FROM Talk WHERE title = 'B'",
+            "SELECT title FROM Talk ORDER BY CROWDORDER(title, 'q')",
+        ]
+    )
+    rows = [[result.rows for result in results] for results in per_session]
+    stats = server.stats()
+    server.shutdown()
+    return rows, stats
+
+
 class TestDeterminism:
     def test_same_seed_same_everything(self):
         first = run_demo(99)
         second = run_demo(99)
         assert first == second
+
+    def test_concurrent_scheduler_is_deterministic(self):
+        """Same seed, same submission order => identical interleaving,
+        answers, and counters under the cooperative scheduler."""
+        first_rows, first_stats = run_concurrent_demo(99)
+        second_rows, second_stats = run_concurrent_demo(99)
+        assert first_rows == second_rows
+        assert first_stats == second_stats
+        # the duplicated session-1/session-2 query shared one HIT
+        assert first_stats["task_pool"]["hits_saved"] >= 1
+
+    def test_concurrent_matches_serial_fill_semantics(self):
+        """The scheduler changes *when* HITs resolve, not what a seeded
+        demo's comparisons conclude: both talk rankings are permutations
+        of the same titles."""
+        rows, _stats = run_concurrent_demo(4)
+        ranking = [row[0] for row in rows[2][0]]
+        assert sorted(ranking) == ["A", "B", "C"]
 
     def test_different_seed_differs_somewhere(self):
         # the weakest check that the seed actually matters: full crowd

@@ -1,0 +1,370 @@
+"""Tests for the concurrent query server (repro.server).
+
+Covers the shared task pool (identical concurrent fills/compares issue
+exactly one HIT; answers fan out to every waiting session), the
+cooperative scheduler (suspend on crowd waits, deterministic resume,
+per-statement error isolation), and admission control.
+"""
+
+import pytest
+
+from repro import connect, serve
+from repro.crowd.model import reset_id_counters
+from repro.crowd.platform import PlatformRegistry
+from repro.crowd.scripted import ScriptedPlatform, oracle_answer_fn
+from repro.crowd.sim.traces import GroundTruthOracle
+from repro.crowd.task_manager import CrowdConfig, TaskManager
+from repro.errors import AdmissionError, ExecutionError
+from repro.server import (
+    AdmissionConfig,
+    AdmissionController,
+    Server,
+    Session,
+    SessionState,
+    TaskPool,
+)
+from repro.storage.engine import StorageEngine
+from repro.ui.manager import UITemplateManager
+
+
+def make_oracle(cities: int = 8) -> GroundTruthOracle:
+    oracle = GroundTruthOracle()
+    for i in range(cities):
+        oracle.load_fill(
+            "City",
+            (f"city{i}",),
+            {"population": 1000 + i, "elevation": 10 * i},
+        )
+    oracle.declare_same_entity("I.B.M.", "IBM")
+    return oracle
+
+
+def make_server(seed: int = 5, **kwargs) -> Server:
+    reset_id_counters()
+    server = serve(oracle=make_oracle(), seed=seed, **kwargs)
+    server.connection.execute(
+        "CREATE TABLE City (name STRING PRIMARY KEY, "
+        "population CROWD INTEGER, elevation CROWD INTEGER)"
+    )
+    for i in range(8):
+        server.connection.execute(
+            "INSERT INTO City (name) VALUES (?)", (f"city{i}",)
+        )
+    return server
+
+
+class TestTaskPoolDedup:
+    def test_identical_concurrent_fills_issue_one_hit(self):
+        server = make_server()
+        sessions = [
+            server.open_session().submit(
+                "SELECT population FROM City WHERE name = 'city3'"
+            )
+            for _ in range(3)
+        ]
+        server.run()
+        rows = [s.last_result().rows for s in sessions]
+        assert rows[0] == rows[1] == rows[2]
+        assert rows[0] == [(1003,)]
+        stats = server.stats()
+        assert stats["task_manager"]["fill_requests"] == 3
+        assert stats["task_manager"]["hits_posted"] == 1
+        assert stats["task_pool"]["hits_saved"] == 2
+        server.shutdown()
+
+    def test_distinct_fills_not_merged(self):
+        server = make_server()
+        a = server.open_session().submit(
+            "SELECT population FROM City WHERE name = 'city1'"
+        )
+        b = server.open_session().submit(
+            "SELECT elevation FROM City WHERE name = 'city1'"
+        )
+        server.run()
+        assert a.last_result().rows == [(1001,)]
+        assert b.last_result().rows == [(10,)]
+        # same tuple but different needed columns: two distinct HITs
+        assert server.stats()["task_manager"]["hits_posted"] == 2
+        server.shutdown()
+
+    def test_concurrent_compares_share_one_ballot(self):
+        server = make_server()
+        sql = "SELECT name FROM City WHERE CROWDEQUAL('I.B.M.', 'IBM') LIMIT 1"
+        a = server.open_session().submit(sql)
+        b = server.open_session().submit(sql)
+        server.run()
+        assert a.last_result().rows == b.last_result().rows
+        stats = server.stats()
+        assert stats["task_manager"]["compare_requests"] == 1
+        assert stats["task_pool"]["hits_saved"] >= 1
+        server.shutdown()
+
+    def test_mirrored_compares_share_one_ballot(self):
+        """CROWDEQUAL(a, b) and CROWDEQUAL(b, a) in flight together are
+        one question — one HIT, consistent cached answer both ways."""
+        server = make_server()
+        a = server.open_session().submit(
+            "SELECT name FROM City WHERE CROWDEQUAL('I.B.M.', 'IBM') LIMIT 1"
+        )
+        b = server.open_session().submit(
+            "SELECT name FROM City WHERE CROWDEQUAL('IBM', 'I.B.M.') LIMIT 1"
+        )
+        server.run()
+        assert a.last_result().rows == b.last_result().rows
+        stats = server.stats()["task_manager"]
+        assert stats["compare_requests"] == 1
+        assert stats["hits_posted"] == 1
+        server.shutdown()
+
+    def test_mirrored_order_ballot_inverts_answer(self):
+        from repro.catalog.ddl import build_table_schema  # noqa: F401
+        from repro.crowd.platform import PlatformRegistry
+        from repro.crowd.scripted import ScriptedPlatform, oracle_answer_fn
+        from repro.crowd.task_manager import TaskManager
+        from repro.ui.manager import UITemplateManager
+        from repro.storage.engine import StorageEngine
+
+        oracle = GroundTruthOracle()
+        oracle.load_ranking("best?", {"a": 2.0, "b": 1.0})
+        registry = PlatformRegistry()
+        registry.register(ScriptedPlatform(oracle_answer_fn(oracle)))
+        engine = StorageEngine()
+        manager = TaskManager(registry, UITemplateManager(engine.catalog))
+        manager.task_pool = TaskPool()
+        forward = manager.begin_compare_order("a", "b", "best?")
+        backward = manager.begin_compare_order("b", "a", "best?")
+        assert backward.mirror_of is forward
+        assert manager.stats.hits_posted == 1
+        manager.settle(backward)  # settles through the parent
+        assert forward.result() is True   # 'a' ranks first
+        assert backward.result() is False
+        # the cache stays direction-consistent
+        assert manager.compare_order("a", "b", "best?") is True
+        assert manager.compare_order("b", "a", "best?") is False
+        assert manager.stats.hits_posted == 1
+
+    def test_shared_open_world_scan_returns_identical_rows(self):
+        """When two sessions share one new-tuples future, the session
+        that loses the insert race still yields the memorized rows —
+        identical queries give identical answers."""
+        reset_id_counters()
+        oracle = GroundTruthOracle()
+        oracle.load_new_tuples(
+            "Fact", [{"name": "alpha"}, {"name": "beta"}]
+        )
+        server = serve(oracle=oracle, seed=6)
+        server.connection.execute(
+            "CREATE CROWD TABLE Fact (name STRING PRIMARY KEY)"
+        )
+        sql = "SELECT name FROM Fact LIMIT 2"
+        a = server.open_session().submit(sql)
+        b = server.open_session().submit(sql)
+        server.run()
+        assert sorted(a.last_result().rows) == sorted(b.last_result().rows)
+        assert len(a.last_result().rows) == 2
+        assert server.stats()["task_pool"]["hits_saved"] >= 1
+        server.shutdown()
+
+    def test_settled_answers_reused_from_storage(self):
+        """Sequential reuse still flows through memorization: a later
+        query finds the earlier fill in the heap and posts nothing."""
+        server = make_server()
+        first = server.open_session().submit(
+            "SELECT population FROM City WHERE name = 'city2'"
+        )
+        server.run()
+        posted_after_first = server.stats()["task_manager"]["hits_posted"]
+        second = server.open_session().submit(
+            "SELECT population FROM City WHERE name = 'city2'"
+        )
+        server.run()
+        assert second.last_result().rows == first.last_result().rows
+        assert (
+            server.stats()["task_manager"]["hits_posted"]
+            == posted_after_first
+        )
+        server.shutdown()
+
+
+class TestTaskPoolUnit:
+    def _manager_with_pool(self):
+        oracle = make_oracle()
+        registry = PlatformRegistry()
+        registry.register(ScriptedPlatform(oracle_answer_fn(oracle)))
+        engine = StorageEngine()
+        manager = TaskManager(
+            registry,
+            UITemplateManager(engine.catalog),
+            config=CrowdConfig(replication=2),
+        )
+        manager.task_pool = TaskPool()
+        return manager
+
+    def test_unsettled_future_is_shared_then_forgotten(self):
+        manager = self._manager_with_pool()
+        from repro.catalog.ddl import build_table_schema
+        from repro.sql.parser import parse
+
+        schema = build_table_schema(
+            parse(
+                "CREATE TABLE City (name STRING PRIMARY KEY, "
+                "population CROWD INTEGER)"
+            )
+        )
+        first = manager.begin_fill(schema, ("city1",), ("population",), {})
+        second = manager.begin_fill(schema, ("city1",), ("population",), {})
+        assert first is second
+        assert manager.task_pool.stats.deduplicated == 1
+        assert manager.stats.hits_posted == 1
+        manager.settle(first)
+        assert first.result() == {"population": 1001}
+        # settled futures leave the pool; the next request re-posts
+        third = manager.begin_fill(schema, ("city1",), ("population",), {})
+        assert third is not first
+        assert manager.stats.hits_posted == 2
+
+    def test_result_before_settlement_raises(self):
+        manager = self._manager_with_pool()
+        future = manager.begin_compare_equal("A", "B")
+        with pytest.raises(ExecutionError, match="before settlement"):
+            future.result()
+        manager.settle(future)
+        assert future.result() is False
+
+
+class TestCooperativeScheduler:
+    def test_blocked_session_does_not_stall_electronic_work(self):
+        server = make_server()
+        blocked = server.open_session().submit(
+            "SELECT population FROM City WHERE name = 'city5'"
+        )
+        quick = server.open_session().submit("SELECT COUNT(*) FROM City")
+        server.run()
+        assert quick.last_result().scalar() == 8
+        assert blocked.last_result().rows == [(1005,)]
+        assert server.stats()["scheduler"]["suspensions"] >= 1
+        server.shutdown()
+
+    def test_statement_errors_are_isolated(self):
+        server = make_server()
+        session = server.open_session()
+        session.submit("SELECT nope FROM Missing")
+        session.submit("SELECT COUNT(*) FROM City")
+        server.run()
+        assert len(session.results) == 2
+        assert isinstance(session.results[0], Exception)
+        assert session.results[1].scalar() == 8
+        assert len(session.errors) == 1
+        server.shutdown()
+
+    def test_script_continues_past_failing_statement(self):
+        """REPL semantics inside one submitted script: a failure is
+        recorded and the remaining statements still run."""
+        server = make_server()
+        session = server.open_session()
+        session.submit(
+            "CREATE TABLE log (a INT); "
+            "INSERT INTO log VALUES (1); "
+            "SELECT nope FROM Missing; "
+            "INSERT INTO log VALUES (2); "
+            "SELECT COUNT(*) FROM log"
+        )
+        server.run()
+        assert len(session.results) == 5
+        assert isinstance(session.results[2], Exception)
+        assert session.results[4].scalar() == 2
+        server.shutdown()
+
+    def test_session_states_and_close(self):
+        server = make_server()
+        session = server.open_session()
+        assert session.state is SessionState.IDLE
+        session.submit("SELECT 1 + 1")
+        server.run()
+        assert session.last_result().scalar() == 2
+        server.close_session(session)
+        assert session.state is SessionState.CLOSED
+        with pytest.raises(ExecutionError, match="closed"):
+            session.submit("SELECT 1")
+        server.shutdown()
+
+    def test_run_scripts_orders_results_by_script(self):
+        server = make_server()
+        results = server.run_scripts(
+            [
+                "SELECT 1 + 1",
+                "SELECT 2 + 2",
+                "SELECT 3 + 3",
+            ]
+        )
+        assert [r[0].scalar() for r in results] == [2, 4, 6]
+        server.shutdown()
+
+
+class TestAdmission:
+    def test_waitlisted_sessions_run_after_promotion(self):
+        server = make_server(max_active_sessions=1, max_waiting_sessions=8)
+        sessions = [
+            server.open_session().submit(
+                f"SELECT population FROM City WHERE name = 'city{i}'"
+            )
+            for i in range(3)
+        ]
+        server.run()
+        for i, session in enumerate(sessions):
+            assert session.last_result().rows == [(1000 + i,)]
+        stats = server.stats()["admission"]
+        assert stats["admitted"] == 1
+        assert stats["promoted"] == 2
+        server.shutdown()
+
+    def test_full_server_rejects(self):
+        server = make_server(max_active_sessions=1, max_waiting_sessions=1)
+        server.open_session()
+        server.open_session()  # waitlisted
+        with pytest.raises(AdmissionError, match="server full"):
+            server.open_session()
+        assert server.stats()["admission"]["rejected"] == 1
+        server.shutdown()
+
+    def test_controller_promotes_fifo(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_active_sessions=1, max_waiting_sessions=4)
+        )
+
+        class Stub:
+            def __init__(self, session_id):
+                self.session_id = session_id
+
+        first, second, third = Stub(1), Stub(2), Stub(3)
+        assert controller.request(first) is True
+        assert controller.request(second) is False
+        assert controller.request(third) is False
+        promoted = controller.release(first)
+        assert [s.session_id for s in promoted] == [2]
+        assert controller.is_admitted(second)
+        assert not controller.is_admitted(third)
+
+
+class TestServeFactory:
+    def test_serve_over_existing_connection(self):
+        reset_id_counters()
+        db = connect(oracle=make_oracle(), seed=9)
+        server = serve(connection=db)
+        assert server.connection is db
+        assert db.task_manager.task_pool is server.task_pool
+        server.shutdown()
+
+    def test_serve_rejects_conflicting_arguments(self):
+        db = connect(with_crowd=False)
+        with pytest.raises(TypeError):
+            Server(connection=db, seed=3)
+        with pytest.raises(TypeError):
+            serve(connection=db, seed=3)
+
+    def test_crowdless_server_runs_electronic_queries(self):
+        server = serve(with_crowd=False)
+        session = server.open_session().submit("SELECT 40 + 2")
+        server.run()
+        assert session.last_result().scalar() == 42
+        server.shutdown()
