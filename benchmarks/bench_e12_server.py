@@ -24,6 +24,7 @@ exactly the same per-query answers under one seed.
 import pytest
 
 from crowdbench import (
+    FAST,
     fresh,
     quiet,
     report,
@@ -36,7 +37,7 @@ from crowdbench import (
 from repro.server import Server
 from repro.sql.parser import parse_script
 
-SESSIONS = 8
+SESSIONS = 4 if FAST else 8
 SEED = 11
 
 

@@ -1,0 +1,194 @@
+"""E13 — intra-query batch crowd execution: vectorized operators + HIT groups.
+
+PR 1 overlapped crowd waits *across* sessions; within a query every
+operator still paid one simulated marketplace round per tuple.  E13
+measures the batch execution path on one workload — a full fill scan over
+``ROWS`` CROWD-column tuples — in three configurations:
+
+* ``per-row``  — ``batch_size=1, hit_group_size=1``: the seed's
+  tuple-at-a-time execution, one blocking round per CNULL row;
+* ``batched``  — ``batch_size=16``: CrowdProbe buffers a window, issues
+  every fill up front, and settles the set in one overlapped round;
+* ``grouped``  — ``batch_size=16, hit_group_size=4``: additionally
+  packages four fill tasks per HIT (paper-style HIT groups), quartering
+  the posted-HIT count at the same total cost.
+
+Reproduced claims: batching cuts the simulated makespan by >=3x on the
+32-row workload, HIT groups post fewer HITs at identical crowd cost, and
+all three configurations return byte-identical answers and memorized
+storage state under one seed.
+"""
+
+import json
+import os
+
+import pytest
+
+from crowdbench import FAST, fresh, quiet, report, server_oracle
+
+from repro import CrowdConfig, connect
+from repro.crowd.sim.amt import SimulatedAMT
+from repro.crowd.sim.behavior import BehaviorConfig
+from repro.crowd.sim.population import generate_population
+
+ROWS = 16 if FAST else 32
+BATCH = 16
+GROUP = 4
+SEED = 13
+
+CONFIGS = [
+    ("per-row", 1, 1),
+    ("batched", BATCH, 1),
+    ("grouped", BATCH, GROUP),
+]
+
+BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_e13.json",
+)
+
+
+def _connection(batch_size: int, hit_group_size: int):
+    """A deterministic near-perfect AMT instance (the E12 convention:
+    quality is pinned so the three schedules produce identical answers;
+    E3 covers noisy crowds)."""
+    fresh()
+    oracle = server_oracle(cities=ROWS)
+    workers = generate_population(
+        200, seed=SEED, skill_range=(0.995, 1.0), id_prefix="amt-"
+    )
+    platform = SimulatedAMT(
+        oracle,
+        workers=workers,
+        seed=SEED,
+        config=BehaviorConfig(base_accuracy=0.999),
+    )
+    db = connect(
+        oracle=oracle,
+        seed=SEED,
+        platforms=(platform,),
+        default_platform="amt",
+        crowd_config=CrowdConfig(
+            batch_size=batch_size, hit_group_size=hit_group_size
+        ),
+    )
+    db.execute(
+        "CREATE TABLE City (name STRING PRIMARY KEY, "
+        "population CROWD INTEGER, elevation CROWD INTEGER)"
+    )
+    for i in range(ROWS):
+        db.execute(f"INSERT INTO City (name) VALUES ('city{i:02d}')")
+    return db, platform
+
+
+def _heap_state(db):
+    heap = db.engine.table("City")
+    return sorted(row.values for row in heap.scan())
+
+
+def _run(batch_size: int, hit_group_size: int):
+    db, platform = _connection(batch_size, hit_group_size)
+    result = db.execute("SELECT name, population, elevation FROM City")
+    stats = db.crowd_stats
+    return {
+        "hits": stats["hits_posted"],
+        "cost_cents": stats["cost_cents"],
+        "seconds": platform.clock.now,
+        "rows": sorted(result.rows),
+        "heap": _heap_state(db),
+    }
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    with quiet():
+        return {
+            label: _run(batch_size, hit_group_size)
+            for label, batch_size, hit_group_size in CONFIGS
+        }
+
+
+def test_report(measurements):
+    per_row_seconds = measurements["per-row"]["seconds"]
+    rows = []
+    for label, batch_size, hit_group_size in CONFIGS:
+        data = measurements[label]
+        rows.append(
+            (
+                label,
+                f"{batch_size}/{hit_group_size}",
+                data["hits"],
+                data["cost_cents"],
+                data["seconds"] / 3600.0,
+                per_row_seconds / data["seconds"],
+            )
+        )
+    report(
+        "E13",
+        f"{ROWS}-row fill scan: batch windows + HIT groups",
+        ["configuration", "batch/group", "HITs", "cost (c)", "sim hours",
+         "speedup"],
+        rows,
+    )
+    if FAST:
+        # fast-mode numbers are for CI smoke only — never clobber the
+        # committed full-workload artifact
+        return
+    payload = {
+        "rows": ROWS,
+        "seed": SEED,
+        "fast_mode": FAST,
+        "configurations": {
+            label: {
+                "batch_size": batch_size,
+                "hit_group_size": hit_group_size,
+                "hits_posted": measurements[label]["hits"],
+                "cost_cents": measurements[label]["cost_cents"],
+                "simulated_seconds": round(measurements[label]["seconds"], 1),
+                "speedup_vs_per_row": round(
+                    per_row_seconds / measurements[label]["seconds"], 2
+                ),
+            }
+            for label, batch_size, hit_group_size in CONFIGS
+        },
+    }
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def test_batching_cuts_makespan(measurements):
+    """(a) issuing the window up front overlaps the marketplace latency:
+    >=3x lower simulated makespan than tuple-at-a-time."""
+    assert (
+        measurements["per-row"]["seconds"]
+        >= 3.0 * measurements["batched"]["seconds"]
+    )
+    # HIT groups trade some overlap for fewer HITs but must still beat
+    # sequential execution clearly
+    assert (
+        measurements["per-row"]["seconds"]
+        >= 2.0 * measurements["grouped"]["seconds"]
+    )
+
+
+def test_hit_groups_post_fewer_hits(measurements):
+    """(b) packaging tasks into HIT groups cuts posted HITs at identical
+    total crowd cost (per-task reward scales with group size)."""
+    assert measurements["grouped"]["hits"] < measurements["per-row"]["hits"]
+    assert measurements["grouped"]["hits"] <= (
+        measurements["per-row"]["hits"] + GROUP - 1
+    ) // GROUP
+    assert (
+        measurements["grouped"]["cost_cents"]
+        == measurements["per-row"]["cost_cents"]
+    )
+
+
+def test_answers_identical_across_configs(measurements):
+    """(c) batching changes the schedule, not the answers — result rows
+    and memorized storage state are identical under one seed."""
+    baseline = measurements["per-row"]
+    for label in ("batched", "grouped"):
+        assert measurements[label]["rows"] == baseline["rows"]
+        assert measurements[label]["heap"] == baseline["heap"]

@@ -19,6 +19,11 @@ from repro.errors import CrowdDBWarning
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
+#: CI smoke mode: shrink the heavyweight workloads (E12/E13) so the
+#: crowdbench job finishes in seconds while still exercising the
+#: perf-critical paths end to end.
+FAST = os.environ.get("CROWDBENCH_FAST", "") == "1"
+
 #: The experiment index (DESIGN.md §3): every benchmark module tracked by
 #: the harness.  ``pytest benchmarks`` runs them all; results land in
 #: ``benchmarks/results/<id>.txt``.
@@ -36,6 +41,7 @@ EXPERIMENTS = {
     "E10": ("bench_e10_cleansing", "answer cleansing"),
     "E11": ("bench_e11_platforms", "platform comparison"),
     "E12": ("bench_e12_server", "concurrent query server throughput"),
+    "E13": ("bench_e13_batching", "intra-query batching + HIT groups"),
     "F1": ("bench_f1_architecture", "architecture walkthrough"),
     "F2": ("bench_f2_ui_generation", "UI template generation"),
     "F3": ("bench_f3_mobile_task", "mobile platform tasks"),

@@ -14,7 +14,7 @@ def _long_description() -> str:
 
 setup(
     name="repro",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "CrowdDB reproduction: a crowd-enabled SQL database with "
         "simulated crowdsourcing platforms and a concurrent query "

@@ -14,7 +14,7 @@ from repro.engine.executor import ResultSet
 from repro.server import Server
 from repro.sqltypes import CNULL, NULL
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CNULL",

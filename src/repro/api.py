@@ -205,6 +205,8 @@ def connect(
     platforms: Optional[Iterable[CrowdPlatform]] = None,
     default_platform: str = "amt",
     with_crowd: bool = True,
+    batch_size: Optional[int] = None,
+    hit_group_size: Optional[int] = None,
 ) -> Connection:
     """Create a CrowdDB connection.
 
@@ -212,7 +214,25 @@ def connect(
     worldwide crowd) and ``"mobile"`` (the locality-aware conference
     crowd) — both answering from ``oracle``.  Pass ``with_crowd=False``
     for a traditional, crowd-less database.
+
+    ``batch_size`` and ``hit_group_size`` are shortcuts for the batch
+    crowd execution knobs of :class:`CrowdConfig`: operators buffer up to
+    ``batch_size`` tuples and settle the window's crowd tasks in one
+    overlapped round, and up to ``hit_group_size`` fill tasks of one
+    table/column set are packaged into a single HIT.
     """
+    if batch_size is not None or hit_group_size is not None:
+        from dataclasses import replace
+
+        overrides = {}
+        if batch_size is not None:
+            overrides["batch_size"] = batch_size
+        if hit_group_size is not None:
+            overrides["hit_group_size"] = hit_group_size
+        if crowd_config is None:
+            crowd_config = CrowdConfig(**overrides)
+        else:  # never mutate the caller's config object
+            crowd_config = replace(crowd_config, **overrides)
     if not with_crowd:
         return Connection(strict_boundedness=strict_boundedness)
     if oracle is None:

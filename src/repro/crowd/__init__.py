@@ -6,6 +6,7 @@ from repro.crowd.model import (
     AssignmentStatus,
     CompareEqualTask,
     CompareOrderTask,
+    FillGroupTask,
     FillTask,
     HITStatus,
     NewTupleTask,
@@ -18,7 +19,8 @@ from repro.crowd.wrm import WorkerRelationshipManager
 
 __all__ = [
     "HIT", "Assignment", "AssignmentStatus", "CompareEqualTask",
-    "CompareOrderTask", "FillTask", "HITStatus", "NewTupleTask", "TaskKind",
+    "CompareOrderTask", "FillGroupTask", "FillTask", "HITStatus",
+    "NewTupleTask", "TaskKind",
     "CrowdPlatform", "PlatformRegistry", "MajorityVote", "VoteResult",
     "normalize_answer", "CrowdConfig", "TaskManager",
     "WorkerRelationshipManager",

@@ -54,6 +54,37 @@ class FillTask:
 
 
 @dataclass(frozen=True)
+class FillGroupTask:
+    """A HIT group packaged as one HIT: up to ``hit_group_size`` fill
+    tasks for the same table and column set share a single form.
+
+    The paper batches tasks of one shape into HIT groups because groups
+    are more visible in the marketplace and amortize per-HIT overhead; we
+    take that one step further and let one assignment answer several
+    tuples at once.  A worker's answer is a *list* of per-subtask answer
+    dicts, parallel to ``subtasks``; reward and completion time scale
+    with :attr:`size` so grouping changes packaging, not economics.
+    """
+
+    table: str
+    columns: tuple[str, ...]
+    subtasks: tuple[FillTask, ...]
+    instructions: str = ""
+
+    @property
+    def kind(self) -> TaskKind:
+        return TaskKind.FILL
+
+    @property
+    def size(self) -> int:
+        return len(self.subtasks)
+
+    @property
+    def group_key(self) -> str:
+        return f"fill:{self.table}:{','.join(self.columns)}"
+
+
+@dataclass(frozen=True)
 class NewTupleTask:
     """Ask the crowd to contribute a new tuple of a CROWD table.
 
@@ -111,7 +142,18 @@ class CompareOrderTask:
         return f"crowdorder:{self.question}"
 
 
-Task = FillTask | NewTupleTask | CompareEqualTask | CompareOrderTask
+Task = (
+    FillTask
+    | FillGroupTask
+    | NewTupleTask
+    | CompareEqualTask
+    | CompareOrderTask
+)
+
+
+def task_size(task: Task) -> int:
+    """How many elementary tasks a HIT's task packs (1 unless grouped)."""
+    return getattr(task, "size", 1)
 
 
 class HITStatus(enum.Enum):

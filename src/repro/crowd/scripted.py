@@ -78,6 +78,7 @@ def oracle_answer_fn(oracle, rng=None) -> AnswerFn:
     from repro.crowd.model import (
         CompareEqualTask,
         CompareOrderTask,
+        FillGroupTask,
         FillTask,
         NewTupleTask,
     )
@@ -85,6 +86,8 @@ def oracle_answer_fn(oracle, rng=None) -> AnswerFn:
     rng = rng if rng is not None else random.Random(0)
 
     def answer(task: Task, replica: int) -> Any:
+        if isinstance(task, FillGroupTask):
+            return [answer(subtask, replica) for subtask in task.subtasks]
         if isinstance(task, FillTask):
             return {
                 column: _text(oracle.fill_value(task.table, task.primary_key, column))

@@ -21,7 +21,7 @@ import math
 import random
 from typing import Any, Callable, Optional
 
-from repro.crowd.model import HIT, Assignment, HITStatus
+from repro.crowd.model import HIT, Assignment, HITStatus, task_size
 from repro.crowd.platform import CrowdPlatform
 from repro.crowd.sim.behavior import (
     BehaviorConfig,
@@ -152,8 +152,12 @@ class SimulatedCrowdPlatform(CrowdPlatform):
         worker = pick_weighted(self.workers, self.rng)
         hit = self._choose_hit(worker)
         if hit is not None:
+            # grouped HITs pack several tasks into one form: workers judge
+            # the *per-task* reward, not the headline number
             accept_p = acceptance_probability(
-                hit.reward_cents, worker.price_sensitivity, self.config
+                hit.reward_cents / task_size(hit.task),
+                worker.price_sensitivity,
+                self.config,
             )
             if self.rng.random() < accept_p:
                 self._accept(worker, hit)
@@ -185,7 +189,10 @@ class SimulatedCrowdPlatform(CrowdPlatform):
     def _accept(self, worker: SimWorker, hit: HIT) -> None:
         self._taken.add((hit.hit_id, worker.worker_id))
         self._in_flight[hit.hit_id] += 1
+        # a grouped HIT is proportionally more work than a single task,
+        # but still one acceptance and one submission round-trip
         latency = completion_time(self.rng, worker.speed, self.config)
+        latency *= task_size(hit.task)
         self.events.schedule(
             latency, lambda: self._on_complete(worker, hit)
         )

@@ -21,6 +21,7 @@ from typing import Any, Optional
 from repro.crowd.model import (
     CompareEqualTask,
     CompareOrderTask,
+    FillGroupTask,
     FillTask,
     NewTupleTask,
     Task,
@@ -58,6 +59,12 @@ class SimWorker:
     ) -> Any:
         """Produce this worker's answer for ``task``."""
         p_error = error_probability(self.skill, task.kind, config)
+        if isinstance(task, FillGroupTask):
+            # one form, several tuples: answer each subtask in order
+            return [
+                self._answer_fill(subtask, oracle, rng, p_error)
+                for subtask in task.subtasks
+            ]
         if isinstance(task, FillTask):
             return self._answer_fill(task, oracle, rng, p_error)
         if isinstance(task, NewTupleTask):

@@ -27,6 +27,14 @@ used by the concurrent query server (:mod:`repro.server`):
 * :meth:`settle` finalizes a future whose HITs have completed (or whose
   deadline passed) — the cooperative scheduler's resume path.
 
+Batch crowd execution adds a group-issue layer: :meth:`begin_fill_many`
+posts a whole window of fill tasks up front (packaging them into HIT
+groups of up to ``config.hit_group_size`` tasks per HIT), and
+:meth:`wait_many` / :meth:`settle_many` drive the resulting future *set*
+through one overlapped marketplace round instead of one round per task.
+The per-task ``begin_*`` calls are group-of-one wrappers, so the server's
+shared :class:`~repro.server.task_pool.TaskPool` dedup keeps working.
+
 When a shared task pool is attached (``task_manager.task_pool``),
 ``begin_*`` deduplicates identical pending requests across concurrent
 sessions: both callers receive the *same* future and resume on one HIT's
@@ -45,6 +53,7 @@ from repro.crowd.model import (
     HITStatus,
     CompareEqualTask,
     CompareOrderTask,
+    FillGroupTask,
     FillTask,
     NewTupleTask,
 )
@@ -67,6 +76,15 @@ class CrowdConfig:
     platform: Optional[str] = None  # default platform name
     locality: Optional[tuple[float, float, float]] = None
     fuzzy_cleansing: bool = True  # merge typo-variant keys when sourcing
+    # batch crowd execution: operators buffer up to ``batch_size`` tuples,
+    # issue every crowd task of the window up front, and settle them in
+    # one marketplace round — their simulated latencies overlap instead
+    # of adding up.  1 restores tuple-at-a-time execution.
+    batch_size: int = 16
+    # HIT groups: up to this many fill tasks for one table/column set are
+    # packaged into a single HIT with one combined form (reward and
+    # completion time scale with group size).  1 posts one HIT per task.
+    hit_group_size: int = 1
 
 
 @dataclass
@@ -117,10 +135,12 @@ class CrowdFuture:
         self._finalize = finalize
         self._settled = False
         self._value: Any = None
-        # a mirrored comparison rides another future's HITs (see
-        # ``mirrored``); settlement and accounting happen on the parent
+        # a mirrored comparison or a HIT-group member rides another
+        # future's HITs (see ``mirrored`` / ``member``); settlement and
+        # accounting happen on the parent
         self.mirror_of: Optional["CrowdFuture"] = None
         self.invert = False
+        self.extract_index: Optional[int] = None
 
     @classmethod
     def resolved(cls, kind: str, key: tuple, value: Any) -> "CrowdFuture":
@@ -153,6 +173,29 @@ class CrowdFuture:
         future.invert = invert
         return future
 
+    @classmethod
+    def member(
+        cls, parent: "CrowdFuture", key: tuple, index: int
+    ) -> "CrowdFuture":
+        """One task of a HIT group.
+
+        The member shares the grouped HIT of ``parent`` (whose settled
+        value is the list of per-subtask answers) and resolves to the
+        slice at ``index`` — one posted HIT fans back out to the right
+        futures on completion."""
+        future = cls(
+            parent.kind,
+            key,
+            parent.hits,
+            parent.platform,
+            parent.posted_at,
+            parent.timeout_seconds,
+            finalize=lambda hits: None,
+        )
+        future.mirror_of = parent
+        future.extract_index = index
+        return future
+
     @property
     def deadline(self) -> float:
         return self.posted_at + self.timeout_seconds
@@ -180,6 +223,8 @@ class CrowdFuture:
     def result(self) -> Any:
         if self.mirror_of is not None:
             value = self.mirror_of.result()
+            if self.extract_index is not None:
+                return value[self.extract_index]
             return (not value) if self.invert else value
         if not self._settled:
             raise ExecutionError(
@@ -238,19 +283,82 @@ class TaskManager:
         known_values: dict[str, Any],
         platform: Optional[str] = None,
     ) -> CrowdFuture:
-        """Post a fill task and return its future without waiting."""
-        self.stats.fill_requests += 1
-        key = (
-            "fill",
-            schema.name,
-            tuple(primary_key),
-            tuple(columns),
-            self._platform_key(platform),
+        """Post a fill task and return its future without waiting —
+        a group of one (see :meth:`begin_fill_many`)."""
+        (future,) = self.begin_fill_many(
+            [(schema, primary_key, columns, known_values)], platform
         )
-        shared = self._pool_lookup(key)
-        if shared is not None:
-            return shared
-        task = FillTask(
+        return future
+
+    def begin_fill_many(
+        self,
+        requests: list[tuple],
+        platform: Optional[str] = None,
+    ) -> list[CrowdFuture]:
+        """Group-issue fill tasks: one future per request, all posted
+        before any is waited on.
+
+        ``requests`` are ``(schema, primary_key, columns, known_values)``
+        tuples.  Requests already in flight (shared task pool, or earlier
+        in this batch) reuse the pending future; the rest are packaged
+        into paper-style HIT groups — up to ``config.hit_group_size``
+        tasks sharing a table and column set become one HIT whose answers
+        fan back out to per-request futures on settlement.
+        """
+        futures: list[Optional[CrowdFuture]] = [None] * len(requests)
+        keys: list[tuple] = []
+        fresh: dict[tuple, list[int]] = {}   # (table, columns) -> indexes
+        local: dict[tuple, int] = {}         # intra-batch dedup
+        for i, (schema, primary_key, columns, known_values) in enumerate(
+            requests
+        ):
+            self.stats.fill_requests += 1
+            key = (
+                "fill",
+                schema.name,
+                tuple(primary_key),
+                tuple(columns),
+                self._platform_key(platform),
+            )
+            keys.append(key)
+            shared = self._pool_lookup(key)
+            if shared is not None:
+                futures[i] = shared
+                continue
+            if key in local:
+                continue  # patched to the first occurrence's future below
+            local[key] = i
+            group = (schema.name, tuple(c.lower() for c in columns))
+            fresh.setdefault(group, []).append(i)
+
+        group_size = max(1, self.config.hit_group_size)
+        for indexes in fresh.values():
+            for start in range(0, len(indexes), group_size):
+                chunk = indexes[start : start + group_size]
+                if len(chunk) == 1:
+                    i = chunk[0]
+                    schema, primary_key, columns, known_values = requests[i]
+                    futures[i] = self._issue_fill(
+                        schema, primary_key, columns, known_values,
+                        platform, keys[i],
+                    )
+                else:
+                    self._issue_fill_group(
+                        requests, keys, chunk, platform, futures
+                    )
+        for i, key in enumerate(keys):
+            if futures[i] is None:  # intra-batch duplicate
+                futures[i] = futures[local[key]]
+        return futures
+
+    def _fill_task(
+        self,
+        schema: TableSchema,
+        primary_key: tuple[Any, ...],
+        columns: tuple[str, ...],
+        known_values: dict[str, Any],
+    ) -> FillTask:
+        return FillTask(
             table=schema.name,
             primary_key=primary_key,
             columns=columns,
@@ -262,26 +370,86 @@ class TaskManager:
                 f"Fill in the missing fields of this {schema.name} record."
             ),
         )
+
+    def _issue_fill(
+        self,
+        schema: TableSchema,
+        primary_key: tuple[Any, ...],
+        columns: tuple[str, ...],
+        known_values: dict[str, Any],
+        platform: Optional[str],
+        key: tuple,
+    ) -> CrowdFuture:
+        task = self._fill_task(schema, primary_key, columns, known_values)
         template = self.ui_manager.fill_template(schema, columns)
         form_html = self.ui_manager.instantiate(template, known_values)
         hit = self._make_hit(task, form_html)
-        future = self._issue(
+        return self._issue(
             "fill",
             key,
             [hit],
             platform,
             lambda hits: self._finish_fill(schema, columns, hits),
         )
-        return future
 
-    def _finish_fill(
+    def _issue_fill_group(
+        self,
+        requests: list[tuple],
+        keys: list[tuple],
+        chunk: list[int],
+        platform: Optional[str],
+        futures: list[Optional[CrowdFuture]],
+    ) -> None:
+        """Package ``chunk`` (request indexes sharing a table and column
+        set) into one grouped HIT and hand each request a member future."""
+        schema = requests[chunk[0]][0]
+        columns = tuple(requests[chunk[0]][2])
+        subtasks = tuple(
+            self._fill_task(*requests[i]) for i in chunk
+        )
+        task = FillGroupTask(
+            table=schema.name,
+            columns=columns,
+            subtasks=subtasks,
+            instructions=(
+                f"Fill in the missing fields of these {len(subtasks)} "
+                f"{schema.name} records."
+            ),
+        )
+        template = self.ui_manager.fill_template(schema, columns)
+        form_html = "\n<hr/>\n".join(
+            self.ui_manager.instantiate(template, subtask.known_values)
+            for subtask in subtasks
+        )
+        hit = self._make_hit(task, form_html, size=len(subtasks))
+        parent_key = (
+            "fillgroup",
+            schema.name,
+            tuple(subtask.primary_key for subtask in subtasks),
+            columns,
+            self._platform_key(platform),
+        )
+        parent = self._issue(
+            "fill",
+            parent_key,
+            [hit],
+            platform,
+            lambda hits: self._finish_fill_group(
+                schema, columns, len(subtasks), hits
+            ),
+        )
+        for index, i in enumerate(chunk):
+            member = CrowdFuture.member(parent, keys[i], index)
+            futures[i] = member
+            if self.task_pool is not None:
+                self.task_pool.register(member)
+
+    def _vote_fill(
         self,
         schema: TableSchema,
         columns: tuple[str, ...],
-        hits: list[HIT],
+        answers: list[dict[str, Any]],
     ) -> dict[str, Any]:
-        (hit,) = hits
-        answers = [a.answer for a in hit.assignments if isinstance(a.answer, dict)]
         result: dict[str, Any] = {}
         for column in columns:
             ballots = [a.get(column, "") for a in answers]
@@ -292,6 +460,38 @@ class TaskManager:
             vote = self._voter.vote(ballots)
             result[column] = self._parse(schema, column, vote.value)
         return result
+
+    def _finish_fill(
+        self,
+        schema: TableSchema,
+        columns: tuple[str, ...],
+        hits: list[HIT],
+    ) -> dict[str, Any]:
+        (hit,) = hits
+        answers = [a.answer for a in hit.assignments if isinstance(a.answer, dict)]
+        return self._vote_fill(schema, columns, answers)
+
+    def _finish_fill_group(
+        self,
+        schema: TableSchema,
+        columns: tuple[str, ...],
+        count: int,
+        hits: list[HIT],
+    ) -> list[dict[str, Any]]:
+        """Vote each subtask of a grouped HIT independently: answers are
+        per-assignment lists parallel to the group's subtasks."""
+        (hit,) = hits
+        results: list[dict[str, Any]] = []
+        for index in range(count):
+            answers = [
+                a.answer[index]
+                for a in hit.assignments
+                if isinstance(a.answer, (list, tuple))
+                and index < len(a.answer)
+                and isinstance(a.answer[index], dict)
+            ]
+            results.append(self._vote_fill(schema, columns, answers))
+        return results
 
     # -- CrowdProbe / CrowdJoin: source new tuples -----------------------------------
 
@@ -623,12 +823,52 @@ class TaskManager:
         future.platform.run_until(future.hits_closed, remaining)
         self.settle(future)
 
+    def wait_many(self, futures: list[CrowdFuture]) -> None:
+        """Serial path for a batch: every HIT of the set is already in the
+        marketplace, so advance each platform's clock *once* until the
+        whole set is done (or past its deadlines), then settle all —
+        the batch pays one overlapped round instead of ``len(futures)``
+        sequential ones."""
+        pending: list[CrowdFuture] = []
+        seen: set[int] = set()
+        for future in futures:
+            target = future.mirror_of if future.mirror_of is not None else future
+            if target.settled or id(target) in seen:
+                continue
+            seen.add(id(target))
+            if target.platform is not None:
+                pending.append(target)
+        by_platform: dict[int, list[CrowdFuture]] = {}
+        for future in pending:
+            by_platform.setdefault(id(future.platform), []).append(future)
+        for group in by_platform.values():
+            platform = group[0].platform
+            clock = getattr(platform, "clock", None)
+            if clock is not None:
+                timeout = max(
+                    0.0, max(f.deadline for f in group) - clock.now
+                )
+            else:
+                timeout = max(f.timeout_seconds for f in group)
+            platform.run_until(
+                lambda group=group: all(f.ready() for f in group), timeout
+            )
+        self.settle_many(futures)
+
+    def settle_many(self, futures: list[CrowdFuture]) -> None:
+        """Finalize every future of a batch (idempotent, like
+        :meth:`settle`)."""
+        for future in futures:
+            self.settle(future)
+
     def settle(self, future: CrowdFuture) -> Any:
         """Finalize a completed (or timed-out) future: expire stragglers,
         account costs, vote, parse.  Idempotent — shared futures settle
         once and fan the answer out to every waiter."""
         if future.mirror_of is not None:
             self.settle(future.mirror_of)
+            if self.task_pool is not None:
+                self.task_pool.forget(future)
             return future.result()
         if future.settled:
             return future._value
@@ -661,10 +901,11 @@ class TaskManager:
             return None
         return self.task_pool.lookup(key)
 
-    def _make_hit(self, task: Any, form_html: str) -> HIT:
+    def _make_hit(self, task: Any, form_html: str, size: int = 1) -> HIT:
+        # grouped HITs pay proportionally: same per-task reward, one HIT
         return HIT(
             task=task,
-            reward_cents=self.config.reward_cents,
+            reward_cents=self.config.reward_cents * size,
             assignments_requested=self.config.replication,
             form_html=form_html,
             locality=self.config.locality,

@@ -57,6 +57,13 @@ class ExecutionContext:
 
     # -- issue / yield / resume ---------------------------------------------------
 
+    @property
+    def batch_size(self) -> int:
+        """Window for batch crowd execution (1 = tuple-at-a-time)."""
+        if self.task_manager is None:
+            return 1
+        return max(1, getattr(self.task_manager.config, "batch_size", 1))
+
     def wait_crowd(self, future: Any) -> None:
         """Block until ``future`` is settled.
 
@@ -75,6 +82,26 @@ class ExecutionContext:
                 )
         else:
             self.task_manager.wait(future)
+
+    def wait_crowd_many(self, futures: list) -> None:
+        """Block until every future of a batch is settled.
+
+        Serial mode drives the whole set through one overlapped
+        marketplace round; cooperative mode suspends the session on the
+        *set*, and the scheduler resumes it once all members settled.
+        """
+        pending = [f for f in futures if not f.settled]
+        if not pending:
+            return
+        if self.crowd_waiter is not None:
+            self.crowd_waiter(pending if len(pending) > 1 else pending[0])
+            if any(not f.settled for f in pending):
+                raise ExecutionError(
+                    "cooperative scheduler resumed a session before its "
+                    "crowd future set settled"
+                )
+        else:
+            self.task_manager.wait_many(pending)
 
     def crowd_fill(
         self,
@@ -107,6 +134,80 @@ class ExecutionContext:
         )
         self.wait_crowd(future)
         return future.result()
+
+    # -- batch issue / settle-once -------------------------------------------------
+
+    def crowd_fill_many(self, requests: list[tuple]) -> list[dict[str, Any]]:
+        """Issue a window's fill tasks together, settle once, return the
+        typed values per request (see ``TaskManager.begin_fill_many``)."""
+        futures = self.task_manager.begin_fill_many(
+            requests, platform=self.platform
+        )
+        self.wait_crowd_many(futures)
+        return [future.result() for future in futures]
+
+    def crowd_new_tuples_many(
+        self, specs: list[tuple]
+    ) -> list[list[dict[str, Any]]]:
+        """Issue several new-tuple requests (``(schema, count,
+        fixed_values, known_keys)`` each) up front, settle the set once,
+        and return the sourced tuples per request."""
+        futures = [
+            self.task_manager.begin_new_tuples(
+                schema,
+                count,
+                fixed_values=fixed_values,
+                platform=self.platform,
+                known_keys=known_keys,
+            )
+            for schema, count, fixed_values, known_keys in specs
+        ]
+        self.wait_crowd_many(futures)
+        return [future.result() for future in futures]
+
+    def prefetch_compare_equal(self, pairs: list[tuple]) -> None:
+        """Issue a window's CROWDEQUAL ballots together and settle them in
+        one round; the answers land in the Task Manager's comparison
+        cache, so per-row predicate evaluation afterwards never waits."""
+        from repro.crowd.quality import normalize_answer
+
+        futures = []
+        seen: set[tuple] = set()
+        for left, right, question in pairs:
+            left_key = normalize_answer(left)
+            right_key = normalize_answer(right)
+            if (left_key, right_key) in seen or (right_key, left_key) in seen:
+                continue  # one ballot answers both orientations
+            seen.add((left_key, right_key))
+            futures.append(
+                self.task_manager.begin_compare_equal(
+                    left, right, question, platform=self.platform
+                )
+            )
+        self.wait_crowd_many(futures)
+
+    def prefetch_compare_order(self, triples: list[tuple]) -> None:
+        """Issue a round's CROWDORDER ballots together and settle them in
+        one overlapped wait (crowd-sort batching)."""
+        from repro.crowd.quality import normalize_answer
+
+        futures = []
+        seen: set[tuple] = set()
+        for left, right, question in triples:
+            left_key = normalize_answer(left)
+            right_key = normalize_answer(right)
+            if (
+                (question, left_key, right_key) in seen
+                or (question, right_key, left_key) in seen
+            ):
+                continue  # mirrored ballots share one HIT
+            seen.add((question, left_key, right_key))
+            futures.append(
+                self.task_manager.begin_compare_order(
+                    left, right, question, platform=self.platform
+                )
+            )
+        self.wait_crowd_many(futures)
 
     # -- EvalContext protocol -----------------------------------------------------
 

@@ -11,15 +11,22 @@ tuples" (paper §3.2.1).  Concretely:
 * then, for every tuple flowing by whose *needed* crowd columns are
   CNULL, post a fill task, majority-vote the answers, memorize, and emit
   the completed tuple.
+
+Execution is batch-at-a-time: the operator buffers a window of child
+tuples (``batch_size``, planner-hinted), issues the fill tasks for every
+CNULL row of the window — plus all anti-probes — up front, settles them
+in one overlapped marketplace round, then emits.  A window of 1 restores
+the seed's tuple-at-a-time behaviour.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Optional
 
 from repro.catalog.table import TableSchema
 from repro.engine.base import Correlation, PhysicalOperator
 from repro.engine.context import ExecutionContext
+from repro.errors import ConstraintError
 from repro.sqltypes import NULL, is_cnull, is_missing
 from repro.storage.row import Scope
 
@@ -35,6 +42,7 @@ class CrowdProbeOp(PhysicalOperator):
         binding: str,
         columns: tuple[str, ...],
         anti_probe_keys: tuple[tuple, ...] = (),
+        batch_size: Optional[int] = None,
         correlation: Correlation = None,
     ) -> None:
         super().__init__(context, correlation)
@@ -43,16 +51,42 @@ class CrowdProbeOp(PhysicalOperator):
         self.binding = binding
         self.columns = columns
         self.anti_probe_keys = anti_probe_keys
+        self._batch_size = batch_size
 
     @property
     def scope(self) -> Scope:
         return self.child.scope
+
+    @property
+    def batch_size(self) -> int:
+        if self._batch_size is not None:
+            return max(1, self._batch_size)
+        return self.context.batch_size
 
     def __iter__(self) -> Iterator[tuple]:
         if self.anti_probe_keys and self.table.crowd:
             self._run_anti_probes()
         child_scope = self.child.scope
         positions = self._column_positions(child_scope)
+        if (
+            self.context.task_manager is None
+            or not positions
+            or self.batch_size <= 1
+        ):
+            yield from self._iter_per_tuple(child_scope, positions)
+            return
+        window: list[tuple] = []
+        for values in self.child:
+            window.append(values)
+            if len(window) >= self.batch_size:
+                yield from self._fill_window(window, child_scope, positions)
+                window = []
+        if window:
+            yield from self._fill_window(window, child_scope, positions)
+
+    def _iter_per_tuple(
+        self, child_scope: Scope, positions: list[tuple[str, int]]
+    ) -> Iterator[tuple]:
         for values in self.child:
             missing = [
                 column
@@ -60,7 +94,7 @@ class CrowdProbeOp(PhysicalOperator):
                 if is_cnull(values[position])
             ]
             if missing and self.context.task_manager is not None:
-                values = self._fill(values, child_scope, missing, positions)
+                values = self._fill(values, child_scope, missing)
             yield values
 
     # -- anti-probe: source pinned-but-missing tuples ---------------------------------
@@ -69,14 +103,27 @@ class CrowdProbeOp(PhysicalOperator):
         if self.context.task_manager is None:
             return
         heap = self.context.engine.table(self.table.name)
+        specs = []
         for key in self.anti_probe_keys:
             if heap.lookup_primary_key(key) is not None:
                 continue
             fixed = dict(zip(self.table.primary_key, key))
-            new_tuples = self.context.crowd_new_tuples(
-                self.table, 1, fixed_values=fixed
-            )
-            self.context.crowd_probe_tasks += 1
+            specs.append((self.table, 1, fixed, None))
+        if not specs:
+            return
+        if self.batch_size <= 1:
+            results = [
+                self.context.crowd_new_tuples(
+                    self.table, 1, fixed_values=fixed
+                )
+                for _schema, _count, fixed, _known in specs
+            ]
+        else:
+            # all anti-probes go to the marketplace together and settle
+            # in one round
+            results = self.context.crowd_new_tuples_many(specs)
+        self.context.crowd_probe_tasks += len(specs)
+        for new_tuples in results:
             for row in new_tuples:
                 try:
                     self.context.engine.insert(
@@ -84,7 +131,7 @@ class CrowdProbeOp(PhysicalOperator):
                         [row.get(c, NULL) for c in self.table.column_names],
                         origin="crowd",
                     )
-                except Exception:
+                except ConstraintError:
                     continue  # lost a race with a concurrent memorization
 
     # -- fill CNULL values --------------------------------------------------------------
@@ -96,13 +143,9 @@ class CrowdProbeOp(PhysicalOperator):
                 positions.append((column, scope.resolve(column, self.binding)))
         return positions
 
-    def _fill(
-        self,
-        values: tuple,
-        scope: Scope,
-        missing: list[str],
-        positions: list[tuple[str, int]],
-    ) -> tuple:
+    def _known_and_pk(
+        self, values: tuple, scope: Scope
+    ) -> tuple[dict, tuple]:
         known = {}
         for column in self.table.columns:
             if not scope.has(column.name, self.binding):
@@ -114,10 +157,52 @@ class CrowdProbeOp(PhysicalOperator):
             values[scope.resolve(c, self.binding)]
             for c in self.table.primary_key
         )
+        return known, pk
+
+    def _fill(
+        self,
+        values: tuple,
+        scope: Scope,
+        missing: list[str],
+    ) -> tuple:
+        known, pk = self._known_and_pk(values, scope)
         answers = self.context.crowd_fill(
             self.table, pk, tuple(missing), known
         )
         self.context.crowd_probe_tasks += 1
+        return self._apply(values, scope, pk, answers)
+
+    def _fill_window(
+        self,
+        window: list[tuple],
+        scope: Scope,
+        positions: list[tuple[str, int]],
+    ) -> Iterator[tuple]:
+        """Issue every CNULL row's fill task up front, settle the set in
+        one round, then emit the window in order."""
+        requests = []
+        targets = []  # (window index, primary key)
+        for i, values in enumerate(window):
+            missing = [
+                column
+                for column, position in positions
+                if is_cnull(values[position])
+            ]
+            if not missing:
+                continue
+            known, pk = self._known_and_pk(values, scope)
+            requests.append((self.table, pk, tuple(missing), known))
+            targets.append((i, pk))
+        if requests:
+            answer_lists = self.context.crowd_fill_many(requests)
+            self.context.crowd_probe_tasks += len(requests)
+            for (i, pk), answers in zip(targets, answer_lists):
+                window[i] = self._apply(window[i], scope, pk, answers)
+        yield from window
+
+    def _apply(
+        self, values: tuple, scope: Scope, pk: tuple, answers: dict
+    ) -> tuple:
         new_values = list(values)
         for column, answer in answers.items():
             new_values[scope.resolve(column, self.binding)] = answer

@@ -236,7 +236,7 @@ class Executor:
         for name, _expr in stmt.assignments:
             schema.column(name)  # validate
         targets = []
-        for row in heap.scan():
+        for row in heap.scan(snapshot=True):
             if stmt.where is not None:
                 verdict = evaluator.predicate(stmt.where, row.values, scope)
                 if verdict.value is not True:
@@ -262,7 +262,7 @@ class Executor:
         scope = Scope.for_table(stmt.table, schema.column_names)
         evaluator = context.evaluator
         targets = []
-        for row in heap.scan():
+        for row in heap.scan(snapshot=True):
             if stmt.where is not None:
                 verdict = evaluator.predicate(stmt.where, row.values, scope)
                 if verdict.value is not True:

@@ -11,26 +11,112 @@ from repro.storage.row import Scope
 
 
 class FilterOp(PhysicalOperator):
-    """Keep rows whose predicate evaluates to TRUE (3VL)."""
+    """Keep rows whose predicate evaluates to TRUE (3VL).
+
+    A predicate containing CROWDEQUAL runs batch-at-a-time when a window
+    is configured: the operator buffers ``batch_size`` child rows,
+    issues every row's ballots together, settles them in one overlapped
+    round, and only then evaluates the predicate per row — the
+    evaluation hits the Task Manager's comparison cache and never waits.
+    Prefetching is exact because predicate evaluation is not
+    short-circuiting (both sides of AND/OR are always evaluated); only
+    CASE branches are lazy, so those predicates keep the per-row path.
+    """
 
     def __init__(
         self,
         context: ExecutionContext,
         child: PhysicalOperator,
         predicate: ast.Expression,
+        batch_size: Optional[int] = None,
         correlation: Correlation = None,
     ) -> None:
         super().__init__(context, correlation)
         self.child = child
         self.predicate_expr = predicate
+        self._batch_size = batch_size
 
     @property
     def scope(self) -> Scope:
         return self.child.scope
 
+    @property
+    def batch_size(self) -> int:
+        if self._batch_size is not None:
+            return max(1, self._batch_size)
+        return self.context.batch_size
+
     def __iter__(self) -> Iterator[tuple]:
         child_scope = self.child.scope
+        prefetchable = (
+            self._prefetchable_equals()
+            if self.context.task_manager is not None and self.batch_size > 1
+            else ()
+        )
+        if not prefetchable:
+            for values in self.child:
+                if self.predicate(self.predicate_expr, values, child_scope).value is True:
+                    yield values
+            return
+        window: list[tuple] = []
         for values in self.child:
+            window.append(values)
+            if len(window) >= self.batch_size:
+                yield from self._filter_window(
+                    window, child_scope, prefetchable
+                )
+                window = []
+        if window:
+            yield from self._filter_window(window, child_scope, prefetchable)
+
+    def _prefetchable_equals(self) -> tuple[ast.CrowdEqual, ...]:
+        """The CROWDEQUAL nodes whose ballots the window can issue up
+        front — exactly the ones per-row evaluation is guaranteed to
+        reach, with operands that are cheap and pure to evaluate twice."""
+        nodes = list(ast.walk_expression(self.predicate_expr))
+        if any(isinstance(node, ast.CaseExpr) for node in nodes):
+            return ()  # CASE branches short-circuit: reach is row-dependent
+        equals = tuple(
+            node for node in nodes if isinstance(node, ast.CrowdEqual)
+        )
+        for node in equals:
+            for operand in (node.left, node.right):
+                inner = list(ast.walk_expression(operand))
+                if any(
+                    isinstance(
+                        e,
+                        (
+                            ast.CrowdEqual,
+                            ast.CrowdOrder,
+                            ast.ScalarSubquery,
+                            ast.ExistsExpr,
+                            ast.InSubquery,
+                        ),
+                    )
+                    for e in inner
+                ):
+                    return ()
+        return equals
+
+    def _filter_window(
+        self,
+        window: list[tuple],
+        child_scope: Scope,
+        equals: tuple[ast.CrowdEqual, ...],
+    ) -> Iterator[tuple]:
+        from repro.sqltypes import is_missing
+
+        pairs = []
+        for values in window:
+            for node in equals:
+                left = self.eval(node.left, values, child_scope)
+                right = self.eval(node.right, values, child_scope)
+                if is_missing(left) or is_missing(right) or left == right:
+                    continue  # evaluation resolves these without a ballot
+                pairs.append((left, right, node.question))
+        if pairs:
+            self.context.prefetch_compare_equal(pairs)
+        for values in window:
             if self.predicate(self.predicate_expr, values, child_scope).value is True:
                 yield values
 

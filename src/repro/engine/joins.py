@@ -7,7 +7,7 @@ from typing import Any, Iterator, Optional
 from repro.catalog.table import TableSchema
 from repro.engine.base import Correlation, PhysicalOperator
 from repro.engine.context import ExecutionContext
-from repro.errors import ExecutionError
+from repro.errors import ConstraintError, ExecutionError
 from repro.sql import ast
 from repro.sqltypes import NULL, is_missing
 from repro.storage.row import Scope
@@ -124,6 +124,12 @@ class CrowdJoinOp(PhysicalOperator):
     through an index, and — when nothing is stored — ask the crowd for
     matching tuples, memorize them, and join.  Crowd columns the query
     needs (``needed_columns``) are probed on every matched inner tuple.
+
+    With a batch window (``batch_size`` > 1) the operator buffers a
+    window of outer tuples, issues the *whole* probe batch — new-tuple
+    requests for every unmatched key, then fill tasks for every matched
+    inner tuple's missing crowd columns — before waiting, so a window
+    pays two overlapped crowd rounds instead of one per outer tuple.
     """
 
     def __init__(
@@ -136,6 +142,7 @@ class CrowdJoinOp(PhysicalOperator):
         inner_key_columns: tuple[str, ...],
         outer_key_exprs: tuple[ast.Expression, ...],
         needed_columns: tuple[str, ...] = (),
+        batch_size: Optional[int] = None,
         correlation: Correlation = None,
     ) -> None:
         super().__init__(context, correlation)
@@ -146,6 +153,7 @@ class CrowdJoinOp(PhysicalOperator):
         self.inner_key_columns = inner_key_columns
         self.outer_key_exprs = outer_key_exprs
         self.needed_columns = needed_columns
+        self._batch_size = batch_size
         self._inner_scope = Scope.for_table(
             inner_binding, inner_table.column_names
         )
@@ -156,8 +164,33 @@ class CrowdJoinOp(PhysicalOperator):
     def scope(self) -> Scope:
         return self._scope
 
+    @property
+    def batch_size(self) -> int:
+        if self._batch_size is not None:
+            return max(1, self._batch_size)
+        return self.context.batch_size
+
     def __iter__(self) -> Iterator[tuple]:
         left_scope = self.left.scope
+        if self.context.task_manager is None or self.batch_size <= 1:
+            yield from self._iter_per_tuple(left_scope)
+            return
+        window: list[tuple[tuple, tuple]] = []  # (left values, join key)
+        for left_values in self.left:
+            key = tuple(
+                self.eval(expr, left_values, left_scope)
+                for expr in self.outer_key_exprs
+            )
+            if any(is_missing(part) for part in key):
+                continue
+            window.append((left_values, key))
+            if len(window) >= self.batch_size:
+                yield from self._join_window(window)
+                window = []
+        if window:
+            yield from self._join_window(window)
+
+    def _iter_per_tuple(self, left_scope: Scope) -> Iterator[tuple]:
         for left_values in self.left:
             key = tuple(
                 self.eval(expr, left_values, left_scope)
@@ -171,16 +204,111 @@ class CrowdJoinOp(PhysicalOperator):
                 if verdict.value is True:
                     yield combined
 
+    # -- batched probing ------------------------------------------------------
+
+    def _join_window(
+        self, window: list[tuple[tuple, tuple]]
+    ) -> Iterator[tuple]:
+        heap = self.context.engine.table(self.inner_table.name)
+        index = self._ensure_index(heap)
+        # round 1: one new-tuple request per unmatched, unprobed key
+        specs = []
+        for _left_values, key in window:
+            if key in self._probed_keys or index.lookup(key):
+                continue
+            self._probed_keys.add(key)
+            fixed = dict(zip(self.inner_key_columns, key))
+            specs.append((self.inner_table, 1, fixed, None))
+        if specs:
+            results = self.context.crowd_new_tuples_many(specs)
+            self.context.crowd_join_tasks += len(specs)
+            for new_tuples in results:
+                for values in new_tuples:
+                    try:
+                        self.context.engine.insert(
+                            self.inner_table.name,
+                            [
+                                values.get(c, NULL)
+                                for c in self.inner_table.column_names
+                            ],
+                            origin="crowd",
+                        )
+                    except ConstraintError:  # duplicate key: stored first
+                        continue
+        # round 2: one fill task per matched inner tuple with CNULLs
+        matched: list[tuple[tuple, list[int]]] = []
+        fill_rowids: list[int] = []
+        seen_rowids: set[int] = set()
+        for left_values, key in window:
+            rowids = sorted(index.lookup(key))
+            matched.append((left_values, rowids))
+            for rowid in rowids:
+                if rowid in seen_rowids:
+                    continue
+                seen_rowids.add(rowid)
+                if self._missing_needed(heap.get(rowid).values):
+                    fill_rowids.append(rowid)
+        if fill_rowids:
+            requests = [
+                self._fill_request(heap.get(rowid).values)
+                for rowid in fill_rowids
+            ]
+            answer_lists = self.context.crowd_fill_many(requests)
+            self.context.crowd_probe_tasks += len(requests)
+            for rowid, answers in zip(fill_rowids, answer_lists):
+                for column, answer in answers.items():
+                    self.context.engine.set_value(
+                        self.inner_table.name, rowid, column, answer,
+                        origin="crowd",
+                    )
+        # emit: probe results are memorized, so read back and join
+        for left_values, rowids in matched:
+            for rowid in rowids:
+                self.context.rows_scanned += 1
+                combined = left_values + heap.get(rowid).values
+                verdict = self.predicate(
+                    self.condition, combined, self._scope
+                )
+                if verdict.value is True:
+                    yield combined
+
+    def _ensure_index(self, heap):
+        index = heap.index_on(self.inner_key_columns)
+        if index is None:
+            index = heap.create_index(
+                f"{self.inner_table.name}_auto_"
+                f"{'_'.join(self.inner_key_columns)}",
+                self.inner_key_columns,
+            )
+        return index
+
+    def _missing_needed(self, values: tuple) -> list[str]:
+        from repro.sqltypes import is_cnull
+
+        return [
+            column
+            for column in self.needed_columns
+            if is_cnull(values[self.inner_table.column_index(column)])
+        ]
+
+    def _fill_request(self, values: tuple) -> tuple:
+        missing = self._missing_needed(values)
+        known = {
+            column.name: values[column.ordinal]
+            for column in self.inner_table.columns
+            if not is_missing(values[column.ordinal])
+        }
+        pk = tuple(
+            values[self.inner_table.column_index(c)]
+            for c in self.inner_table.primary_key
+        )
+        return (self.inner_table, pk, tuple(missing), known)
+
     # -- inner-side probing ---------------------------------------------------
 
     def _inner_rows(self, key: tuple) -> list[tuple]:
         heap = self.context.engine.table(self.inner_table.name)
-        index = heap.index_on(self.inner_key_columns)
-        if index is None:
-            index = heap.create_index(
-                f"{self.inner_table.name}_auto_{'_'.join(self.inner_key_columns)}",
-                self.inner_key_columns,
-            )
+        index = self._ensure_index(heap)
         rowids = sorted(index.lookup(key))
         if not rowids and key not in self._probed_keys:
             self._probed_keys.add(key)
@@ -210,7 +338,7 @@ class CrowdJoinOp(PhysicalOperator):
                     [values.get(c, NULL) for c in self.inner_table.column_names],
                     origin="crowd",
                 )
-            except Exception:  # duplicate key: another probe stored it first
+            except ConstraintError:  # duplicate key: another probe stored it first
                 continue
 
     def _fill_needed(self, rowid: int, values: tuple) -> tuple:

@@ -35,7 +35,14 @@ class PhysicalPlanner:
         self.context = context
         self.correlation = correlation
 
-    def plan(self, node: logical.LogicalPlan) -> PhysicalOperator:
+    def plan(
+        self,
+        node: logical.LogicalPlan,
+        row_bound: Optional[int] = None,
+    ) -> PhysicalOperator:
+        """Translate ``node``; ``row_bound`` is the number of output rows
+        the consumer can possibly pull (an enclosing LIMIT), threaded
+        down through row-preserving operators to clamp batch windows."""
         if isinstance(node, logical.Scan):
             return TableScan(
                 self.context,
@@ -49,27 +56,29 @@ class PhysicalPlanner:
         if isinstance(node, logical.CrowdProbe):
             return CrowdProbeOp(
                 self.context,
-                self.plan(node.child),
+                self.plan(node.child, row_bound),
                 node.table,
                 node.binding,
                 node.columns,
                 anti_probe_keys=node.anti_probe_keys,
+                batch_size=self._batch_hint(node.child, row_bound),
                 correlation=self.correlation,
             )
         if isinstance(node, logical.Filter):
-            indexed = self._try_index_scan(node)
+            indexed = self._try_index_scan(node, row_bound)
             if indexed is not None:
                 return indexed
             return FilterOp(
                 self.context,
-                self.plan(node.child),
+                self.plan(node.child, row_bound),
                 node.predicate,
+                batch_size=self._batch_hint(node.child, row_bound),
                 correlation=self.correlation,
             )
         if isinstance(node, logical.Project):
             return ProjectOp(
                 self.context,
-                self.plan(node.child),
+                self.plan(node.child, row_bound),
                 node.items,
                 correlation=self.correlation,
             )
@@ -78,19 +87,20 @@ class PhysicalPlanner:
         if isinstance(node, logical.CrowdJoin):
             return CrowdJoinOp(
                 self.context,
-                self.plan(node.left),
+                self.plan(node.left, row_bound),
                 node.inner_table,
                 node.inner_binding,
                 node.condition,
                 node.inner_key_columns,
                 node.outer_key_exprs,
                 node.needed_columns,
+                batch_size=self._batch_hint(node.left, row_bound),
                 correlation=self.correlation,
             )
         if isinstance(node, logical.Aggregate):
             return AggregateOp(
                 self.context,
-                self.plan(node.child),
+                self.plan(node.child),  # aggregation consumes everything
                 node.group_by,
                 node.aggregates,
                 correlation=self.correlation,
@@ -98,27 +108,36 @@ class PhysicalPlanner:
         if isinstance(node, logical.Sort):
             return SortOp(
                 self.context,
-                self.plan(node.child),
+                self.plan(node.child),  # sorting consumes everything
                 node.keys,
                 top_k=node.top_k,
                 correlation=self.correlation,
             )
         if isinstance(node, logical.Limit):
+            bound = None
+            if node.limit is not None:
+                bound = max(1, node.limit + node.offset)
+                if row_bound is not None:
+                    bound = min(bound, row_bound)
+            else:
+                bound = row_bound
             return LimitOp(
                 self.context,
-                self.plan(node.child),
+                self.plan(node.child, bound),
                 node.limit,
                 node.offset,
                 correlation=self.correlation,
             )
         if isinstance(node, logical.Distinct):
             return DistinctOp(
-                self.context, self.plan(node.child), correlation=self.correlation
+                self.context,
+                self.plan(node.child, row_bound),
+                correlation=self.correlation,
             )
         if isinstance(node, logical.SubqueryAlias):
             return SubqueryAliasOp(
                 self.context,
-                self.plan(node.child),
+                self.plan(node.child, row_bound),
                 node.alias,
                 correlation=self.correlation,
             )
@@ -132,10 +151,31 @@ class PhysicalPlanner:
             )
         raise PlanError(f"no physical operator for {type(node).__name__}")
 
+    # -- batch crowd execution ------------------------------------------------------
+
+    def _batch_hint(
+        self,
+        child: logical.LogicalPlan,
+        row_bound: Optional[int] = None,
+    ) -> int:
+        """Window for batch crowd execution over ``child``'s tuples.
+
+        The session's configured ``batch_size``, clamped by a pushed-down
+        stop-after bound on the scan *and* by any enclosing LIMIT that
+        was not pushed down (e.g. one stopping above a crowd filter), so
+        a bounded query never speculatively issues crowd tasks for more
+        rows than its consumer can pull."""
+        hint = self.context.batch_size
+        if isinstance(child, logical.Scan) and child.limit_hint is not None:
+            hint = min(hint, max(1, child.limit_hint))
+        if row_bound is not None:
+            hint = min(hint, max(1, row_bound))
+        return hint
+
     # -- access-path selection ------------------------------------------------------
 
     def _try_index_scan(
-        self, node: logical.Filter
+        self, node: logical.Filter, row_bound: Optional[int] = None
     ) -> Optional[PhysicalOperator]:
         """Filter(Scan) with an indexed equality conjunct becomes an index
         lookup plus a residual filter — the access-method selection H2
@@ -183,6 +223,7 @@ class PhysicalPlanner:
             # keep the full predicate as a residual: cheap and always safe
             return FilterOp(
                 self.context, lookup, node.predicate,
+                batch_size=self._batch_hint(scan, row_bound),
                 correlation=self.correlation,
             )
         return None

@@ -42,8 +42,15 @@ class TableScan(PhysicalOperator):
 
     def __iter__(self) -> Iterator[tuple]:
         heap = self.context.engine.table(self.table.name)
+        # crowd execution can insert rows while this scan is suspended on
+        # a future (another session under the server, or a crowd probe
+        # into the scanned CROWD table); snapshot only then — the common
+        # electronic scan iterates the heap directly
+        snapshot = self.context.task_manager is not None and (
+            self.context.crowd_waiter is not None or self.table.crowd
+        )
         yielded = 0
-        for row in heap.scan():
+        for row in heap.scan(snapshot=snapshot):
             self.context.rows_scanned += 1
             yielded += 1
             yield row.values
@@ -133,14 +140,12 @@ class SingleRowOp(PhysicalOperator):
         yield ()
 
 
-def _known_primary_keys(heap, table: TableSchema) -> set:
-    """Normalized PK tuples already stored (for open-world dedup)."""
-    from repro.crowd.quality import normalize_answer
+def _known_primary_keys(heap, table: TableSchema):
+    """Normalized PK tuples already stored (for open-world dedup).
 
-    positions = [table.column_index(c) for c in table.primary_key]
-    known = set()
-    for row in heap.scan():
-        known.add(
-            tuple(normalize_answer(row.values[p]) for p in positions)
-        )
-    return known
+    The heap maintains this set incrementally on insert/update/delete, so
+    sourcing calls no longer pay a full scan-and-normalize per request.
+    """
+    if not table.primary_key:
+        return set()
+    return heap.normalized_primary_keys()

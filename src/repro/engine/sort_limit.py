@@ -6,6 +6,12 @@ a ballot ("an operator that implements quick-sort can use CrowdCompare to
 perform the required binary comparisons", paper §3.2.1).  With a top-k
 bound (stop-after push-down) a selection tournament replaces the full
 sort, cutting comparisons from O(n log n) to O(n·k).
+
+Batch crowd execution (``batch_size`` > 1) swaps both crowd sorts for
+round-based variants — a pairwise elimination bracket for top-k and a
+lock-step bottom-up merge sort for full orders — that collect each
+round's comparison set, issue every ballot together, and settle them in
+one overlapped marketplace round.
 """
 
 from __future__ import annotations
@@ -101,10 +107,108 @@ class SortOp(PhysicalOperator):
 
     def _crowd_sort(self, rows: list[tuple]) -> Iterator[tuple]:
         compare = self._comparator()
+        batched = (
+            self.context.task_manager is not None
+            and self.context.batch_size > 1
+            and len(rows) > 2
+        )
         if self.top_k is not None and self.top_k < len(rows):
-            yield from self._tournament_top_k(rows, compare, self.top_k)
+            if batched:
+                yield from self._bracket_top_k(rows, compare, self.top_k)
+            else:
+                yield from self._tournament_top_k(rows, compare, self.top_k)
+        elif batched:
+            yield from self._batched_merge_sort(rows, compare)
         else:
             yield from sorted(rows, key=functools.cmp_to_key(compare))
+
+    # -- batched crowd sort ---------------------------------------------------------
+
+    def _needed_ballot(self, a: tuple, b: tuple) -> Optional[tuple]:
+        """The one CROWDORDER ballot ``compare(a, b)`` will ask, if any.
+
+        Keys are walked in order: electronic keys (and tying crowd keys)
+        are resolved locally; the first crowd key whose operands differ
+        decides the comparison with a single ballot, because a ballot
+        never ties."""
+        scope = self.child.scope
+        for expr, _ascending in self.keys:
+            if isinstance(expr, ast.CrowdOrder):
+                left = self.eval(expr.operand, a, scope)
+                right = self.eval(expr.operand, b, scope)
+                if is_missing(left) or is_missing(right) or left == right:
+                    continue  # ties; the next key decides
+                return (left, right, expr.question)
+            left = self.eval(expr, a, scope)
+            right = self.eval(expr, b, scope)
+            if _missing_aware_compare(left, right) != 0:
+                return None  # an electronic key decides first
+        return None
+
+    def _prefetch_pairs(self, pairs: list[tuple[tuple, tuple]]) -> None:
+        """Issue the ballots a round of comparisons needs, settle once."""
+        ballots = []
+        for a, b in pairs:
+            ballot = self._needed_ballot(a, b)
+            if ballot is not None:
+                ballots.append(ballot)
+        if ballots:
+            self.context.prefetch_compare_order(ballots)
+
+    def _bracket_top_k(
+        self, rows: list[tuple], compare, k: int
+    ) -> Iterator[tuple]:
+        """Selection tournament, batched: each pass finds the minimum of
+        the remaining rows with a pairwise elimination bracket whose
+        rounds issue their ballots together — the same n-1 comparisons
+        per pass as the linear scan, but O(log n) crowd rounds instead of
+        O(n), and later passes mostly replay cached ballots."""
+        remaining = list(rows)
+        for _ in range(min(k, len(rows))):
+            candidates = list(range(len(remaining)))
+            while len(candidates) > 1:
+                pairs = [
+                    (candidates[i], candidates[i + 1])
+                    for i in range(0, len(candidates) - 1, 2)
+                ]
+                self._prefetch_pairs(
+                    [(remaining[a], remaining[b]) for a, b in pairs]
+                )
+                winners = []
+                for a, b in pairs:
+                    # ties keep the earlier row, like the linear scan
+                    winners.append(
+                        a if compare(remaining[a], remaining[b]) <= 0 else b
+                    )
+                if len(candidates) % 2:
+                    winners.append(candidates[-1])
+                candidates = winners
+            yield remaining.pop(candidates[0])
+
+    def _batched_merge_sort(self, rows: list[tuple], compare) -> Iterator[tuple]:
+        """Bottom-up stable merge sort whose active merges advance in
+        lock-step rounds: each round issues one ballot per merge and
+        settles them together, cutting crowd rounds from O(n log n) to
+        O(n).  Both this and the sequential comparison sort are stable,
+        so a consistent comparator yields identical output."""
+        runs: list[list[tuple]] = [[row] for row in rows]
+        while len(runs) > 1:
+            merges = [
+                _MergeState(runs[i], runs[i + 1])
+                for i in range(0, len(runs) - 1, 2)
+            ]
+            leftover = runs[-1] if len(runs) % 2 else None
+            while True:
+                active = [m for m in merges if m.active()]
+                if not active:
+                    break
+                self._prefetch_pairs([m.frontier() for m in active])
+                for merge in active:
+                    merge.step(compare)
+            runs = [m.finish() for m in merges]
+            if leftover is not None:
+                runs.append(leftover)
+        yield from runs[0]
 
     @staticmethod
     def _tournament_top_k(rows: list[tuple], compare, k: int) -> Iterator[tuple]:
@@ -121,6 +225,37 @@ class SortOp(PhysicalOperator):
                 if compare(remaining[index], remaining[best_index]) < 0:
                     best_index = index
             yield remaining.pop(best_index)
+
+
+class _MergeState:
+    """One in-progress stable merge of two sorted runs."""
+
+    __slots__ = ("a", "b", "i", "j", "out")
+
+    def __init__(self, a: list[tuple], b: list[tuple]) -> None:
+        self.a = a
+        self.b = b
+        self.i = 0
+        self.j = 0
+        self.out: list[tuple] = []
+
+    def active(self) -> bool:
+        return self.i < len(self.a) and self.j < len(self.b)
+
+    def frontier(self) -> tuple[tuple, tuple]:
+        """The pair the next step will compare."""
+        return (self.a[self.i], self.b[self.j])
+
+    def step(self, compare) -> None:
+        if compare(self.a[self.i], self.b[self.j]) <= 0:
+            self.out.append(self.a[self.i])
+            self.i += 1
+        else:
+            self.out.append(self.b[self.j])
+            self.j += 1
+
+    def finish(self) -> list[tuple]:
+        return self.out + self.a[self.i :] + self.b[self.j :]
 
 
 @functools.total_ordering

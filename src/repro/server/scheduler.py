@@ -99,16 +99,28 @@ class CooperativeScheduler:
 
     def _advance(self, waiting: list[Session]) -> None:
         """Advance the simulated clock until at least one pending crowd
-        future can settle, then settle everything that is ready."""
+        future can settle, then settle everything that is ready.
+
+        A session suspended on a *set* of futures (batch crowd execution)
+        contributes every unsettled member; it becomes runnable once the
+        whole set has settled, which may take several advance rounds."""
         if self.task_manager is None:  # pragma: no cover - defensive
             raise ExecutionError("sessions wait on crowd but server has none")
         futures = []
         seen: set[int] = set()
         for session in waiting:
-            future = session.waiting_on
-            if future is not None and id(future) not in seen:
-                seen.add(id(future))
-                futures.append(future)
+            for future in session.waiting_futures():
+                # mirrors and HIT-group members poll and settle through
+                # their parent future
+                target = (
+                    future.mirror_of
+                    if getattr(future, "mirror_of", None) is not None
+                    else future
+                )
+                if target.settled or id(target) in seen:
+                    continue
+                seen.add(id(target))
+                futures.append(target)
         by_platform: dict[str, list] = {}
         for future in futures:
             name = getattr(future.platform, "name", "?")

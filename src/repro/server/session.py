@@ -49,7 +49,9 @@ class Session:
         self.executor = executor
         executor.crowd_waiter = self._crowd_wait
         self.state = SessionState.IDLE
-        self.waiting_on: Optional[Any] = None  # CrowdFuture while WAITING
+        # CrowdFuture — or a list of them, for a batch-issuing operator —
+        # while WAITING; the session resumes when the whole set settled
+        self.waiting_on: Optional[Any] = None
         self.results: list[Any] = []  # ResultSet | Exception, per statement
         self.errors: list[Exception] = []
         self.statements_run = 0
@@ -99,8 +101,19 @@ class Session:
         if self.state is SessionState.CLOSED:
             return False
         if self.state is SessionState.WAITING:
-            return self.waiting_on is not None and self.waiting_on.settled
+            futures = self.waiting_futures()
+            return bool(futures) and all(f.settled for f in futures)
         return bool(self._statements)
+
+    def waiting_futures(self) -> tuple:
+        """The crowd futures this session is parked on (possibly many —
+        batch-issuing operators suspend on a whole window's set)."""
+        waiting = self.waiting_on
+        if waiting is None:
+            return ()
+        if isinstance(waiting, (list, tuple)):
+            return tuple(waiting)
+        return (waiting,)
 
     def quiescent(self) -> bool:
         """No queued work and nothing in flight (slot can be released)."""
@@ -174,7 +187,8 @@ class Session:
 
     def _crowd_wait(self, future: Any) -> None:
         """The executor's yield point: park until the scheduler has
-        settled ``future`` (installed as ``executor.crowd_waiter``)."""
+        settled ``future`` — one crowd future or a batch-issued list of
+        them (installed as ``executor.crowd_waiter``)."""
         self.waiting_on = future
         self.state = SessionState.WAITING
         self.suspensions += 1

@@ -63,7 +63,12 @@ class TaskPool:
         """An unsettled future for ``key``, if one is in flight."""
         self.stats.lookups += 1
         future = self._pending.get(key)
-        if future is None or future.settled:
+        if future is None:
+            return None
+        if future.settled:
+            # a HIT-group member settled through its parent without an
+            # explicit settle() call — drop the stale entry
+            del self._pending[key]
             return None
         self.stats.deduplicated += 1
         return future

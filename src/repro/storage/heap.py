@@ -8,7 +8,8 @@ across insert/update/delete.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Optional
+from collections import Counter
+from typing import Any, Iterable, Iterator, KeysView, Optional
 
 from repro.catalog.table import TableSchema
 from repro.errors import ConstraintError, StorageError
@@ -42,6 +43,15 @@ class HeapTable:
                     unique=True,
                 )
                 self.indexes[index.name] = index
+        # normalized primary keys, maintained incrementally for open-world
+        # crowd sourcing dedup (a Counter because distinct raw keys may
+        # normalize to the same spelling)
+        self._pk_positions = tuple(
+            schema.column_index(c) for c in schema.primary_key
+        )
+        self._normalized_pks: Optional[Counter] = (
+            Counter() if schema.primary_key else None
+        )
 
     # -- basics ---------------------------------------------------------------
 
@@ -52,9 +62,17 @@ class HeapTable:
     def name(self) -> str:
         return self.schema.name
 
-    def scan(self) -> Iterator[Row]:
-        """Yield all rows in insertion order."""
-        for rowid, values in list(self._rows.items()):
+    def scan(self, snapshot: bool = False) -> Iterator[Row]:
+        """Yield all rows in insertion order.
+
+        ``snapshot`` materializes the row dict first so the iteration
+        survives inserts/deletes that interleave with it (crowd
+        memorization while a cooperative session is suspended); the
+        default iterates the live dict — the cheap path for read-only
+        electronic execution.
+        """
+        items = list(self._rows.items()) if snapshot else self._rows.items()
+        for rowid, values in items:
             yield Row(rowid, values)
 
     def get(self, rowid: int) -> Row:
@@ -86,6 +104,32 @@ class HeapTable:
         if not rowids:
             return None
         return self.get(next(iter(rowids)))
+
+    def normalized_primary_keys(self) -> KeysView:
+        """Normalized PK tuples currently stored (open-world dedup).
+
+        Maintained incrementally on insert/update/delete, so sourcing
+        calls never rescan the heap.  The returned view is live — copy it
+        before mutating the table if a stable set is needed.
+        """
+        if self._normalized_pks is None:
+            raise StorageError(f"table {self.name!r} has no primary key")
+        return self._normalized_pks.keys()
+
+    def _normalized_pk(self, values: tuple[Any, ...]) -> tuple:
+        from repro.crowd.quality import normalize_answer
+
+        return tuple(
+            normalize_answer(values[p]) for p in self._pk_positions
+        )
+
+    def _track_pk(self, values: tuple[Any, ...], delta: int) -> None:
+        if self._normalized_pks is None:
+            return
+        key = self._normalized_pk(values)
+        self._normalized_pks[key] += delta
+        if self._normalized_pks[key] <= 0:
+            del self._normalized_pks[key]
 
     # -- mutations ---------------------------------------------------------------
 
@@ -156,6 +200,7 @@ class HeapTable:
         self._rows[rowid] = values
         self._next_rowid += 1
         self.statistics.on_insert(values, self.schema.column_names)
+        self._track_pk(values, +1)
         return Row(rowid, values)
 
     def delete(self, rowid: int) -> Row:
@@ -164,6 +209,7 @@ class HeapTable:
             index.delete(self._key_for(row.values, index.columns), rowid)
         del self._rows[rowid]
         self.statistics.on_delete(row.values, self.schema.column_names)
+        self._track_pk(row.values, -1)
         return row
 
     def update(self, rowid: int, values: tuple[Any, ...]) -> Row:
@@ -188,6 +234,12 @@ class HeapTable:
         self._rows[rowid] = values
         self.statistics.on_delete(old.values, self.schema.column_names)
         self.statistics.on_insert(values, self.schema.column_names)
+        if self._normalized_pks is not None:
+            old_key = self._normalized_pk(old.values)
+            new_key = self._normalized_pk(values)
+            if old_key != new_key:
+                self._track_pk(old.values, -1)
+                self._track_pk(values, +1)
         return Row(rowid, values)
 
     def set_value(self, rowid: int, column_name: str, value: Any) -> Row:
