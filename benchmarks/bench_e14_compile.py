@@ -1,0 +1,194 @@
+"""E14 — plan-time expression compilation: electronic-path throughput.
+
+PR2 (E13) batched the crowd half of every plan; E14 measures the other
+half.  The workload is purely electronic — a 100k-row
+scan-filter-join-aggregate-order pipeline with an expression-heavy
+predicate (BETWEEN, LIKE, arithmetic conjuncts) and computed aggregate
+arguments — run twice over identical data:
+
+* ``interpreted`` — ``compile_expressions=False``: every row walks the
+  AST through ``Evaluator`` with isinstance dispatch and per-call
+  ``Scope.resolve`` name resolution (the pre-E14 execution model);
+* ``compiled``    — the default: each expression is compiled once per
+  plan into closures with pre-resolved column ordinals, folded
+  constants, pre-compiled LIKE regexes, and specialized 3VL handling,
+  and the electronic operators run batch-at-a-time.
+
+Reproduced claims: >=5x electronic-path throughput on the full workload
+with byte-identical ResultSets.  The result-equivalence test always runs
+(it is the CI divergence gate under ``CROWDBENCH_FAST``); the speedup
+floor is asserted on the full workload only, and fast-mode numbers never
+clobber the committed BENCH_e14.json artifact.
+"""
+
+import json
+import os
+import random
+import time
+
+import pytest
+
+from crowdbench import FAST, report
+
+from repro import connect
+
+ROWS = 5_000 if FAST else 100_000
+CUSTOMERS = 100 if FAST else 1_000
+SEED = 14
+REPEATS = 3
+SPEEDUP_FLOOR = 5.0
+
+QUERY = """
+SELECT c.region,
+       COUNT(*),
+       SUM(o.amount),
+       AVG(o.amount * (1 + o.priority * 0.05)),
+       MAX(o.amount - o.priority * 2.5)
+FROM orders o JOIN customers c ON o.customer_id = c.id
+WHERE o.amount BETWEEN 20 AND 450
+  AND o.status LIKE 'ship%'
+  AND o.priority >= 1
+  AND o.amount * 1.08 < 470
+GROUP BY c.region
+ORDER BY SUM(o.amount) DESC
+"""
+
+BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_e14.json",
+)
+
+
+def _database(compile_expressions: bool):
+    """A crowd-less connection with the deterministic order book loaded.
+
+    Rows go through ``engine.insert`` (typed, indexed, statistics
+    maintained) rather than per-row INSERT statements so the benchmark
+    times query execution, not SQL parsing.
+    """
+    db = connect(with_crowd=False, compile_expressions=compile_expressions)
+    db.execute(
+        "CREATE TABLE customers (id INTEGER PRIMARY KEY, "
+        "name STRING, region STRING)"
+    )
+    db.execute(
+        "CREATE TABLE orders (id INTEGER PRIMARY KEY, customer_id INTEGER, "
+        "amount FLOAT, status STRING, priority INTEGER)"
+    )
+    rng = random.Random(SEED)
+    regions = ["west", "east", "north", "south", "central"]
+    statuses = ["shipped", "shipping", "pending", "cancelled", "returned"]
+    engine = db.engine
+    for i in range(CUSTOMERS):
+        engine.insert(
+            "customers", [i, f"cust{i:04d}", regions[i % len(regions)]]
+        )
+    for i in range(ROWS):
+        engine.insert(
+            "orders",
+            [
+                i,
+                rng.randrange(CUSTOMERS),
+                round(rng.uniform(1, 500), 2),
+                statuses[rng.randrange(len(statuses))],
+                rng.randrange(5),
+            ],
+        )
+    return db
+
+
+def _run(compile_expressions: bool):
+    db = _database(compile_expressions)
+    times = []
+    result = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = db.execute(QUERY)
+        times.append(time.perf_counter() - start)
+    best = min(times)
+    return {
+        "seconds": best,
+        "rows_per_second": ROWS / best,
+        "columns": result.columns,
+        "rows": result.rows,
+        "explain": db.explain(QUERY),
+    }
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    return {
+        "interpreted": _run(False),
+        "compiled": _run(True),
+    }
+
+
+def test_report(measurements):
+    interpreted = measurements["interpreted"]
+    compiled = measurements["compiled"]
+    speedup = interpreted["seconds"] / compiled["seconds"]
+    report(
+        "E14",
+        f"{ROWS}-row scan-filter-join-aggregate-order, compiled vs interpreted",
+        ["mode", "seconds", "rows/s", "speedup"],
+        [
+            ("interpreted", interpreted["seconds"],
+             int(interpreted["rows_per_second"]), 1.0),
+            ("compiled", compiled["seconds"],
+             int(compiled["rows_per_second"]), speedup),
+        ],
+    )
+    if FAST:
+        # fast-mode numbers are for CI smoke only — never clobber the
+        # committed full-workload artifact
+        return
+    payload = {
+        "rows": ROWS,
+        "customers": CUSTOMERS,
+        "seed": SEED,
+        "fast_mode": FAST,
+        "query": " ".join(QUERY.split()),
+        "interpreted_seconds": round(interpreted["seconds"], 4),
+        "compiled_seconds": round(compiled["seconds"], 4),
+        "interpreted_rows_per_second": int(interpreted["rows_per_second"]),
+        "compiled_rows_per_second": int(compiled["rows_per_second"]),
+        "speedup": round(speedup, 2),
+    }
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def test_compiled_output_identical_to_interpreted(measurements):
+    """The CI divergence gate: compiled execution must be byte-identical.
+
+    ``repr`` equality catches type drift (1 vs 1.0 vs True) that plain
+    ``==`` would wave through.
+    """
+    interpreted = measurements["interpreted"]
+    compiled = measurements["compiled"]
+    assert compiled["columns"] == interpreted["columns"]
+    assert compiled["rows"] == interpreted["rows"]
+    assert repr(compiled["rows"]) == repr(interpreted["rows"])
+
+
+def test_explain_marks_compilation_mode(measurements):
+    assert "-- expressions: compiled" in measurements["compiled"]["explain"]
+    assert (
+        "-- expressions: interpreted"
+        in measurements["interpreted"]["explain"]
+    )
+
+
+@pytest.mark.skipif(
+    FAST, reason="speedup floor is asserted on the full workload only"
+)
+def test_compiled_speedup_floor(measurements):
+    speedup = (
+        measurements["interpreted"]["seconds"]
+        / measurements["compiled"]["seconds"]
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"compiled path only {speedup:.2f}x faster; floor is "
+        f"{SPEEDUP_FLOOR}x"
+    )

@@ -53,6 +53,7 @@ class Connection:
         crowd_config: Optional[CrowdConfig] = None,
         strict_boundedness: bool = False,
         default_platform: Optional[str] = None,
+        compile_expressions: bool = True,
     ) -> None:
         self.engine = engine if engine is not None else StorageEngine()
         self.catalog: Catalog = self.engine.catalog
@@ -66,7 +67,9 @@ class Connection:
                 platforms, self.ui_manager, config=crowd_config
             )
         self.optimizer = Optimizer(
-            self.engine, strict_boundedness=strict_boundedness
+            self.engine,
+            strict_boundedness=strict_boundedness,
+            compile_expressions=compile_expressions,
         )
         self.executor = Executor(
             self.engine,
@@ -207,6 +210,7 @@ def connect(
     with_crowd: bool = True,
     batch_size: Optional[int] = None,
     hit_group_size: Optional[int] = None,
+    compile_expressions: bool = True,
 ) -> Connection:
     """Create a CrowdDB connection.
 
@@ -220,6 +224,10 @@ def connect(
     ``batch_size`` tuples and settle the window's crowd tasks in one
     overlapped round, and up to ``hit_group_size`` fill tasks of one
     table/column set are packaged into a single HIT.
+
+    ``compile_expressions=False`` disables plan-time expression
+    compilation and restores the per-row AST interpreter — the switch the
+    E14 benchmark and the differential tests flip.
     """
     if batch_size is not None or hit_group_size is not None:
         from dataclasses import replace
@@ -234,7 +242,10 @@ def connect(
         else:  # never mutate the caller's config object
             crowd_config = replace(crowd_config, **overrides)
     if not with_crowd:
-        return Connection(strict_boundedness=strict_boundedness)
+        return Connection(
+            strict_boundedness=strict_boundedness,
+            compile_expressions=compile_expressions,
+        )
     if oracle is None:
         oracle = GroundTruthOracle()
     registry = PlatformRegistry()
@@ -254,6 +265,7 @@ def connect(
         crowd_config=crowd_config,
         strict_boundedness=strict_boundedness,
         default_platform=default_platform,
+        compile_expressions=compile_expressions,
     )
     # wire the Worker Relationship Manager into every simulated platform:
     # payments/bonuses flow on each assignment, and the WRM's blocklist and

@@ -2,14 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Optional
+from typing import Any, Iterator
 
 from repro.engine.base import Correlation, PhysicalOperator
 from repro.engine.context import ExecutionContext
 from repro.errors import ExecutionError
 from repro.sql import ast
 from repro.sql.pretty import format_expression
-from repro.sqltypes import NULL, is_missing
+from repro.sqltypes import CNULL, NULL
 from repro.storage.row import Scope
 
 
@@ -23,12 +23,17 @@ class _Accumulator:
         self.total: Any = None
         self.extreme: Any = None
         self._seen: set = set()
+        # branch flags hoisted out of the per-row add() path
+        self._counts_star = self.name == "COUNT"
+        self._sums = self.name in ("SUM", "AVG")
+        self._wants_min = self.name == "MIN"
+        self._wants_max = self.name == "MAX"
 
     def add(self, value: Any) -> None:
-        if self.name == "COUNT" and value is _STAR:
+        if value is _STAR and self._counts_star:
             self.count += 1
             return
-        if is_missing(value):
+        if value is NULL or value is None or value is CNULL:
             return
         if self.distinct:
             key = value if _hashable(value) else repr(value)
@@ -36,14 +41,17 @@ class _Accumulator:
                 return
             self._seen.add(key)
         self.count += 1
-        if self.name in ("SUM", "AVG"):
-            if isinstance(value, bool) or not isinstance(value, (int, float)):
+        if self._sums:
+            value_type = type(value)
+            if value_type is not int and value_type is not float and (
+                isinstance(value, bool) or not isinstance(value, (int, float))
+            ):
                 raise ExecutionError(f"{self.name} needs numeric input")
             self.total = value if self.total is None else self.total + value
-        elif self.name == "MIN":
+        elif self._wants_min:
             if self.extreme is None or value < self.extreme:
                 self.extreme = value
-        elif self.name == "MAX":
+        elif self._wants_max:
             if self.extreme is None or value > self.extreme:
                 self.extreme = value
 
@@ -102,18 +110,44 @@ class AggregateOp(PhysicalOperator):
     def scope(self) -> Scope:
         return self._scope
 
+    def sources_crowd_on_pull(self) -> bool:
+        # pipeline breaker: the child is consumed entirely on first pull,
+        # so extra output pulls never reach it
+        return False
+
     def __iter__(self) -> Iterator[tuple]:
+        from repro.plan.compiled import tuple_maker
+
         child_scope = self.child.scope
+        input_fns = [
+            self._aggregate_input_fn(call, child_scope)
+            for call in self.aggregates
+        ]
+        if not self.group_by:
+            # global aggregate: one accumulator set, no key machinery
+            accumulators = [_Accumulator(call) for call in self.aggregates]
+            pairs = list(zip(input_fns, accumulators))
+            for values in self.child:
+                for input_fn, accumulator in pairs:
+                    accumulator.add(input_fn(values))
+            yield tuple(acc.result() for acc in accumulators)
+            return
+        key_fn = tuple_maker(
+            [self.compile_value(expr, child_scope) for expr in self.group_by]
+        )
         groups: dict[tuple, tuple[tuple, list[_Accumulator]]] = {}
         order: list[tuple] = []
+        get_group = groups.get
         for values in self.child:
-            key_values = tuple(
-                self.eval(expr, values, child_scope) for expr in self.group_by
-            )
-            key = tuple(
-                v if _hashable(v) else repr(v) for v in key_values
-            )
-            entry = groups.get(key)
+            key_values = key_fn(values)
+            try:
+                entry = get_group(key_values)
+                key = key_values
+            except TypeError:  # unhashable key part: normalize via repr
+                key = tuple(
+                    v if _hashable(v) else repr(v) for v in key_values
+                )
+                entry = get_group(key)
             if entry is None:
                 entry = (
                     key_values,
@@ -122,26 +156,17 @@ class AggregateOp(PhysicalOperator):
                 groups[key] = entry
                 order.append(key)
             _key_values, accumulators = entry
-            for call, accumulator in zip(self.aggregates, accumulators):
-                accumulator.add(self._aggregate_input(call, values, child_scope))
-
-        if not groups and not self.group_by:
-            # global aggregate over empty input: one row of identities
-            yield tuple(
-                _Accumulator(call).result() for call in self.aggregates
-            )
-            return
+            for input_fn, accumulator in zip(input_fns, accumulators):
+                accumulator.add(input_fn(values))
         for key in order:
             key_values, accumulators = groups[key]
             yield key_values + tuple(acc.result() for acc in accumulators)
 
-    def _aggregate_input(
-        self, call: ast.FunctionCall, values: tuple, scope: Scope
-    ) -> Any:
+    def _aggregate_input_fn(self, call: ast.FunctionCall, scope: Scope):
         (argument,) = call.args
         if isinstance(argument, ast.Star):
-            return _STAR
-        return self.eval(argument, values, scope)
+            return lambda values: _STAR
+        return self.compile_value(argument, scope)
 
 
 def _hashable(value: Any) -> bool:

@@ -41,6 +41,7 @@ class ExecutionContext:
             Callable[[ast.Select, tuple, Scope], list[tuple]]
         ] = None,
         crowd_waiter: Optional[Callable[[Any], None]] = None,
+        compile_expressions: bool = True,
     ) -> None:
         self.engine = engine
         self.task_manager = task_manager
@@ -48,12 +49,39 @@ class ExecutionContext:
         self.platform = platform
         self._subquery_executor = subquery_executor
         self.crowd_waiter = crowd_waiter
+        self.compile_expressions = compile_expressions
         self.evaluator = Evaluator(context=self, parameters=parameters)
         # per-execution metrics surfaced by EXPLAIN ANALYZE-style reporting
         self.rows_scanned = 0
         self.crowd_probe_tasks = 0
         self.crowd_join_tasks = 0
         self.crowd_compare_tasks = 0
+
+    # -- plan-time expression compilation -----------------------------------------
+
+    def compile_value_fn(self, expr: ast.Expression, scope: Scope):
+        """Compile ``expr`` to a ``values -> SQL value`` closure against
+        ``scope`` (interpreted closure when compilation is disabled)."""
+        if self.compile_expressions:
+            from repro.plan.compiled import compile_value
+
+            return compile_value(
+                expr, scope, context=self, parameters=self.parameters
+            )
+        evaluator = self.evaluator
+        return lambda values: evaluator.value(expr, values, scope)
+
+    def compile_predicate_fn(self, expr: ast.Expression, scope: Scope):
+        """Compile ``expr`` to a ``values -> TriBool`` closure against
+        ``scope`` (interpreted closure when compilation is disabled)."""
+        if self.compile_expressions:
+            from repro.plan.compiled import compile_predicate
+
+            return compile_predicate(
+                expr, scope, context=self, parameters=self.parameters
+            )
+        evaluator = self.evaluator
+        return lambda values: evaluator.predicate(expr, values, scope)
 
     # -- issue / yield / resume ---------------------------------------------------
 

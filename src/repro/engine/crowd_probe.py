@@ -63,6 +63,9 @@ class CrowdProbeOp(PhysicalOperator):
             return max(1, self._batch_size)
         return self.context.batch_size
 
+    def sources_crowd_on_pull(self) -> bool:
+        return True
+
     def __iter__(self) -> Iterator[tuple]:
         if self.anti_probe_keys and self.table.crowd:
             self._run_anti_probes()
@@ -139,8 +142,9 @@ class CrowdProbeOp(PhysicalOperator):
     def _column_positions(self, scope: Scope) -> list[tuple[str, int]]:
         positions = []
         for column in self.columns:
-            if scope.has(column, self.binding):
-                positions.append((column, scope.resolve(column, self.binding)))
+            position = scope.try_resolve(column, self.binding)
+            if position is not None:
+                positions.append((column, position))
         return positions
 
     def _known_and_pk(
@@ -148,9 +152,10 @@ class CrowdProbeOp(PhysicalOperator):
     ) -> tuple[dict, tuple]:
         known = {}
         for column in self.table.columns:
-            if not scope.has(column.name, self.binding):
+            position = scope.try_resolve(column.name, self.binding)
+            if position is None:
                 continue
-            value = values[scope.resolve(column.name, self.binding)]
+            value = values[position]
             if not is_missing(value):
                 known[column.name] = value
         pk = tuple(

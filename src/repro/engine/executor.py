@@ -51,6 +51,17 @@ class ResultSet:
         return self.rows[0][0]
 
     def column(self, index: int = 0) -> list:
+        """Values of one output column.
+
+        The index is validated against the result schema (not just the
+        rows), so an out-of-range index raises the same clear error on an
+        empty result instead of silently returning ``[]``.
+        """
+        if self.columns and not -len(self.columns) <= index < len(self.columns):
+            raise ExecutionError(
+                f"column index {index} out of range for "
+                f"{len(self.columns)} column(s)"
+            )
         return [row[index] for row in self.rows]
 
     def pretty(self) -> str:
@@ -232,23 +243,28 @@ class Executor:
         schema = heap.schema
         context = self._make_context(parameters)
         scope = Scope.for_table(stmt.table, schema.column_names)
-        evaluator = context.evaluator
         for name, _expr in stmt.assignments:
             schema.column(name)  # validate
+        where = (
+            context.compile_predicate_fn(stmt.where, scope)
+            if stmt.where is not None
+            else None
+        )
+        assignments = [
+            (schema.column(name), context.compile_value_fn(expr, scope))
+            for name, expr in stmt.assignments
+        ]
         targets = []
         for row in heap.scan(snapshot=True):
-            if stmt.where is not None:
-                verdict = evaluator.predicate(stmt.where, row.values, scope)
-                if verdict.value is not True:
-                    continue
+            if where is not None and where(row.values).value is not True:
+                continue
             targets.append(row)
+        from repro.sqltypes import coerce
+
         for row in targets:
             new_values = list(row.values)
-            for name, expr in stmt.assignments:
-                value = evaluator.value(expr, row.values, scope)
-                column = schema.column(name)
-                from repro.sqltypes import coerce
-
+            for column, value_fn in assignments:
+                value = value_fn(row.values)
                 new_values[column.ordinal] = (
                     value if is_missing(value) else coerce(value, column.sql_type)
                 )
@@ -260,13 +276,15 @@ class Executor:
         schema = heap.schema
         context = self._make_context(parameters)
         scope = Scope.for_table(stmt.table, schema.column_names)
-        evaluator = context.evaluator
+        where = (
+            context.compile_predicate_fn(stmt.where, scope)
+            if stmt.where is not None
+            else None
+        )
         targets = []
         for row in heap.scan(snapshot=True):
-            if stmt.where is not None:
-                verdict = evaluator.predicate(stmt.where, row.values, scope)
-                if verdict.value is not True:
-                    continue
+            if where is not None and where(row.values).value is not True:
+                continue
             targets.append(row.rowid)
         for rowid in targets:
             self.engine.delete(stmt.table, rowid)
@@ -282,6 +300,9 @@ class Executor:
             platform=self.platform,
             subquery_executor=self._run_subquery,
             crowd_waiter=self.crowd_waiter,
+            compile_expressions=getattr(
+                self.optimizer, "compile_expressions", True
+            ),
         )
         return context
 

@@ -6,12 +6,20 @@ from typing import Iterator, Optional
 
 from repro.engine.base import Correlation, PhysicalOperator
 from repro.engine.context import ExecutionContext
+from repro.plan.compiled import BATCH_ROWS, is_electronic
 from repro.sql import ast
 from repro.storage.row import Scope
 
 
 class FilterOp(PhysicalOperator):
     """Keep rows whose predicate evaluates to TRUE (3VL).
+
+    The predicate is compiled once at plan time; electronic predicates
+    additionally run batch-at-a-time, filtering ``BATCH_ROWS``-row chunks
+    through one list comprehension instead of a per-row generator
+    round-trip (gated on the child never sourcing crowd data on pull, so
+    the eager chunk cannot issue crowd tasks a stop-after bound would
+    have prevented).
 
     A predicate containing CROWDEQUAL runs batch-at-a-time when a window
     is configured: the operator buffers ``batch_size`` child rows,
@@ -48,26 +56,52 @@ class FilterOp(PhysicalOperator):
 
     def __iter__(self) -> Iterator[tuple]:
         child_scope = self.child.scope
+        predicate = self.compile_predicate(self.predicate_expr, child_scope)
         prefetchable = (
             self._prefetchable_equals()
             if self.context.task_manager is not None and self.batch_size > 1
             else ()
         )
         if not prefetchable:
+            if is_electronic(self.predicate_expr) and not (
+                self.child.sources_crowd_on_pull()
+            ):
+                yield from self._iter_chunked(predicate)
+                return
             for values in self.child:
-                if self.predicate(self.predicate_expr, values, child_scope).value is True:
+                if predicate(values).value is True:
                     yield values
             return
+        operand_fns = {
+            node: (
+                self.compile_value(node.left, child_scope),
+                self.compile_value(node.right, child_scope),
+            )
+            for node in prefetchable
+        }
         window: list[tuple] = []
         for values in self.child:
             window.append(values)
             if len(window) >= self.batch_size:
                 yield from self._filter_window(
-                    window, child_scope, prefetchable
+                    window, predicate, prefetchable, operand_fns
                 )
                 window = []
         if window:
-            yield from self._filter_window(window, child_scope, prefetchable)
+            yield from self._filter_window(
+                window, predicate, prefetchable, operand_fns
+            )
+
+    def _iter_chunked(self, predicate) -> Iterator[tuple]:
+        """Batch-at-a-time electronic filtering over row chunks."""
+        for chunk in _chunked(self.child):
+            yield from [v for v in chunk if predicate(v).value is True]
+
+    def sources_crowd_on_pull(self) -> bool:
+        return (
+            not is_electronic(self.predicate_expr)
+            or self.child.sources_crowd_on_pull()
+        )
 
     def _prefetchable_equals(self) -> tuple[ast.CrowdEqual, ...]:
         """The CROWDEQUAL nodes whose ballots the window can issue up
@@ -101,28 +135,34 @@ class FilterOp(PhysicalOperator):
     def _filter_window(
         self,
         window: list[tuple],
-        child_scope: Scope,
+        predicate,
         equals: tuple[ast.CrowdEqual, ...],
+        operand_fns: dict,
     ) -> Iterator[tuple]:
         from repro.sqltypes import is_missing
 
         pairs = []
         for values in window:
             for node in equals:
-                left = self.eval(node.left, values, child_scope)
-                right = self.eval(node.right, values, child_scope)
+                left_fn, right_fn = operand_fns[node]
+                left = left_fn(values)
+                right = right_fn(values)
                 if is_missing(left) or is_missing(right) or left == right:
                     continue  # evaluation resolves these without a ballot
                 pairs.append((left, right, node.question))
         if pairs:
             self.context.prefetch_compare_equal(pairs)
         for values in window:
-            if self.predicate(self.predicate_expr, values, child_scope).value is True:
+            if predicate(values).value is True:
                 yield values
 
 
 class ProjectOp(PhysicalOperator):
-    """Compute the select-list expressions."""
+    """Compute the select-list expressions.
+
+    Select-list expressions compile to closures at plan time; electronic
+    projections run batch-at-a-time over ``BATCH_ROWS``-row chunks.
+    """
 
     def __init__(
         self,
@@ -140,12 +180,29 @@ class ProjectOp(PhysicalOperator):
     def scope(self) -> Scope:
         return self._scope
 
+    def sources_crowd_on_pull(self) -> bool:
+        return any(
+            not is_electronic(expr) for expr, _name in self.items
+        ) or self.child.sources_crowd_on_pull()
+
     def __iter__(self) -> Iterator[tuple]:
+        from repro.plan.compiled import tuple_maker
+
         child_scope = self.child.scope
+        row_fn = tuple_maker(
+            [
+                self.compile_value(expr, child_scope)
+                for expr, _name in self.items
+            ]
+        )
+        if all(
+            is_electronic(expr) for expr, _name in self.items
+        ) and not self.child.sources_crowd_on_pull():
+            for chunk in _chunked(self.child):
+                yield from [row_fn(v) for v in chunk]
+            return
         for values in self.child:
-            yield tuple(
-                self.eval(expr, values, child_scope) for expr, _name in self.items
-            )
+            yield row_fn(values)
 
 
 class DistinctOp(PhysicalOperator):
@@ -288,6 +345,20 @@ class SetOpOp(PhysicalOperator):
                 continue
             emitted.add(key)
             yield values
+
+
+def _chunked(rows, size: int = BATCH_ROWS) -> Iterator[list[tuple]]:
+    """Buffer an iterable of rows into ``size``-row lists."""
+    chunk: list[tuple] = []
+    append = chunk.append
+    for values in rows:
+        append(values)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+            append = chunk.append
+    if chunk:
+        yield chunk
 
 
 def _hashable(value):

@@ -9,7 +9,7 @@ from repro.engine.base import Correlation, PhysicalOperator
 from repro.engine.context import ExecutionContext
 from repro.errors import ConstraintError, ExecutionError
 from repro.sql import ast
-from repro.sqltypes import NULL, is_missing
+from repro.sqltypes import CNULL, NULL, is_missing
 from repro.storage.row import Scope
 
 
@@ -38,19 +38,30 @@ class NestedLoopJoinOp(PhysicalOperator):
     def scope(self) -> Scope:
         return self._scope
 
+    def sources_crowd_on_pull(self) -> bool:
+        # the right side is materialized on first pull either way; the
+        # streamed left side — and a condition with crowd constructs,
+        # evaluated per emitted row — react to extra pulls
+        from repro.plan.compiled import is_electronic
+
+        return (
+            self.condition is not None and not is_electronic(self.condition)
+        ) or self.left.sources_crowd_on_pull()
+
     def __iter__(self) -> Iterator[tuple]:
         right_rows = list(self.right)
         right_width = len(self.right.scope)
+        condition = (
+            self.compile_predicate(self.condition, self._scope)
+            if self.condition is not None
+            else None
+        )
         for left_values in self.left:
             matched = False
             for right_values in right_rows:
                 combined = left_values + right_values
-                if self.condition is not None:
-                    verdict = self.predicate(
-                        self.condition, combined, self._scope
-                    )
-                    if verdict.value is not True:
-                        continue
+                if condition is not None and condition(combined).value is not True:
+                    continue
                 matched = True
                 yield combined
             if not matched and self.join_type == "LEFT":
@@ -87,34 +98,86 @@ class HashJoinOp(PhysicalOperator):
     def scope(self) -> Scope:
         return self._scope
 
+    def sources_crowd_on_pull(self) -> bool:
+        # the build side is materialized on first pull either way; the
+        # streamed probe side — and a residual condition with crowd
+        # constructs, evaluated per emitted row — react to extra pulls
+        from repro.plan.compiled import is_electronic
+
+        return (
+            self.condition is not None and not is_electronic(self.condition)
+        ) or self.left.sources_crowd_on_pull()
+
     def __iter__(self) -> Iterator[tuple]:
+        condition = (
+            self.compile_predicate(self.condition, self._scope)
+            if self.condition is not None
+            else None
+        )
+        if len(self.left_keys) == 1:
+            yield from self._iter_single_key(condition)
+            return
+        from repro.plan.compiled import tuple_maker
+
         table: dict[tuple, list[tuple]] = {}
-        right_scope = self.right.scope
-        for right_values in self.right:
-            key = tuple(
-                self.eval(expr, right_values, right_scope)
+        build_key = tuple_maker(
+            [
+                self.compile_value(expr, self.right.scope)
                 for expr in self.right_keys
-            )
-            if any(is_missing(part) for part in key):
-                continue
-            table.setdefault(key, []).append(right_values)
-        left_scope = self.left.scope
-        for left_values in self.left:
-            key = tuple(
-                self.eval(expr, left_values, left_scope)
+            ]
+        )
+        probe_key = tuple_maker(
+            [
+                self.compile_value(expr, self.left.scope)
                 for expr in self.left_keys
-            )
+            ]
+        )
+        setdefault = table.setdefault
+        for right_values in self.right:
+            key = build_key(right_values)
             if any(is_missing(part) for part in key):
                 continue
-            for right_values in table.get(key, ()):
+            setdefault(key, []).append(right_values)
+        get_bucket = table.get
+        for left_values in self.left:
+            key = probe_key(left_values)
+            if any(is_missing(part) for part in key):
+                continue
+            for right_values in get_bucket(key, ()):
                 combined = left_values + right_values
-                if self.condition is not None:
-                    verdict = self.predicate(
-                        self.condition, combined, self._scope
-                    )
-                    if verdict.value is not True:
-                        continue
+                if condition is not None and condition(combined).value is not True:
+                    continue
                 yield combined
+
+    def _iter_single_key(self, condition) -> Iterator[tuple]:
+        """The common one-key equi-join, with scalar hash keys and inline
+        missing checks."""
+        build_key = self.compile_value(self.right_keys[0], self.right.scope)
+        probe_key = self.compile_value(self.left_keys[0], self.left.scope)
+        table: dict = {}
+        setdefault = table.setdefault
+        for right_values in self.right:
+            key = build_key(right_values)
+            if key is NULL or key is None or key is CNULL:
+                continue
+            setdefault(key, []).append(right_values)
+        get_bucket = table.get
+        empty = ()
+        for left_values in self.left:
+            key = probe_key(left_values)
+            if key is NULL or key is None or key is CNULL:
+                continue
+            bucket = get_bucket(key, empty)
+            if not bucket:
+                continue
+            if condition is None:
+                for right_values in bucket:
+                    yield left_values + right_values
+                continue
+            for right_values in bucket:
+                combined = left_values + right_values
+                if condition(combined).value is True:
+                    yield combined
 
 
 class CrowdJoinOp(PhysicalOperator):
@@ -170,44 +233,45 @@ class CrowdJoinOp(PhysicalOperator):
             return max(1, self._batch_size)
         return self.context.batch_size
 
+    def sources_crowd_on_pull(self) -> bool:
+        return True
+
     def __iter__(self) -> Iterator[tuple]:
         left_scope = self.left.scope
+        key_fns = [
+            self.compile_value(expr, left_scope)
+            for expr in self.outer_key_exprs
+        ]
+        condition = self.compile_predicate(self.condition, self._scope)
         if self.context.task_manager is None or self.batch_size <= 1:
-            yield from self._iter_per_tuple(left_scope)
+            yield from self._iter_per_tuple(key_fns, condition)
             return
         window: list[tuple[tuple, tuple]] = []  # (left values, join key)
         for left_values in self.left:
-            key = tuple(
-                self.eval(expr, left_values, left_scope)
-                for expr in self.outer_key_exprs
-            )
+            key = tuple(fn(left_values) for fn in key_fns)
             if any(is_missing(part) for part in key):
                 continue
             window.append((left_values, key))
             if len(window) >= self.batch_size:
-                yield from self._join_window(window)
+                yield from self._join_window(window, condition)
                 window = []
         if window:
-            yield from self._join_window(window)
+            yield from self._join_window(window, condition)
 
-    def _iter_per_tuple(self, left_scope: Scope) -> Iterator[tuple]:
+    def _iter_per_tuple(self, key_fns, condition) -> Iterator[tuple]:
         for left_values in self.left:
-            key = tuple(
-                self.eval(expr, left_values, left_scope)
-                for expr in self.outer_key_exprs
-            )
+            key = tuple(fn(left_values) for fn in key_fns)
             if any(is_missing(part) for part in key):
                 continue
             for inner_values in self._inner_rows(key):
                 combined = left_values + inner_values
-                verdict = self.predicate(self.condition, combined, self._scope)
-                if verdict.value is True:
+                if condition(combined).value is True:
                     yield combined
 
     # -- batched probing ------------------------------------------------------
 
     def _join_window(
-        self, window: list[tuple[tuple, tuple]]
+        self, window: list[tuple[tuple, tuple]], condition
     ) -> Iterator[tuple]:
         heap = self.context.engine.table(self.inner_table.name)
         index = self._ensure_index(heap)
@@ -266,10 +330,7 @@ class CrowdJoinOp(PhysicalOperator):
             for rowid in rowids:
                 self.context.rows_scanned += 1
                 combined = left_values + heap.get(rowid).values
-                verdict = self.predicate(
-                    self.condition, combined, self._scope
-                )
-                if verdict.value is True:
+                if condition(combined).value is True:
                     yield combined
 
     def _ensure_index(self, heap):

@@ -177,14 +177,22 @@ class PhysicalPlanner:
     def _try_index_scan(
         self, node: logical.Filter, row_bound: Optional[int] = None
     ) -> Optional[PhysicalOperator]:
-        """Filter(Scan) with an indexed equality conjunct becomes an index
+        """Filter(Scan) with indexed equality conjuncts becomes an index
         lookup plus a residual filter — the access-method selection H2
         would perform.
+
+        The equality conjuncts are matched as a *set* against every index
+        key: a composite index is used when the conjuncts cover all of
+        its columns (e.g. ``a = 1 AND b = 2`` against an index on
+        ``(a, b)``), and an ordered index is still used when they only
+        cover a key prefix.  The longest covered key wins; ties prefer
+        full-key matches over prefix scans.
 
         Skipped for crowd scans carrying a limit hint (those must run the
         open-world sourcing path of :class:`TableScan`).
         """
         from repro.engine.scans import IndexLookup
+        from repro.storage.index import OrderedIndex
         from repro.sqltypes import coerce
 
         scan = node.child
@@ -193,6 +201,7 @@ class PhysicalPlanner:
         if not self.context.engine.has_table(scan.table.name):
             return None
         heap = self.context.engine.table(scan.table.name)
+        equalities: dict[str, object] = {}
         for conjunct in split_conjuncts(node.predicate):
             if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
                 continue
@@ -205,28 +214,54 @@ class PhysicalPlanner:
                 continue
             if not scan.table.has_column(column.name):
                 continue
-            index = heap.index_on((column.name,))
-            if index is None:
-                continue
             try:
                 key = coerce(literal, scan.table.column(column.name).sql_type)
             except Exception:
-                return None  # mistyped literal: fall back to a scan
-            lookup = IndexLookup(
-                self.context,
-                scan.table,
-                scan.binding,
-                (column.name,),
-                (key,),
-                correlation=self.correlation,
-            )
-            # keep the full predicate as a residual: cheap and always safe
-            return FilterOp(
-                self.context, lookup, node.predicate,
-                batch_size=self._batch_hint(scan, row_bound),
-                correlation=self.correlation,
-            )
-        return None
+                # mistyped literal: with an index on exactly this column
+                # fall back to a scan (the lookup key would be garbage);
+                # otherwise just drop the conjunct from the equality set
+                # so other conjuncts can still pick their index
+                if heap.index_on((column.name,)) is not None:
+                    return None
+                continue
+            equalities.setdefault(column.name.lower(), key)
+        if not equalities:
+            return None
+        best: Optional[tuple[tuple[str, ...], bool]] = None  # (columns, prefix)
+        for index in heap.indexes.values():
+            covered = 0
+            for column in index.columns:
+                if column.lower() not in equalities:
+                    break
+                covered += 1
+            if covered == 0:
+                continue
+            full = covered == len(index.columns)
+            if not full and not isinstance(index, OrderedIndex):
+                continue  # hash indexes need the whole key
+            candidate = (tuple(index.columns[:covered]), not full)
+            if best is None or (len(candidate[0]), not candidate[1]) > (
+                len(best[0]), not best[1]
+            ):
+                best = candidate
+        if best is None:
+            return None
+        key_columns, prefix = best
+        lookup = IndexLookup(
+            self.context,
+            scan.table,
+            scan.binding,
+            key_columns,
+            tuple(equalities[c.lower()] for c in key_columns),
+            prefix=prefix,
+            correlation=self.correlation,
+        )
+        # keep the full predicate as a residual: cheap and always safe
+        return FilterOp(
+            self.context, lookup, node.predicate,
+            batch_size=self._batch_hint(scan, row_bound),
+            correlation=self.correlation,
+        )
 
     # -- join strategy ------------------------------------------------------------
 

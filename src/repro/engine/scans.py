@@ -40,6 +40,11 @@ class TableScan(PhysicalOperator):
     def scope(self) -> Scope:
         return self._scope
 
+    def sources_crowd_on_pull(self) -> bool:
+        # open-world sourcing: a CROWD-table scan may ask the crowd for
+        # more tuples once the stored ones run out
+        return self.table.crowd
+
     def __iter__(self) -> Iterator[tuple]:
         heap = self.context.engine.table(self.table.name)
         # crowd execution can insert rows while this scan is suspended on
@@ -50,10 +55,13 @@ class TableScan(PhysicalOperator):
             self.context.crowd_waiter is not None or self.table.crowd
         )
         yielded = 0
-        for row in heap.scan(snapshot=snapshot):
-            self.context.rows_scanned += 1
-            yielded += 1
-            yield row.values
+        try:
+            for values in heap.scan_values(snapshot=snapshot):
+                yielded += 1
+                yield values
+        finally:
+            # one counter update per scan (or early close), not per row
+            self.context.rows_scanned += yielded
         if (
             self.table.crowd
             and self.limit_hint is not None
@@ -92,7 +100,12 @@ class TableScan(PhysicalOperator):
 
 
 class IndexLookup(PhysicalOperator):
-    """Equality lookup through an index (used by CrowdJoin probes)."""
+    """Equality lookup through an index (used by CrowdJoin probes).
+
+    With ``prefix=True`` the key columns are a leading subset of an
+    ordered index's key; the lookup scans that key prefix instead of
+    requiring (or auto-creating) an exact-key index.
+    """
 
     def __init__(
         self,
@@ -101,6 +114,7 @@ class IndexLookup(PhysicalOperator):
         binding: str,
         key_columns: tuple[str, ...],
         key_values: tuple,
+        prefix: bool = False,
         correlation: Correlation = None,
     ) -> None:
         super().__init__(context, correlation)
@@ -108,23 +122,34 @@ class IndexLookup(PhysicalOperator):
         self.binding = binding
         self.key_columns = key_columns
         self.key_values = key_values
+        self.prefix = prefix
         self._scope = Scope.for_table(binding, table.column_names)
 
     @property
     def scope(self) -> Scope:
         return self._scope
 
+    def sources_crowd_on_pull(self) -> bool:
+        return False  # lookups only read stored tuples
+
     def __iter__(self) -> Iterator[tuple]:
         heap = self.context.engine.table(self.table.name)
         if any(is_missing(value) for value in self.key_values):
             return
-        index = heap.index_on(self.key_columns)
-        if index is None:
-            index = heap.create_index(
-                f"{self.table.name}_auto_{'_'.join(self.key_columns)}",
-                self.key_columns,
-            )
-        for rowid in sorted(index.lookup(self.key_values)):
+        if self.prefix:
+            index = heap.ordered_index_with_prefix(self.key_columns)
+            if index is None:  # dropped since planning: nothing to serve
+                return
+            rowids = index.prefix_lookup(self.key_values)
+        else:
+            index = heap.index_on(self.key_columns)
+            if index is None:
+                index = heap.create_index(
+                    f"{self.table.name}_auto_{'_'.join(self.key_columns)}",
+                    self.key_columns,
+                )
+            rowids = index.lookup(self.key_values)
+        for rowid in sorted(rowids):
             self.context.rows_scanned += 1
             yield heap.get(rowid).values
 
@@ -135,6 +160,9 @@ class SingleRowOp(PhysicalOperator):
     @property
     def scope(self) -> Scope:
         return Scope([])
+
+    def sources_crowd_on_pull(self) -> bool:
+        return False
 
     def __iter__(self) -> Iterator[tuple]:
         yield ()

@@ -50,6 +50,11 @@ class SortOp(PhysicalOperator):
     def is_crowd_sort(self) -> bool:
         return any(isinstance(expr, ast.CrowdOrder) for expr, _asc in self.keys)
 
+    def sources_crowd_on_pull(self) -> bool:
+        # the child is consumed entirely on first pull; only a crowd sort
+        # (tournament top-k issues ballots per emitted row) reacts to pulls
+        return self.is_crowd_sort
+
     def __iter__(self) -> Iterator[tuple]:
         rows = list(self.child)
         if not rows:
@@ -63,39 +68,73 @@ class SortOp(PhysicalOperator):
 
     def _value_sort(self, rows: list[tuple]) -> Iterator[tuple]:
         scope = self.child.scope
-        decorated = []
-        for values in rows:
-            key = tuple(
-                _SortKey(self.eval(expr, values, scope), ascending)
-                for expr, ascending in self.keys
+        key_fns = [
+            (self.compile_value(expr, scope), ascending)
+            for expr, ascending in self.keys
+        ]
+        columns = [
+            ([fn(values) for values in rows], ascending)
+            for fn, ascending in key_fns
+        ]
+        if all(_clean_column(column) for column, _asc in columns):
+            # every key column is free of NULL/CNULL and homogeneously
+            # typed: raw values collate exactly like _SortKey, so sort
+            # key-based — one stable pass per key, last key first
+            order = list(range(len(rows)))
+            for column, ascending in reversed(columns):
+                order.sort(key=column.__getitem__, reverse=not ascending)
+            for index in order:
+                yield rows[index]
+            return
+        decorated = [
+            (
+                tuple(
+                    _SortKey(column[i], ascending)
+                    for column, ascending in columns
+                ),
+                i,
             )
-            decorated.append((key, values))
+            for i in range(len(rows))
+        ]
         decorated.sort(key=lambda pair: pair[0])
-        for _key, values in decorated:
-            yield values
+        for _key, index in decorated:
+            yield rows[index]
 
     # -- crowd-backed sort ----------------------------------------------------------
 
-    def _comparator(self):
+    def _compiled_keys(self):
+        """Per-key compiled forms: ``(value fn, crowd question, asc)``;
+        ``question`` is None for electronic keys."""
         scope = self.child.scope
+        compiled = []
+        for expr, ascending in self.keys:
+            if isinstance(expr, ast.CrowdOrder):
+                compiled.append(
+                    (self.compile_value(expr.operand, scope),
+                     expr.question, ascending)
+                )
+            else:
+                compiled.append(
+                    (self.compile_value(expr, scope), None, ascending)
+                )
+        return compiled
+
+    def _comparator(self, compiled_keys):
+        crowd_order = self.context.crowd_order
 
         def compare(a: tuple, b: tuple) -> int:
-            for expr, ascending in self.keys:
-                if isinstance(expr, ast.CrowdOrder):
-                    left = self.eval(expr.operand, a, scope)
-                    right = self.eval(expr.operand, b, scope)
+            for fn, question, ascending in compiled_keys:
+                left = fn(a)
+                right = fn(b)
+                if question is not None:
                     if is_missing(left) or is_missing(right):
                         ordering = 0
                     elif left == right:
                         ordering = 0
                     else:
-                        prefer_left = self.context.crowd_order(
-                            left, right, expr.question
-                        )
+                        prefer_left = crowd_order(left, right, question)
                         ordering = -1 if prefer_left else 1
                 else:
-                    left = self.eval(expr, a, scope)
-                    right = self.eval(expr, b, scope)
                     ordering = _missing_aware_compare(left, right)
                 if not ascending:
                     ordering = -ordering
@@ -106,7 +145,8 @@ class SortOp(PhysicalOperator):
         return compare
 
     def _crowd_sort(self, rows: list[tuple]) -> Iterator[tuple]:
-        compare = self._comparator()
+        self._crowd_keys = self._compiled_keys()
+        compare = self._comparator(self._crowd_keys)
         batched = (
             self.context.task_manager is not None
             and self.context.batch_size > 1
@@ -131,17 +171,14 @@ class SortOp(PhysicalOperator):
         are resolved locally; the first crowd key whose operands differ
         decides the comparison with a single ballot, because a ballot
         never ties."""
-        scope = self.child.scope
-        for expr, _ascending in self.keys:
-            if isinstance(expr, ast.CrowdOrder):
-                left = self.eval(expr.operand, a, scope)
-                right = self.eval(expr.operand, b, scope)
+        for fn, question, _ascending in self._crowd_keys:
+            if question is not None:
+                left = fn(a)
+                right = fn(b)
                 if is_missing(left) or is_missing(right) or left == right:
                     continue  # ties; the next key decides
-                return (left, right, expr.question)
-            left = self.eval(expr, a, scope)
-            right = self.eval(expr, b, scope)
-            if _missing_aware_compare(left, right) != 0:
+                return (left, right, question)
+            if _missing_aware_compare(fn(a), fn(b)) != 0:
                 return None  # an electronic key decides first
         return None
 
@@ -278,6 +315,30 @@ class _SortKey:
         if not self.ascending:
             ordering = -ordering
         return ordering < 0
+
+
+def _clean_column(column: list) -> bool:
+    """True when raw Python comparison of the column's values collates
+    exactly like :class:`_SortKey`: no NULL/CNULL (missing-last handling
+    never kicks in) and one homogeneous comparison class (str, bool, or
+    bool-free numeric — the classes ``compare_values`` accepts).  NaN is
+    excluded: ``compare_values`` derives ordering 0 for NaN against
+    anything, so only the comparator path reproduces its placement."""
+    if not column:
+        return True
+    first = column[0]
+    if isinstance(first, bool):
+        return all(isinstance(v, bool) for v in column)
+    if isinstance(first, str):
+        return all(isinstance(v, str) for v in column)
+    if isinstance(first, (int, float)):
+        return all(
+            isinstance(v, (int, float))
+            and not isinstance(v, bool)
+            and v == v  # NaN fails this
+            for v in column
+        )
+    return False
 
 
 def _missing_aware_compare(left: Any, right: Any) -> int:

@@ -32,6 +32,9 @@ class OptimizationResult:
     boundedness: BoundednessReport
     applied_rules: list[str]
     annotations: dict[int, Estimate] = field(default_factory=dict)
+    #: whether physical operators will compile this plan's expressions to
+    #: plan-time closures (False = per-row AST interpretation)
+    compile_expressions: bool = True
 
     @property
     def estimated_rows(self) -> float:
@@ -51,6 +54,8 @@ class OptimizationResult:
             lines.append(f"-- estimate: {estimate}")
         if self.applied_rules:
             lines.append(f"-- rules: {', '.join(self.applied_rules)}")
+        mode = "compiled" if self.compile_expressions else "interpreted"
+        lines.append(f"-- expressions: {mode}")
         return "\n".join(lines)
 
 
@@ -62,10 +67,12 @@ class Optimizer:
         engine: StorageEngine,
         strict_boundedness: bool = False,
         enable_rules: Optional[set[str]] = None,
+        compile_expressions: bool = True,
     ) -> None:
         self.engine = engine
         self.strict_boundedness = strict_boundedness
         self.enable_rules = enable_rules
+        self.compile_expressions = compile_expressions
         self._boundedness = BoundednessAnalysis()
         self._rules = [
             PredicatePushdown(),
@@ -97,4 +104,5 @@ class Optimizer:
             boundedness=report,
             applied_rules=list(dict.fromkeys(context.applied_rules)),
             annotations=annotations,
+            compile_expressions=self.compile_expressions,
         )

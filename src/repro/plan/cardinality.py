@@ -238,6 +238,15 @@ class CardinalityEstimator:
                     continue
                 if not self.engine.has_table(node.table.name):
                     break
-                stats = self.engine.table(node.table.name).statistics
-                return stats.column(column.name).selectivity_equals()
+                column_stats = self.engine.table(
+                    node.table.name
+                ).statistics.column(column.name)
+                selectivity = column_stats.selectivity_equals()
+                if column_stats.distinct_is_lower_bound:
+                    # the recorded NDV only bounds the true NDV from
+                    # below, so 1/NDV only bounds selectivity from above:
+                    # use the textbook guess, clamped by that bound,
+                    # instead of trusting the coarse statistic as exact
+                    return min(selectivity, EQUALITY_SELECTIVITY_DEFAULT)
+                return selectivity
         return EQUALITY_SELECTIVITY_DEFAULT

@@ -1,0 +1,834 @@
+"""Plan-time expression compilation.
+
+The interpreted :class:`~repro.plan.expressions.Evaluator` walks the AST
+for every row: isinstance dispatch per node, ``Scope.resolve`` string
+lowering per column reference, LIKE cache lookups per match.  This module
+compiles each expression **once per physical plan** into a tree of Python
+closures:
+
+* column ordinals are resolved against the operator's scope at compile
+  time, so a column reference becomes ``values[i]``;
+* constant subtrees (literals, parameters, pure functions of them) are
+  folded to a single captured value;
+* LIKE patterns that are constant compile their regex at plan time (and
+  dynamic patterns share the process-wide pattern cache);
+* three-valued logic and NULL/CNULL handling are specialized per node, so
+  predicate evaluation allocates nothing but the returned TriBool
+  singletons.
+
+Crowd constructs and subqueries compile to *hybrid* closures: the operand
+sides are compiled, but the decision still routes through the
+:class:`EvalContext` (``crowd_equal``/``scalar_subquery``/...), so the
+Task Manager's ballot batching, window prefetch, and comparison cache
+behave bit-for-bit like the interpreted path.
+
+Semantics contract: compilation must never surface an error earlier than
+interpretation would.  Any node that fails to compile (unresolvable
+column, unknown operator, future AST node) falls back to an interpreted
+closure over that subtree, which reproduces the interpreter's lazy,
+per-row error behaviour.  Constant folding likewise defers: a constant
+subtree whose evaluation raises is left unfolded so the error (if any)
+still happens at run time.  The one intentional divergence is *eagerness
+under LIMIT*: batch-at-a-time operators may evaluate a chunk of rows the
+consumer never pulls, which can surface a type error that tuple-at-a-time
+execution would have skipped — standard vectorized-engine behaviour.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Optional
+
+from repro.errors import ExecutionError
+from repro.plan.expressions import (
+    EvalContext,
+    Evaluator,
+    _ARITHMETIC,
+    _as_string,
+    _call_scalar_function,
+    _require_numbers,
+    cached_like_regex,
+)
+from repro.sql import ast
+from repro.sqltypes import (
+    CNULL,
+    NULL,
+    TRI_FALSE,
+    TRI_TRUE,
+    TRI_UNKNOWN,
+    TriBool,
+    compare_values,
+    is_cnull,
+    is_missing,
+    is_null,
+    tri_from,
+)
+from repro.storage.row import Scope
+
+#: A compiled scalar expression: full value tuple -> SQL value.
+ValueFn = Callable[[tuple], Any]
+#: A compiled predicate: full value tuple -> TriBool.
+TriFn = Callable[[tuple], TriBool]
+
+#: Rows processed per chunk by batch-at-a-time operator loops.
+BATCH_ROWS = 256
+
+_CROWD_OR_SUBQUERY = (
+    ast.CrowdEqual,
+    ast.CrowdOrder,
+    ast.ScalarSubquery,
+    ast.ExistsExpr,
+    ast.InSubquery,
+)
+
+_COMPARISON_CHECKS: dict[str, Callable[[int], bool]] = {
+    "=": lambda o: o == 0,
+    "<>": lambda o: o != 0,
+    "<": lambda o: o < 0,
+    "<=": lambda o: o <= 0,
+    ">": lambda o: o > 0,
+    ">=": lambda o: o >= 0,
+}
+
+#: Native comparisons for the string fast path.
+_PY_COMPARISONS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+#: Native comparisons for the numeric fast path, phrased so NaN behaves
+#: exactly like the interpreter: ``compare_values`` derives the ordering
+#: as ``(a > b) - (a < b)``, which is 0 for NaN against anything — so
+#: NaN = x is TRUE there, while native ``==`` would say False.  Each
+#: entry below equals ``check((a > b) - (a < b))`` for every float.
+_NUMERIC_COMPARISONS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: not (a < b or a > b),
+    "<>": lambda a, b: a < b or a > b,
+    "<": operator.lt,
+    "<=": lambda a, b: not (a > b),
+    ">": operator.gt,
+    ">=": lambda a, b: not (a < b),
+}
+
+
+def tuple_maker(fns: list) -> Callable[[tuple], tuple]:
+    """A closure building a tuple from per-element closures, specialized
+    for the small arities operators actually use (keys, projections)."""
+    if len(fns) == 1:
+        f0 = fns[0]
+        return lambda values: (f0(values),)
+    if len(fns) == 2:
+        f0, f1 = fns
+        return lambda values: (f0(values), f1(values))
+    if len(fns) == 3:
+        f0, f1, f2 = fns
+        return lambda values: (f0(values), f1(values), f2(values))
+    if len(fns) == 4:
+        f0, f1, f2, f3 = fns
+        return lambda values: (f0(values), f1(values), f2(values), f3(values))
+    return lambda values: tuple(fn(values) for fn in fns)
+
+
+def is_electronic(expr: ast.Expression) -> bool:
+    """True when evaluating ``expr`` can never reach the crowd or run a
+    subquery — the precondition for eager batch-at-a-time evaluation."""
+    return not any(
+        isinstance(node, _CROWD_OR_SUBQUERY)
+        for node in ast.walk_expression(expr)
+    )
+
+
+class _CannotCompile(Exception):
+    """Internal: node (or operator) outside the compilable subset."""
+
+
+def compile_value(
+    expr: ast.Expression,
+    scope: Scope,
+    context: Optional[EvalContext] = None,
+    parameters: tuple = (),
+) -> ValueFn:
+    """Compile ``expr`` to a closure evaluating it as a SQL value."""
+    compiler = _Compiler(scope, context, parameters)
+    try:
+        fn, _const = compiler.value(expr)
+        return fn
+    except Exception:
+        return _interpreted_value(expr, scope, context, parameters)
+
+
+def compile_predicate(
+    expr: ast.Expression,
+    scope: Scope,
+    context: Optional[EvalContext] = None,
+    parameters: tuple = (),
+) -> TriFn:
+    """Compile ``expr`` to a closure evaluating it under 3VL."""
+    compiler = _Compiler(scope, context, parameters)
+    try:
+        fn, _const = compiler.tri(expr)
+        return fn
+    except Exception:
+        return _interpreted_predicate(expr, scope, context, parameters)
+
+
+def _interpreted_value(
+    expr: ast.Expression,
+    scope: Scope,
+    context: Optional[EvalContext],
+    parameters: tuple,
+) -> ValueFn:
+    evaluator = Evaluator(context=context, parameters=parameters)
+    return lambda values: evaluator.value(expr, values, scope)
+
+
+def _interpreted_predicate(
+    expr: ast.Expression,
+    scope: Scope,
+    context: Optional[EvalContext],
+    parameters: tuple,
+) -> TriFn:
+    evaluator = Evaluator(context=context, parameters=parameters)
+    return lambda values: evaluator.predicate(expr, values, scope)
+
+
+def _const_fn(value: Any) -> ValueFn:
+    return lambda values: value
+
+
+def _raising(error_type: type, message: str) -> ValueFn:
+    def fail(values: tuple) -> Any:
+        raise error_type(message)
+
+    return fail
+
+
+class _Compiler:
+    """Compiles one expression tree against one scope.
+
+    ``value``/``tri`` return ``(closure, const)`` where ``const`` marks a
+    pure, row-independent subtree eligible for folding.
+    """
+
+    def __init__(
+        self,
+        scope: Scope,
+        context: Optional[EvalContext],
+        parameters: tuple,
+    ) -> None:
+        self.scope = scope
+        self.context = context
+        self.parameters = parameters
+
+    # -- fallbacks -------------------------------------------------------------
+
+    def _fallback_value(self, expr: ast.Expression) -> tuple[ValueFn, bool]:
+        """Interpreted closure for a subtree outside the compiled subset;
+        reproduces the interpreter's lazy error behaviour exactly."""
+        return (
+            _interpreted_value(expr, self.scope, self.context, self.parameters),
+            False,
+        )
+
+    def _fold(self, fn: ValueFn, const: bool) -> tuple[ValueFn, bool]:
+        """Evaluate a pure constant subtree once at compile time.  If the
+        evaluation raises, keep the closure so the error still surfaces
+        lazily, per row, exactly like the interpreter."""
+        if not const:
+            return fn, False
+        try:
+            value = fn(())
+        except Exception:
+            return fn, False
+        return _const_fn(value), True
+
+    # -- scalar values ---------------------------------------------------------
+
+    def value(self, expr: ast.Expression) -> tuple[ValueFn, bool]:
+        fn, const = self._value_node(expr)
+        return self._fold(fn, const)
+
+    def _value_node(self, expr: ast.Expression) -> tuple[ValueFn, bool]:
+        if isinstance(expr, ast.Literal):
+            return _const_fn(NULL if expr.value is None else expr.value), True
+        if isinstance(expr, ast.CNullLiteral):
+            return _const_fn(CNULL), True
+        if isinstance(expr, ast.Parameter):
+            if expr.index >= len(self.parameters):
+                return (
+                    _raising(
+                        ExecutionError,
+                        f"query expects parameter #{expr.index + 1} but only "
+                        f"{len(self.parameters)} were supplied",
+                    ),
+                    False,
+                )
+            value = self.parameters[expr.index]
+            return _const_fn(NULL if value is None else value), True
+        if isinstance(expr, ast.ColumnRef):
+            try:
+                position = self.scope.resolve(expr.name, expr.table)
+            except ExecutionError as error:
+                return _raising(ExecutionError, str(error)), False
+            # C-level tuple access: the single hottest closure in a plan
+            return operator.itemgetter(position), False
+        if isinstance(expr, ast.UnaryOp):
+            return self._unary(expr)
+        if isinstance(expr, ast.BinaryOp):
+            return self._binary_value(expr)
+        if isinstance(
+            expr,
+            (ast.IsNull, ast.InList, ast.Between, ast.ExistsExpr,
+             ast.InSubquery, ast.CrowdEqual),
+        ):
+            return self._tri_as_value(expr)
+        if isinstance(expr, ast.FunctionCall):
+            return self._function(expr)
+        if isinstance(expr, ast.CaseExpr):
+            return self._case(expr)
+        if isinstance(expr, ast.ScalarSubquery):
+            context, scope, query = self.context, self.scope, expr.query
+            if context is None:
+                raise _CannotCompile("subquery without context")
+            return (
+                lambda values: context.scalar_subquery(query, values, scope),
+                False,
+            )
+        # CrowdOrder outside ORDER BY, Star, unknown nodes: the interpreter
+        # raises PlanError per evaluation — the fallback reproduces that.
+        raise _CannotCompile(type(expr).__name__)
+
+    def _unary(self, expr: ast.UnaryOp) -> tuple[ValueFn, bool]:
+        if expr.op == "NOT":
+            operand, const = self.tri(expr.operand)
+
+            def negate(values: tuple) -> Any:
+                tri = (~operand(values)).value
+                return NULL if tri is None else tri
+
+            return negate, const
+        operand_fn, const = self.value(expr.operand)
+        negative = expr.op == "-"
+        op = expr.op
+
+        def run(values: tuple) -> Any:
+            operand = operand_fn(values)
+            if is_missing(operand):
+                return NULL
+            if not isinstance(operand, (int, float)) or isinstance(operand, bool):
+                raise ExecutionError(f"unary {op} needs a numeric operand")
+            return -operand if negative else +operand
+
+        return run, const
+
+    def _binary_value(self, expr: ast.BinaryOp) -> tuple[ValueFn, bool]:
+        op = expr.op
+        if op in ("AND", "OR", "=", "<>", "<", "<=", ">", ">=", "LIKE"):
+            return self._tri_as_value(expr)
+        left_fn, left_const = self.value(expr.left)
+        right_fn, right_const = self.value(expr.right)
+        const = left_const and right_const
+        if op == "||":
+
+            def concat(values: tuple) -> Any:
+                left = left_fn(values)
+                right = right_fn(values)
+                if is_missing(left) or is_missing(right):
+                    return NULL
+                return _as_string(left) + _as_string(right)
+
+            return concat, const
+        if op == "/":
+
+            def divide(values: tuple) -> Any:
+                left = left_fn(values)
+                right = right_fn(values)
+                if is_missing(left) or is_missing(right):
+                    return NULL
+                _require_numbers("/", left, right)
+                if right == 0:
+                    return NULL  # SQL engines vary; we pick NULL over raising
+                if isinstance(left, int) and isinstance(right, int) and left % right == 0:
+                    return left // right
+                return left / right
+
+            return divide, const
+        arithmetic = _ARITHMETIC.get(op)
+        if arithmetic is None:
+            raise _CannotCompile(f"binary operator {op!r}")
+
+        # one-sided numeric constant (``priority * 0.05``): bake it in
+        if right_const != left_const:
+            constant = (right_fn if right_const else left_fn)(())
+            if type(constant) in (int, float):
+                row_fn = left_fn if right_const else right_fn
+                flipped = left_const
+
+                def run_const(values: tuple) -> Any:
+                    row_value = row_fn(values)
+                    row_type = type(row_value)
+                    if row_type is int or row_type is float:
+                        return (
+                            arithmetic(constant, row_value)
+                            if flipped
+                            else arithmetic(row_value, constant)
+                        )
+                    if is_missing(row_value):
+                        return NULL
+                    left, right = (
+                        (constant, row_value) if flipped else (row_value, constant)
+                    )
+                    _require_numbers(op, left, right)
+                    return arithmetic(left, right)
+
+                return run_const, False
+
+        def run(values: tuple) -> Any:
+            left = left_fn(values)
+            right = right_fn(values)
+            # fast path: exact int/float operands (type() identity skips
+            # bool, which _require_numbers rejects)
+            left_type = type(left)
+            right_type = type(right)
+            if (left_type is int or left_type is float) and (
+                right_type is int or right_type is float
+            ):
+                return arithmetic(left, right)
+            if is_missing(left) or is_missing(right):
+                return NULL
+            _require_numbers(op, left, right)
+            return arithmetic(left, right)
+
+        return run, const
+
+    def _tri_as_value(self, expr: ast.Expression) -> tuple[ValueFn, bool]:
+        tri_fn, const = self.tri(expr)
+
+        def run(values: tuple) -> Any:
+            tri = tri_fn(values).value
+            return NULL if tri is None else tri
+
+        return run, const
+
+    def _function(self, expr: ast.FunctionCall) -> tuple[ValueFn, bool]:
+        if expr.is_aggregate:
+            # Aggregates are computed by the Aggregate operator; in scalar
+            # position the scope carries the aggregate's output column,
+            # registered under the function's rendered name.
+            from repro.sql.pretty import format_expression
+
+            rendered = format_expression(expr)
+            position = self.scope.try_resolve(rendered)
+            if position is None:
+                from repro.errors import PlanError
+
+                return (
+                    _raising(
+                        PlanError,
+                        f"aggregate {rendered} used outside GROUP BY context",
+                    ),
+                    False,
+                )
+            index = position
+            return (lambda values: values[index]), False
+        name = expr.name.upper()
+        compiled = [self.value(arg) for arg in expr.args]
+        arg_fns = [fn for fn, _const in compiled]
+        const = all(c for _fn, c in compiled)
+
+        def run(values: tuple) -> Any:
+            return _call_scalar_function(
+                name, [fn(values) for fn in arg_fns]
+            )
+
+        return run, const
+
+    def _case(self, expr: ast.CaseExpr) -> tuple[ValueFn, bool]:
+        const = True
+        if expr.operand is not None:
+            operand_fn, operand_const = self.value(expr.operand)
+            const = operand_const
+            whens: list[tuple[ValueFn, ValueFn]] = []
+            for when, then in expr.whens:
+                when_fn, when_const = self.value(when)
+                then_fn, then_const = self.value(then)
+                const = const and when_const and then_const
+                whens.append((when_fn, then_fn))
+            default_fn, default_const = self._case_default(expr)
+            const = const and default_const
+
+            def run_simple(values: tuple) -> Any:
+                operand = operand_fn(values)
+                for when_fn, then_fn in whens:
+                    if compare_values(operand, when_fn(values)) == 0:
+                        return then_fn(values)
+                return default_fn(values)
+
+            return run_simple, const
+        branches: list[tuple[TriFn, ValueFn]] = []
+        for when, then in expr.whens:
+            when_fn, when_const = self.tri(when)
+            then_fn, then_const = self.value(then)
+            const = const and when_const and then_const
+            branches.append((when_fn, then_fn))
+        default_fn, default_const = self._case_default(expr)
+        const = const and default_const
+
+        def run_searched(values: tuple) -> Any:
+            for when_fn, then_fn in branches:
+                if when_fn(values).value is True:
+                    return then_fn(values)
+            return default_fn(values)
+
+        return run_searched, const
+
+    def _case_default(self, expr: ast.CaseExpr) -> tuple[ValueFn, bool]:
+        if expr.default is None:
+            return _const_fn(NULL), True
+        return self.value(expr.default)
+
+    # -- predicates ------------------------------------------------------------
+
+    def tri(self, expr: ast.Expression) -> tuple[TriFn, bool]:
+        fn, const = self._tri_node(expr)
+        if const:
+            # fold through the TriBool singletons so constant predicates
+            # cost one captured reference per row
+            try:
+                verdict = fn(())
+            except Exception:
+                return fn, False
+            return (lambda values: verdict), True
+        return fn, False
+
+    def _tri_node(self, expr: ast.Expression) -> tuple[TriFn, bool]:
+        if isinstance(expr, ast.BinaryOp):
+            op = expr.op
+            if op == "AND":
+                left_fn, left_const = self.tri(expr.left)
+                right_fn, right_const = self.tri(expr.right)
+
+                # NOT short-circuiting, like the interpreter: window
+                # prefetch relies on both sides always evaluating; the
+                # TriBool connective is inlined over the singletons
+                def conjoin(values: tuple) -> TriBool:
+                    left = left_fn(values).value
+                    right = right_fn(values).value
+                    if left is False or right is False:
+                        return TRI_FALSE
+                    if left is None or right is None:
+                        return TRI_UNKNOWN
+                    return TRI_TRUE
+
+                return conjoin, left_const and right_const
+            if op == "OR":
+                left_fn, left_const = self.tri(expr.left)
+                right_fn, right_const = self.tri(expr.right)
+
+                def disjoin(values: tuple) -> TriBool:
+                    left = left_fn(values).value
+                    right = right_fn(values).value
+                    if left is True or right is True:
+                        return TRI_TRUE
+                    if left is None or right is None:
+                        return TRI_UNKNOWN
+                    return TRI_FALSE
+
+                return disjoin, left_const and right_const
+            if op in _COMPARISON_CHECKS:
+                return self._comparison(expr)
+            if op == "LIKE":
+                return self._like(expr)
+            return self._value_as_tri(expr)
+        if isinstance(expr, ast.UnaryOp) and expr.op == "NOT":
+            operand_fn, const = self.tri(expr.operand)
+            return (lambda values: ~operand_fn(values)), const
+        if isinstance(expr, ast.IsNull):
+            return self._is_null(expr)
+        if isinstance(expr, ast.InList):
+            return self._in_list(expr)
+        if isinstance(expr, ast.Between):
+            return self._between(expr)
+        if isinstance(expr, ast.CrowdEqual):
+            return self._crowd_equal(expr)
+        if isinstance(expr, ast.ExistsExpr):
+            context, scope = self.context, self.scope
+            if context is None:
+                raise _CannotCompile("subquery without context")
+            query, negated = expr.query, expr.negated
+
+            def exists(values: tuple) -> TriBool:
+                found = bool(context.subquery_values(query, values, scope))
+                if negated:
+                    found = not found
+                return TRI_TRUE if found else TRI_FALSE
+
+            return exists, False
+        if isinstance(expr, ast.InSubquery):
+            return self._in_subquery(expr)
+        return self._value_as_tri(expr)
+
+    def _value_as_tri(self, expr: ast.Expression) -> tuple[TriFn, bool]:
+        fn, const = self.value(expr)
+        return (lambda values: tri_from(fn(values))), const
+
+    def _comparison(self, expr: ast.BinaryOp) -> tuple[TriFn, bool]:
+        left_fn, left_const = self.value(expr.left)
+        right_fn, right_const = self.value(expr.right)
+        check = _COMPARISON_CHECKS[expr.op]
+        str_compare = _PY_COMPARISONS[expr.op]
+        num_compare = _NUMERIC_COMPARISONS[expr.op]
+
+        # one-sided constant (``col >= 7``): bake the constant in, skip
+        # its closure call and type check per row
+        if right_const != left_const:
+            if right_const:
+                constant = right_fn(())
+                flipped = False
+            else:
+                constant = left_fn(())
+                flipped = True
+            row_fn = left_fn if right_const else right_fn
+            constant_type = type(constant)
+            if constant_type in (int, float, str):
+                numeric = constant_type is not str
+                py_compare = num_compare if numeric else str_compare
+
+                def run_const(values: tuple) -> TriBool:
+                    row_value = row_fn(values)
+                    row_type = type(row_value)
+                    if (
+                        (row_type is int or row_type is float)
+                        if numeric
+                        else row_type is str
+                    ):
+                        matched = (
+                            py_compare(constant, row_value)
+                            if flipped
+                            else py_compare(row_value, constant)
+                        )
+                        return TRI_TRUE if matched else TRI_FALSE
+                    ordering = (
+                        compare_values(constant, row_value)
+                        if flipped
+                        else compare_values(row_value, constant)
+                    )
+                    if ordering is None:
+                        return TRI_UNKNOWN
+                    return TRI_TRUE if check(ordering) else TRI_FALSE
+
+                return run_const, False
+
+        def run(values: tuple) -> TriBool:
+            left = left_fn(values)
+            right = right_fn(values)
+            # fast path: exact int/float/str pairs compare natively (the
+            # classes exclude bool — type() identity, not isinstance);
+            # everything else (missing, bools, mixed types) goes through
+            # compare_values for identical semantics and errors
+            left_type = type(left)
+            right_type = type(right)
+            if (left_type is int or left_type is float) and (
+                right_type is int or right_type is float
+            ):
+                return TRI_TRUE if num_compare(left, right) else TRI_FALSE
+            if left_type is str and right_type is str:
+                return TRI_TRUE if str_compare(left, right) else TRI_FALSE
+            ordering = compare_values(left, right)
+            if ordering is None:
+                return TRI_UNKNOWN
+            return TRI_TRUE if check(ordering) else TRI_FALSE
+
+        return run, left_const and right_const
+
+    def _like(self, expr: ast.BinaryOp) -> tuple[TriFn, bool]:
+        left_fn, left_const = self.value(expr.left)
+        pattern_fn, pattern_const = self.value(expr.right)
+        if pattern_const:
+            pattern = pattern_fn(())
+            if is_missing(pattern):
+
+                def always_unknown(values: tuple) -> TriBool:
+                    left_fn(values)  # operand errors still surface
+                    return TRI_UNKNOWN
+
+                return always_unknown, left_const
+            regex = cached_like_regex(str(pattern))
+            regex_match = regex.match
+
+            def match_static(values: tuple) -> TriBool:
+                left = left_fn(values)
+                if type(left) is str:
+                    return TRI_TRUE if regex_match(left) else TRI_FALSE
+                if is_missing(left):
+                    return TRI_UNKNOWN
+                return TRI_TRUE if regex_match(str(left)) else TRI_FALSE
+
+            return match_static, left_const
+
+        def match_dynamic(values: tuple) -> TriBool:
+            left = left_fn(values)
+            pattern = pattern_fn(values)
+            if is_missing(left) or is_missing(pattern):
+                return TRI_UNKNOWN
+            regex = cached_like_regex(str(pattern))
+            return TRI_TRUE if regex.match(str(left)) else TRI_FALSE
+
+        return match_dynamic, False
+
+    def _is_null(self, expr: ast.IsNull) -> tuple[TriFn, bool]:
+        operand_fn, const = self.value(expr.operand)
+        negated, cnull = expr.negated, expr.cnull
+
+        def run(values: tuple) -> TriBool:
+            operand = operand_fn(values)
+            if cnull:
+                matched = is_cnull(operand)
+            else:
+                matched = is_null(operand) or is_cnull(operand)
+            if negated:
+                matched = not matched
+            return TRI_TRUE if matched else TRI_FALSE
+
+        return run, const
+
+    def _in_list(self, expr: ast.InList) -> tuple[TriFn, bool]:
+        operand_fn, operand_const = self.value(expr.operand)
+        compiled = [self.value(item) for item in expr.items]
+        item_fns = [fn for fn, _c in compiled]
+        const = operand_const and all(c for _fn, c in compiled)
+        negated = expr.negated
+
+        def run(values: tuple) -> TriBool:
+            operand = operand_fn(values)
+            if is_missing(operand):
+                return TRI_UNKNOWN
+            saw_missing = False
+            for item_fn in item_fns:
+                item = item_fn(values)
+                if is_missing(item):
+                    saw_missing = True
+                    continue
+                if compare_values(operand, item) == 0:
+                    return TRI_FALSE if negated else TRI_TRUE
+            if saw_missing:
+                return TRI_UNKNOWN
+            return TRI_TRUE if negated else TRI_FALSE
+
+        return run, const
+
+    def _between(self, expr: ast.Between) -> tuple[TriFn, bool]:
+        operand_fn, operand_const = self.value(expr.operand)
+        low_fn, low_const = self.value(expr.low)
+        high_fn, high_const = self.value(expr.high)
+        negated = expr.negated
+
+        # constant bounds (``amount BETWEEN 20 AND 450``): bake them in
+        if low_const and high_const and not operand_const:
+            low = low_fn(())
+            high = high_fn(())
+            if (
+                type(low) in (int, float) and type(high) in (int, float)
+            ) or (type(low) is str and type(high) is str):
+                numeric = type(low) is not str
+
+                def run_const(values: tuple) -> TriBool:
+                    operand = operand_fn(values)
+                    operand_type = type(operand)
+                    if (
+                        (operand_type is int or operand_type is float)
+                        if numeric
+                        else operand_type is str
+                    ):
+                        # phrased like compare_values' derived orderings
+                        # so NaN operands match the interpreter (ordering
+                        # 0 against anything → inside)
+                        inside = not (operand < low) and not (operand > high)
+                    else:
+                        low_cmp = compare_values(operand, low)
+                        high_cmp = compare_values(operand, high)
+                        if low_cmp is None or high_cmp is None:
+                            return TRI_UNKNOWN
+                        inside = low_cmp >= 0 and high_cmp <= 0
+                    if negated:
+                        inside = not inside
+                    return TRI_TRUE if inside else TRI_FALSE
+
+                return run_const, False
+
+        def run(values: tuple) -> TriBool:
+            operand = operand_fn(values)
+            low = low_fn(values)
+            high = high_fn(values)
+            operand_type = type(operand)
+            if (
+                (operand_type is int or operand_type is float)
+                and type(low) in (int, float)
+                and type(high) in (int, float)
+            ) or (
+                operand_type is str
+                and type(low) is str
+                and type(high) is str
+            ):
+                # NaN-consistent with compare_values (see run_const)
+                inside = not (operand < low) and not (operand > high)
+            else:
+                low_cmp = compare_values(operand, low)
+                high_cmp = compare_values(operand, high)
+                if low_cmp is None or high_cmp is None:
+                    return TRI_UNKNOWN
+                inside = low_cmp >= 0 and high_cmp <= 0
+            if negated:
+                inside = not inside
+            return TRI_TRUE if inside else TRI_FALSE
+
+        return run, operand_const and low_const and high_const
+
+    def _crowd_equal(self, expr: ast.CrowdEqual) -> tuple[TriFn, bool]:
+        context = self.context
+        if context is None:
+            raise _CannotCompile("CROWDEQUAL without context")
+        left_fn, _lc = self.value(expr.left)
+        right_fn, _rc = self.value(expr.right)
+        question = expr.question
+
+        def run(values: tuple) -> TriBool:
+            left = left_fn(values)
+            right = right_fn(values)
+            if is_missing(left) or is_missing(right):
+                return TRI_UNKNOWN
+            if left == right:
+                # fast path: exact equality never needs the crowd
+                return TRI_TRUE
+            answer = context.crowd_equal(left, right, question)
+            return TRI_TRUE if answer else TRI_FALSE
+
+        return run, False
+
+    def _in_subquery(self, expr: ast.InSubquery) -> tuple[TriFn, bool]:
+        context, scope = self.context, self.scope
+        if context is None:
+            raise _CannotCompile("subquery without context")
+        operand_fn, _const = self.value(expr.operand)
+        query, negated = expr.query, expr.negated
+
+        def run(values: tuple) -> TriBool:
+            operand = operand_fn(values)
+            if is_missing(operand):
+                return TRI_UNKNOWN
+            saw_missing = False
+            for item in context.subquery_values(query, values, scope):
+                if is_missing(item):
+                    saw_missing = True
+                    continue
+                if compare_values(operand, item) == 0:
+                    return TRI_FALSE if negated else TRI_TRUE
+            if saw_missing:
+                return TRI_UNKNOWN
+            return TRI_TRUE if negated else TRI_FALSE
+
+        return run, False

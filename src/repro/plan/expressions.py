@@ -73,6 +73,25 @@ def like_to_regex(pattern: str) -> "re.Pattern[str]":
     return re.compile("^" + "".join(parts) + "$", re.DOTALL)
 
 
+#: Process-wide LIKE pattern cache: patterns compile once per process, not
+#: once per Evaluator instance (each statement used to rebuild its own
+#: cache).  Bounded so a pathological stream of distinct dynamic patterns
+#: cannot grow without limit.
+_LIKE_CACHE: dict[str, "re.Pattern[str]"] = {}
+_LIKE_CACHE_LIMIT = 4096
+
+
+def cached_like_regex(pattern: str) -> "re.Pattern[str]":
+    """The compiled regex for a LIKE pattern, from the module-level cache."""
+    regex = _LIKE_CACHE.get(pattern)
+    if regex is None:
+        if len(_LIKE_CACHE) >= _LIKE_CACHE_LIMIT:
+            _LIKE_CACHE.clear()
+        regex = like_to_regex(pattern)
+        _LIKE_CACHE[pattern] = regex
+    return regex
+
+
 _ARITHMETIC: dict[str, Callable[[Any, Any], Any]] = {
     "+": lambda a, b: a + b,
     "-": lambda a, b: a - b,
@@ -87,7 +106,6 @@ class Evaluator:
     def __init__(self, context: Optional[EvalContext] = None, parameters: tuple = ()) -> None:
         self.context: EvalContext = context if context is not None else NullEvalContext()
         self.parameters = parameters
-        self._like_cache: dict[str, re.Pattern[str]] = {}
 
     # -- public API -------------------------------------------------------------
 
@@ -236,10 +254,7 @@ class Evaluator:
                 pattern = self._eval(expr.right, values, scope)
                 if is_missing(left) or is_missing(pattern):
                     return TRI_UNKNOWN
-                regex = self._like_cache.get(str(pattern))
-                if regex is None:
-                    regex = like_to_regex(str(pattern))
-                    self._like_cache[str(pattern)] = regex
+                regex = cached_like_regex(str(pattern))
                 return TRI_TRUE if regex.match(str(left)) else TRI_FALSE
             return tri_from(self._eval(expr, values, scope))
         if isinstance(expr, ast.UnaryOp) and expr.op == "NOT":

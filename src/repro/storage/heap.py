@@ -75,6 +75,17 @@ class HeapTable:
         for rowid, values in items:
             yield Row(rowid, values)
 
+    def scan_values(self, snapshot: bool = False) -> Iterator[tuple]:
+        """Yield raw value tuples in insertion order.
+
+        The executor's hot scan path: skips the per-row :class:`Row`
+        wrapper allocation that :meth:`scan` pays (callers that need row
+        ids keep using :meth:`scan`).
+        """
+        if snapshot:
+            return iter(list(self._rows.values()))
+        return iter(self._rows.values())
+
     def get(self, rowid: int) -> Row:
         try:
             return Row(rowid, self._rows[rowid])
@@ -279,5 +290,18 @@ class HeapTable:
         wanted = tuple(c.lower() for c in columns)
         for index in self.indexes.values():
             if tuple(c.lower() for c in index.columns) == wanted:
+                return index
+        return None
+
+    def ordered_index_with_prefix(
+        self, columns: tuple[str, ...]
+    ) -> Optional[OrderedIndex]:
+        """An ordered index whose leading key columns are exactly
+        ``columns`` (case-insensitive) — usable for prefix lookups."""
+        wanted = tuple(c.lower() for c in columns)
+        for index in self.indexes.values():
+            if not isinstance(index, OrderedIndex):
+                continue
+            if tuple(c.lower() for c in index.columns[: len(wanted)]) == wanted:
                 return index
         return None

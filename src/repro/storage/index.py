@@ -135,6 +135,21 @@ class OrderedIndex:
     def contains_key(self, key: tuple[Any, ...]) -> bool:
         return bool(self.lookup(key))
 
+    def prefix_lookup(self, prefix: tuple[Any, ...]) -> frozenset[int]:
+        """Row ids whose key starts with ``prefix`` (a leading subset of
+        the index columns) — the composite-prefix access path hash
+        indexes cannot serve."""
+        if _normalize_key(prefix) is _MISSING:
+            return frozenset()
+        left = bisect.bisect_left(self._entries, (prefix,))
+        width = len(prefix)
+        result = set()
+        for stored_key, rowid in self._entries[left:]:
+            if stored_key[:width] != prefix:
+                break
+            result.add(rowid)
+        return frozenset(result)
+
     def range(
         self,
         low: Optional[tuple[Any, ...]] = None,

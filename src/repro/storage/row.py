@@ -78,12 +78,30 @@ class Scope:
                 raise ExecutionError(f"ambiguous column reference {column!r}")
         return positions[0]
 
+    def try_resolve(self, column: str, table: str | None = None) -> int | None:
+        """Position of ``[table.]column``, or ``None`` when the name is
+        absent or ambiguous.
+
+        The exception-free twin of :meth:`resolve`: plan-time expression
+        compilation and operators that probe many optional columns
+        (CrowdProbe) use it so a miss costs a dict lookup, not a raised
+        and swallowed :class:`ExecutionError`.
+        """
+        if table is not None:
+            return self._exact.get((table.lower(), column.lower()))
+        positions = self._by_column.get(column.lower())
+        if not positions:
+            return None
+        if len(positions) > 1:
+            distinct_bindings = {
+                self.entries[p][0].lower() for p in positions
+            }
+            if len(distinct_bindings) > 1:
+                return None
+        return positions[0]
+
     def has(self, column: str, table: str | None = None) -> bool:
-        try:
-            self.resolve(column, table)
-            return True
-        except ExecutionError:
-            return False
+        return self.try_resolve(column, table) is not None
 
     def positions_for_binding(self, binding: str) -> list[int]:
         """All value positions belonging to one table binding."""
@@ -131,3 +149,9 @@ class LayeredScope(Scope):
                 return len(self.inner) + self.outer.resolve(column, table)
             except ExecutionError:
                 raise inner_error from None
+
+    def try_resolve(self, column: str, table: str | None = None) -> int | None:
+        try:
+            return self.resolve(column, table)
+        except ExecutionError:
+            return None

@@ -22,6 +22,11 @@ class ColumnStatistics:
         self.null_count = 0
         self.cnull_count = 0
         self._value_counts: Counter[Any] = Counter()
+        #: set once an unhashable value had to be counted under its repr:
+        #: distinct reprs can collapse distinct values, so from then on
+        #: ``distinct_count`` is only a *lower bound* on the true NDV and
+        #: consumers (cardinality estimation) must not treat it as exact
+        self.distinct_is_lower_bound = False
 
     @property
     def distinct_count(self) -> int:
@@ -41,6 +46,7 @@ class ColumnStatistics:
                 self._value_counts[value] += 1
             except TypeError:  # unhashable — statistics stay coarse
                 self._value_counts[repr(value)] += 1
+                self.distinct_is_lower_bound = True
 
     def remove(self, value: Any) -> None:
         if is_null(value):

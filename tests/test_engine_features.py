@@ -52,6 +52,65 @@ class TestIndexScanSelection:
         result = db.execute("SELECT k FROM t WHERE k = NULL")
         assert result.rows == []
 
+    def test_composite_index_matched_by_conjunct_set(self, plain_db):
+        plain_db.executescript(
+            """
+            CREATE TABLE pair (a INTEGER, b INTEGER, v STRING);
+            INSERT INTO pair VALUES (1, 1, 'x'), (1, 2, 'y'), (2, 1, 'z'),
+                (2, 2, 'w');
+            CREATE INDEX pair_ab ON pair (a, b);
+            """
+        )
+        result = plain_db.execute(
+            "SELECT v FROM pair WHERE a = 2 AND b = 1"
+        )
+        assert result.rows == [("z",)]
+        # the composite index serves both conjuncts: one row touched
+        assert result.crowd_stats["rows_scanned"] == 1
+
+    def test_composite_index_matches_reordered_conjuncts(self, plain_db):
+        plain_db.executescript(
+            """
+            CREATE TABLE pair (a INTEGER, b INTEGER, v STRING);
+            INSERT INTO pair VALUES (1, 1, 'x'), (1, 2, 'y');
+            CREATE INDEX pair_ab ON pair (a, b);
+            """
+        )
+        result = plain_db.execute(
+            "SELECT v FROM pair WHERE b = 2 AND a = 1"
+        )
+        assert result.rows == [("y",)]
+        assert result.crowd_stats["rows_scanned"] == 1
+
+    def test_ordered_index_prefix_serves_partial_equality(self, plain_db):
+        plain_db.execute(
+            "CREATE TABLE pair (a INTEGER, b INTEGER, v STRING)"
+        )
+        for a in range(4):
+            for b in range(4):
+                plain_db.execute(
+                    f"INSERT INTO pair VALUES ({a}, {b}, 'v{a}{b}')"
+                )
+        heap = plain_db.engine.table("pair")
+        heap.create_index("pair_ab_ordered", ("a", "b"), ordered=True)
+        result = plain_db.execute("SELECT v FROM pair WHERE a = 2")
+        assert sorted(result.rows) == [("v20",), ("v21",), ("v22",), ("v23",)]
+        # the ordered index's (a) prefix bounds the touched rows to 4 of 16
+        assert result.crowd_stats["rows_scanned"] == 4
+
+    def test_partial_match_on_hash_index_still_scans(self, plain_db):
+        plain_db.executescript(
+            """
+            CREATE TABLE pair (a INTEGER, b INTEGER, v STRING);
+            INSERT INTO pair VALUES (1, 1, 'x'), (1, 2, 'y'), (2, 1, 'z');
+            CREATE INDEX pair_ab ON pair (a, b);
+            """
+        )
+        # hash indexes need the whole key; a = 1 alone cannot use pair_ab
+        result = plain_db.execute("SELECT v FROM pair WHERE a = 1")
+        assert sorted(result.rows) == [("x",), ("y",)]
+        assert result.crowd_stats["rows_scanned"] == 3
+
     def test_crowd_scan_with_limit_hint_not_indexed(self, plain_db):
         # open-world sourcing must keep the TableScan path
         plain_db.execute(

@@ -93,6 +93,17 @@ class TestOrderedIndex:
         assert index.lookup((1,)) == {0, 1}
         assert index.contains_key((1,))
 
+    def test_prefix_lookup(self):
+        index = OrderedIndex("i", ("a", "b"))
+        index.insert((1, "x"), 0)
+        index.insert((1, "y"), 1)
+        index.insert((2, "x"), 2)
+        assert index.prefix_lookup((1,)) == {0, 1}
+        assert index.prefix_lookup((2,)) == {2}
+        assert index.prefix_lookup((3,)) == frozenset()
+        assert index.prefix_lookup((1, "y")) == {1}
+        assert index.prefix_lookup((CNULL,)) == frozenset()
+
 
 class TestHeapTable:
     def test_insert_scan(self, talk_engine):
@@ -218,6 +229,17 @@ class TestStatistics:
         abstract_sel = heap.statistics.column("abstract").selectivity_equals()
         assert title_sel == pytest.approx(0.1)
         assert abstract_sel > title_sel  # fewer distinct values
+
+    def test_unhashable_values_mark_ndv_as_lower_bound(self):
+        from repro.storage.statistics import ColumnStatistics
+
+        stats = ColumnStatistics("c")
+        stats.add("hashable")
+        assert not stats.distinct_is_lower_bound
+        stats.add(["un", "hashable"])
+        stats.add(["un", "hashable"])  # same repr: collapses
+        assert stats.distinct_is_lower_bound
+        assert stats.distinct_count == 2  # a lower bound, not exact
 
 
 class TestStorageEngine:
