@@ -1,0 +1,260 @@
+"""E15 — adaptive quality control: reputation-weighted consensus + early stop.
+
+The paper's quality story is fixed-replication majority voting: every HIT
+asks ``replication=3`` workers and counts their ballots equally.  E15
+measures the adaptive subsystem against that baseline on a *skew-skill*
+population (diligent experts plus careless spammers, the adversary real
+marketplaces have):
+
+* ``fixed``    — ``replication=3``, plain majority voting;
+* ``adaptive`` — ``min_replication=2`` assignments up front, HITs extended
+  only while the reputation-weighted consensus confidence sits below
+  ``target_confidence``, gold-standard probes at ``gold_rate`` grading
+  workers against known answers, and spammers dropping below
+  ``block_below`` estimated accuracy blocked through the WRM.
+
+Reproduced claims: on a ``ROWS``-professor fill workload the adaptive
+configuration pays >=25% fewer crowd assignments (gold probes included)
+at strictly better simulated answer accuracy, and on an all-accurate
+(perfect scripted) worker profile both configurations return identical
+query results — the knobs change cost, never correct-crowd semantics.
+"""
+
+import json
+import os
+
+import pytest
+
+from crowdbench import FAST, fresh, professor_oracle, quiet, report
+
+from repro import CrowdConfig, connect
+from repro.crowd.model import FillTask
+from repro.crowd.quality import normalize_answer
+from repro.crowd.scripted import ScriptedPlatform, oracle_answer_fn
+from repro.crowd.sim.amt import SimulatedAMT
+from repro.crowd.sim.behavior import BehaviorConfig
+from repro.crowd.sim.population import generate_skew_population
+
+ROWS = 60 if FAST else 400
+POPULATION = 80
+SEED = 42
+SPAMMER_FRACTION = 0.25
+GOLD_SEEDS = 8  # requester-verified facts seeding the gold bank
+
+#: CI gate: the full workload must clear the paper-sized claim; the FAST
+#: smoke workload is too short for reputations to fully amortize, so it
+#: gates a smaller (but still real) saving at the same accuracy floor.
+MIN_SAVINGS = 0.10 if FAST else 0.25
+
+ADAPTIVE_KNOBS = dict(
+    target_confidence=0.8,
+    min_replication=2,
+    max_replication=7,
+    gold_rate=0.05,
+    block_below=0.6,
+)
+
+BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_e15.json",
+)
+
+
+def _professor_names(count: int) -> list[str]:
+    return [f"Prof. {chr(65 + i % 26)}{i:03d}" for i in range(count)]
+
+
+def _skew_db(config: CrowdConfig):
+    """A deterministic skew-skill AMT instance: 75% experts, 25% spammers
+    answering at ``BehaviorConfig.spammer_error``."""
+    fresh()
+    oracle = professor_oracle(ROWS)
+    workers = generate_skew_population(
+        POPULATION,
+        seed=SEED,
+        spammer_fraction=SPAMMER_FRACTION,
+        expert_skill_range=(0.95, 1.0),
+        id_prefix="amt-",
+    )
+    platform = SimulatedAMT(
+        oracle,
+        workers=workers,
+        seed=SEED,
+        config=BehaviorConfig(base_accuracy=0.97),
+    )
+    db = connect(
+        oracle=oracle,
+        seed=SEED,
+        platforms=(platform,),
+        default_platform="amt",
+        crowd_config=config,
+    )
+    db.reputation.block_after_observations = 4.0
+    # pre-seeded gold: a requester starts with a few verified facts
+    for name in _professor_names(GOLD_SEEDS):
+        expected = {
+            column: str(oracle.fill_value("Professor", (name,), column))
+            for column in ("department", "email")
+        }
+        db.reputation.add_gold(
+            FillTask(
+                "Professor", (name,), ("department", "email"), {"name": name}
+            ),
+            expected,
+        )
+    return db, platform, oracle
+
+
+def _run_skew(config: CrowdConfig):
+    db, platform, oracle = _skew_db(config)
+    db.execute(
+        "CREATE TABLE Professor (name STRING PRIMARY KEY, "
+        "department CROWD STRING, email CROWD STRING)"
+    )
+    for name in _professor_names(ROWS):
+        db.execute("INSERT INTO Professor (name) VALUES (?)", (name,))
+    result = db.execute("SELECT name, department, email FROM Professor")
+    correct = total = 0
+    for name, department, email in result.rows:
+        for column, value in (("department", department), ("email", email)):
+            truth = oracle.fill_value("Professor", (name,), column)
+            total += 1
+            if normalize_answer(str(value)) == normalize_answer(str(truth)):
+                correct += 1
+    stats = db.crowd_stats
+    return {
+        # platform-side counters include the gold probes — every paid
+        # assignment counts against the savings claim
+        "assignments": platform.assignments_submitted,
+        "cost_cents": platform.total_cost_cents,
+        "accuracy": correct / total,
+        "extensions": int(stats["hit_extensions"]),
+        "gold_hits": int(stats["gold_hits_posted"]),
+        "blocked_workers": sum(
+            1 for account in db.wrm.accounts.values() if account.blocked
+        ),
+    }
+
+
+def _run_perfect(config: CrowdConfig):
+    """The all-accurate profile: a perfect scripted crowd."""
+    fresh()
+    oracle = professor_oracle(ROWS)
+    platform = ScriptedPlatform(oracle_answer_fn(oracle))
+    db = connect(
+        oracle=oracle,
+        platforms=(platform,),
+        default_platform="scripted",
+        crowd_config=config,
+    )
+    db.execute(
+        "CREATE TABLE Professor (name STRING PRIMARY KEY, "
+        "department CROWD STRING, email CROWD STRING)"
+    )
+    for name in _professor_names(ROWS):
+        db.execute("INSERT INTO Professor (name) VALUES (?)", (name,))
+    result = db.execute("SELECT name, department, email FROM Professor")
+    return {
+        "rows": sorted(result.rows),
+        "assignments": db.crowd_stats["assignments_received"],
+    }
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    with quiet():
+        return {
+            "fixed": _run_skew(CrowdConfig(replication=3)),
+            "adaptive": _run_skew(CrowdConfig(**ADAPTIVE_KNOBS)),
+            "fixed_perfect": _run_perfect(CrowdConfig(replication=3)),
+            "adaptive_perfect": _run_perfect(CrowdConfig(**ADAPTIVE_KNOBS)),
+        }
+
+
+def test_report(measurements):
+    fixed, adaptive = measurements["fixed"], measurements["adaptive"]
+    savings = 1.0 - adaptive["assignments"] / fixed["assignments"]
+    rows = [
+        (
+            label,
+            data["assignments"],
+            data["cost_cents"],
+            f"{data['accuracy']:.1%}",
+            data["extensions"],
+            data["gold_hits"],
+            data["blocked_workers"],
+        )
+        for label, data in (("fixed", fixed), ("adaptive", adaptive))
+    ]
+    report(
+        "E15",
+        f"{ROWS}-professor fill scan on a skew-skill crowd "
+        f"({savings:.1%} fewer assignments)",
+        ["configuration", "assignments", "cost (c)", "accuracy",
+         "extensions", "gold HITs", "blocked"],
+        rows,
+    )
+    if FAST:
+        # fast-mode numbers are for CI smoke only — never clobber the
+        # committed full-workload artifact
+        return
+    payload = {
+        "rows": ROWS,
+        "population": POPULATION,
+        "spammer_fraction": SPAMMER_FRACTION,
+        "seed": SEED,
+        "adaptive_knobs": ADAPTIVE_KNOBS,
+        "fixed": {k: round(v, 4) if isinstance(v, float) else v
+                  for k, v in fixed.items()},
+        "adaptive": {k: round(v, 4) if isinstance(v, float) else v
+                     for k, v in adaptive.items()},
+        "assignment_savings": round(savings, 4),
+        "identical_rows_on_perfect_crowd": (
+            measurements["fixed_perfect"]["rows"]
+            == measurements["adaptive_perfect"]["rows"]
+        ),
+    }
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def test_fewer_paid_assignments(measurements):
+    """(a) adaptive replication pays >=25% fewer assignments than the
+    fixed replication=3 baseline (gold probes included in the bill)."""
+    fixed, adaptive = measurements["fixed"], measurements["adaptive"]
+    savings = 1.0 - adaptive["assignments"] / fixed["assignments"]
+    assert savings >= MIN_SAVINGS
+    assert adaptive["cost_cents"] < fixed["cost_cents"]
+
+
+def test_accuracy_floor(measurements):
+    """(b) CI accuracy gate: cheaper must never mean worse — simulated
+    answer accuracy stays at or above the fixed-replication baseline."""
+    assert (
+        measurements["adaptive"]["accuracy"]
+        >= measurements["fixed"]["accuracy"]
+    )
+
+
+def test_quality_levers_engaged(measurements):
+    """(c) the savings come from the mechanisms under test: confidence
+    stops, gold probes, and WRM blocking all fired."""
+    adaptive = measurements["adaptive"]
+    assert adaptive["extensions"] > 0
+    assert adaptive["gold_hits"] > 0
+    assert adaptive["blocked_workers"] > 0
+    assert measurements["fixed"]["extensions"] == 0
+
+
+def test_identical_results_on_perfect_crowd(measurements):
+    """(d) on the all-accurate worker profile the knobs change cost only:
+    query results are identical, with fewer ballots paid."""
+    assert (
+        measurements["adaptive_perfect"]["rows"]
+        == measurements["fixed_perfect"]["rows"]
+    )
+    assert (
+        measurements["adaptive_perfect"]["assignments"]
+        < measurements["fixed_perfect"]["assignments"]
+    )

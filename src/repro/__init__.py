@@ -9,12 +9,13 @@ locality-aware mobile platform).
 """
 
 from repro.api import Connection, Cursor, connect, serve
+from repro.crowd.reputation import ReputationStore
 from repro.crowd.task_manager import CrowdConfig, CrowdFuture
 from repro.engine.executor import ResultSet
 from repro.server import Server
 from repro.sqltypes import CNULL, NULL
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CNULL",
@@ -23,6 +24,7 @@ __all__ = [
     "CrowdConfig",
     "CrowdFuture",
     "Cursor",
+    "ReputationStore",
     "ResultSet",
     "Server",
     "connect",

@@ -30,6 +30,7 @@ from repro.catalog.catalog import Catalog
 from repro.crowd.platform import CrowdPlatform, PlatformRegistry
 from repro.crowd.sim.amt import SimulatedAMT
 from repro.crowd.sim.mobile import SimulatedMobilePlatform
+from repro.crowd.reputation import ReputationStore
 from repro.crowd.sim.traces import GroundTruthOracle
 from repro.crowd.task_manager import CrowdConfig, TaskManager
 from repro.crowd.wrm import WorkerRelationshipManager
@@ -61,11 +62,14 @@ class Connection:
         self.ui_manager = UITemplateManager(self.catalog)
         self.form_editor = FormEditor(self.ui_manager)
         self.wrm = WorkerRelationshipManager()
+        self.reputation = ReputationStore(wrm=self.wrm)
         self.task_manager: Optional[TaskManager] = None
         if platforms is not None:
             self.task_manager = TaskManager(
                 platforms, self.ui_manager, config=crowd_config
             )
+            self.task_manager.attach_reputation(self.reputation)
+            self.reputation.block_below = self.task_manager.config.block_below
         self.optimizer = Optimizer(
             self.engine,
             strict_boundedness=strict_boundedness,
@@ -123,7 +127,7 @@ class Connection:
         self.executor.platform = name
 
     @property
-    def crowd_stats(self) -> dict[str, int]:
+    def crowd_stats(self) -> dict[str, float]:
         if self.task_manager is None:
             return {}
         return self.task_manager.stats.snapshot()
@@ -211,6 +215,12 @@ def connect(
     batch_size: Optional[int] = None,
     hit_group_size: Optional[int] = None,
     compile_expressions: bool = True,
+    target_confidence: Optional[float] = None,
+    min_replication: Optional[int] = None,
+    max_replication: Optional[int] = None,
+    gold_rate: Optional[float] = None,
+    reputation_weighting: Optional[bool] = None,
+    block_below: Optional[float] = None,
 ) -> Connection:
     """Create a CrowdDB connection.
 
@@ -225,18 +235,36 @@ def connect(
     overlapped round, and up to ``hit_group_size`` fill tasks of one
     table/column set are packaged into a single HIT.
 
+    ``target_confidence``, ``min_replication``, ``max_replication``,
+    ``gold_rate``, and ``reputation_weighting`` are the adaptive quality
+    knobs (see :class:`CrowdConfig`): setting ``target_confidence``
+    switches fill/compare HITs to confidence-driven adaptive replication
+    with reputation-weighted consensus voting; ``gold_rate`` shadows real
+    work with known-answer probe HITs that grade workers.  Left at their
+    defaults, queries behave exactly like the fixed-replication paper
+    model.
+
     ``compile_expressions=False`` disables plan-time expression
     compilation and restores the per-row AST interpreter — the switch the
     E14 benchmark and the differential tests flip.
     """
-    if batch_size is not None or hit_group_size is not None:
+    overrides = {
+        key: value
+        for key, value in (
+            ("batch_size", batch_size),
+            ("hit_group_size", hit_group_size),
+            ("target_confidence", target_confidence),
+            ("min_replication", min_replication),
+            ("max_replication", max_replication),
+            ("gold_rate", gold_rate),
+            ("reputation_weighting", reputation_weighting),
+            ("block_below", block_below),
+        )
+        if value is not None
+    }
+    if overrides:
         from dataclasses import replace
 
-        overrides = {}
-        if batch_size is not None:
-            overrides["batch_size"] = batch_size
-        if hit_group_size is not None:
-            overrides["hit_group_size"] = hit_group_size
         if crowd_config is None:
             crowd_config = CrowdConfig(**overrides)
         else:  # never mutate the caller's config object

@@ -17,6 +17,7 @@ Dot-commands:
     .platform [NAME]     show or switch the default platform
     .stats               Task Manager counters
     .workers [N]         top-N workers by approved assignments (WRM)
+    .reputation [N]      top-N workers by estimated accuracy (+gold scores)
     .templates           generated UI template ids
     .form TEMPLATE_ID    print a template's HTML
     .load TABLE FILE     import a CSV file
@@ -64,6 +65,7 @@ class Shell:
             ".platform": self._cmd_platform,
             ".stats": self._cmd_stats,
             ".workers": self._cmd_workers,
+            ".reputation": self._cmd_reputation,
             ".templates": self._cmd_templates,
             ".form": self._cmd_form,
             ".load": self._cmd_load,
@@ -181,6 +183,22 @@ class Shell:
             self._print(
                 f"  {account.worker_id:12s} approved={account.approved:4d} "
                 f"earned={account.earned_cents}c"
+            )
+
+    def _cmd_reputation(self, argument: str) -> None:
+        count = int(argument) if argument else 5
+        store = getattr(self.connection, "reputation", None)
+        if store is None or not store.known_workers():
+            self._print("no reputation observations yet")
+            return
+        for snap in store.top_workers(count):
+            gold = (
+                f" gold={snap.gold_correct}/{snap.gold_seen}"
+                if snap.gold_seen else ""
+            )
+            self._print(
+                f"  {snap.worker_id:12s} accuracy={snap.accuracy:.3f} "
+                f"observations={snap.observations:.1f}{gold}"
             )
 
     def _cmd_templates(self, _argument: str) -> None:
@@ -321,8 +339,36 @@ class ServeShell(Shell):
                 self._print(f"  {subsystem:22s} {counters}")
 
 
+#: Adaptive quality-control flags accepted by ``python -m repro.cli``;
+#: forwarded to :func:`repro.connect` / :func:`repro.serve`.
+_QUALITY_FLAGS = {
+    "--target-confidence": ("target_confidence", float),
+    "--min-replication": ("min_replication", int),
+    "--max-replication": ("max_replication", int),
+    "--gold-rate": ("gold_rate", float),
+}
+
+
+def _pop_flag(argv: list[str], flag: str, cast) -> Optional[object]:
+    """Remove ``flag VALUE`` from argv; returns the cast value."""
+    if flag not in argv:
+        return None
+    index = argv.index(flag)
+    try:
+        value = cast(argv[index + 1])
+    except (IndexError, ValueError):
+        raise SystemExit(f"usage: {flag} <{cast.__name__}>")
+    del argv[index : index + 2]
+    return value
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     argv = list(argv) if argv is not None else sys.argv[1:]
+    quality_kwargs = {}
+    for flag, (keyword, cast) in _QUALITY_FLAGS.items():
+        value = _pop_flag(argv, flag, cast)
+        if value is not None:
+            quality_kwargs[keyword] = value
     if "--serve" in argv:
         argv.remove("--serve")
         sessions = 1
@@ -335,13 +381,13 @@ def main(argv: Optional[list[str]] = None) -> int:
                       file=sys.stderr)
                 return 2
             del argv[index : index + 2]
-        shell = ServeShell(sessions=sessions)
+        shell = ServeShell(server=serve(**quality_kwargs), sessions=sessions)
         for path in argv:
             shell.run_script(path)
         if not argv:
             shell.run()
         return 0
-    shell = Shell()
+    shell = Shell(connection=connect(**quality_kwargs))
     for path in argv:
         shell.run_script(path)
     if not argv:

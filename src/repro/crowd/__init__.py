@@ -13,7 +13,8 @@ from repro.crowd.model import (
     TaskKind,
 )
 from repro.crowd.platform import CrowdPlatform, PlatformRegistry
-from repro.crowd.quality import MajorityVote, VoteResult, normalize_answer
+from repro.crowd.quality import Ballot, MajorityVote, VoteResult, normalize_answer
+from repro.crowd.reputation import ReputationStore
 from repro.crowd.task_manager import CrowdConfig, TaskManager
 from repro.crowd.wrm import WorkerRelationshipManager
 
@@ -21,7 +22,7 @@ __all__ = [
     "HIT", "Assignment", "AssignmentStatus", "CompareEqualTask",
     "CompareOrderTask", "FillGroupTask", "FillTask", "HITStatus",
     "NewTupleTask", "TaskKind",
-    "CrowdPlatform", "PlatformRegistry", "MajorityVote", "VoteResult",
-    "normalize_answer", "CrowdConfig", "TaskManager",
-    "WorkerRelationshipManager",
+    "CrowdPlatform", "PlatformRegistry", "Ballot", "MajorityVote",
+    "VoteResult", "normalize_answer", "CrowdConfig", "TaskManager",
+    "ReputationStore", "WorkerRelationshipManager",
 ]

@@ -207,6 +207,16 @@ class HIT:
     def is_open(self) -> bool:
         return self.status is HITStatus.OPEN and self.assignments_remaining > 0
 
+    def extend(self, additional: int) -> None:
+        """Raise the requested assignment count of a live or just-completed
+        HIT — the adaptive-replication primitive.  A completed HIT reopens
+        to accept the extra assignments; an expired one stays dead."""
+        if additional <= 0:
+            raise ValueError("extension must request at least one assignment")
+        self.assignments_requested += additional
+        if self.status is HITStatus.COMPLETED:
+            self.status = HITStatus.OPEN
+
     def add_assignment(self, assignment: "Assignment") -> None:
         self.assignments.append(assignment)
         if self.assignments_remaining == 0:

@@ -49,6 +49,12 @@ class CrowdPlatform(abc.ABC):
 
     # -- conveniences over the abstract core ---------------------------------
 
+    def extend_hit(self, hit_id: str, additional: int) -> None:
+        """Request ``additional`` more assignments for a HIT (adaptive
+        replication).  Subclasses re-kick their marketplace dynamics; the
+        base implementation just reopens the HIT."""
+        self.get_hit(hit_id).extend(additional)
+
     def post_hits(self, hits: Iterable[HIT]) -> list[str]:
         return [self.post_hit(hit) for hit in hits]
 

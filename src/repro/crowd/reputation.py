@@ -1,0 +1,211 @@
+"""Worker reputation: per-worker accuracy estimates for weighted voting.
+
+The paper's quality control is plain majority voting (§3.2.1), but its
+Worker Relationship Manager already "tracks the worker/requester
+relationship as it evolves over time" (§3).  This module closes that
+loop: a :class:`ReputationStore` maintains a smoothed accuracy estimate
+per worker, fed by two signals recorded in the WRM's per-worker ledger:
+
+* **consensus agreement** — every settled vote scores each participating
+  worker against the winning answer, weighted by the verdict's
+  confidence (a 5-1 landslide teaches more than a 2-1 squeak);
+* **gold-standard probes** — known-answer HITs the Task Manager injects
+  into the marketplace at ``CrowdConfig.gold_rate``; gold observations
+  are weighted heavier because the requester *knows* the right answer.
+
+The estimate is a Beta-style posterior: a prior of ``prior_strength``
+pseudo-observations at ``prior_accuracy`` (blended with the worker's WRM
+approval rate once they have history), updated by the observed
+correct/total weights.  :meth:`weight` converts the estimate into the
+log-odds ballot weight used by reputation-weighted consensus voting —
+a worker estimated at 50% contributes nothing, one estimated *below*
+chance counts against the answer they gave.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Accuracy estimates are clamped into this band before the log-odds
+#: transform so one worker can never dominate (or nuke) a vote outright.
+ACCURACY_FLOOR = 0.05
+ACCURACY_CEILING = 0.98
+
+
+@dataclass
+class GoldTask:
+    """One known-answer probe: a task shape plus its expected answer.
+
+    ``expected`` mirrors the assignment answer shape: a ``column -> text``
+    dict for FILL tasks, ``bool`` for COMPARE_EQUAL, ``"left"``/``"right"``
+    for COMPARE_ORDER.
+    """
+
+    task: Any
+    expected: Any
+    platform: Optional[str] = None
+
+
+@dataclass
+class ReputationSnapshot:
+    """One worker's reputation state (CLI/telemetry view)."""
+
+    worker_id: str
+    accuracy: float
+    observations: float
+    gold_seen: int
+    gold_correct: int
+
+
+class ReputationStore:
+    """Smoothed per-worker accuracy estimates over the WRM ledger.
+
+    The store owns the *smoothing*; the raw counters live on the WRM's
+    :class:`~repro.crowd.wrm.WorkerAccount` ledger (``consensus_votes``,
+    ``consensus_agreements``, ``gold_seen``, ``gold_correct``) so the
+    relationship history survives independent of any one query.
+    """
+
+    def __init__(
+        self,
+        wrm: Optional[Any] = None,
+        prior_accuracy: float = 0.75,
+        prior_strength: float = 4.0,
+        gold_weight: float = 3.0,
+        gold_bank_size: int = 64,
+        block_below: Optional[float] = None,
+        block_after_observations: float = 6.0,
+    ) -> None:
+        self.wrm = wrm
+        self.prior_accuracy = prior_accuracy
+        self.prior_strength = prior_strength
+        self.gold_weight = gold_weight
+        self.gold_bank_size = gold_bank_size
+        # identified spammers are blocked through the WRM: the platforms'
+        # eligibility check already consults the WRM blocklist, so a
+        # blocked worker never sees this requester's HITs again ("the
+        # worker/requester relationship evolves over time", paper §3)
+        self.block_below = block_below
+        self.block_after_observations = block_after_observations
+        self._observed: dict[str, float] = {}   # total observation weight
+        self._correct: dict[str, float] = {}    # correct observation weight
+        self._gold_bank: list[GoldTask] = []
+        self._gold_write_cursor = 0  # next ring slot a deposit overwrites
+        self._gold_read_cursor = 0   # round-robin position for next_gold
+
+    # -- observations ---------------------------------------------------------
+
+    def observe_consensus(
+        self, worker_id: str, agreed: bool, weight: float = 1.0
+    ) -> None:
+        """Score one ballot against the settled consensus answer."""
+        self._observe(worker_id, agreed, weight)
+        if self.wrm is not None:
+            self.wrm.record_consensus(worker_id, agreed)
+
+    def observe_gold(self, worker_id: str, correct: bool) -> None:
+        """Score one answer against a gold task's known answer."""
+        self._observe(worker_id, correct, self.gold_weight)
+        if self.wrm is not None:
+            self.wrm.record_gold(worker_id, correct)
+
+    def _observe(self, worker_id: str, correct: bool, weight: float) -> None:
+        weight = max(0.0, weight)
+        self._observed[worker_id] = self._observed.get(worker_id, 0.0) + weight
+        if correct:
+            self._correct[worker_id] = (
+                self._correct.get(worker_id, 0.0) + weight
+            )
+        self._maybe_block(worker_id)
+
+    def _maybe_block(self, worker_id: str) -> None:
+        if (
+            self.block_below is None
+            or self.wrm is None
+            or self.wrm.is_blocked(worker_id)
+        ):
+            return
+        if (
+            self._observed.get(worker_id, 0.0) >= self.block_after_observations
+            and self.accuracy(worker_id) < self.block_below
+        ):
+            self.wrm.block(worker_id)
+
+    # -- estimates ------------------------------------------------------------
+
+    def accuracy(self, worker_id: str) -> float:
+        """Posterior mean accuracy estimate for one worker."""
+        prior = self.prior_accuracy
+        if self.wrm is not None:
+            account = self.wrm.accounts.get(worker_id)
+            if account is not None and (account.approved + account.rejected):
+                # the WRM's approve/reject history shifts the prior: a
+                # worker the requester keeps rejecting starts lower
+                prior = (prior + account.approval_rate) / 2.0
+        observed = self._observed.get(worker_id, 0.0)
+        correct = self._correct.get(worker_id, 0.0)
+        estimate = (prior * self.prior_strength + correct) / (
+            self.prior_strength + observed
+        )
+        return min(ACCURACY_CEILING, max(ACCURACY_FLOOR, estimate))
+
+    def weight(self, worker_id: str) -> float:
+        """Log-odds ballot weight of one worker's vote."""
+        accuracy = self.accuracy(worker_id)
+        return math.log(accuracy / (1.0 - accuracy))
+
+    def observations(self, worker_id: str) -> float:
+        return self._observed.get(worker_id, 0.0)
+
+    # -- gold bank ------------------------------------------------------------
+
+    def add_gold(self, task: Any, expected: Any,
+                 platform: Optional[str] = None) -> None:
+        """Deposit a known-answer probe (capped FIFO ring)."""
+        gold = GoldTask(task=task, expected=expected, platform=platform)
+        if len(self._gold_bank) < self.gold_bank_size:
+            self._gold_bank.append(gold)
+        else:  # overwrite the oldest deposit, keep the ring deterministic
+            slot = self._gold_write_cursor % self.gold_bank_size
+            self._gold_bank[slot] = gold
+        self._gold_write_cursor += 1
+
+    def next_gold(self) -> Optional[GoldTask]:
+        """Round-robin over the bank; ``None`` while the bank is empty."""
+        if not self._gold_bank:
+            return None
+        gold = self._gold_bank[self._gold_read_cursor % len(self._gold_bank)]
+        self._gold_read_cursor += 1
+        return gold
+
+    @property
+    def gold_bank_depth(self) -> int:
+        return len(self._gold_bank)
+
+    # -- reporting ------------------------------------------------------------
+
+    def snapshot(self, worker_id: str) -> ReputationSnapshot:
+        gold_seen = gold_correct = 0
+        if self.wrm is not None:
+            account = self.wrm.accounts.get(worker_id)
+            if account is not None:
+                gold_seen = account.gold_seen
+                gold_correct = account.gold_correct
+        return ReputationSnapshot(
+            worker_id=worker_id,
+            accuracy=self.accuracy(worker_id),
+            observations=self.observations(worker_id),
+            gold_seen=gold_seen,
+            gold_correct=gold_correct,
+        )
+
+    def known_workers(self) -> list[str]:
+        return sorted(self._observed)
+
+    def top_workers(self, count: int = 10) -> list[ReputationSnapshot]:
+        """Best-estimated workers first (CLI's ``.reputation``)."""
+        snapshots = [self.snapshot(w) for w in self.known_workers()]
+        snapshots.sort(key=lambda s: (-s.accuracy, s.worker_id))
+        return snapshots[:count]

@@ -29,6 +29,7 @@ class ScriptedPlatform(CrowdPlatform):
         self.answer_fn = answer_fn
         self.latency = latency
         self._hits: dict[str, HIT] = {}
+        self._replicas_asked: dict[str, int] = {}
         self._now = 0.0
         self.posted_tasks: list[Task] = []
 
@@ -38,7 +39,20 @@ class ScriptedPlatform(CrowdPlatform):
         hit.created_at = self._now
         self._hits[hit.hit_id] = hit
         self.posted_tasks.append(hit.task)
-        for replica in range(hit.assignments_requested):
+        self._answer_replicas(hit, 0, hit.assignments_requested)
+        return hit.hit_id
+
+    def extend_hit(self, hit_id: str, additional: int) -> None:
+        """Adaptive replication on a scripted crowd: the extra replicas
+        answer synchronously, continuing the replica numbering."""
+        hit = self.get_hit(hit_id)
+        start = self._replicas_asked.get(hit_id, hit.assignments_requested)
+        hit.extend(additional)
+        self._answer_replicas(hit, start, hit.assignments_requested)
+
+    def _answer_replicas(self, hit: HIT, start: int, stop: int) -> None:
+        self._replicas_asked[hit.hit_id] = stop
+        for replica in range(start, stop):
             answer = self.answer_fn(hit.task, replica)
             if answer is None:
                 continue
@@ -51,7 +65,6 @@ class ScriptedPlatform(CrowdPlatform):
                     submitted_at=self._now,
                 )
             )
-        return hit.hit_id
 
     def get_hit(self, hit_id: str) -> HIT:
         try:

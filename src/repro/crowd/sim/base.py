@@ -92,6 +92,12 @@ class SimulatedCrowdPlatform(CrowdPlatform):
     def expire_hit(self, hit_id: str) -> None:
         self._expire(self.get_hit(hit_id))
 
+    def extend_hit(self, hit_id: str, additional: int) -> None:
+        """Reopen a HIT for more assignments and restart worker arrivals
+        (the marketplace may have gone quiet while every HIT was full)."""
+        super().extend_hit(hit_id, additional)
+        self._ensure_arrivals()
+
     def run_until(self, condition: Callable[[], bool], timeout: float) -> bool:
         self._ensure_arrivals()
         return self.events.run_until(condition, timeout)

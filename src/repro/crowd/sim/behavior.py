@@ -44,6 +44,10 @@ class BehaviorConfig:
     # Accuracy
     base_accuracy: float = 0.9
     difficulty: dict[TaskKind, float] = None  # type: ignore[assignment]
+    # Error probability of workers flagged ``spammer`` (they answer
+    # carelessly whatever the task): the skew-skill populations of the
+    # adaptive-quality experiments (E15) mix these in
+    spammer_error: float = 0.6
 
     def __post_init__(self) -> None:
         if self.difficulty is None:

@@ -58,6 +58,39 @@ def generate_population(
     return workers
 
 
+def generate_skew_population(
+    size: int,
+    seed: int = 7,
+    spammer_fraction: float = 0.3,
+    expert_skill_range: tuple[float, float] = (0.85, 1.0),
+    spammer_skill_range: tuple[float, float] = (0.1, 0.35),
+    **kwargs,
+) -> list[SimWorker]:
+    """A bimodal-skill population: mostly diligent workers plus a slice
+    of spammers.
+
+    This is the adversarial profile the adaptive-quality experiments
+    (E15) run against: plain majority voting pays the same three
+    assignments whether the ballots came from experts or spammers, while
+    reputation-weighted consensus learns the difference.  Spammer slots
+    are assigned deterministically by index (every ``1/spammer_fraction``
+    th worker) so one seed yields one population regardless of draw
+    order.
+    """
+    workers = generate_population(
+        size, seed=seed, skill_range=expert_skill_range, **kwargs
+    )
+    if spammer_fraction <= 0:
+        return workers
+    rng = random.Random(seed + 1)
+    stride = max(1, round(1.0 / spammer_fraction))
+    for index, worker in enumerate(workers):
+        if index % stride == 0:
+            worker.skill = rng.uniform(*spammer_skill_range)
+            worker.spammer = True
+    return workers
+
+
 def pick_weighted(
     workers: list[SimWorker], rng: random.Random
 ) -> SimWorker:

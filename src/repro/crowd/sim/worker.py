@@ -43,6 +43,9 @@ class SimWorker:
     location: Optional[tuple[float, float]] = None  # (lat, lon) for mobile
     familiar_groups: set[str] = field(default_factory=set)
     completed_hits: int = 0
+    # a spammer answers carelessly (config.spammer_error) regardless of
+    # task difficulty — the adversary adaptive quality control exists for
+    spammer: bool = False
 
     def remember_group(self, group_key: str) -> None:
         self.familiar_groups.add(group_key)
@@ -58,7 +61,10 @@ class SimWorker:
         config: BehaviorConfig,
     ) -> Any:
         """Produce this worker's answer for ``task``."""
-        p_error = error_probability(self.skill, task.kind, config)
+        if self.spammer:
+            p_error = config.spammer_error
+        else:
+            p_error = error_probability(self.skill, task.kind, config)
         if isinstance(task, FillGroupTask):
             # one form, several tuples: answer each subtask in order
             return [

@@ -58,7 +58,8 @@ from repro.crowd.model import (
     NewTupleTask,
 )
 from repro.crowd.platform import CrowdPlatform, PlatformRegistry
-from repro.crowd.quality import MajorityVote, normalize_answer
+from repro.crowd.quality import Ballot, MajorityVote, VoteResult, normalize_answer
+from repro.crowd.reputation import ReputationStore
 from repro.errors import BudgetExceededError, ExecutionError, TypeError_
 from repro.sqltypes import NULL, parse_literal
 from repro.ui.manager import UITemplateManager
@@ -85,6 +86,24 @@ class CrowdConfig:
     # packaged into a single HIT with one combined form (reward and
     # completion time scale with group size).  1 posts one HIT per task.
     hit_group_size: int = 1
+    # Adaptive quality control.  Setting ``target_confidence`` switches
+    # fill/compare HITs from fixed ``replication`` to adaptive
+    # replication: post ``min_replication`` assignments up front, then
+    # extend the HIT one assignment at a time while the weighted-consensus
+    # confidence stays below the target, capped at ``max_replication``.
+    # ``None`` (the default) reproduces the paper's fixed behaviour.
+    target_confidence: Optional[float] = None
+    min_replication: int = 2
+    max_replication: int = 7
+    # Gold-standard probes: fraction of posted HITs matched by an extra
+    # known-answer HIT used purely to score workers (0 disables).
+    gold_rate: float = 0.0
+    # Reputation-weighted voting: ``None`` enables it exactly when
+    # adaptive replication is on; True/False force it either way.
+    reputation_weighting: Optional[bool] = None
+    # Workers whose estimated accuracy drops below this are blocked via
+    # the WRM (the platforms stop offering them HITs).  None disables.
+    block_below: Optional[float] = None
 
 
 @dataclass
@@ -99,8 +118,14 @@ class TaskManagerStats:
     compare_requests: int = 0
     cache_hits: int = 0
     timeouts: int = 0
+    # adaptive quality control
+    hit_extensions: int = 0        # extra assignments requested on live HITs
+    gold_hits_posted: int = 0      # known-answer probes injected
+    gold_answers_scored: int = 0   # worker answers graded against gold
+    confidence_sum: float = 0.0    # over settled verdicts (mean = sum/count)
+    confidence_count: int = 0
 
-    def snapshot(self) -> dict[str, int]:
+    def snapshot(self) -> dict[str, float]:
         return dict(self.__dict__)
 
 
@@ -141,6 +166,12 @@ class CrowdFuture:
         self.mirror_of: Optional["CrowdFuture"] = None
         self.invert = False
         self.extract_index: Optional[int] = None
+        # adaptive replication state (carried by the future so sessions
+        # joining through the shared task pool see the same controller,
+        # confidence, and extension history)
+        self.adaptive: Optional["AdaptiveReplication"] = None
+        self.confidence: Optional[float] = None
+        self.extensions = 0
 
     @classmethod
     def resolved(cls, kind: str, key: tuple, value: Any) -> "CrowdFuture":
@@ -217,8 +248,23 @@ class CrowdFuture:
         return clock.now >= self.deadline
 
     def ready(self) -> bool:
-        """Poll: can this future be settled without further waiting?"""
-        return self._settled or self.hits_closed() or self.past_deadline()
+        """Poll: can this future be settled without further waiting?
+
+        An adaptive future whose HITs just completed may *extend* them
+        here instead — requesting more assignments and staying pending —
+        which is what lets every polling path (serial waits, batch waits,
+        the cooperative scheduler) drive confidence rounds without
+        blocking anyone.
+        """
+        if self.mirror_of is not None:
+            return self.mirror_of.ready()
+        if self._settled:
+            return True
+        if self.hits_closed():
+            if self.adaptive is not None and self.adaptive.maybe_extend(self):
+                return False
+            return True
+        return self.past_deadline()
 
     def result(self) -> Any:
         if self.mirror_of is not None:
@@ -231,6 +277,64 @@ class CrowdFuture:
                 f"crowd future {self.key!r} consumed before settlement"
             )
         return self._value
+
+
+class AdaptiveReplication:
+    """Confidence-driven replication controller for one crowd future.
+
+    ``confidence_of`` recomputes the weighted-consensus confidence over
+    the future's current assignments.  :meth:`maybe_extend` is invoked
+    from :meth:`CrowdFuture.ready` whenever the HITs have completed: if
+    the verdict is still below ``target_confidence`` (and the deadline,
+    ``max_replication`` cap, and budget all allow) it requests one more
+    assignment per HIT and reports the future as still pending.
+    """
+
+    def __init__(
+        self,
+        manager: "TaskManager",
+        confidence_of: Callable[["CrowdFuture"], float],
+    ) -> None:
+        self.manager = manager
+        self.confidence_of = confidence_of
+
+    def maybe_extend(self, future: "CrowdFuture") -> bool:
+        """Extend the future's HITs by one assignment if the consensus is
+        not confident yet.  Returns whether an extension happened."""
+        config = self.manager.config
+        confidence = self.confidence_of(future)
+        future.confidence = confidence
+        if config.target_confidence is None:
+            return False
+        if confidence >= config.target_confidence:
+            return False
+        clock = getattr(future.platform, "clock", None)
+        if clock is not None and clock.now >= future.deadline:
+            return False
+        candidates = [
+            hit
+            for hit in future.hits
+            if hit.status is HITStatus.COMPLETED
+            and hit.assignments_requested < config.max_replication
+        ]
+        if not candidates:
+            return False
+        if config.budget_cents is not None:
+            accrued = sum(
+                hit.reward_cents * len(hit.assignments)
+                for hit in future.hits
+            )
+            projected = sum(hit.reward_cents for hit in candidates)
+            if (
+                self.manager.stats.cost_cents + accrued + projected
+                > config.budget_cents
+            ):
+                return False
+        for hit in candidates:
+            future.platform.extend_hit(hit.hit_id, 1)
+        future.extensions += 1
+        self.manager.stats.hit_extensions += len(candidates)
+        return True
 
 
 class TaskManager:
@@ -253,6 +357,57 @@ class TaskManager:
         # optional shared pool (repro.server): dedups identical pending
         # requests across concurrent sessions
         self.task_pool: Optional[Any] = None
+        # adaptive quality control: per-worker reputation + gold probes
+        self.reputation: Optional[ReputationStore] = None
+        self._gold_accumulator = 0.0
+        self._gold_pending: list[tuple[HIT, Any, CrowdPlatform, float]] = []
+
+    # -- adaptive quality plumbing ---------------------------------------------------
+
+    def attach_reputation(self, store: ReputationStore) -> None:
+        """Wire a reputation store in (done by ``connect()``)."""
+        self.reputation = store
+
+    @property
+    def adaptive_enabled(self) -> bool:
+        return self.config.target_confidence is not None
+
+    @property
+    def weighting_enabled(self) -> bool:
+        """Whether votes are reputation-weighted (on iff adaptive unless
+        ``config.reputation_weighting`` forces it)."""
+        if self.reputation is None:
+            return False
+        if self.config.reputation_weighting is not None:
+            return self.config.reputation_weighting
+        return self.adaptive_enabled
+
+    def _initial_replication(self) -> int:
+        if self.adaptive_enabled:
+            return max(1, min(self.config.min_replication,
+                              self.config.max_replication))
+        return self.config.replication
+
+    def _ballot_voter(self) -> MajorityVote:
+        """The settle-time voter (reputation-weighted when enabled)."""
+        return MajorityVote(
+            self.config.min_agreement,
+            reputation=self.reputation if self.weighting_enabled else None,
+        )
+
+    def _probe_voter(self) -> MajorityVote:
+        """The confidence-probe voter (never warns, same weighting)."""
+        return MajorityVote(
+            0.0,
+            reputation=self.reputation if self.weighting_enabled else None,
+        )
+
+    def _make_adaptive(
+        self, confidence_of: Callable[[CrowdFuture], float]
+    ) -> Optional[AdaptiveReplication]:
+        if not self.adaptive_enabled:
+            return None
+        return AdaptiveReplication(self, confidence_of)
 
     # -- CrowdProbe: fill CNULL values --------------------------------------------
 
@@ -390,6 +545,9 @@ class TaskManager:
             [hit],
             platform,
             lambda hits: self._finish_fill(schema, columns, hits),
+            adaptive=self._make_adaptive(
+                lambda future: self._fill_confidence(columns, future.hits[0])
+            ),
         )
 
     def _issue_fill_group(
@@ -437,6 +595,11 @@ class TaskManager:
             lambda hits: self._finish_fill_group(
                 schema, columns, len(subtasks), hits
             ),
+            adaptive=self._make_adaptive(
+                lambda future: self._fill_group_confidence(
+                    columns, len(subtasks), future.hits[0]
+                )
+            ),
         )
         for index, i in enumerate(chunk):
             member = CrowdFuture.member(parent, keys[i], index)
@@ -448,18 +611,49 @@ class TaskManager:
         self,
         schema: TableSchema,
         columns: tuple[str, ...],
-        answers: list[dict[str, Any]],
+        answers: list[tuple[str, dict[str, Any]]],
+        task: Optional[FillTask] = None,
     ) -> dict[str, Any]:
+        """Weighted per-column consensus over ``(worker_id, answer)``
+        pairs; feeds the reputation ledger and deposits confident
+        verdicts into the gold bank."""
+        voter = self._ballot_voter()
         result: dict[str, Any] = {}
+        gold_expected: dict[str, Any] = {}
+        gold_worthy = True
         for column in columns:
-            ballots = [a.get(column, "") for a in answers]
-            ballots = [b for b in ballots if str(b).strip()]
+            ballots = [
+                Ballot(value=answer.get(column, ""), worker_id=worker_id)
+                for worker_id, answer in answers
+                if str(answer.get(column, "")).strip()
+            ]
             if not ballots:
                 result[column] = NULL
+                gold_worthy = False
                 continue
-            vote = self._voter.vote(ballots)
+            vote = voter.vote_ballots(ballots)
+            self._record_verdict(ballots, vote)
             result[column] = self._parse(schema, column, vote.value)
+            if vote.confidence >= _GOLD_DEPOSIT_CONFIDENCE:
+                gold_expected[column] = vote.value
+            else:
+                gold_worthy = False
+        if (
+            gold_worthy
+            and gold_expected
+            and task is not None
+            and self.reputation is not None
+            and self.config.gold_rate > 0
+        ):
+            self.reputation.add_gold(task, gold_expected)
         return result
+
+    def _fill_answers(self, hit: HIT) -> list[tuple[str, dict[str, Any]]]:
+        return [
+            (a.worker_id, a.answer)
+            for a in hit.assignments
+            if isinstance(a.answer, dict)
+        ]
 
     def _finish_fill(
         self,
@@ -468,8 +662,21 @@ class TaskManager:
         hits: list[HIT],
     ) -> dict[str, Any]:
         (hit,) = hits
-        answers = [a.answer for a in hit.assignments if isinstance(a.answer, dict)]
-        return self._vote_fill(schema, columns, answers)
+        task = hit.task if isinstance(hit.task, FillTask) else None
+        return self._vote_fill(
+            schema, columns, self._fill_answers(hit), task=task
+        )
+
+    def _group_answers(
+        self, hit: HIT, index: int
+    ) -> list[tuple[str, dict[str, Any]]]:
+        return [
+            (a.worker_id, a.answer[index])
+            for a in hit.assignments
+            if isinstance(a.answer, (list, tuple))
+            and index < len(a.answer)
+            and isinstance(a.answer[index], dict)
+        ]
 
     def _finish_fill_group(
         self,
@@ -481,17 +688,34 @@ class TaskManager:
         """Vote each subtask of a grouped HIT independently: answers are
         per-assignment lists parallel to the group's subtasks."""
         (hit,) = hits
+        subtasks = getattr(hit.task, "subtasks", ())
         results: list[dict[str, Any]] = []
         for index in range(count):
-            answers = [
-                a.answer[index]
-                for a in hit.assignments
-                if isinstance(a.answer, (list, tuple))
-                and index < len(a.answer)
-                and isinstance(a.answer[index], dict)
-            ]
-            results.append(self._vote_fill(schema, columns, answers))
+            task = subtasks[index] if index < len(subtasks) else None
+            results.append(
+                self._vote_fill(
+                    schema, columns, self._group_answers(hit, index),
+                    task=task,
+                )
+            )
         return results
+
+    def _record_verdict(self, ballots: list[Ballot], vote: VoteResult) -> None:
+        """Settle-time bookkeeping: confidence telemetry plus consensus
+        observations on the reputation ledger (weighted by how sure the
+        verdict itself is)."""
+        self.stats.confidence_sum += vote.confidence
+        self.stats.confidence_count += 1
+        if self.reputation is None:
+            return
+        winner_key = normalize_answer(vote.value)
+        for ballot in ballots:
+            if not ballot.worker_id:
+                continue
+            agreed = normalize_answer(ballot.value) == winner_key
+            self.reputation.observe_consensus(
+                ballot.worker_id, agreed, weight=vote.confidence
+            )
 
     # -- CrowdProbe / CrowdJoin: source new tuples -----------------------------------
 
@@ -551,7 +775,10 @@ class TaskManager:
             schema, tuple(fixed.keys())
         )
         form_html = self.ui_manager.instantiate(template, fixed)
-        hits = [self._make_hit(task, form_html) for _ in range(count)]
+        hits = [
+            self._make_hit(task, form_html, replication=self.config.replication)
+            for _ in range(count)
+        ]
         frozen_known = set(known_keys or set())
         return self._issue(
             "new",
@@ -688,15 +915,26 @@ class TaskManager:
             [hit],
             platform,
             lambda hits: self._finish_compare_equal(cache_key, hits),
+            adaptive=self._make_adaptive(
+                lambda future: self._ballot_confidence(
+                    future.hits[0], lambda a: bool(a.answer)
+                )
+            ),
         )
 
     def _finish_compare_equal(self, cache_key: tuple, hits: list[HIT]) -> bool:
         (hit,) = hits
-        ballots = [bool(a.answer) for a in hit.assignments]
+        ballots = [
+            Ballot(value=bool(a.answer), worker_id=a.worker_id)
+            for a in hit.assignments
+        ]
         if not ballots:
             answer = False  # no worker responded: conservatively not equal
         else:
-            answer = bool(self._voter.vote_boolean(ballots).value)
+            vote = self._ballot_voter().vote_ballots(ballots)
+            self._record_verdict(ballots, vote)
+            answer = bool(vote.value)
+            self._maybe_deposit_compare_gold(hit.task, answer, vote)
         self._equal_cache[cache_key] = answer
         return answer
 
@@ -757,19 +995,169 @@ class TaskManager:
             [hit],
             platform,
             lambda hits: self._finish_compare_order(cache_key, hits),
+            adaptive=self._make_adaptive(
+                lambda future: self._ballot_confidence(
+                    future.hits[0],
+                    lambda a: a.answer,
+                    accept=lambda a: a.answer in ("left", "right"),
+                )
+            ),
         )
 
     def _finish_compare_order(self, cache_key: tuple, hits: list[HIT]) -> bool:
         (hit,) = hits
         ballots = [
-            a.answer for a in hit.assignments if a.answer in ("left", "right")
+            Ballot(value=a.answer, worker_id=a.worker_id)
+            for a in hit.assignments
+            if a.answer in ("left", "right")
         ]
         if not ballots:
             winner = "left"  # stable fallback: keep current order
         else:
-            winner = str(self._voter.vote(ballots).value)
+            vote = self._ballot_voter().vote_ballots(ballots)
+            self._record_verdict(ballots, vote)
+            winner = str(vote.value)
+            self._maybe_deposit_compare_gold(hit.task, winner, vote)
         self._order_cache[cache_key] = winner
         return winner == "left"
+
+    # -- confidence probes (adaptive replication) ----------------------------------------
+
+    def _fill_confidence(self, columns: tuple[str, ...], hit: HIT) -> float:
+        """Current confidence of one fill HIT: the weakest column wins.
+
+        Blank answers vote for the empty class — a crowd unanimously
+        reporting "no value" is a confident verdict, not a reason to pay
+        for more assignments.
+        """
+        answers = self._fill_answers(hit)
+        if not answers:
+            return 0.0
+        voter = self._probe_voter()
+        confidence = 1.0
+        for column in columns:
+            ballots = [
+                Ballot(value=answer.get(column, ""), worker_id=worker_id)
+                for worker_id, answer in answers
+            ]
+            vote = voter.vote_ballots(ballots, quiet=True)
+            confidence = min(confidence, vote.confidence)
+        return confidence
+
+    def _fill_group_confidence(
+        self, columns: tuple[str, ...], count: int, hit: HIT
+    ) -> float:
+        """A grouped HIT extends until its least confident subtask is
+        happy (one extension buys a ballot for every member)."""
+        voter = self._probe_voter()
+        confidence = 1.0
+        for index in range(count):
+            answers = self._group_answers(hit, index)
+            if not answers:
+                return 0.0
+            for column in columns:
+                ballots = [
+                    Ballot(value=answer.get(column, ""), worker_id=worker_id)
+                    for worker_id, answer in answers
+                ]
+                vote = voter.vote_ballots(ballots, quiet=True)
+                confidence = min(confidence, vote.confidence)
+        return confidence
+
+    def _ballot_confidence(
+        self,
+        hit: HIT,
+        value_of: Callable[[Any], Any],
+        accept: Optional[Callable[[Any], bool]] = None,
+    ) -> float:
+        """Confidence of a comparison HIT's current ballots."""
+        ballots = [
+            Ballot(value=value_of(a), worker_id=a.worker_id)
+            for a in hit.assignments
+            if accept is None or accept(a)
+        ]
+        if not ballots:
+            return 0.0
+        return self._probe_voter().vote_ballots(ballots, quiet=True).confidence
+
+    # -- gold-standard probes ------------------------------------------------------------
+
+    def _maybe_deposit_compare_gold(
+        self, task: Any, answer: Any, vote: VoteResult
+    ) -> None:
+        if (
+            self.reputation is None
+            or self.config.gold_rate <= 0
+            or vote.confidence < _GOLD_DEPOSIT_CONFIDENCE
+        ):
+            return
+        self.reputation.add_gold(task, answer)
+
+    def _maybe_inject_gold(
+        self, platform: CrowdPlatform, issued_hits: int
+    ) -> None:
+        """Shadow real work with known-answer probes at ``gold_rate``.
+
+        Injection is a deterministic accumulator (no randomness): every
+        ``1/gold_rate`` real HITs, one banked gold task is re-posted with
+        a single assignment.  Whoever answers it gets graded against the
+        known answer when the probe is swept at the next settlement.
+        """
+        if self.reputation is None or self.config.gold_rate <= 0:
+            return
+        self._gold_accumulator += self.config.gold_rate * issued_hits
+        while self._gold_accumulator >= 1.0:
+            self._gold_accumulator -= 1.0
+            gold = self.reputation.next_gold()
+            if gold is None:
+                return
+            if self.config.budget_cents is not None and (
+                self.stats.cost_cents + self.config.reward_cents
+                > self.config.budget_cents
+            ):
+                return  # never let probes blow the query budget
+            hit = HIT(
+                task=gold.task,
+                reward_cents=self.config.reward_cents,
+                assignments_requested=1,
+                form_html="",
+                locality=self.config.locality,
+            )
+            platform.post_hit(hit)
+            clock = getattr(platform, "clock", None)
+            posted_at = clock.now if clock is not None else 0.0
+            self.stats.hits_posted += 1
+            self.stats.gold_hits_posted += 1
+            self._gold_pending.append((hit, gold.expected, platform, posted_at))
+
+    def _sweep_gold(self) -> None:
+        """Grade and account every finished gold probe (called from
+        :meth:`settle`, so probes resolve in the same rounds as the real
+        work they shadow)."""
+        if not self._gold_pending:
+            return
+        remaining: list[tuple[HIT, Any, CrowdPlatform, float]] = []
+        for entry in self._gold_pending:
+            hit, expected, platform, posted_at = entry
+            if hit.status is HITStatus.OPEN:
+                clock = getattr(platform, "clock", None)
+                deadline = posted_at + self.config.timeout_seconds
+                if clock is not None and clock.now < deadline:
+                    remaining.append(entry)
+                    continue
+                platform.expire_hit(hit.hit_id)
+            self._score_gold(hit, expected)
+            self.stats.assignments_received += len(hit.assignments)
+            self.stats.cost_cents += hit.reward_cents * len(hit.assignments)
+        self._gold_pending = remaining
+
+    def _score_gold(self, hit: HIT, expected: Any) -> None:
+        for assignment in hit.assignments:
+            correct = _gold_answer_correct(hit.task, expected, assignment.answer)
+            if correct is None:
+                continue
+            self.reputation.observe_gold(assignment.worker_id, correct)
+            self.stats.gold_answers_scored += 1
 
     # -- issue / poll / resume protocol -------------------------------------------------
 
@@ -780,6 +1168,7 @@ class TaskManager:
         hits: list[HIT],
         platform_name: Optional[str],
         finalize: Callable[[list[HIT]], Any],
+        adaptive: Optional[AdaptiveReplication] = None,
     ) -> CrowdFuture:
         """Budget-check, post, and wrap the HITs in an unsettled future."""
         projected = sum(
@@ -807,28 +1196,38 @@ class TaskManager:
             timeout_seconds=self.config.timeout_seconds,
             finalize=finalize,
         )
+        future.adaptive = adaptive
         if self.task_pool is not None:
             self.task_pool.register(future)
+        self._maybe_inject_gold(platform, len(hits))
         return future
 
     def wait(self, future: CrowdFuture) -> None:
         """Serial path: advance the platform clock until the future is
-        done (or its deadline passes), then settle it."""
-        if future.settled:
-            return
-        remaining = future.timeout_seconds
-        clock = getattr(future.platform, "clock", None)
-        if clock is not None:
-            remaining = max(0.0, future.deadline - clock.now)
-        future.platform.run_until(future.hits_closed, remaining)
+        done (or its deadline passes), then settle it.
+
+        An adaptive future may *extend* its HITs when polled (see
+        :meth:`CrowdFuture.ready`), so the wait loops over marketplace
+        rounds until the verdict is confident, capped, or out of time.
+        """
+        target = future.mirror_of if future.mirror_of is not None else future
+        while not target.settled and not target.ready():
+            clock = getattr(target.platform, "clock", None)
+            remaining = target.timeout_seconds
+            if clock is not None:
+                remaining = max(0.0, target.deadline - clock.now)
+            met = target.platform.run_until(target.ready, remaining)
+            if not met and clock is not None:
+                break  # deadline reached with work still open
         self.settle(future)
 
     def wait_many(self, futures: list[CrowdFuture]) -> None:
         """Serial path for a batch: every HIT of the set is already in the
-        marketplace, so advance each platform's clock *once* until the
-        whole set is done (or past its deadlines), then settle all —
-        the batch pays one overlapped round instead of ``len(futures)``
-        sequential ones."""
+        marketplace, so advance each platform's clock until the whole set
+        is done (or past its deadlines), then settle all — the batch pays
+        overlapped rounds instead of ``len(futures)`` sequential ones.
+        Adaptive members re-enter the marketplace round-by-round as their
+        ``ready()`` polls extend under-confident HITs."""
         pending: list[CrowdFuture] = []
         seen: set[int] = set()
         for future in futures:
@@ -844,15 +1243,22 @@ class TaskManager:
         for group in by_platform.values():
             platform = group[0].platform
             clock = getattr(platform, "clock", None)
-            if clock is not None:
-                timeout = max(
-                    0.0, max(f.deadline for f in group) - clock.now
-                )
-            else:
-                timeout = max(f.timeout_seconds for f in group)
-            platform.run_until(
-                lambda group=group: all(f.ready() for f in group), timeout
-            )
+
+            def all_ready(group=group) -> bool:
+                # all() short-circuits; sum forces every member's poll so
+                # adaptive extensions are not starved by a slow sibling
+                return sum(0 if f.ready() else 1 for f in group) == 0
+
+            while not all_ready():
+                if clock is not None:
+                    timeout = max(
+                        0.0, max(f.deadline for f in group) - clock.now
+                    )
+                else:
+                    timeout = max(f.timeout_seconds for f in group)
+                met = platform.run_until(all_ready, timeout)
+                if not met and clock is not None:
+                    break  # deadlines reached with work still open
         self.settle_many(futures)
 
     def settle_many(self, futures: list[CrowdFuture]) -> None:
@@ -887,6 +1293,7 @@ class TaskManager:
         future._settled = True
         if self.task_pool is not None:
             self.task_pool.forget(future)
+        self._sweep_gold()
         return future._value
 
     # -- internals -----------------------------------------------------------------------
@@ -901,12 +1308,25 @@ class TaskManager:
             return None
         return self.task_pool.lookup(key)
 
-    def _make_hit(self, task: Any, form_html: str, size: int = 1) -> HIT:
-        # grouped HITs pay proportionally: same per-task reward, one HIT
+    def _make_hit(
+        self,
+        task: Any,
+        form_html: str,
+        size: int = 1,
+        replication: Optional[int] = None,
+    ) -> HIT:
+        # grouped HITs pay proportionally: same per-task reward, one HIT;
+        # adaptive mode starts at min_replication and extends on demand
+        # (new-tuple sourcing keeps fixed replication: distinct
+        # assignments contribute distinct tuples, so there is no single
+        # verdict whose confidence could gate an extension)
         return HIT(
             task=task,
             reward_cents=self.config.reward_cents * size,
-            assignments_requested=self.config.replication,
+            assignments_requested=(
+                self._initial_replication() if replication is None
+                else replication
+            ),
             form_html=form_html,
             locality=self.config.locality,
         )
@@ -918,6 +1338,30 @@ class TaskManager:
             return parse_literal(str(raw), sql_type)
         except TypeError_:
             return NULL
+
+
+#: Verdicts at least this confident are safe to re-ask as gold probes.
+_GOLD_DEPOSIT_CONFIDENCE = 0.9
+
+
+def _gold_answer_correct(task: Any, expected: Any, answer: Any) -> Optional[bool]:
+    """Grade one worker answer against a gold task's known answer
+    (``None`` when the answer has the wrong shape to grade)."""
+    if isinstance(task, FillTask):
+        if not isinstance(answer, dict) or not isinstance(expected, dict):
+            return None
+        return all(
+            normalize_answer(str(answer.get(column, "")))
+            == normalize_answer(str(value))
+            for column, value in expected.items()
+        )
+    if isinstance(task, CompareEqualTask):
+        return bool(answer) == bool(expected)
+    if isinstance(task, CompareOrderTask):
+        if answer not in ("left", "right"):
+            return None
+        return answer == expected
+    return None
 
 
 _SIMILARITY_THRESHOLD = 0.82

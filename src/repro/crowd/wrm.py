@@ -32,11 +32,30 @@ class WorkerAccount:
     earned_cents: int = 0
     bonus_cents: int = 0
     blocked: bool = False
+    # quality ledger (feeds the ReputationStore): how often this worker's
+    # ballots matched the settled consensus, and how they score on
+    # gold-standard probe tasks with known answers
+    consensus_votes: int = 0
+    consensus_agreements: int = 0
+    gold_seen: int = 0
+    gold_correct: int = 0
 
     @property
     def approval_rate(self) -> float:
         total = self.approved + self.rejected
         return self.approved / total if total else 1.0
+
+    @property
+    def consensus_rate(self) -> float:
+        if not self.consensus_votes:
+            return 1.0
+        return self.consensus_agreements / self.consensus_votes
+
+    @property
+    def gold_rate(self) -> float:
+        if not self.gold_seen:
+            return 1.0
+        return self.gold_correct / self.gold_seen
 
 
 @dataclass
@@ -149,6 +168,22 @@ class WorkerRelationshipManager:
                 paid_at=at,
             )
         )
+
+    # -- quality ledger -------------------------------------------------------------------
+
+    def record_consensus(self, worker_id: str, agreed: bool) -> None:
+        """One ballot scored against a settled consensus answer."""
+        account = self.account(worker_id)
+        account.consensus_votes += 1
+        if agreed:
+            account.consensus_agreements += 1
+
+    def record_gold(self, worker_id: str, correct: bool) -> None:
+        """One answer scored against a gold-standard probe task."""
+        account = self.account(worker_id)
+        account.gold_seen += 1
+        if correct:
+            account.gold_correct += 1
 
     # -- complaints -----------------------------------------------------------------------
 

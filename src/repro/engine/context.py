@@ -56,6 +56,42 @@ class ExecutionContext:
         self.crowd_probe_tasks = 0
         self.crowd_join_tasks = 0
         self.crowd_compare_tasks = 0
+        # quality/cost telemetry: snapshot the Task Manager counters at
+        # statement start so the ResultSet can report this query's own
+        # spend (assignments, cents, adaptive extensions, gold probes)
+        # and mean verdict confidence rather than connection lifetime
+        # totals
+        self._crowd_stats_before: dict[str, float] = (
+            task_manager.stats.snapshot() if task_manager is not None else {}
+        )
+
+    def crowd_quality_stats(self) -> dict[str, float]:
+        """This statement's quality/cost deltas over the Task Manager.
+
+        Keys: ``hits_posted``, ``assignments``, ``cost_cents``,
+        ``hit_extensions``, ``gold_hits``, ``mean_confidence`` (0.0 when
+        no verdict settled during the statement).
+        """
+        if self.task_manager is None:
+            return {}
+        after = self.task_manager.stats.snapshot()
+        before = self._crowd_stats_before
+
+        def delta(key: str) -> float:
+            return after.get(key, 0) - before.get(key, 0)
+
+        verdicts = delta("confidence_count")
+        mean_confidence = (
+            delta("confidence_sum") / verdicts if verdicts else 0.0
+        )
+        return {
+            "hits_posted": int(delta("hits_posted")),
+            "assignments": int(delta("assignments_received")),
+            "cost_cents": int(delta("cost_cents")),
+            "hit_extensions": int(delta("hit_extensions")),
+            "gold_hits": int(delta("gold_hits_posted")),
+            "mean_confidence": round(mean_confidence, 4),
+        }
 
     # -- plan-time expression compilation -----------------------------------------
 

@@ -34,7 +34,10 @@ class ResultSet:
     rowcount: int = 0
     statement: str = ""
     plan: Optional[OptimizationResult] = None
-    crowd_stats: dict[str, int] = field(default_factory=dict)
+    # per-statement crowd telemetry: operator task counts plus the
+    # quality/cost deltas (assignments paid, cents, adaptive HIT
+    # extensions, gold probes, mean verdict confidence)
+    crowd_stats: dict[str, float] = field(default_factory=dict)
 
     def __iter__(self):
         return iter(self.rows)
@@ -172,18 +175,20 @@ class Executor:
         operator = PhysicalPlanner(context).plan(compiled.plan)
         rows = list(operator)
         columns = [entry[1] for entry in operator.scope.entries]
+        crowd_stats = {
+            "probe_tasks": context.crowd_probe_tasks,
+            "join_tasks": context.crowd_join_tasks,
+            "compare_tasks": context.crowd_compare_tasks,
+            "rows_scanned": context.rows_scanned,
+        }
+        crowd_stats.update(context.crowd_quality_stats())
         return ResultSet(
             columns=columns,
             rows=rows,
             rowcount=len(rows),
             statement="SELECT",
             plan=compiled,
-            crowd_stats={
-                "probe_tasks": context.crowd_probe_tasks,
-                "join_tasks": context.crowd_join_tasks,
-                "compare_tasks": context.crowd_compare_tasks,
-                "rows_scanned": context.rows_scanned,
-            },
+            crowd_stats=crowd_stats,
         )
 
     def _execute_explain(self, stmt: ast.Explain) -> ResultSet:

@@ -128,6 +128,7 @@ class CooperativeScheduler:
         progressed = False
         for name in sorted(by_platform):
             group = by_platform[name]
+            extensions_before = sum(f.extensions for f in group)
             ready = [f for f in group if f.ready()]
             if not ready:
                 platform = group[0].platform
@@ -138,14 +139,21 @@ class CooperativeScheduler:
                     )
                 else:  # pragma: no cover - clockless platforms are ready()
                     timeout = min(f.timeout_seconds for f in group)
+                # ready() (not hits_closed) so adaptive futures extend
+                # their under-confident HITs mid-advance instead of
+                # settling prematurely or stalling the scheduler
                 platform.run_until(
-                    lambda: any(f.hits_closed() for f in group), timeout
+                    lambda: any(f.ready() for f in group), timeout
                 )
                 self.stats.clock_advances += 1
                 ready = [f for f in group if f.ready()]
             for future in ready:
                 self.task_manager.settle(future)
                 self.stats.futures_settled += 1
+                progressed = True
+            if sum(f.extensions for f in group) > extensions_before:
+                # an adaptive future bought another marketplace round;
+                # that is progress even though nothing settled yet
                 progressed = True
         if not progressed:
             raise ExecutionError(

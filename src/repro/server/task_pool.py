@@ -85,5 +85,11 @@ class TaskPool:
         self._pending.pop(future.key, None)
 
     def pending(self) -> list[CrowdFuture]:
-        """Unsettled futures, in issue order."""
+        """Unsettled futures, in issue order.
+
+        Adaptive futures carry their confidence state (``confidence``,
+        ``extensions``) on the shared object, so a session that joins a
+        deduplicated request mid-flight resumes with the same verdict
+        progress the first session paid for.
+        """
         return [f for f in self._pending.values() if not f.settled]

@@ -6,7 +6,8 @@ from hypothesis import HealthCheck, given, settings
 
 from repro import connect
 from repro.catalog.ddl import build_table_schema
-from repro.crowd.quality import MajorityVote, normalize_answer
+from repro.crowd.quality import Ballot, MajorityVote, normalize_answer
+from repro.crowd.reputation import ReputationStore
 from repro.crowd.scripted import ScriptedPlatform, oracle_answer_fn
 from repro.crowd.sim.traces import GroundTruthOracle
 from repro.sql.parser import parse
@@ -127,6 +128,74 @@ def test_boolean_vote_matches_counting(ballots):
         assert result.value is True
     elif false_votes > true_votes:
         assert result.value is False
+
+
+# -- weighted consensus invariants ----------------------------------------------------
+
+_worker_ids = st.sampled_from(["w1", "w2", "w3", "w4", "w5"])
+_weighted_ballots = st.lists(
+    st.tuples(_ballot, _worker_ids), min_size=1, max_size=20
+)
+
+
+def _weighted_store() -> ReputationStore:
+    """Distinct, pinned accuracies per worker id."""
+    store = ReputationStore(prior_strength=0.001)
+    for index, worker in enumerate(["w1", "w2", "w3", "w4", "w5"]):
+        accuracy = 0.25 + 0.15 * index  # 0.25 .. 0.85
+        store._observe(worker, True, weight=500.0 * accuracy)
+        store._observe(worker, False, weight=500.0 * (1.0 - accuracy))
+    return store
+
+
+@given(_weighted_ballots)
+@SETTINGS
+def test_weighted_vote_is_permutation_invariant(pairs):
+    """Any permutation of the ballots elects the same class, the same
+    representative, and the same confidence (the deterministic
+    lexicographic tie-break makes this hold even on exact ties)."""
+    store = _weighted_store()
+    voter = MajorityVote(min_agreement=0.0, reputation=store)
+    ballots = [Ballot(value, worker) for value, worker in pairs]
+    forward = voter.vote_ballots(ballots, quiet=True)
+    backward = voter.vote_ballots(list(reversed(ballots)), quiet=True)
+    assert forward.value == backward.value
+    assert forward.confidence == pytest.approx(backward.confidence)
+    assert forward.votes == backward.votes
+
+
+@given(_ballot, st.integers(min_value=1, max_value=12))
+@SETTINGS
+def test_unanimous_ballots_always_reach_target_confidence(value, count):
+    """A unanimous ballot set is a settled verdict at any replication:
+    its confidence is 1.0, so it meets every target_confidence <= 1."""
+    voter = MajorityVote(min_agreement=0.0, reputation=_weighted_store())
+    workers = ["w1", "w2", "w3", "w4", "w5"]
+    ballots = [Ballot(value, workers[i % 5]) for i in range(count)]
+    assert voter.vote_ballots(ballots, quiet=True).confidence == 1.0
+
+
+@given(st.lists(_ballot, min_size=2, max_size=6, unique=True))
+@SETTINGS
+def test_tie_handling_is_deterministic(values):
+    """One ballot per distinct class is an all-way tie; every arrival
+    order elects the lexicographically smallest class."""
+    # keep one raw value per normalized class so the vote is a true tie
+    by_class = {}
+    for value in values:
+        by_class.setdefault(normalize_answer(value), value)
+    values = list(by_class.values())
+    voter = MajorityVote(min_agreement=0.0)
+    results = {
+        voter.vote(list(ordering), quiet=True).value
+        for ordering in (values, list(reversed(values)), sorted(values))
+    }
+    assert len(results) == 1
+    # and the winner is minimal among the normalized classes
+    winner = normalize_answer(results.pop())
+    assert winner == min(
+        by_class, key=lambda key: (type(key).__name__, repr(key))
+    )
 
 
 # -- crowd sort invariants --------------------------------------------------------------

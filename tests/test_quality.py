@@ -1,10 +1,16 @@
-"""Unit tests for answer cleansing and majority voting."""
+"""Unit tests for answer cleansing, majority voting, and weighted consensus."""
 
 import warnings
 
 import pytest
 
-from repro.crowd.quality import MajorityVote, VoteResult, normalize_answer
+from repro.crowd.quality import (
+    Ballot,
+    MajorityVote,
+    VoteResult,
+    normalize_answer,
+)
+from repro.crowd.reputation import ReputationStore
 from repro.errors import LowQualityWarning, QualityControlError
 
 
@@ -41,9 +47,16 @@ class TestMajorityVote:
         result = MajorityVote().vote(["IBM", "IBM", "i.b.m.", "Oracle"])
         assert result.value == "IBM"
 
-    def test_tie_breaks_to_first_received(self):
-        result = MajorityVote().vote(["alpha", "beta"])
-        assert result.value == "alpha"
+    def test_tie_breaks_lexicographically(self):
+        # deterministic regardless of ballot arrival order
+        with pytest.warns(LowQualityWarning):
+            assert MajorityVote().vote(["alpha", "beta"]).value == "alpha"
+        with pytest.warns(LowQualityWarning):
+            assert MajorityVote().vote(["beta", "alpha"]).value == "alpha"
+
+    def test_tie_warning_names_losing_class(self):
+        with pytest.warns(LowQualityWarning, match="'beta'"):
+            MajorityVote().vote(["beta", "alpha"])
 
     def test_unanimous(self):
         assert MajorityVote().vote(["x", "x"]).unanimous
@@ -82,3 +95,62 @@ class TestMajorityVote:
     def test_numeric_answers(self):
         result = MajorityVote().vote([120, 120, 80])
         assert result.value == 120
+
+
+class TestWeightedConsensus:
+    def _store(self, accuracies: dict[str, float]) -> ReputationStore:
+        """A store whose posterior is pinned (huge observation weight)."""
+        store = ReputationStore(prior_strength=0.001)
+        for worker, accuracy in accuracies.items():
+            store._observe(worker, True, weight=1000.0 * accuracy)
+            store._observe(worker, False, weight=1000.0 * (1 - accuracy))
+        return store
+
+    def test_unanimous_confidence_is_one(self):
+        vote = MajorityVote().vote_ballots(
+            [Ballot("x", "w1"), Ballot("x", "w2")]
+        )
+        assert vote.confidence == 1.0
+
+    def test_confidence_grows_with_margin(self):
+        voter = MajorityVote(min_agreement=0.0)
+        close = voter.vote_ballots(
+            [Ballot("a", "w1"), Ballot("a", "w2"), Ballot("b", "w3")]
+        )
+        wide = voter.vote_ballots(
+            [Ballot("a", f"w{i}") for i in range(5)] + [Ballot("b", "w9")]
+        )
+        assert 0.5 < close.confidence < wide.confidence < 1.0
+
+    def test_tie_confidence_is_half(self):
+        vote = MajorityVote(min_agreement=0.0).vote_ballots(
+            [Ballot("a", "w1"), Ballot("b", "w2")], quiet=True
+        )
+        assert vote.confidence == pytest.approx(0.5)
+
+    def test_reputation_outvotes_plurality(self):
+        # two spammers (30%) agree, one expert (95%) dissents: the
+        # log-odds weights make the expert's answer win
+        store = self._store({"spam1": 0.3, "spam2": 0.3, "expert": 0.95})
+        voter = MajorityVote(min_agreement=0.0, reputation=store)
+        vote = voter.vote_ballots(
+            [Ballot("wrong", "spam1"), Ballot("wrong", "spam2"),
+             Ballot("right", "expert")],
+            quiet=True,
+        )
+        assert vote.value == "right"
+        assert vote.votes == 1 and vote.total == 3
+
+    def test_equal_weights_match_plain_majority(self):
+        store = self._store({"w1": 0.8, "w2": 0.8, "w3": 0.8})
+        weighted = MajorityVote(reputation=store).vote_ballots(
+            [Ballot("a", "w1"), Ballot("a", "w2"), Ballot("b", "w3")]
+        )
+        plain = MajorityVote().vote(["a", "a", "b"])
+        assert weighted.value == plain.value == "a"
+
+    def test_winners_lists_agreeing_workers(self):
+        vote = MajorityVote(min_agreement=0.0).vote_ballots(
+            [Ballot("a", "w1"), Ballot("b", "w2"), Ballot("a", "w3")]
+        )
+        assert vote.winners == ("w1", "w3")

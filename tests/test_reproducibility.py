@@ -107,6 +107,135 @@ class TestDeterminism:
         assert stats_a["hits_posted"] == stats_b["hits_posted"]
 
 
+def run_adaptive_demo(seed: int):
+    """The run_demo workload under adaptive quality control: a fixed-seed
+    sim population, confidence-driven replication, reputation weighting,
+    and gold probes all engaged."""
+    import warnings
+
+    from repro.errors import CrowdDBWarning
+
+    reset_id_counters()
+    oracle = GroundTruthOracle()
+    for title in ("A", "B", "C"):
+        oracle.load_fill("Talk", (title,), {"abstract": f"abs {title}"})
+    oracle.load_ranking("q", {"A": 3.0, "B": 2.0, "C": 1.0})
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", CrowdDBWarning)
+        db = connect(
+            oracle=oracle,
+            seed=seed,
+            target_confidence=0.9,
+            min_replication=2,
+            max_replication=6,
+            gold_rate=0.25,
+        )
+        db.execute(
+            "CREATE TABLE Talk (title STRING PRIMARY KEY, "
+            "abstract CROWD STRING)"
+        )
+        db.execute("INSERT INTO Talk (title) VALUES ('A'), ('B'), ('C')")
+        abstracts = db.query("SELECT abstract FROM Talk")
+        ranking = db.query(
+            "SELECT title FROM Talk ORDER BY CROWDORDER(title, 'q')"
+        )
+    reputations = {
+        worker: round(db.reputation.accuracy(worker), 12)
+        for worker in db.reputation.known_workers()
+    }
+    return abstracts, ranking, db.crowd_stats, reputations
+
+
+def run_adaptive_scripted(seed: int):
+    """Adaptive replication over a scripted crowd that disagrees on the
+    first ballot: every run must replay identical extension rounds."""
+    reset_id_counters()
+
+    def answer(task, replica):
+        return {"abstract": "noisy" if replica == 0 else "clean"}
+
+    from repro import CrowdConfig, Connection
+    from repro.crowd.platform import PlatformRegistry
+
+    registry = PlatformRegistry()
+    registry.register(ScriptedPlatform(answer))
+    db = Connection(
+        platforms=registry,
+        crowd_config=CrowdConfig(
+            target_confidence=0.9, min_replication=2, max_replication=6
+        ),
+        default_platform="scripted",
+    )
+    db.execute(
+        "CREATE TABLE Talk (title STRING PRIMARY KEY, abstract CROWD STRING)"
+    )
+    db.execute("INSERT INTO Talk (title) VALUES ('A'), ('B')")
+    rows = db.query("SELECT abstract FROM Talk")
+    return rows, db.crowd_stats
+
+
+class TestAdaptiveDeterminism:
+    def test_adaptive_sim_same_seed_same_everything(self):
+        """Answers, assignment counts, cost totals, and learned
+        reputations are all a pure function of the seed."""
+        first = run_adaptive_demo(23)
+        second = run_adaptive_demo(23)
+        assert first == second
+        _, _, stats, _ = first
+        assert stats["assignments_received"] > 0
+        assert stats["cost_cents"] > 0
+
+    def test_adaptive_scripted_replays_identically(self):
+        first_rows, first_stats = run_adaptive_scripted(0)
+        second_rows, second_stats = run_adaptive_scripted(0)
+        assert first_rows == second_rows == [("clean",), ("clean",)]
+        assert first_stats == second_stats
+        # the 1-1 split extends each HIT until sigmoid(margin) >= 0.9:
+        # 2 + 3 more ballots per fill, deterministically
+        assert first_stats["hit_extensions"] == 6
+        assert first_stats["assignments_received"] == 10
+
+    def test_adaptive_cheaper_than_fixed_on_agreeing_crowd(self):
+        """With unanimous workers, adaptive replication stops at
+        min_replication — strictly fewer paid assignments than the fixed
+        baseline, identical answers."""
+        from repro import CrowdConfig, connect
+
+        def run(config):
+            reset_id_counters()
+            oracle = GroundTruthOracle()
+            for title in ("A", "B", "C"):
+                oracle.load_fill("Talk", (title,), {"abstract": f"abs {title}"})
+            from repro.crowd.scripted import oracle_answer_fn
+
+            db = connect(
+                oracle=oracle,
+                platforms=(ScriptedPlatform(oracle_answer_fn(oracle)),),
+                default_platform="scripted",
+                crowd_config=config,
+            )
+            db.execute(
+                "CREATE TABLE Talk (title STRING PRIMARY KEY, "
+                "abstract CROWD STRING)"
+            )
+            db.execute("INSERT INTO Talk (title) VALUES ('A'), ('B'), ('C')")
+            return db.query("SELECT abstract FROM Talk"), db.crowd_stats
+
+        fixed_rows, fixed_stats = run(CrowdConfig(replication=3))
+        adaptive_rows, adaptive_stats = run(
+            CrowdConfig(
+                target_confidence=0.9, min_replication=2, max_replication=6
+            )
+        )
+        assert adaptive_rows == fixed_rows
+        assert adaptive_stats["hit_extensions"] == 0
+        assert (
+            adaptive_stats["assignments_received"]
+            < fixed_stats["assignments_received"]
+        )
+        assert adaptive_stats["cost_cents"] < fixed_stats["cost_cents"]
+
+
 class TestLogReplayProperty:
     _ops = st.lists(
         st.tuples(
