@@ -34,7 +34,7 @@ from repro.crowd.reputation import ReputationStore
 from repro.crowd.sim.traces import GroundTruthOracle
 from repro.crowd.task_manager import CrowdConfig, TaskManager
 from repro.crowd.wrm import WorkerRelationshipManager
-from repro.engine.executor import Executor, ResultSet
+from repro.engine.executor import Executor, PlanCache, ResultSet
 from repro.errors import ExecutionError
 from repro.optimizer.optimizer import OptimizationResult, Optimizer
 from repro.sql import ast
@@ -55,8 +55,19 @@ class Connection:
         strict_boundedness: bool = False,
         default_platform: Optional[str] = None,
         compile_expressions: bool = True,
+        cost_based: bool = True,
+        plan_cache_size: int = 64,
+        auto_analyze_floor: Optional[int] = None,
+        auto_analyze_fraction: Optional[float] = None,
     ) -> None:
-        self.engine = engine if engine is not None else StorageEngine()
+        self.engine = (
+            engine
+            if engine is not None
+            else StorageEngine(
+                auto_analyze_floor=auto_analyze_floor,
+                auto_analyze_fraction=auto_analyze_fraction,
+            )
+        )
         self.catalog: Catalog = self.engine.catalog
         self.platforms = platforms
         self.ui_manager = UITemplateManager(self.catalog)
@@ -74,6 +85,12 @@ class Connection:
             self.engine,
             strict_boundedness=strict_boundedness,
             compile_expressions=compile_expressions,
+            crowd_config=(
+                self.task_manager.config
+                if self.task_manager is not None
+                else crowd_config
+            ),
+            cost_based=cost_based,
         )
         self.executor = Executor(
             self.engine,
@@ -81,13 +98,29 @@ class Connection:
             task_manager=self.task_manager,
             ui_manager=self.ui_manager,
             platform=default_platform,
+            plan_cache_size=plan_cache_size,
         )
+        # parse memo: SQL text -> statement AST (ASTs are immutable, so
+        # reuse is safe); with the executor's plan cache behind it, a
+        # repeated query skips parsing *and* optimization entirely
+        self._parse_cache = PlanCache(size=max(0, plan_cache_size) * 4)
+
+    @property
+    def parse_cache_stats(self) -> dict[str, int]:
+        return self._parse_cache.stats
 
     # -- statement execution ------------------------------------------------------
 
+    def _parse_cached(self, sql: str) -> ast.Statement:
+        statement = self._parse_cache.lookup((sql,))
+        if statement is None:
+            statement = parse(sql)
+            self._parse_cache.store((sql,), statement)
+        return statement
+
     def execute(self, sql: str, parameters: Sequence[Any] = ()) -> ResultSet:
         """Parse and execute one CrowdSQL statement."""
-        statement = parse(sql)
+        statement = self._parse_cached(sql)
         return self.executor.execute(statement, parameters)
 
     def executescript(self, sql: str) -> list[ResultSet]:
@@ -101,9 +134,21 @@ class Connection:
         """Execute and return just the rows."""
         return self.execute(sql, parameters).rows
 
+    def analyze(self, table: Optional[str] = None) -> ResultSet:
+        """Rebuild histogram/MCV statistics (``ANALYZE`` convenience)."""
+        return self.executor.execute(ast.Analyze(table))
+
+    @property
+    def plan_cache_stats(self) -> dict[str, dict[str, int]]:
+        """Hit/miss counters of the parse memo and the plan cache."""
+        return {
+            "parse": dict(self.parse_cache_stats),
+            "plan": dict(self.executor.plan_cache.stats),
+        }
+
     def explain(self, sql: str) -> str:
         """The optimized plan (with boundedness verdict) for a SELECT."""
-        statement = parse(sql)
+        statement = self._parse_cached(sql)
         if isinstance(statement, ast.Explain):
             statement = statement.statement
         if not isinstance(statement, (ast.Select, ast.SetOp)):
@@ -112,7 +157,7 @@ class Connection:
 
     def compile(self, sql: str) -> OptimizationResult:
         """Compile a SELECT without executing it."""
-        statement = parse(sql)
+        statement = self._parse_cached(sql)
         if not isinstance(statement, (ast.Select, ast.SetOp)):
             raise ExecutionError("compile() supports SELECT statements only")
         return self.executor.compile_select(statement)
@@ -215,6 +260,10 @@ def connect(
     batch_size: Optional[int] = None,
     hit_group_size: Optional[int] = None,
     compile_expressions: bool = True,
+    cost_based_optimizer: bool = True,
+    plan_cache_size: int = 64,
+    auto_analyze_floor: Optional[int] = None,
+    auto_analyze_fraction: Optional[float] = None,
     target_confidence: Optional[float] = None,
     min_replication: Optional[int] = None,
     max_replication: Optional[int] = None,
@@ -247,6 +296,15 @@ def connect(
     ``compile_expressions=False`` disables plan-time expression
     compilation and restores the per-row AST interpreter — the switch the
     E14 benchmark and the differential tests flip.
+
+    ``cost_based_optimizer=False`` turns off the cost-based planner —
+    histogram selectivities, DPsize join enumeration, and conjunct
+    ordering — restoring greedy join ordering over textbook constants
+    (the E16 baseline).  ``plan_cache_size`` bounds the per-connection
+    plan cache (0 disables caching); ``auto_analyze_floor`` /
+    ``auto_analyze_fraction`` tune the statistics staleness guard that
+    rebuilds histograms after enough DML (floor -1 disables it, leaving
+    statistics to explicit ``ANALYZE``).
     """
     overrides = {
         key: value
@@ -269,10 +327,17 @@ def connect(
             crowd_config = CrowdConfig(**overrides)
         else:  # never mutate the caller's config object
             crowd_config = replace(crowd_config, **overrides)
+    planner_kwargs = dict(
+        cost_based=cost_based_optimizer,
+        plan_cache_size=plan_cache_size,
+        auto_analyze_floor=auto_analyze_floor,
+        auto_analyze_fraction=auto_analyze_fraction,
+    )
     if not with_crowd:
         return Connection(
             strict_boundedness=strict_boundedness,
             compile_expressions=compile_expressions,
+            **planner_kwargs,
         )
     if oracle is None:
         oracle = GroundTruthOracle()
@@ -294,6 +359,7 @@ def connect(
         strict_boundedness=strict_boundedness,
         default_platform=default_platform,
         compile_expressions=compile_expressions,
+        **planner_kwargs,
     )
     # wire the Worker Relationship Manager into every simulated platform:
     # payments/bonuses flow on each assignment, and the WRM's blocklist and

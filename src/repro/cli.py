@@ -14,6 +14,9 @@ Dot-commands:
     .tables              list tables
     .schema TABLE        show a table's schema
     .explain SQL         show the optimized plan + boundedness verdict
+    .analyze [TABLE]     rebuild histogram/MCV statistics (all tables
+                         when no name is given)
+    .cache               plan-cache and parse-memo hit/miss counters
     .platform [NAME]     show or switch the default platform
     .stats               Task Manager counters
     .workers [N]         top-N workers by approved assignments (WRM)
@@ -62,6 +65,8 @@ class Shell:
             ".tables": self._cmd_tables,
             ".schema": self._cmd_schema,
             ".explain": self._cmd_explain,
+            ".analyze": self._cmd_analyze,
+            ".cache": self._cmd_cache,
             ".platform": self._cmd_platform,
             ".stats": self._cmd_stats,
             ".workers": self._cmd_workers,
@@ -153,6 +158,17 @@ class Shell:
             self._print("usage: .explain SELECT ...")
             return
         self._print(self.connection.explain(argument.rstrip(";")))
+
+    def _cmd_analyze(self, argument: str) -> None:
+        result = self.connection.analyze(argument or None)
+        self._print(result.pretty())
+
+    def _cmd_cache(self, _argument: str) -> None:
+        for layer, counters in self.connection.plan_cache_stats.items():
+            self._print(
+                f"  {layer:6s} hits={counters['hits']} "
+                f"misses={counters['misses']}"
+            )
 
     def _cmd_platform(self, argument: str) -> None:
         if argument:

@@ -42,6 +42,7 @@ class ExecutionContext:
         ] = None,
         crowd_waiter: Optional[Callable[[Any], None]] = None,
         compile_expressions: bool = True,
+        ordered_conjuncts: bool = True,
     ) -> None:
         self.engine = engine
         self.task_manager = task_manager
@@ -50,6 +51,11 @@ class ExecutionContext:
         self._subquery_executor = subquery_executor
         self.crowd_waiter = crowd_waiter
         self.compile_expressions = compile_expressions
+        # cost-based conjunct evaluation: FilterOp partitions AND-chains
+        # into an electronic short-circuit prefix and a crowd/subquery
+        # tail (identical for compiled and interpreted expressions);
+        # False restores whole-predicate evaluation for every row
+        self.ordered_conjuncts = ordered_conjuncts
         self.evaluator = Evaluator(context=self, parameters=parameters)
         # per-execution metrics surfaced by EXPLAIN ANALYZE-style reporting
         self.rows_scanned = 0

@@ -9,8 +9,9 @@ iterate.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from repro.catalog.ddl import build_table_schema
 from repro.engine.context import ExecutionContext
@@ -23,6 +24,46 @@ from repro.sql import ast
 from repro.sqltypes import NULL, is_missing
 from repro.storage.engine import StorageEngine
 from repro.storage.row import Scope
+
+
+class PlanCache:
+    """LRU memo with hit/miss counters, shareable across executors.
+
+    The executor's plan cache keys on ``(statement AST, engine plan
+    epoch, optimizer)``; the epoch folds in the catalog version and
+    every table's statistics epoch and index count, so DDL, ``ANALYZE``
+    (including auto-analyze), and index creation all miss cleanly and
+    the LRU bound evicts the orphaned entries.  The concurrent query
+    server hands one instance to every session's executor, so a query
+    planned in one session is a cache hit in all of them.  The same
+    structure backs the connection's SQL-text parse memo.
+    """
+
+    def __init__(self, size: int = 64) -> None:
+        self.size = max(0, size)
+        self._entries: OrderedDict[tuple, Any] = OrderedDict()
+        self.stats = {"hits": 0, "misses": 0}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: tuple) -> Optional[Any]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats["hits"] += 1
+        return entry
+
+    def store(self, key: tuple, compiled: Any) -> None:
+        self.stats["misses"] += 1
+        if not self.size:
+            return
+        self._entries[key] = compiled
+        while len(self._entries) > self.size:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
 
 
 @dataclass
@@ -115,6 +156,8 @@ class Executor:
         task_manager: Optional[Any] = None,
         ui_manager: Optional[Any] = None,
         platform: Optional[str] = None,
+        plan_cache: Optional[PlanCache] = None,
+        plan_cache_size: int = 64,
     ) -> None:
         self.engine = engine
         self.optimizer = optimizer if optimizer is not None else Optimizer(engine)
@@ -126,6 +169,16 @@ class Executor:
         # callback here so crowd waits suspend the session instead of
         # advancing the simulated platform clock in place
         self.crowd_waiter: Optional[Any] = None
+        # repeat queries — including every per-outer-row compilation of a
+        # correlated subquery — skip optimization entirely; pass a shared
+        # PlanCache to pool plans across executors (the query server does)
+        self.plan_cache = (
+            plan_cache if plan_cache is not None else PlanCache(plan_cache_size)
+        )
+
+    @property
+    def plan_cache_stats(self) -> dict[str, int]:
+        return self.plan_cache.stats
 
     # -- public entry point ---------------------------------------------------------
 
@@ -152,6 +205,8 @@ class Executor:
             return self._execute_delete(stmt, parameters)
         if isinstance(stmt, ast.Explain):
             return self._execute_explain(stmt)
+        if isinstance(stmt, ast.Analyze):
+            return self._execute_analyze(stmt)
         if isinstance(stmt, ast.ShowTables):
             rows = [(name,) for name in self.engine.table_names()]
             return ResultSet(
@@ -164,8 +219,55 @@ class Executor:
 
     def compile_select(self, stmt: ast.Statement) -> OptimizationResult:
         """Compile a SELECT or compound (set-operation) query."""
-        plan = self.builder.build_statement(stmt)
-        return self.optimizer.optimize(plan)
+        return self._compile_cached(
+            stmt, lambda: self.builder.build_statement(stmt)
+        )
+
+    def _compile_cached(
+        self,
+        stmt: ast.Statement,
+        build: Callable[[], Any],
+    ) -> OptimizationResult:
+        """Optimize ``build()``'s plan, memoized on the statement AST.
+
+        The key carries the engine's plan epoch (DDL version + statistics
+        epoch + index population) and the optimizer's identity, so schema
+        changes, ANALYZE, and optimizer swaps all miss cleanly.  Plans
+        are parameter-value independent (estimation treats ``?`` as an
+        opaque value), so one entry serves every binding.
+        """
+        key: Optional[tuple] = None
+        if self.plan_cache.size:
+            try:
+                # the optimizer object itself is part of the key: a
+                # swapped optimizer (different rules/cost mode) must miss,
+                # and holding the reference keeps its identity from being
+                # recycled while the entry lives
+                key = (stmt, self.engine.plan_epoch(), self.optimizer)
+                hash(key)
+            except TypeError:
+                key = None  # unhashable literal somewhere — just recompile
+        if key is not None:
+            cached = self.plan_cache.lookup(key)
+            if cached is not None:
+                if not cached.boundedness.bounded:
+                    # the compile-time warning is part of the statement's
+                    # contract — a cache hit must not swallow it
+                    import warnings
+
+                    from repro.errors import UnboundedQueryWarning
+
+                    warnings.warn(
+                        "query may request an unbounded amount of data "
+                        f"from the crowd: {cached.boundedness.describe()}",
+                        UnboundedQueryWarning,
+                        stacklevel=3,
+                    )
+                return cached
+        compiled = self.optimizer.optimize(build())
+        if key is not None:
+            self.plan_cache.store(key, compiled)
+        return compiled
 
     def _execute_select(
         self, stmt: ast.Statement, parameters: tuple
@@ -203,6 +305,26 @@ class Executor:
             rowcount=len(lines),
             statement="EXPLAIN",
             plan=compiled,
+        )
+
+    def _execute_analyze(self, stmt: ast.Analyze) -> ResultSet:
+        analyzed = self.engine.analyze(stmt.table)
+        rows = [
+            (
+                name,
+                stats.row_count,
+                sum(
+                    1 for c in stats.columns.values() if c.histogram is not None
+                ),
+                stats.epoch,
+            )
+            for name, stats in analyzed
+        ]
+        return ResultSet(
+            columns=["table_name", "row_count", "histograms", "stats_epoch"],
+            rows=rows,
+            rowcount=len(rows),
+            statement="ANALYZE",
         )
 
     # -- DDL ---------------------------------------------------------------------------
@@ -308,6 +430,7 @@ class Executor:
             compile_expressions=getattr(
                 self.optimizer, "compile_expressions", True
             ),
+            ordered_conjuncts=getattr(self.optimizer, "cost_based", True),
         )
         return context
 
@@ -315,8 +438,9 @@ class Executor:
         self, query: ast.Select, outer_values: tuple, outer_scope: Scope
     ) -> list[tuple]:
         """Execute a (possibly correlated) subquery for one outer row."""
-        plan = self.builder.build_select(query)
-        compiled = self.optimizer.optimize(plan)
+        compiled = self._compile_cached(
+            query, lambda: self.builder.build_select(query)
+        )
         context = self._make_context(())
         planner = PhysicalPlanner(
             context, correlation=(outer_values, outer_scope)

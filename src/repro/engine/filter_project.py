@@ -21,14 +21,22 @@ class FilterOp(PhysicalOperator):
     the eager chunk cannot issue crowd tasks a stop-after bound would
     have prevented).
 
-    A predicate containing CROWDEQUAL runs batch-at-a-time when a window
-    is configured: the operator buffers ``batch_size`` child rows,
-    issues every row's ballots together, settles them in one overlapped
-    round, and only then evaluates the predicate per row — the
-    evaluation hits the Task Manager's comparison cache and never waits.
-    Prefetching is exact because predicate evaluation is not
-    short-circuiting (both sides of AND/OR are always evaluated); only
-    CASE branches are lazy, so those predicates keep the per-row path.
+    Mixed predicates are evaluated as *partitioned conjuncts* (unless
+    ``context.ordered_conjuncts`` is off): the purely electronic
+    conjuncts — which the optimizer already ordered by
+    selectivity-per-cost — run first with short-circuiting, and only
+    rows surviving all of them evaluate the crowd/subquery tail.  A row
+    an electronic conjunct rejects never spends a cent.  The tail itself
+    is never short-circuited, so the window prefetch below stays exact
+    and batch and per-row execution issue identical ballot sequences.
+
+    A tail containing CROWDEQUAL runs batch-at-a-time when a window is
+    configured: the operator buffers ``batch_size`` child rows, filters
+    them electronically, issues the survivors' ballots together, settles
+    them in one overlapped round, and only then evaluates the tail per
+    row — the evaluation hits the Task Manager's comparison cache and
+    never waits.  Only CASE branches are lazy, so those predicates keep
+    the per-row path.
     """
 
     def __init__(
@@ -54,11 +62,33 @@ class FilterOp(PhysicalOperator):
             return max(1, self._batch_size)
         return self.context.batch_size
 
+    def _partitioned_conjuncts(
+        self,
+    ) -> Optional[tuple[list[ast.Expression], list[ast.Expression]]]:
+        """(electronic conjuncts, crowd/subquery tail), or None when the
+        predicate has no mixed AND-chain to partition."""
+        from repro.optimizer.rules import split_conjuncts
+
+        if not getattr(self.context, "ordered_conjuncts", True):
+            return None
+        conjuncts = split_conjuncts(self.predicate_expr)
+        if len(conjuncts) < 2:
+            return None
+        electronic = [c for c in conjuncts if is_electronic(c)]
+        tail = [c for c in conjuncts if not is_electronic(c)]
+        if not electronic or not tail:
+            return None
+        return electronic, tail
+
     def __iter__(self) -> Iterator[tuple]:
         child_scope = self.child.scope
+        partitioned = self._partitioned_conjuncts()
+        if partitioned is not None:
+            yield from self._iter_partitioned(*partitioned)
+            return
         predicate = self.compile_predicate(self.predicate_expr, child_scope)
         prefetchable = (
-            self._prefetchable_equals()
+            self._prefetchable_equals(self.predicate_expr)
             if self.context.task_manager is not None and self.batch_size > 1
             else ()
         )
@@ -72,13 +102,7 @@ class FilterOp(PhysicalOperator):
                 if predicate(values).value is True:
                     yield values
             return
-        operand_fns = {
-            node: (
-                self.compile_value(node.left, child_scope),
-                self.compile_value(node.right, child_scope),
-            )
-            for node in prefetchable
-        }
+        operand_fns = self._operand_fns(prefetchable)
         window: list[tuple] = []
         for values in self.child:
             window.append(values)
@@ -92,6 +116,96 @@ class FilterOp(PhysicalOperator):
                 window, predicate, prefetchable, operand_fns
             )
 
+    # -- partitioned conjunct evaluation ---------------------------------------
+
+    def _iter_partitioned(
+        self,
+        electronic: list[ast.Expression],
+        tail: list[ast.Expression],
+    ) -> Iterator[tuple]:
+        from repro.optimizer.rules import conjoin
+
+        child_scope = self.child.scope
+        electronic_fns = [
+            self.compile_predicate(c, child_scope) for c in electronic
+        ]
+        tail_fns = [self.compile_predicate(c, child_scope) for c in tail]
+        tail_predicate = conjoin(tail)
+        prefetchable = (
+            self._prefetchable_equals(tail_predicate)
+            if self.context.task_manager is not None and self.batch_size > 1
+            else ()
+        )
+        if not prefetchable:
+            for values in self.child:
+                if self._electronic_pass(electronic_fns, values) and (
+                    self._tail_pass(tail_fns, values)
+                ):
+                    yield values
+            return
+        operand_fns = self._operand_fns(prefetchable)
+        window: list[tuple] = []
+        for values in self.child:
+            window.append(values)
+            if len(window) >= self.batch_size:
+                yield from self._partitioned_window(
+                    window, electronic_fns, tail_fns, prefetchable, operand_fns
+                )
+                window = []
+        if window:
+            yield from self._partitioned_window(
+                window, electronic_fns, tail_fns, prefetchable, operand_fns
+            )
+
+    @staticmethod
+    def _electronic_pass(fns, values) -> bool:
+        """Short-circuiting conjunction: electronic conjuncts have no
+        observable side effects, so stopping at the first non-TRUE
+        verdict is safe — and skips every crowd cent the tail would
+        have spent on this row."""
+        return all(fn(values).value is True for fn in fns)
+
+    @staticmethod
+    def _tail_pass(fns, values) -> bool:
+        """Non-short-circuiting conjunction over the crowd/subquery
+        tail: every conjunct evaluates, so window prefetch stays exact
+        and batch and per-row execution stay call-for-call identical."""
+        passed = True
+        for fn in fns:
+            if fn(values).value is not True:
+                passed = False
+        return passed
+
+    def _partitioned_window(
+        self,
+        window: list[tuple],
+        electronic_fns,
+        tail_fns,
+        equals: tuple[ast.CrowdEqual, ...],
+        operand_fns: dict,
+    ) -> Iterator[tuple]:
+        survivors = [
+            values
+            for values in window
+            if self._electronic_pass(electronic_fns, values)
+        ]
+        self._prefetch_pairs(survivors, equals, operand_fns)
+        for values in survivors:
+            if self._tail_pass(tail_fns, values):
+                yield values
+
+    # -- shared plumbing ---------------------------------------------------------
+
+    def _operand_fns(self, equals: tuple[ast.CrowdEqual, ...]) -> dict:
+        child_scope = self.child.scope
+        return {
+            node: (
+                self.compile_value(node.left, child_scope),
+                self.compile_value(node.right, child_scope),
+            )
+            for node in equals
+        }
+
     def _iter_chunked(self, predicate) -> Iterator[tuple]:
         """Batch-at-a-time electronic filtering over row chunks."""
         for chunk in _chunked(self.child):
@@ -103,11 +217,13 @@ class FilterOp(PhysicalOperator):
             or self.child.sources_crowd_on_pull()
         )
 
-    def _prefetchable_equals(self) -> tuple[ast.CrowdEqual, ...]:
+    def _prefetchable_equals(
+        self, predicate: ast.Expression
+    ) -> tuple[ast.CrowdEqual, ...]:
         """The CROWDEQUAL nodes whose ballots the window can issue up
         front — exactly the ones per-row evaluation is guaranteed to
         reach, with operands that are cheap and pure to evaluate twice."""
-        nodes = list(ast.walk_expression(self.predicate_expr))
+        nodes = list(ast.walk_expression(predicate))
         if any(isinstance(node, ast.CaseExpr) for node in nodes):
             return ()  # CASE branches short-circuit: reach is row-dependent
         equals = tuple(
@@ -132,17 +248,16 @@ class FilterOp(PhysicalOperator):
                     return ()
         return equals
 
-    def _filter_window(
+    def _prefetch_pairs(
         self,
-        window: list[tuple],
-        predicate,
+        rows: list[tuple],
         equals: tuple[ast.CrowdEqual, ...],
         operand_fns: dict,
-    ) -> Iterator[tuple]:
+    ) -> None:
         from repro.sqltypes import is_missing
 
         pairs = []
-        for values in window:
+        for values in rows:
             for node in equals:
                 left_fn, right_fn = operand_fns[node]
                 left = left_fn(values)
@@ -152,6 +267,15 @@ class FilterOp(PhysicalOperator):
                 pairs.append((left, right, node.question))
         if pairs:
             self.context.prefetch_compare_equal(pairs)
+
+    def _filter_window(
+        self,
+        window: list[tuple],
+        predicate,
+        equals: tuple[ast.CrowdEqual, ...],
+        operand_fns: dict,
+    ) -> Iterator[tuple]:
+        self._prefetch_pairs(window, equals, operand_fns)
         for values in window:
             if predicate(values).value is True:
                 yield values

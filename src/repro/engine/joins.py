@@ -69,11 +69,13 @@ class NestedLoopJoinOp(PhysicalOperator):
 
 
 class HashJoinOp(PhysicalOperator):
-    """Hash equi-join for INNER joins with extractable key pairs.
+    """Hash equi-join for INNER and LEFT joins with extractable key pairs.
 
     ``left_keys``/``right_keys`` are parallel expression lists; a residual
     condition (the full original one) is re-checked on each candidate to
-    keep semantics identical to the nested-loop plan.
+    keep semantics identical to the nested-loop plan.  LEFT joins build
+    on the right side as usual and pad unmatched (or missing-key) outer
+    rows with NULLs.
     """
 
     def __init__(
@@ -84,14 +86,18 @@ class HashJoinOp(PhysicalOperator):
         left_keys: tuple[ast.Expression, ...],
         right_keys: tuple[ast.Expression, ...],
         condition: Optional[ast.Expression] = None,
+        join_type: str = "INNER",
         correlation: Correlation = None,
     ) -> None:
         super().__init__(context, correlation)
+        if join_type not in ("INNER", "LEFT"):
+            raise ExecutionError(f"unsupported hash join type {join_type!r}")
         self.left = left
         self.right = right
         self.left_keys = left_keys
         self.right_keys = right_keys
         self.condition = condition
+        self.join_type = join_type
         self._scope = left.scope.concat(right.scope)
 
     @property
@@ -139,15 +145,20 @@ class HashJoinOp(PhysicalOperator):
                 continue
             setdefault(key, []).append(right_values)
         get_bucket = table.get
+        left_outer = self.join_type == "LEFT"
+        padding = (NULL,) * len(self.right.scope)
         for left_values in self.left:
             key = probe_key(left_values)
-            if any(is_missing(part) for part in key):
-                continue
-            for right_values in get_bucket(key, ()):
-                combined = left_values + right_values
-                if condition is not None and condition(combined).value is not True:
-                    continue
-                yield combined
+            matched = False
+            if not any(is_missing(part) for part in key):
+                for right_values in get_bucket(key, ()):
+                    combined = left_values + right_values
+                    if condition is not None and condition(combined).value is not True:
+                        continue
+                    matched = True
+                    yield combined
+            if left_outer and not matched:
+                yield left_values + padding
 
     def _iter_single_key(self, condition) -> Iterator[tuple]:
         """The common one-key equi-join, with scalar hash keys and inline
@@ -163,21 +174,30 @@ class HashJoinOp(PhysicalOperator):
             setdefault(key, []).append(right_values)
         get_bucket = table.get
         empty = ()
+        left_outer = self.join_type == "LEFT"
+        padding = (NULL,) * len(self.right.scope)
         for left_values in self.left:
             key = probe_key(left_values)
             if key is NULL or key is None or key is CNULL:
-                continue
-            bucket = get_bucket(key, empty)
+                bucket = empty
+            else:
+                bucket = get_bucket(key, empty)
             if not bucket:
+                if left_outer:
+                    yield left_values + padding
                 continue
             if condition is None:
                 for right_values in bucket:
                     yield left_values + right_values
                 continue
+            matched = False
             for right_values in bucket:
                 combined = left_values + right_values
                 if condition(combined).value is True:
+                    matched = True
                     yield combined
+            if left_outer and not matched:
+                yield left_values + padding
 
 
 class CrowdJoinOp(PhysicalOperator):

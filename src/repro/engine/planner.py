@@ -268,7 +268,7 @@ class PhysicalPlanner:
     def _plan_join(self, node: logical.Join) -> PhysicalOperator:
         left = self.plan(node.left)
         right = self.plan(node.right)
-        if node.join_type == "INNER" and node.condition is not None:
+        if node.join_type in ("INNER", "LEFT") and node.condition is not None:
             keys = _extract_equi_keys(node.condition, left.scope, right.scope)
             if keys:
                 left_keys, right_keys = keys
@@ -279,6 +279,7 @@ class PhysicalPlanner:
                     left_keys,
                     right_keys,
                     condition=node.condition,
+                    join_type=node.join_type,
                     correlation=self.correlation,
                 )
         return NestedLoopJoinOp(

@@ -1,11 +1,19 @@
 """Join ordering.
 
 Flattens chains of INNER/CROSS joins into a relation set plus equi-join
-conditions, then rebuilds a left-deep tree greedily.  The crowd-specific
-heuristic from the paper: crowd-related relations are joined *last*, so the
-number of outer tuples reaching a crowd operator — and therefore the number
-of crowd requests — is minimized.  Among non-crowd relations, smaller
-estimated cardinality goes first.
+conditions, then rebuilds the join tree:
+
+* **DPsize enumeration** (the cost-based default, up to
+  ``DP_MAX_RELATIONS`` relations) — classic dynamic programming over
+  relation subsets, every split of every subset costed with the unified
+  rows/cents/rounds model, so crowd probes and CrowdJoins land where
+  their input cardinality is minimal and electronic intermediate results
+  stay small.  Memoized best-plans make the search O(3^n); above the
+  relation cap the greedy fallback takes over.
+* **Greedy fallback** — the paper's heuristic: crowd-related relations
+  are joined *last*, so the number of outer tuples reaching a crowd
+  operator — and therefore the number of crowd requests — is minimized.
+  Among non-crowd relations, smaller estimated cardinality goes first.
 """
 
 from __future__ import annotations
@@ -23,6 +31,10 @@ from repro.optimizer.rules import (
 from repro.plan import logical
 from repro.sql import ast
 
+#: DPsize enumerates up to this many relations (3^n subset splits);
+#: larger join graphs fall back to the greedy heuristic
+DP_MAX_RELATIONS = 8
+
 
 @dataclass
 class _Relation:
@@ -32,7 +44,7 @@ class _Relation:
 
 
 class JoinOrdering:
-    """Greedy left-deep join ordering with crowd tables deferred."""
+    """Cost-based DP join enumeration with a greedy crowd-aware fallback."""
 
     name = "join-ordering"
 
@@ -83,6 +95,202 @@ class JoinOrdering:
             relations.append(plan)
 
     def _order(
+        self,
+        plans: list[logical.LogicalPlan],
+        conditions: list[ast.Expression],
+        context: OptimizerContext,
+    ) -> logical.LogicalPlan | None:
+        if (
+            context.cost_based
+            and context.cost_model is not None
+            and 2 <= len(plans) <= DP_MAX_RELATIONS
+        ):
+            ordered = self._order_dp(plans, conditions, context)
+            if ordered is not None:
+                return ordered
+        return self._order_greedy(plans, conditions, context)
+
+    # -- DPsize enumeration -------------------------------------------------------
+
+    def _order_dp(
+        self,
+        plans: list[logical.LogicalPlan],
+        conditions: list[ast.Expression],
+        context: OptimizerContext,
+    ) -> logical.LogicalPlan | None:
+        """Bottom-up dynamic programming over relation subsets.
+
+        ``best[mask]`` holds the cheapest plan joining exactly the
+        relations in ``mask`` under the rows/cents/rounds cost model.
+        Each join condition is attached at the unique node where its
+        referenced relations first end up on both sides, so every
+        condition is applied exactly once.  Cross products are permitted
+        (the cost model punishes them), which keeps disconnected join
+        graphs planable.  Ties resolve to the first candidate in
+        deterministic submask order — same query, same plan.
+        """
+        model = context.cost_model
+        n = len(plans)
+        bindings = [plan_bindings(p) for p in plans]
+        columns = [plan_columns(p) for p in plans]
+
+        def condition_mask(cond: ast.Expression) -> int | None:
+            mask = 0
+            for ref in ast.expression_columns(cond):
+                if ref.table is not None:
+                    key = ref.table.lower()
+                    owners = [i for i in range(n) if key in bindings[i]]
+                else:
+                    key = ref.name.lower()
+                    owners = [i for i in range(n) if key in columns[i]]
+                if not owners:
+                    return None  # outer/correlated reference
+                for i in owners:
+                    mask |= 1 << i
+            return mask or None
+
+        leftovers: list[ast.Expression] = []
+        local: list[tuple[ast.Expression, int]] = []
+        single: dict[int, list[ast.Expression]] = {}
+        for cond in conditions:
+            mask = condition_mask(cond)
+            if mask is None:
+                leftovers.append(cond)
+            elif mask & (mask - 1) == 0:
+                # references one relation only (e.g. an ON-clause constant
+                # restriction push-down left behind): filter the leaf
+                single.setdefault(mask.bit_length() - 1, []).append(cond)
+            else:
+                local.append((cond, mask))
+
+        leaves = list(plans)
+        for index, conds in single.items():
+            if _is_crowd_inner_leaf(plans[index]):
+                # wrapping a crowd-joinable leaf in a Filter would defeat
+                # CrowdJoinRewrite (it matches Scan/CrowdProbe(Scan) only)
+                # and silently drop crowd sourcing; evaluate these above
+                # the join tree instead, like the greedy path's residuals
+                leftovers.extend(conds)
+                continue
+            predicate = conjoin(conds)
+            if predicate is not None:
+                leaves[index] = logical.Filter(leaves[index], predicate)
+
+        # The O(3^n) split loop runs on pure float arithmetic over
+        # memoized (cents, rounds, row-work, output-rows) tuples — it
+        # mirrors the CostModel formulas without building a Join (or
+        # walking the estimator) per candidate.  Only the *chosen*
+        # decisions materialize as plan nodes afterwards.
+        inf = float("inf")
+        estimator = context.estimator
+        batch = float(getattr(model, "batch_size", 16))
+        cents_per_call = float(getattr(model, "cents_per_call", 6.0))
+        # per-condition selectivity is subplan-invariant (a binding names
+        # one table in this query), so compute it once against a plan
+        # providing every relation
+        all_relations = leaves[0]
+        for leaf in leaves[1:]:
+            all_relations = logical.Join(all_relations, leaf, "CROSS", None)
+        selectivity = [
+            estimator.selectivity(cond, all_relations) for cond, _m in local
+        ]
+        crowd_inner = [_is_crowd_inner_leaf(plan) for plan in plans]
+
+        # best[mask] = (cents, rounds, row_work, out_rows, decision);
+        # decision is None for a leaf or (sub, other, condition indexes)
+        best: dict[int, tuple] = {}
+        for i, leaf in enumerate(leaves):
+            leaf_cost = model.cost(leaf)
+            out_rows = estimator._estimate(leaf, {}).rows
+            best[1 << i] = (
+                leaf_cost.cents,
+                leaf_cost.rounds,
+                leaf_cost.rows,
+                out_rows,
+                None,
+            )
+        full = (1 << n) - 1
+
+        def combine(sub: int, other: int, spanning: list[int]) -> tuple:
+            left = best[sub]
+            right = best[other]
+            out = left[3] * right[3]
+            for index in spanning:
+                out *= selectivity[index]
+            if (
+                spanning
+                and other & (other - 1) == 0
+                and crowd_inner[other.bit_length() - 1]
+            ):
+                # anticipated CrowdJoin: the open-world right side costs
+                # one sourcing call per outer tuple instead of infinity
+                calls = left[3]
+                cents = left[0] + calls * cents_per_call
+                rounds = left[1] + (
+                    calls if calls in (0.0, inf) else float(-(-calls // batch))
+                )
+                work = left[2] + left[3] + 2 * right[3] + out
+            else:
+                cents = left[0] + right[0]
+                rounds = left[1] + right[1]
+                work = left[2] + right[2] + left[3] + right[3] + out
+            return (cents, rounds, work, out)
+
+        for mask in range(3, full + 1):
+            if mask & (mask - 1) == 0:
+                continue  # singleton
+            chosen = None
+            # pass 1: splits connected by a join condition
+            sub = (mask - 1) & mask
+            while sub:
+                other = mask ^ sub
+                if other and sub in best and other in best:
+                    spanning = [
+                        index
+                        for index, (_c, cond_mask) in enumerate(local)
+                        if (cond_mask & ~mask) == 0
+                        and (cond_mask & sub)
+                        and (cond_mask & other)
+                    ]
+                    if spanning:
+                        cost = combine(sub, other, spanning)
+                        if chosen is None or cost[:3] < chosen[0][:3]:
+                            chosen = (cost, (sub, other, tuple(spanning)))
+                sub = (sub - 1) & mask
+            if chosen is None:
+                # pass 2 (disconnected subset): cheapest cross-product
+                # split — only paid when the join graph forces it
+                sub = (mask - 1) & mask
+                while sub:
+                    other = mask ^ sub
+                    if other and sub in best and other in best:
+                        cost = combine(sub, other, [])
+                        if chosen is None or cost[:3] < chosen[0][:3]:
+                            chosen = (cost, (sub, other, ()))
+                    sub = (sub - 1) & mask
+            if chosen is None:
+                return None  # unreachable (cross joins close the lattice)
+            cost, decision = chosen
+            best[mask] = cost + (decision,)
+
+        def build(mask: int) -> logical.LogicalPlan:
+            decision = best[mask][4]
+            if decision is None:
+                return leaves[mask.bit_length() - 1]
+            sub, other, spanning = decision
+            condition = conjoin([local[i][0] for i in spanning])
+            join_type = "INNER" if condition is not None else "CROSS"
+            return logical.Join(build(sub), build(other), join_type, condition)
+
+        tree = build(full)
+        leftover = conjoin(leftovers)
+        if leftover is not None:
+            tree = logical.Filter(tree, leftover)
+        return tree
+
+    # -- greedy fallback ----------------------------------------------------------
+
+    def _order_greedy(
         self,
         plans: list[logical.LogicalPlan],
         conditions: list[ast.Expression],
@@ -168,6 +376,18 @@ class JoinOrdering:
                 if name in right_columns:
                     touches_right = True
         return touches_left and touches_right
+
+
+def _is_crowd_inner_leaf(plan: logical.LogicalPlan) -> bool:
+    """Would this relation, as the right side of an INNER equi-join,
+    become a CrowdJoin?  Mirrors ``CrowdJoinRewrite._crowd_inner``."""
+    if isinstance(plan, logical.Scan) and plan.table.crowd:
+        return True
+    return (
+        isinstance(plan, logical.CrowdProbe)
+        and plan.table.crowd
+        and isinstance(plan.child, logical.Scan)
+    )
 
 
 def _is_crowd_related(plan: logical.LogicalPlan) -> bool:

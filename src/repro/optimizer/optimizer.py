@@ -1,19 +1,26 @@
-"""The rule-based optimizer driver.
+"""The cost-based optimizer driver.
 
 Pipeline order matters and mirrors Section 3.2.2 of the paper: first the
-traditional rewrites (predicate push-down, join ordering), then the
-crowd-specific ones (CrowdJoin rewrite, stop-after push-down), and finally
-the boundedness analysis, which annotates plans with cardinality
-predictions and warns at compile time when crowd requests cannot be
-bounded.
+traditional rewrites (predicate push-down, join ordering — now DPsize
+enumeration costed with the unified rows/cents/rounds model), then the
+crowd-specific ones (CrowdJoin rewrite, stop-after push-down, conjunct
+ordering with crowd predicates last), and finally the boundedness
+analysis, which annotates plans with cardinality predictions and warns at
+compile time when crowd requests cannot be bounded.
+
+``cost_based=False`` restores the pre-cost-model behaviour — greedy join
+ordering over constant selectivities with no conjunct ordering — which
+the E16 benchmark uses as its baseline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 from repro.optimizer.boundedness import BoundednessAnalysis, BoundednessReport
+from repro.optimizer.conjuncts import ConjunctOrdering
+from repro.optimizer.cost import CostModel, PlanCost
 from repro.optimizer.crowd_join import CrowdJoinRewrite
 from repro.optimizer.join_ordering import JoinOrdering
 from repro.optimizer.predicate_pushdown import PredicatePushdown
@@ -32,6 +39,8 @@ class OptimizationResult:
     boundedness: BoundednessReport
     applied_rules: list[str]
     annotations: dict[int, Estimate] = field(default_factory=dict)
+    #: cumulative per-node cost under the rows/cents/rounds model
+    costs: dict[int, PlanCost] = field(default_factory=dict)
     #: whether physical operators will compile this plan's expressions to
     #: plan-time closures (False = per-row AST interpretation)
     compile_expressions: bool = True
@@ -46,17 +55,47 @@ class OptimizationResult:
         estimate = self.annotations.get(id(self.plan))
         return estimate.crowd_calls if estimate else 0.0
 
+    @property
+    def estimated_cost(self) -> Optional[PlanCost]:
+        """The whole plan's cost triple (None without a cost model)."""
+        return self.costs.get(id(self.plan))
+
     def explain(self) -> str:
-        lines = [self.plan.explain()]
+        lines: list[str] = []
+        self._explain_node(self.plan, 0, lines)
         lines.append(f"-- boundedness: {self.boundedness.describe()}")
         estimate = self.annotations.get(id(self.plan))
         if estimate is not None:
             lines.append(f"-- estimate: {estimate}")
+        cost = self.estimated_cost
+        if cost is not None:
+            lines.append(f"-- cost: {cost}")
         if self.applied_rules:
             lines.append(f"-- rules: {', '.join(self.applied_rules)}")
         mode = "compiled" if self.compile_expressions else "interpreted"
         lines.append(f"-- expressions: {mode}")
         return "\n".join(lines)
+
+    def _explain_node(
+        self, node: logical.LogicalPlan, indent: int, lines: list[str]
+    ) -> None:
+        """One plan line per node with its ``~rows / ~cents / ~rounds``
+        annotation (output rows; cumulative cents and latency rounds)."""
+        text = "  " * indent + node.describe()
+        estimate = self.annotations.get(id(node))
+        cost = self.costs.get(id(node))
+        if estimate is not None or cost is not None:
+            rows = estimate.rows if estimate is not None else 0.0
+            parts = [f"~{rows:g} rows"]
+            if estimate is not None and estimate.crowd_calls:
+                parts.append(f"crowd~{estimate.crowd_calls:g}")
+            if cost is not None:
+                parts.append(f"~{cost.cents:g}c")
+                parts.append(f"~{cost.rounds:g} rounds")
+            text += "  -- " + " / ".join(parts)
+        lines.append(text)
+        for child in node.children():
+            self._explain_node(child, indent + 1, lines)
 
 
 class Optimizer:
@@ -68,26 +107,36 @@ class Optimizer:
         strict_boundedness: bool = False,
         enable_rules: Optional[set[str]] = None,
         compile_expressions: bool = True,
+        crowd_config: Optional[Any] = None,
+        cost_based: bool = True,
     ) -> None:
         self.engine = engine
         self.strict_boundedness = strict_boundedness
         self.enable_rules = enable_rules
         self.compile_expressions = compile_expressions
+        self.crowd_config = crowd_config
+        self.cost_based = cost_based
         self._boundedness = BoundednessAnalysis()
         self._rules = [
             PredicatePushdown(),
             JoinOrdering(),
             CrowdJoinRewrite(),
             StopAfterPushdown(),
+            ConjunctOrdering(),
             self._boundedness,
         ]
 
     def optimize(self, plan: logical.LogicalPlan) -> OptimizationResult:
-        estimator = CardinalityEstimator(self.engine)
+        estimator = CardinalityEstimator(
+            self.engine, use_histograms=self.cost_based
+        )
+        cost_model = CostModel(estimator, crowd_config=self.crowd_config)
         context = OptimizerContext(
             engine=self.engine,
             estimator=estimator,
             strict_boundedness=self.strict_boundedness,
+            cost_model=cost_model,
+            cost_based=self.cost_based,
         )
         for rule in self._rules:
             if (
@@ -99,10 +148,15 @@ class Optimizer:
             plan = rule.apply(plan, context)
         report = self._boundedness.last_report or BoundednessReport()
         annotations = estimator.annotate(plan)
+        # cost the final plan with a fresh model: rewrites after join
+        # ordering (CrowdJoin, stop-after hints) changed node identities
+        final_model = CostModel(estimator, crowd_config=self.crowd_config)
+        costs = final_model.annotate(plan)
         return OptimizationResult(
             plan=plan,
             boundedness=report,
             applied_rules=list(dict.fromkeys(context.applied_rules)),
             annotations=annotations,
+            costs=costs,
             compile_expressions=self.compile_expressions,
         )

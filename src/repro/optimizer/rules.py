@@ -19,6 +19,10 @@ class OptimizerContext:
     estimator: CardinalityEstimator
     strict_boundedness: bool = False
     applied_rules: list[str] = field(default_factory=list)
+    #: cost-based planning: the rows/cents/rounds model DP enumeration
+    #: and conjunct ordering score against (None = rule-based only)
+    cost_model: Optional[object] = None
+    cost_based: bool = False
 
     def record(self, rule_name: str) -> None:
         self.applied_rules.append(rule_name)

@@ -75,6 +75,7 @@ class Server:
             task_manager=self.connection.task_manager,
             ui_manager=self.connection.ui_manager,
             platform=shared.platform,
+            plan_cache=shared.plan_cache,  # plans pool across sessions
         )
         session = Session(session_id, executor)
         self.admission.request(session)  # may raise before registration

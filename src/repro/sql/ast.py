@@ -366,6 +366,15 @@ class ShowTables(Statement):
     """SHOW TABLES."""
 
 
+@dataclass(frozen=True)
+class Analyze(Statement):
+    """``ANALYZE [table]`` — rebuild histogram/MCV statistics (all tables
+    when no name is given) and bump the statistics epoch the plan cache
+    keys on."""
+
+    table: Optional[str] = None
+
+
 # ---------------------------------------------------------------------------
 # Traversal helpers
 # ---------------------------------------------------------------------------

@@ -126,6 +126,11 @@ class Parser:
             self._advance()
             self._expect(TokenType.KEYWORD, "TABLES")
             return ast.ShowTables()
+        if self._at_keyword("ANALYZE"):
+            self._advance()
+            if self._at(TokenType.IDENTIFIER):
+                return ast.Analyze(self._expect_identifier("table name"))
+            return ast.Analyze()
         token = self._peek()
         raise ParseError(
             f"expected a statement, found {token.value!r}",

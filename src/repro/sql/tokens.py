@@ -38,7 +38,7 @@ KEYWORDS = frozenset(
         # CrowdSQL extensions
         "CROWD", "CNULL", "CROWDEQUAL", "CROWDORDER",
         # engine statements
-        "EXPLAIN", "SHOW", "TABLES",
+        "EXPLAIN", "SHOW", "TABLES", "ANALYZE",
     }
 )
 

@@ -20,10 +20,19 @@ from repro.storage.transaction_log import LogOp, TransactionLog
 class StorageEngine:
     """Owns all table data for one CrowdDB instance."""
 
-    def __init__(self, catalog: Optional[Catalog] = None) -> None:
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        auto_analyze_floor: Optional[int] = None,
+        auto_analyze_fraction: Optional[float] = None,
+    ) -> None:
         self.catalog = catalog if catalog is not None else Catalog()
         self.log = TransactionLog()
         self._tables: dict[str, HeapTable] = {}
+        # staleness-guard knobs forwarded to every table's statistics
+        # (None = the TableStatistics defaults)
+        self.auto_analyze_floor = auto_analyze_floor
+        self.auto_analyze_fraction = auto_analyze_fraction
 
     # -- DDL -------------------------------------------------------------------
 
@@ -35,7 +44,11 @@ class StorageEngine:
                 return False
             raise StorageError(f"table {schema.name!r} already exists")
         self.catalog.register(schema)
-        self._tables[schema.name.lower()] = HeapTable(schema)
+        self._tables[schema.name.lower()] = HeapTable(
+            schema,
+            auto_analyze_floor=self.auto_analyze_floor,
+            auto_analyze_fraction=self.auto_analyze_fraction,
+        )
         self.log.append(LogOp.CREATE_TABLE, schema.name, (schema,))
         return True
 
@@ -60,6 +73,30 @@ class StorageEngine:
 
     def table_names(self) -> list[str]:
         return self.catalog.table_names()
+
+    # -- statistics --------------------------------------------------------------
+
+    def analyze(self, name: Optional[str] = None) -> list[tuple[str, Any]]:
+        """Rebuild analyzed statistics for one table (or all of them).
+
+        Returns ``(table name, TableStatistics)`` pairs in catalog order,
+        the payload of the ``ANALYZE`` statement's result set.
+        """
+        names = [name] if name is not None else self.table_names()
+        return [(self.table(n).name, self.table(n).analyze()) for n in names]
+
+    def stats_epoch(self) -> int:
+        """Sum of per-table statistics epochs (bumped by every ANALYZE)."""
+        return sum(t.statistics.epoch for t in self._tables.values())
+
+    def plan_epoch(self) -> tuple[int, int, int]:
+        """Cheap fingerprint of everything a cached plan depends on:
+        DDL version, analyzed-statistics epoch, and index population."""
+        return (
+            self.catalog.version,
+            self.stats_epoch(),
+            sum(len(t.indexes) for t in self._tables.values()),
+        )
 
     # -- foreign keys ---------------------------------------------------------------
 

@@ -22,11 +22,21 @@ from repro.storage.statistics import TableStatistics
 class HeapTable:
     """In-memory heap with index and statistics maintenance."""
 
-    def __init__(self, schema: TableSchema) -> None:
+    def __init__(
+        self,
+        schema: TableSchema,
+        auto_analyze_floor: Optional[int] = None,
+        auto_analyze_fraction: Optional[float] = None,
+    ) -> None:
         self.schema = schema
         self._rows: dict[int, tuple[Any, ...]] = {}
         self._next_rowid = 0
-        self.statistics = TableStatistics(schema.column_names)
+        stats_kwargs = {}
+        if auto_analyze_floor is not None:
+            stats_kwargs["auto_analyze_floor"] = auto_analyze_floor
+        if auto_analyze_fraction is not None:
+            stats_kwargs["auto_analyze_fraction"] = auto_analyze_fraction
+        self.statistics = TableStatistics(schema.column_names, **stats_kwargs)
         self.indexes: dict[str, HashIndex | OrderedIndex] = {}
         if schema.primary_key:
             self._pk_index: Optional[HashIndex] = HashIndex(
@@ -96,6 +106,11 @@ class HeapTable:
 
     def has_rowid(self, rowid: int) -> bool:
         return rowid in self._rows
+
+    def analyze(self) -> TableStatistics:
+        """Rebuild histograms/MCVs for every column (``ANALYZE`` path)."""
+        self.statistics.analyze()
+        return self.statistics
 
     # -- key helpers ------------------------------------------------------------
 

@@ -1,21 +1,174 @@
-"""Table statistics for the rule-based optimizer.
+"""Table statistics for the cost-based optimizer.
 
 The paper's optimizer annotates plans with cardinality predictions before
-re-ordering operators (Section 3.2.2).  These statistics are maintained
-incrementally on every insert/delete/update, so they are always fresh —
-adequate for the in-memory substrate and deterministic for tests.
+re-ordering operators (Section 3.2.2).  Two tiers of statistics feed those
+predictions:
+
+* **incremental counters** — row counts, per-column value counters and
+  NULL/CNULL tallies, maintained on every insert/delete/update, so they
+  are always fresh;
+* **analyzed statistics** — equi-depth histograms and most-common-value
+  (MCV) lists, built by ``ANALYZE`` (or automatically once enough
+  mutations accumulate) and versioned by a per-table ``epoch`` that the
+  plan cache keys on.
+
+Everything is deterministic: same data, same statistics, same plans.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Optional
 
 from repro.sqltypes import is_cnull, is_null
 
+#: number of equi-depth buckets an ANALYZE aims for
+HISTOGRAM_BUCKETS = 32
+#: number of most-common values tracked per analyzed column
+MCV_TARGET = 10
+#: auto-analyze triggers once mutations exceed
+#: ``max(floor, fraction * rows_at_last_analyze)``
+AUTO_ANALYZE_FLOOR = 50
+AUTO_ANALYZE_FRACTION = 0.2
+
+
+@dataclass(frozen=True)
+class HistogramBucket:
+    """One equi-depth bucket: ``low <= value <= high`` (both inclusive)."""
+
+    low: Any
+    high: Any
+    count: int
+    distinct: int
+
+
+class EquiDepthHistogram:
+    """Equi-depth histogram over one column's non-missing values.
+
+    Built from the column's exact value counter at ANALYZE time; each
+    bucket holds roughly ``total / buckets`` rows.  Numeric bounds are
+    interpolated linearly inside a bucket; other orderable types fall
+    back to the half-bucket convention.
+    """
+
+    def __init__(self, buckets: list[HistogramBucket], total: int) -> None:
+        self.buckets = buckets
+        self.total = total
+
+    def __len__(self) -> int:
+        return len(self.buckets)
+
+    @property
+    def low(self) -> Any:
+        return self.buckets[0].low
+
+    @property
+    def high(self) -> Any:
+        return self.buckets[-1].high
+
+    @classmethod
+    def build(
+        cls, value_counts: Counter, buckets: int = HISTOGRAM_BUCKETS
+    ) -> Optional["EquiDepthHistogram"]:
+        """Build from a value counter; None when values are not orderable
+        (mixed types) or there is nothing to summarize."""
+        total = sum(value_counts.values())
+        if total == 0:
+            return None
+        try:
+            pairs = sorted(value_counts.items(), key=lambda kv: kv[0])
+        except TypeError:
+            return None  # heterogeneous values: no ordering, no histogram
+        depth = max(1, -(-total // buckets))  # ceil division
+        built: list[HistogramBucket] = []
+        low = pairs[0][0]
+        count = 0
+        distinct = 0
+        high = low
+        for value, freq in pairs:
+            if count >= depth:
+                built.append(HistogramBucket(low, high, count, distinct))
+                low = value
+                count = 0
+                distinct = 0
+            high = value
+            count += freq
+            distinct += 1
+        if count:
+            built.append(HistogramBucket(low, high, count, distinct))
+        return cls(built, total)
+
+    # -- estimation -------------------------------------------------------------
+
+    def fraction_below(self, value: Any, inclusive: bool) -> Optional[float]:
+        """Estimated fraction of rows with ``v < value`` (or ``<=``)."""
+        try:
+            if value < self.low:
+                return 0.0
+            if value > self.high:
+                return 1.0
+        except TypeError:
+            return None  # probe value not comparable to the column
+        below = 0.0
+        for bucket in self.buckets:
+            if value > bucket.high:
+                below += bucket.count
+                continue
+            if value < bucket.low:
+                break
+            below += bucket.count * self._position(bucket, value, inclusive)
+            break
+        return min(1.0, below / self.total)
+
+    @staticmethod
+    def _position(
+        bucket: HistogramBucket, value: Any, inclusive: bool
+    ) -> float:
+        """Where ``value`` falls inside ``bucket`` as a fraction of its
+        rows (linear interpolation for numeric bounds)."""
+        if bucket.low == bucket.high:
+            return 1.0 if inclusive else 0.0
+        if isinstance(value, (int, float)) and isinstance(
+            bucket.low, (int, float)
+        ) and isinstance(bucket.high, (int, float)):
+            span = float(bucket.high) - float(bucket.low)
+            if span <= 0:
+                return 1.0 if inclusive else 0.0
+            fraction = (float(value) - float(bucket.low)) / span
+            if inclusive and bucket.distinct:
+                fraction += 1.0 / bucket.distinct
+            return max(0.0, min(1.0, fraction))
+        # orderable but non-numeric (strings, dates-as-strings): assume
+        # the value sits midway through the bucket
+        return 0.5
+
+    def range_selectivity(
+        self,
+        low: Any = None,
+        high: Any = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Optional[float]:
+        """Estimated fraction of rows in ``[low, high]`` (open-ended when
+        a bound is None)."""
+        upper = (
+            self.fraction_below(high, high_inclusive)
+            if high is not None
+            else 1.0
+        )
+        lower = (
+            self.fraction_below(low, not low_inclusive)
+            if low is not None
+            else 0.0
+        )
+        if upper is None or lower is None:
+            return None
+        return max(0.0, min(1.0, upper - lower))
+
 
 class ColumnStatistics:
-    """Incremental statistics for one column."""
+    """Incremental statistics for one column, plus analyzed summaries."""
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -27,6 +180,9 @@ class ColumnStatistics:
         #: ``distinct_count`` is only a *lower bound* on the true NDV and
         #: consumers (cardinality estimation) must not treat it as exact
         self.distinct_is_lower_bound = False
+        # analyzed statistics (rebuilt by ANALYZE / auto-analyze)
+        self.histogram: Optional[EquiDepthHistogram] = None
+        self.mcv: dict[Any, int] = {}
 
     @property
     def distinct_count(self) -> int:
@@ -35,6 +191,10 @@ class ColumnStatistics:
     @property
     def known_count(self) -> int:
         return sum(self._value_counts.values())
+
+    @property
+    def total_count(self) -> int:
+        return self.known_count + self.null_count + self.cnull_count
 
     def add(self, value: Any) -> None:
         if is_null(value):
@@ -66,12 +226,54 @@ class ColumnStatistics:
                 else:
                     self._value_counts[key] = count - 1
 
-    def selectivity_equals(self) -> float:
-        """Estimated fraction of rows matched by ``column = constant``."""
-        total = self.known_count + self.null_count + self.cnull_count
+    # -- analysis ---------------------------------------------------------------
+
+    def analyze(self) -> None:
+        """Rebuild the histogram and MCV list from the live counters."""
+        self.mcv = dict(self._value_counts.most_common(MCV_TARGET))
+        if self.distinct_is_lower_bound:
+            # repr-collapsed values would produce a garbage ordering
+            self.histogram = None
+        else:
+            self.histogram = EquiDepthHistogram.build(self._value_counts)
+
+    # -- selectivity ------------------------------------------------------------
+
+    def null_fraction(self) -> float:
+        total = self.total_count
+        return self.null_count / total if total else 0.0
+
+    def cnull_fraction(self) -> float:
+        total = self.total_count
+        return self.cnull_count / total if total else 0.0
+
+    def selectivity_equals(self, value: Any = None) -> float:
+        """Estimated fraction of rows matched by ``column = constant``.
+
+        With the constant at hand the live value counter answers exactly;
+        without it the uniform 1/NDV guess applies.
+        """
+        total = self.total_count
         if total == 0 or self.distinct_count == 0:
             return 0.1  # textbook default guess
+        if value is not None and not self.distinct_is_lower_bound:
+            return self.frequency(value) / total
         return max(1.0 / self.distinct_count, 1.0 / max(total, 1))
+
+    def selectivity_range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Optional[float]:
+        """Histogram estimate for a range predicate; None when no
+        analyzed histogram can answer."""
+        if self.histogram is None:
+            return None
+        return self.histogram.range_selectivity(
+            low, high, low_inclusive, high_inclusive
+        )
 
     def frequency(self, value: Any) -> int:
         """Exact count of rows storing ``value`` (0 for missing values)."""
@@ -82,26 +284,74 @@ class ColumnStatistics:
 
 
 class TableStatistics:
-    """Incremental statistics for one table."""
+    """Incremental statistics for one table, with staleness tracking.
 
-    def __init__(self, column_names: tuple[str, ...]) -> None:
+    ``epoch`` is bumped on every (re-)analysis; cached plans key on it so
+    a histogram rebuild invalidates stale plan choices.  DML mutations
+    accumulate in ``mutations_since_analyze``; once they exceed
+    ``max(auto_analyze_floor, auto_analyze_fraction * rows-at-analyze)``
+    the histograms rebuild automatically, so bulk loads never require an
+    explicit ``ANALYZE``.
+    """
+
+    def __init__(
+        self,
+        column_names: tuple[str, ...],
+        auto_analyze_floor: int = AUTO_ANALYZE_FLOOR,
+        auto_analyze_fraction: float = AUTO_ANALYZE_FRACTION,
+    ) -> None:
         self.row_count = 0
         self.columns: dict[str, ColumnStatistics] = {
             name.lower(): ColumnStatistics(name) for name in column_names
         }
+        self.epoch = 0
+        self.analyzed = False
+        self.mutations_since_analyze = 0
+        self._rows_at_analyze = 0
+        self.auto_analyze_floor = auto_analyze_floor
+        self.auto_analyze_fraction = auto_analyze_fraction
 
     def column(self, name: str) -> ColumnStatistics:
         return self.columns[name.lower()]
+
+    # -- staleness --------------------------------------------------------------
+
+    @property
+    def stale(self) -> bool:
+        """Have enough mutations accumulated to warrant a rebuild?"""
+        threshold = max(
+            self.auto_analyze_floor,
+            self.auto_analyze_fraction * self._rows_at_analyze,
+        )
+        return self.mutations_since_analyze >= threshold
+
+    def analyze(self) -> None:
+        """Rebuild histograms/MCVs for every column; bump the epoch."""
+        for column in self.columns.values():
+            column.analyze()
+        self.analyzed = True
+        self.mutations_since_analyze = 0
+        self._rows_at_analyze = self.row_count
+        self.epoch += 1
+
+    def _on_mutation(self) -> None:
+        self.mutations_since_analyze += 1
+        if self.auto_analyze_floor >= 0 and self.stale:
+            self.analyze()
+
+    # -- DML hooks --------------------------------------------------------------
 
     def on_insert(self, values: tuple[Any, ...], column_names: tuple[str, ...]) -> None:
         self.row_count += 1
         for name, value in zip(column_names, values):
             self.columns[name.lower()].add(value)
+        self._on_mutation()
 
     def on_delete(self, values: tuple[Any, ...], column_names: tuple[str, ...]) -> None:
         self.row_count = max(0, self.row_count - 1)
         for name, value in zip(column_names, values):
             self.columns[name.lower()].remove(value)
+        self._on_mutation()
 
     def cnull_fraction(self, column_name: str) -> float:
         """Fraction of rows whose ``column_name`` is still CNULL.

@@ -186,6 +186,48 @@ class TestJoinOrdering:
         assert not leaf.table.crowd
 
 
+class TestCostBasedOrdering:
+    """DP enumeration specifics (the bulk lives in test_cost_optimizer)."""
+
+    def test_dp_and_greedy_agree_on_results(self, db):
+        from repro.optimizer.optimizer import Optimizer
+
+        db.executescript(
+            "INSERT INTO Talk (title) VALUES ('A'), ('B'), ('C');"
+            "INSERT INTO Room VALUES ('A', 5), ('B', 9)"
+        )
+        sql = (
+            "SELECT t.title, r.capacity FROM Talk t, Room r "
+            "WHERE t.title = r.room ORDER BY t.title"
+        )
+        dp_rows = db.query(sql)
+        db.executor.optimizer = Optimizer(db.engine, cost_based=False)
+        assert db.query(sql) == dp_rows
+
+    def test_cost_line_in_explain(self, db):
+        text = db.explain("SELECT title FROM Talk")
+        assert "-- cost:" in text
+
+    def test_conjunct_ordering_puts_crowd_last(self, db):
+        # nb_attendees is a crowd column, so its conjunct stays above the
+        # probe in the same filter as the CROWDEQUAL — and must precede it
+        result = compiled(
+            db,
+            "SELECT title FROM Talk "
+            "WHERE CROWDEQUAL(abstract, 'x') AND nb_attendees > 5",
+        )
+        mixed = [
+            n.describe()
+            for n in result.plan.walk()
+            if isinstance(n, logical.Filter)
+            and "CROWDEQUAL" in n.describe()
+            and "nb_attendees" in n.describe()
+        ]
+        assert mixed, result.plan.explain()
+        assert mixed[0].index("nb_attendees") < mixed[0].index("CROWDEQUAL")
+        assert "conjunct-ordering" in result.applied_rules
+
+
 class TestCrowdJoinRewrite:
     def test_join_with_crowd_inner_becomes_crowdjoin(self, db):
         result = compiled(

@@ -292,3 +292,142 @@ def test_normalize_is_idempotent(text):
 def test_normalize_ignores_surrounding_noise(text):
     noisy = f"  {text.upper()}  "
     assert normalize_answer(noisy) == normalize_answer(text)
+
+
+# -- DP join enumeration differential properties ---------------------------------
+#
+# For random join graphs, the DP-chosen plan must be a pure re-bracketing:
+# byte-identical results (same rows, same order under a total ORDER BY)
+# and identical crowd-call sequences vs the forced canonical (FROM-order)
+# plan with join ordering disabled.
+
+_CANONICAL_RULES = {"predicate-pushdown", "stopafter-pushdown",
+                    "conjunct-ordering", "crowdjoin-rewrite"}
+
+
+def _canonical(db):
+    """Force the builder's FROM-order join tree (no join-ordering rule)."""
+    from repro.optimizer.optimizer import Optimizer
+
+    db.executor.optimizer = Optimizer(
+        db.engine, enable_rules=set(_CANONICAL_RULES)
+    )
+    return db
+
+
+@st.composite
+def _join_graphs(draw):
+    tables = draw(st.integers(min_value=3, max_value=5))
+    sizes = [draw(st.integers(min_value=2, max_value=7)) for _ in range(tables)]
+    keys = [
+        [draw(st.integers(min_value=0, max_value=4)) for _ in range(size)]
+        for size in sizes
+    ]
+    with_filter = draw(st.booleans())
+    return tables, keys, with_filter
+
+
+def _load_join_graph(db, tables, keys):
+    for index in range(tables):
+        db.execute(
+            f"CREATE TABLE g{index} (id INTEGER PRIMARY KEY, k INTEGER)"
+        )
+        for row, key in enumerate(keys[index]):
+            db.engine.insert(f"g{index}", [row, key])
+    db.execute("ANALYZE")
+
+
+def _join_graph_sql(tables, with_filter):
+    froms = ", ".join(f"g{i}" for i in range(tables))
+    conds = " AND ".join(
+        f"g{i}.k = g{i + 1}.id" for i in range(tables - 1)
+    )
+    if with_filter:
+        conds += " AND g0.k < 3"
+    columns = ", ".join(f"g{i}.id" for i in range(tables))
+    order = ", ".join(str(i + 1) for i in range(tables))
+    return f"SELECT {columns} FROM {froms} WHERE {conds} ORDER BY {order}"
+
+
+@SETTINGS
+@given(_join_graphs())
+def test_dp_plans_are_byte_identical_to_canonical_order(graph):
+    tables, keys, with_filter = graph
+    sql = _join_graph_sql(tables, with_filter)
+    dp_db = connect(with_crowd=False)
+    _load_join_graph(dp_db, tables, keys)
+    canonical_db = _canonical(connect(with_crowd=False))
+    _load_join_graph(canonical_db, tables, keys)
+    dp_rows = dp_db.query(sql)
+    canonical_rows = canonical_db.query(sql)
+    assert repr(dp_rows) == repr(canonical_rows)
+
+
+def _crowd_calls(db):
+    """Every comparison ballot the scripted platform saw, normalized."""
+    platform = db.platforms.get("scripted")
+    calls = []
+    for task in platform.posted_tasks:
+        left = getattr(task, "left", None)
+        right = getattr(task, "right", None)
+        if left is None and right is None:
+            continue
+        calls.append(
+            tuple(sorted([normalize_answer(left), normalize_answer(right)]))
+        )
+    return calls
+
+
+def _crowd_graph_db(keys):
+    oracle = GroundTruthOracle()
+    oracle.declare_same_entity("IBM", "I.B.M.", "ibm corp")
+    db = connect(
+        oracle=oracle,
+        platforms=(ScriptedPlatform(oracle_answer_fn(oracle)),),
+        default_platform="scripted",
+    )
+    db.executescript(
+        """
+        CREATE TABLE co (id INTEGER PRIMARY KEY, name STRING, k INTEGER);
+        CREATE TABLE dept (id INTEGER PRIMARY KEY, label STRING);
+        """
+    )
+    names = ["I.B.M.", "ibm corp", "Acme", "Globex"]
+    for row, key in enumerate(keys):
+        db.engine.insert("co", [row, names[row % 4], key])
+    for row in range(5):
+        db.engine.insert("dept", [row, f"d{row}"])
+    db.execute("ANALYZE")
+    return db
+
+
+@SETTINGS
+@given(st.lists(st.integers(min_value=0, max_value=4), min_size=2, max_size=12))
+def test_dp_crowd_call_sequences_match_canonical_order(keys):
+    sql = (
+        "SELECT co.id FROM co, dept WHERE co.k = dept.id "
+        "AND CROWDEQUAL(co.name, 'IBM') ORDER BY co.id"
+    )
+    dp_db = _crowd_graph_db(keys)
+    canonical_db = _canonical(_crowd_graph_db(keys))
+    dp_rows = dp_db.query(sql)
+    canonical_rows = canonical_db.query(sql)
+    assert repr(dp_rows) == repr(canonical_rows)
+    # the set of ballots (and how often each was posted) must be
+    # identical; the within-window order may differ with the bracketing
+    assert sorted(_crowd_calls(dp_db)) == sorted(_crowd_calls(canonical_db))
+
+
+@SETTINGS
+@given(st.lists(st.integers(min_value=0, max_value=4), min_size=2, max_size=12))
+def test_single_table_crowd_sequence_is_exactly_identical(keys):
+    """Without joins to re-bracket, the ballot *sequence* — not just the
+    multiset — must survive cost-based optimization untouched."""
+    sql = (
+        "SELECT id FROM co WHERE k < 3 AND CROWDEQUAL(name, 'IBM') "
+        "ORDER BY id"
+    )
+    dp_db = _crowd_graph_db(keys)
+    canonical_db = _canonical(_crowd_graph_db(keys))
+    assert repr(dp_db.query(sql)) == repr(canonical_db.query(sql))
+    assert _crowd_calls(dp_db) == _crowd_calls(canonical_db)
