@@ -1,0 +1,201 @@
+"""E17 — observability overhead and the stale-statistics demo.
+
+PR6 added end-to-end observability: per-statement metrics, the HIT
+lifecycle trace, the slow-query log, and ``EXPLAIN ANALYZE``.  The
+always-on share of that instrumentation is deliberately per-*statement*
+(two clock reads, one histogram insert, one counter bump) — per-node
+profiling only runs when a statement asks for ``EXPLAIN ANALYZE``.  E17
+verifies the contract:
+
+* **overhead gate** — the E14 electronic workload (scan-filter-join-
+  aggregate-order over the deterministic order book) is timed with
+  ``observability=True`` (the default) and ``observability=False``;
+  the enabled run must stay within 5% of the disabled one.  Rounds are
+  interleaved and each mode keeps its best-of-N, so the comparison is
+  drift-resistant.
+* **misestimate demo** — statistics are ANALYZEd over 2 rows, the table
+  then grows 20x behind the optimizer's back, and ``EXPLAIN ANALYZE``
+  over a range predicate must print the estimate-vs-actual gap and flag
+  the misestimated nodes.
+
+Full-mode results land in ``BENCH_e17.json``; fast-mode (CI smoke)
+numbers never clobber the committed artifact.
+"""
+
+import json
+import os
+import random
+import time
+
+import pytest
+
+from crowdbench import FAST, report
+
+from repro import connect
+
+ROWS = 5_000 if FAST else 100_000
+CUSTOMERS = 100 if FAST else 1_000
+SEED = 17
+ROUNDS = 5
+REPS_PER_ROUND = 3
+OVERHEAD_CEILING_PCT = 5.0
+
+QUERY = """
+SELECT c.region,
+       COUNT(*),
+       SUM(o.amount),
+       AVG(o.amount * (1 + o.priority * 0.05))
+FROM orders o JOIN customers c ON o.customer_id = c.id
+WHERE o.amount BETWEEN 20 AND 450
+  AND o.status LIKE 'ship%'
+  AND o.priority >= 1
+GROUP BY c.region
+ORDER BY SUM(o.amount) DESC
+"""
+
+BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_e17.json",
+)
+
+
+def _database(observability: bool):
+    """The E14 order book, loaded through ``engine.insert`` so the
+    benchmark times execution, not parsing."""
+    db = connect(with_crowd=False, observability=observability)
+    db.execute(
+        "CREATE TABLE customers (id INTEGER PRIMARY KEY, "
+        "name STRING, region STRING)"
+    )
+    db.execute(
+        "CREATE TABLE orders (id INTEGER PRIMARY KEY, customer_id INTEGER, "
+        "amount FLOAT, status STRING, priority INTEGER)"
+    )
+    rng = random.Random(SEED)
+    regions = ["west", "east", "north", "south", "central"]
+    statuses = ["shipped", "shipping", "pending", "cancelled", "returned"]
+    engine = db.engine
+    for i in range(CUSTOMERS):
+        engine.insert(
+            "customers", [i, f"cust{i:04d}", regions[i % len(regions)]]
+        )
+    for i in range(ROWS):
+        engine.insert(
+            "orders",
+            [
+                i,
+                rng.randrange(CUSTOMERS),
+                round(rng.uniform(1, 500), 2),
+                statuses[rng.randrange(len(statuses))],
+                rng.randrange(5),
+            ],
+        )
+    return db
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    """Interleaved timing rounds: (off, on, off, on, ...) with identical
+    data, best-of-N per mode — robust against machine drift."""
+    db_off = _database(observability=False)
+    db_on = _database(observability=True)
+    times = {"off": [], "on": []}
+    results = {}
+    for round_no in range(ROUNDS):
+        order = [("off", db_off), ("on", db_on)]
+        if round_no % 2:  # alternate order so neither mode owns the cache
+            order.reverse()
+        for mode, db in order:
+            start = time.perf_counter()
+            for _ in range(REPS_PER_ROUND):
+                results[mode] = db.execute(QUERY)
+            times[mode].append(
+                (time.perf_counter() - start) / REPS_PER_ROUND
+            )
+    return {
+        "off_seconds": min(times["off"]),
+        "on_seconds": min(times["on"]),
+        "off_rows": results["off"].rows,
+        "on_rows": results["on"].rows,
+        "on_db": db_on,
+    }
+
+
+def _overhead_pct(measurements) -> float:
+    off = measurements["off_seconds"]
+    on = measurements["on_seconds"]
+    return (on - off) / off * 100.0
+
+
+@pytest.fixture(scope="module")
+def misestimate_demo():
+    """Stale statistics: ANALYZE over 2 rows, grow 20x, range-query."""
+    db = connect(with_crowd=False, auto_analyze_floor=-1)
+    db.execute("CREATE TABLE Log (id INTEGER PRIMARY KEY, level STRING)")
+    db.execute("INSERT INTO Log VALUES (0, 'info'), (1, 'warn')")
+    db.analyze("Log")
+    for i in range(2, 42):
+        db.execute("INSERT INTO Log VALUES (?, ?)", (i, "info"))
+    return db.explain_analyze("SELECT id FROM Log WHERE id > 1")
+
+
+def test_report(measurements, misestimate_demo):
+    overhead = _overhead_pct(measurements)
+    report(
+        "E17",
+        f"{ROWS}-row electronic workload, observability on vs off",
+        ["mode", "seconds", "rows/s", "overhead"],
+        [
+            ("off", measurements["off_seconds"],
+             int(ROWS / measurements["off_seconds"]), "--"),
+            ("on", measurements["on_seconds"],
+             int(ROWS / measurements["on_seconds"]), f"{overhead:+.2f}%"),
+        ],
+    )
+    if FAST:
+        # fast-mode numbers are for CI smoke only — never clobber the
+        # committed full-workload artifact
+        return
+    payload = {
+        "rows": ROWS,
+        "customers": CUSTOMERS,
+        "seed": SEED,
+        "fast_mode": FAST,
+        "query": " ".join(QUERY.split()),
+        "off_seconds": round(measurements["off_seconds"], 4),
+        "on_seconds": round(measurements["on_seconds"], 4),
+        "overhead_pct": round(overhead, 3),
+        "overhead_ceiling_pct": OVERHEAD_CEILING_PCT,
+        "misestimate_demo": misestimate_demo.splitlines(),
+    }
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def test_results_identical(measurements):
+    """Observability must never change answers."""
+    assert measurements["on_rows"] == measurements["off_rows"]
+
+
+def test_overhead_gate(measurements):
+    """The <5% instrumentation-overhead guarantee (README)."""
+    overhead = _overhead_pct(measurements)
+    assert overhead < OVERHEAD_CEILING_PCT, (
+        f"observability overhead {overhead:+.2f}% exceeds "
+        f"{OVERHEAD_CEILING_PCT}% ceiling"
+    )
+
+
+def test_statement_metrics_recorded(measurements):
+    db = measurements["on_db"]
+    snap = db.metrics.snapshot()
+    assert snap["statements_total"] >= ROUNDS * REPS_PER_ROUND
+    assert snap["statement_seconds"]["count"] >= ROUNDS * REPS_PER_ROUND
+    assert "crowddb_statements_total" in db.metrics_text()
+
+
+def test_misestimate_demo_flags_stale_stats(misestimate_demo):
+    assert "!! rows misestimate" in misestimate_demo
+    assert "-- actual:" in misestimate_demo
+    assert "none above" not in misestimate_demo

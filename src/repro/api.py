@@ -36,6 +36,13 @@ from repro.crowd.task_manager import CrowdConfig, TaskManager
 from repro.crowd.wrm import WorkerRelationshipManager
 from repro.engine.executor import Executor, PlanCache, ResultSet
 from repro.errors import ExecutionError
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    SlowQueryEntry,
+    SlowQueryLog,
+    TraceSink,
+)
 from repro.optimizer.optimizer import OptimizationResult, Optimizer
 from repro.sql import ast
 from repro.sql.parser import parse, parse_script
@@ -59,6 +66,10 @@ class Connection:
         plan_cache_size: int = 64,
         auto_analyze_floor: Optional[int] = None,
         auto_analyze_fraction: Optional[float] = None,
+        observability: bool = True,
+        slow_query_seconds: Optional[float] = None,
+        trace_capacity: int = 2048,
+        misestimate_ratio: float = 4.0,
     ) -> None:
         self.engine = (
             engine
@@ -74,6 +85,16 @@ class Connection:
         self.form_editor = FormEditor(self.ui_manager)
         self.wrm = WorkerRelationshipManager()
         self.reputation = ReputationStore(wrm=self.wrm)
+        # observability bundle: metrics registry, HIT trace ring, slow
+        # query log; enabled=False keeps the registry (compat views read
+        # through it) but skips all per-statement and tracing work
+        self.observability = Observability(
+            enabled=observability,
+            trace=TraceSink(capacity=trace_capacity),
+            slow_log=SlowQueryLog(threshold_seconds=slow_query_seconds),
+            misestimate_ratio=misestimate_ratio,
+        )
+        self.metrics: MetricsRegistry = self.observability.metrics
         self.task_manager: Optional[TaskManager] = None
         if platforms is not None:
             self.task_manager = TaskManager(
@@ -81,6 +102,8 @@ class Connection:
             )
             self.task_manager.attach_reputation(self.reputation)
             self.reputation.block_below = self.task_manager.config.block_below
+            if observability:
+                self.task_manager.tracer = self.observability.trace
         self.optimizer = Optimizer(
             self.engine,
             strict_boundedness=strict_boundedness,
@@ -99,11 +122,28 @@ class Connection:
             ui_manager=self.ui_manager,
             platform=default_platform,
             plan_cache_size=plan_cache_size,
+            observability=self.observability,
         )
         # parse memo: SQL text -> statement AST (ASTs are immutable, so
         # reuse is safe); with the executor's plan cache behind it, a
         # repeated query skips parsing *and* optimization entirely
         self._parse_cache = PlanCache(size=max(0, plan_cache_size) * 4)
+        self._register_collectors()
+
+    def _register_collectors(self) -> None:
+        """Expose the ad-hoc stats dicts as pull-based registry
+        collectors; ``crowd_stats``/``plan_cache_stats`` become reads
+        through the registry (same shapes as before)."""
+        if self.task_manager is not None:
+            self.metrics.register_collector(
+                "crowd", self.task_manager.stats.snapshot
+            )
+        self.metrics.register_collector(
+            "parse_cache", lambda: dict(self._parse_cache.stats)
+        )
+        self.metrics.register_collector(
+            "plan_cache", lambda: dict(self.executor.plan_cache.stats)
+        )
 
     @property
     def parse_cache_stats(self) -> dict[str, int]:
@@ -140,10 +180,11 @@ class Connection:
 
     @property
     def plan_cache_stats(self) -> dict[str, dict[str, int]]:
-        """Hit/miss counters of the parse memo and the plan cache."""
+        """Hit/miss counters of the parse memo and the plan cache
+        (compatibility view over the metrics registry)."""
         return {
-            "parse": dict(self.parse_cache_stats),
-            "plan": dict(self.executor.plan_cache.stats),
+            "parse": self.metrics.collect("parse_cache"),
+            "plan": self.metrics.collect("plan_cache"),
         }
 
     def explain(self, sql: str) -> str:
@@ -173,9 +214,43 @@ class Connection:
 
     @property
     def crowd_stats(self) -> dict[str, float]:
+        """Task Manager counters (compatibility view over the registry)."""
         if self.task_manager is None:
             return {}
-        return self.task_manager.stats.snapshot()
+        return self.metrics.collect("crowd")
+
+    # -- observability ------------------------------------------------------------------
+
+    @property
+    def trace(self) -> TraceSink:
+        """The ring-buffered HIT lifecycle trace."""
+        return self.observability.trace
+
+    @property
+    def slow_log(self) -> SlowQueryLog:
+        return self.observability.slow_log
+
+    def slow_queries(self, limit: Optional[int] = None) -> list[SlowQueryEntry]:
+        """Most recent statements over the slow-query threshold."""
+        return self.observability.slow_log.entries(limit)
+
+    def metrics_text(self) -> str:
+        """Prometheus-style text exposition of every registered metric."""
+        return self.metrics.text()
+
+    def explain_analyze(self, sql: str) -> str:
+        """Run a SELECT and return the estimate-vs-actual plan report."""
+        statement = self._parse_cached(sql)
+        if isinstance(statement, ast.Explain):
+            statement = statement.statement
+        if not isinstance(statement, (ast.Select, ast.SetOp)):
+            raise ExecutionError(
+                "explain_analyze() supports SELECT statements only"
+            )
+        result = self.executor.execute(
+            ast.Explain(statement=statement, analyze=True)
+        )
+        return "\n".join(row[0] for row in result.rows)
 
     def close(self) -> None:  # symmetry with DB-API; nothing to release
         pass
@@ -270,6 +345,10 @@ def connect(
     gold_rate: Optional[float] = None,
     reputation_weighting: Optional[bool] = None,
     block_below: Optional[float] = None,
+    observability: bool = True,
+    slow_query_seconds: Optional[float] = None,
+    trace_capacity: int = 2048,
+    misestimate_ratio: float = 4.0,
 ) -> Connection:
     """Create a CrowdDB connection.
 
@@ -305,6 +384,13 @@ def connect(
     ``auto_analyze_fraction`` tune the statistics staleness guard that
     rebuilds histograms after enough DML (floor -1 disables it, leaving
     statistics to explicit ``ANALYZE``).
+
+    ``observability=False`` disables per-statement metrics, HIT tracing,
+    and the slow-query log (EXPLAIN ANALYZE still works — its profiling
+    is always per-request).  ``slow_query_seconds`` sets the slow-query
+    log threshold (``None`` leaves it off); ``trace_capacity`` bounds the
+    HIT trace ring; ``misestimate_ratio`` is the estimate-vs-actual ratio
+    at which EXPLAIN ANALYZE flags a plan node.
     """
     overrides = {
         key: value
@@ -332,6 +418,10 @@ def connect(
         plan_cache_size=plan_cache_size,
         auto_analyze_floor=auto_analyze_floor,
         auto_analyze_fraction=auto_analyze_fraction,
+        observability=observability,
+        slow_query_seconds=slow_query_seconds,
+        trace_capacity=trace_capacity,
+        misestimate_ratio=misestimate_ratio,
     )
     if not with_crowd:
         return Connection(

@@ -19,6 +19,12 @@ Dot-commands:
     .cache               plan-cache and parse-memo hit/miss counters
     .platform [NAME]     show or switch the default platform
     .stats               Task Manager counters
+    .metrics             Prometheus-style metrics exposition
+    .trace [ARGS]        HIT lifecycle trace: .trace [N] tails the last N
+                         events, .trace KIND [N] filters by event kind
+                         (hit, vote, future, gold), .trace export FILE
+                         writes JSONL, .trace clear empties the ring
+    .slow [N]            last N slow-query log entries
     .workers [N]         top-N workers by approved assignments (WRM)
     .reputation [N]      top-N workers by estimated accuracy (+gold scores)
     .templates           generated UI template ids
@@ -69,6 +75,9 @@ class Shell:
             ".cache": self._cmd_cache,
             ".platform": self._cmd_platform,
             ".stats": self._cmd_stats,
+            ".metrics": self._cmd_metrics,
+            ".trace": self._cmd_trace,
+            ".slow": self._cmd_slow,
             ".workers": self._cmd_workers,
             ".reputation": self._cmd_reputation,
             ".templates": self._cmd_templates,
@@ -189,6 +198,61 @@ class Shell:
             return
         for key, value in stats.items():
             self._print(f"  {key:22s} {value}")
+
+    def _cmd_metrics(self, _argument: str) -> None:
+        self._print(self.connection.metrics_text().rstrip("\n"))
+
+    def _cmd_trace(self, argument: str) -> None:
+        trace = self.connection.trace
+        parts = argument.split()
+        if parts and parts[0] == "clear":
+            trace.clear()
+            self._print("trace cleared")
+            return
+        if parts and parts[0] == "export":
+            if len(parts) != 2:
+                self._print("usage: .trace export FILE")
+                return
+            count = trace.export(parts[1])
+            self._print(f"{count} event(s) written to {parts[1]}")
+            return
+        kind: Optional[str] = None
+        limit = 10
+        if parts:
+            if parts[0].isdigit():
+                limit = int(parts[0])
+            else:
+                kind = parts[0]
+                if len(parts) > 1 and parts[1].isdigit():
+                    limit = int(parts[1])
+        events = trace.events(kind=kind, limit=limit)
+        if not events:
+            self._print("no trace events" + (f" of kind {kind!r}" if kind else ""))
+            return
+        summary = ", ".join(
+            f"{name}={count}" for name, count in sorted(trace.counts().items())
+        )
+        self._print(f"-- {trace.emitted} emitted ({summary}); last {len(events)}:")
+        for event in events:
+            self._print("  " + event.to_json())
+
+    def _cmd_slow(self, argument: str) -> None:
+        log = self.connection.slow_log
+        if not log.enabled:
+            self._print(
+                "slow-query log disabled — connect(slow_query_seconds=...)"
+            )
+            return
+        limit = int(argument) if argument else 10
+        entries = log.entries(limit)
+        if not entries:
+            self._print("no slow queries recorded")
+            return
+        for entry in entries:
+            self._print(
+                f"  {entry.seconds * 1000.0:9.2f} ms  {entry.rows:5d} row(s)  "
+                f"{entry.cost_cents:4d}c  {entry.sql}"
+            )
 
     def _cmd_workers(self, argument: str) -> None:
         count = int(argument) if argument else 5

@@ -94,9 +94,11 @@ class MajorityVote:
         self,
         min_agreement: float = 0.5,
         reputation: Optional[Any] = None,  # ReputationStore
+        tracer: Optional[Any] = None,      # repro.obs.TraceSink
     ) -> None:
         self.min_agreement = min_agreement
         self.reputation = reputation
+        self.tracer = tracer
 
     def vote(self, answers: list[Any], quiet: bool = False) -> VoteResult:
         """Vote over raw answers ordered by submission time."""
@@ -166,6 +168,18 @@ class MajorityVote:
                     LowQualityWarning,
                     stacklevel=3,
                 )
+        if self.tracer is not None and not quiet:
+            # settle-time verdicts only: quiet confidence probes re-vote
+            # the same ballots every round and would flood the ring
+            self.tracer.emit(
+                "vote",
+                value=str(representative),
+                votes=winner_votes,
+                total=total,
+                agreement=round(agreement, 4),
+                confidence=round(confidence, 4),
+                weighted=self.reputation is not None,
+            )
         return VoteResult(
             value=representative,
             votes=winner_votes,

@@ -118,15 +118,31 @@ class TaskManagerStats:
     compare_requests: int = 0
     cache_hits: int = 0
     timeouts: int = 0
+    # marketplace rounds driven (serial waits + scheduler advances) —
+    # the runtime counterpart of the cost model's latency rounds
+    marketplace_rounds: int = 0
     # adaptive quality control
     hit_extensions: int = 0        # extra assignments requested on live HITs
     gold_hits_posted: int = 0      # known-answer probes injected
     gold_answers_scored: int = 0   # worker answers graded against gold
+    gold_assignments_received: int = 0
+    gold_cost_cents: int = 0       # spend attributable to gold probes
     confidence_sum: float = 0.0    # over settled verdicts (mean = sum/count)
     confidence_count: int = 0
+    # dynamically named counters (e.g. per-kind issue counts).  They live
+    # in one dict but flatten into every snapshot, so a counter created
+    # mid-query is present in all later before/after snapshots and
+    # per-statement deltas stay deltas instead of absolute totals.
+    extra: dict = field(default_factory=dict)
+
+    def bump(self, key: str, amount: float = 1) -> None:
+        """Increment a dynamically named counter."""
+        self.extra[key] = self.extra.get(key, 0) + amount
 
     def snapshot(self) -> dict[str, float]:
-        return dict(self.__dict__)
+        data = {k: v for k, v in self.__dict__.items() if k != "extra"}
+        data.update(self.extra)
+        return data
 
 
 class CrowdFuture:
@@ -172,6 +188,12 @@ class CrowdFuture:
         self.adaptive: Optional["AdaptiveReplication"] = None
         self.confidence: Optional[float] = None
         self.extensions = 0
+        # per-future settlement accounting (assignments, cents, verdict
+        # confidence) — stamped once by TaskManager.settle so every
+        # waiting statement can attribute exactly this future's spend to
+        # itself (see ExecutionContext's CrowdLedger)
+        self.accounting: Optional[dict[str, float]] = None
+        self.extension_assignments = 0  # extra assignments bought adaptively
 
     @classmethod
     def resolved(cls, kind: str, key: tuple, value: Any) -> "CrowdFuture":
@@ -333,7 +355,19 @@ class AdaptiveReplication:
         for hit in candidates:
             future.platform.extend_hit(hit.hit_id, 1)
         future.extensions += 1
+        future.extension_assignments += len(candidates)
         self.manager.stats.hit_extensions += len(candidates)
+        tracer = self.manager.tracer
+        if tracer is not None:
+            tracer.emit(
+                "hit.extend",
+                sim=clock.now if clock is not None else 0.0,
+                hits=[hit.hit_id for hit in candidates],
+                task_kind=future.kind,
+                confidence=round(confidence, 4),
+                target=config.target_confidence,
+                extension=future.extensions,
+            )
         return True
 
 
@@ -361,6 +395,9 @@ class TaskManager:
         self.reputation: Optional[ReputationStore] = None
         self._gold_accumulator = 0.0
         self._gold_pending: list[tuple[HIT, Any, CrowdPlatform, float]] = []
+        # optional trace sink (repro.obs.TraceSink): HIT-lifecycle span
+        # events, wired by connect() when observability is on
+        self.tracer: Optional[Any] = None
 
     # -- adaptive quality plumbing ---------------------------------------------------
 
@@ -393,6 +430,7 @@ class TaskManager:
         return MajorityVote(
             self.config.min_agreement,
             reputation=self.reputation if self.weighting_enabled else None,
+            tracer=self.tracer,
         )
 
     def _probe_voter(self) -> MajorityVote:
@@ -601,6 +639,15 @@ class TaskManager:
                 )
             ),
         )
+        if self.tracer is not None:
+            self.tracer.emit(
+                "hit.group",
+                sim=parent.posted_at,
+                hit=hit.hit_id,
+                table=schema.name,
+                columns=list(columns),
+                members=len(chunk),
+            )
         for index, i in enumerate(chunk):
             member = CrowdFuture.member(parent, keys[i], index)
             futures[i] = member
@@ -1128,6 +1175,14 @@ class TaskManager:
             posted_at = clock.now if clock is not None else 0.0
             self.stats.hits_posted += 1
             self.stats.gold_hits_posted += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "gold.issue",
+                    sim=posted_at,
+                    hit=hit.hit_id,
+                    platform=getattr(platform, "name", "?"),
+                    reward_cents=hit.reward_cents,
+                )
             self._gold_pending.append((hit, gold.expected, platform, posted_at))
 
     def _sweep_gold(self) -> None:
@@ -1149,6 +1204,13 @@ class TaskManager:
             self._score_gold(hit, expected)
             self.stats.assignments_received += len(hit.assignments)
             self.stats.cost_cents += hit.reward_cents * len(hit.assignments)
+            # parallel gold-only counters let per-statement accounting
+            # attribute probe spend without a global delta over the real
+            # counters (which concurrent sessions would pollute)
+            self.stats.gold_assignments_received += len(hit.assignments)
+            self.stats.gold_cost_cents += (
+                hit.reward_cents * len(hit.assignments)
+            )
         self._gold_pending = remaining
 
     def _score_gold(self, hit: HIT, expected: Any) -> None:
@@ -1158,6 +1220,13 @@ class TaskManager:
                 continue
             self.reputation.observe_gold(assignment.worker_id, correct)
             self.stats.gold_answers_scored += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "gold.score",
+                    hit=hit.hit_id,
+                    worker=assignment.worker_id,
+                    correct=correct,
+                )
 
     # -- issue / poll / resume protocol -------------------------------------------------
 
@@ -1186,17 +1255,33 @@ class TaskManager:
         platform = self.platforms.get(platform_name or self.config.platform)
         platform.post_hits(hits)
         self.stats.hits_posted += len(hits)
+        self.stats.bump(f"hits_{kind}", len(hits))
         clock = getattr(platform, "clock", None)
+        posted_at = clock.now if clock is not None else 0.0
         future = CrowdFuture(
             kind=kind,
             key=key,
             hits=hits,
             platform=platform,
-            posted_at=clock.now if clock is not None else 0.0,
+            posted_at=posted_at,
             timeout_seconds=self.config.timeout_seconds,
             finalize=finalize,
         )
         future.adaptive = adaptive
+        if self.tracer is not None:
+            for hit in hits:
+                group = getattr(hit.task, "subtasks", None)
+                self.tracer.emit(
+                    "hit.issue",
+                    sim=posted_at,
+                    hit=hit.hit_id,
+                    task_kind=kind,
+                    platform=getattr(platform, "name", "?"),
+                    reward_cents=hit.reward_cents,
+                    replication=hit.assignments_requested,
+                    group_size=len(group) if group is not None else 1,
+                    adaptive=adaptive is not None,
+                )
         if self.task_pool is not None:
             self.task_pool.register(future)
         self._maybe_inject_gold(platform, len(hits))
@@ -1216,6 +1301,7 @@ class TaskManager:
             remaining = target.timeout_seconds
             if clock is not None:
                 remaining = max(0.0, target.deadline - clock.now)
+            self.stats.marketplace_rounds += 1
             met = target.platform.run_until(target.ready, remaining)
             if not met and clock is not None:
                 break  # deadline reached with work still open
@@ -1256,6 +1342,7 @@ class TaskManager:
                     )
                 else:
                     timeout = max(f.timeout_seconds for f in group)
+                self.stats.marketplace_rounds += 1
                 met = platform.run_until(all_ready, timeout)
                 if not met and clock is not None:
                     break  # deadlines reached with work still open
@@ -1278,19 +1365,69 @@ class TaskManager:
             return future.result()
         if future.settled:
             return future._value
-        if not future.hits_closed():
+        timed_out = not future.hits_closed()
+        if timed_out:
             self.stats.timeouts += 1
             for hit in future.hits:
                 if hit.status is HITStatus.OPEN:
                     future.platform.expire_hit(hit.hit_id)
-        self.stats.assignments_received += sum(
-            len(hit.assignments) for hit in future.hits
-        )
-        self.stats.cost_cents += sum(
+        assignments = sum(len(hit.assignments) for hit in future.hits)
+        cents = sum(
             hit.reward_cents * len(hit.assignments) for hit in future.hits
         )
+        self.stats.assignments_received += assignments
+        self.stats.cost_cents += cents
+        # capture the verdict-confidence telemetry finalization records,
+        # then stamp the future with its own accounting so every waiting
+        # statement attributes exactly this future's spend to itself
+        confidence_sum_before = self.stats.confidence_sum
+        confidence_count_before = self.stats.confidence_count
         future._value = future._finalize(future.hits)
         future._settled = True
+        future.accounting = {
+            "assignments": assignments,
+            "cost_cents": cents,
+            "confidence_sum": (
+                self.stats.confidence_sum - confidence_sum_before
+            ),
+            "confidence_count": (
+                self.stats.confidence_count - confidence_count_before
+            ),
+        }
+        if self.tracer is not None:
+            clock = getattr(future.platform, "clock", None)
+            sim_now = clock.now if clock is not None else 0.0
+            # adaptive futures carry their probe confidence; for
+            # fixed-replication ones report the mean verdict confidence
+            # recorded while finalizing
+            confidence = future.confidence
+            if confidence is None and future.accounting["confidence_count"]:
+                confidence = (
+                    future.accounting["confidence_sum"]
+                    / future.accounting["confidence_count"]
+                )
+            self.tracer.emit(
+                "future.settle",
+                sim=sim_now,
+                task_kind=future.kind,
+                hits=[hit.hit_id for hit in future.hits],
+                workers=sorted(
+                    {
+                        a.worker_id
+                        for hit in future.hits
+                        for a in hit.assignments
+                        if a.worker_id
+                    }
+                ),
+                assignments=assignments,
+                cost_cents=cents,
+                confidence=(
+                    round(confidence, 4) if confidence is not None else None
+                ),
+                extensions=future.extensions,
+                timed_out=timed_out,
+                latency_seconds=round(max(0.0, sim_now - future.posted_at), 3),
+            )
         if self.task_pool is not None:
             self.task_pool.forget(future)
         self._sweep_gold()

@@ -28,6 +28,56 @@ from repro.storage.engine import StorageEngine
 from repro.storage.row import Scope
 
 
+class CrowdLedger:
+    """Per-statement attribution of crowd spend.
+
+    The context records every future a statement waits on (mirrors and
+    HIT-group members resolve to their settlement parent, deduplicated),
+    and the Task Manager stamps each future with its own settlement
+    accounting.  Summing those per-future figures gives the statement
+    *its* cents/assignments even when concurrent sessions interleave —
+    a global counter delta would absorb everyone else's spend.
+
+    A future shared through the task pool (two sessions deduplicating
+    onto one HIT) attributes its full spend to every waiter: each of
+    those statements needed the answer and would have paid for it alone.
+    """
+
+    def __init__(self) -> None:
+        self._futures: dict[int, Any] = {}
+
+    def record(self, future: Any) -> None:
+        target = (
+            future.mirror_of
+            if getattr(future, "mirror_of", None) is not None
+            else future
+        )
+        self._futures.setdefault(id(target), target)
+
+    def summary(self) -> dict[str, float]:
+        hits = assignments = cents = extensions = 0
+        confidence_sum = 0.0
+        confidence_count = 0
+        for future in self._futures.values():
+            hits += len(future.hits)
+            extensions += getattr(future, "extension_assignments", 0)
+            accounting = getattr(future, "accounting", None)
+            if accounting is None:
+                continue  # cache-resolved future: no platform spend
+            assignments += accounting["assignments"]
+            cents += accounting["cost_cents"]
+            confidence_sum += accounting["confidence_sum"]
+            confidence_count += accounting["confidence_count"]
+        return {
+            "hits": hits,
+            "assignments": assignments,
+            "cost_cents": cents,
+            "extension_assignments": extensions,
+            "confidence_sum": confidence_sum,
+            "confidence_count": confidence_count,
+        }
+
+
 class ExecutionContext:
     """Shared runtime state for one statement."""
 
@@ -43,6 +93,7 @@ class ExecutionContext:
         crowd_waiter: Optional[Callable[[Any], None]] = None,
         compile_expressions: bool = True,
         ordered_conjuncts: bool = True,
+        crowd_ledger: Optional[CrowdLedger] = None,
     ) -> None:
         self.engine = engine
         self.task_manager = task_manager
@@ -62,21 +113,36 @@ class ExecutionContext:
         self.crowd_probe_tasks = 0
         self.crowd_join_tasks = 0
         self.crowd_compare_tasks = 0
+        # per-statement crowd attribution: every future this statement
+        # waits on is recorded here (the executor threads one ledger
+        # through a statement and its subqueries)
+        self.crowd_ledger = crowd_ledger
         # quality/cost telemetry: snapshot the Task Manager counters at
         # statement start so the ResultSet can report this query's own
         # spend (assignments, cents, adaptive extensions, gold probes)
         # and mean verdict confidence rather than connection lifetime
-        # totals
+        # totals.  Snapshots flatten dynamically created counters too
+        # (TaskManagerStats.extra), and the delta below defaults missing
+        # keys to 0 on *both* sides, so a counter that first appears
+        # mid-query yields a true delta instead of an absolute total.
         self._crowd_stats_before: dict[str, float] = (
             task_manager.stats.snapshot() if task_manager is not None else {}
         )
 
     def crowd_quality_stats(self) -> dict[str, float]:
-        """This statement's quality/cost deltas over the Task Manager.
+        """This statement's quality/cost attribution over the crowd.
 
         Keys: ``hits_posted``, ``assignments``, ``cost_cents``,
         ``hit_extensions``, ``gold_hits``, ``mean_confidence`` (0.0 when
         no verdict settled during the statement).
+
+        With a :class:`CrowdLedger` attached (the executor always
+        attaches one for SELECTs), figures are summed over the futures
+        *this* statement waited on — exact even when concurrent server
+        sessions spend in between.  Gold probes are charged via the
+        gold-only counters (probes shadow whole marketplace rounds, not
+        individual futures).  Without a ledger, figures fall back to
+        global counter deltas (single-statement contexts).
         """
         if self.task_manager is None:
             return {}
@@ -86,6 +152,27 @@ class ExecutionContext:
         def delta(key: str) -> float:
             return after.get(key, 0) - before.get(key, 0)
 
+        if self.crowd_ledger is not None:
+            summary = self.crowd_ledger.summary()
+            verdicts = summary["confidence_count"]
+            mean_confidence = (
+                summary["confidence_sum"] / verdicts if verdicts else 0.0
+            )
+            return {
+                "hits_posted": int(
+                    summary["hits"] + delta("gold_hits_posted")
+                ),
+                "assignments": int(
+                    summary["assignments"]
+                    + delta("gold_assignments_received")
+                ),
+                "cost_cents": int(
+                    summary["cost_cents"] + delta("gold_cost_cents")
+                ),
+                "hit_extensions": int(summary["extension_assignments"]),
+                "gold_hits": int(delta("gold_hits_posted")),
+                "mean_confidence": round(mean_confidence, 4),
+            }
         verdicts = delta("confidence_count")
         mean_confidence = (
             delta("confidence_sum") / verdicts if verdicts else 0.0
@@ -141,6 +228,8 @@ class ExecutionContext:
         here; cooperative mode yields the session to the scheduler, which
         resumes it only once the future has been settled.
         """
+        if self.crowd_ledger is not None:
+            self.crowd_ledger.record(future)
         if future.settled:
             return
         if self.crowd_waiter is not None:
@@ -160,6 +249,9 @@ class ExecutionContext:
         marketplace round; cooperative mode suspends the session on the
         *set*, and the scheduler resumes it once all members settled.
         """
+        if self.crowd_ledger is not None:
+            for future in futures:
+                self.crowd_ledger.record(future)
         pending = [f for f in futures if not f.settled]
         if not pending:
             return

@@ -11,16 +11,19 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Optional, Sequence
 
 from repro.catalog.ddl import build_table_schema
-from repro.engine.context import ExecutionContext
+from repro.engine.context import CrowdLedger, ExecutionContext
 from repro.engine.planner import PhysicalPlanner
 from repro.errors import ExecutionError, PlanError
+from repro.obs import QueryProfiler, render_analyze
 from repro.optimizer.optimizer import OptimizationResult, Optimizer
 from repro.plan.builder import PlanBuilder
 from repro.plan.expressions import Evaluator
 from repro.sql import ast
+from repro.sql.pretty import format_statement
 from repro.sqltypes import NULL, is_missing
 from repro.storage.engine import StorageEngine
 from repro.storage.row import Scope
@@ -158,12 +161,18 @@ class Executor:
         platform: Optional[str] = None,
         plan_cache: Optional[PlanCache] = None,
         plan_cache_size: int = 64,
+        observability: Optional[Any] = None,  # repro.obs.Observability
     ) -> None:
         self.engine = engine
         self.optimizer = optimizer if optimizer is not None else Optimizer(engine)
         self.task_manager = task_manager
         self.ui_manager = ui_manager
         self.platform = platform
+        self.observability = observability
+        # crowd ledger for the statement currently running: set by
+        # _run_compiled, inherited by correlated subqueries through
+        # _make_context so their spend attributes to the outer statement
+        self._active_ledger: Optional[CrowdLedger] = None
         self.builder = PlanBuilder(engine.catalog)
         # issue/yield/resume hook: the concurrent query server installs a
         # callback here so crowd waits suspend the session instead of
@@ -186,6 +195,21 @@ class Executor:
         self, stmt: ast.Statement, parameters: Sequence[Any] = ()
     ) -> ResultSet:
         parameters = tuple(parameters)
+        obs = self.observability
+        if obs is None or not obs.enabled:
+            return self._dispatch(stmt, parameters)
+        started = perf_counter()
+        result = self._dispatch(stmt, parameters)
+        obs.observe_statement(
+            result.statement or type(stmt).__name__,
+            perf_counter() - started,
+            rows=result.rowcount,
+            cost_cents=int(result.crowd_stats.get("cost_cents", 0)),
+            sql_fn=lambda: format_statement(stmt),
+        )
+        return result
+
+    def _dispatch(self, stmt: ast.Statement, parameters: tuple) -> ResultSet:
         if isinstance(stmt, (ast.Select, ast.SetOp)):
             return self._execute_select(stmt, parameters)
         if isinstance(stmt, ast.CreateTable):
@@ -204,7 +228,7 @@ class Executor:
         if isinstance(stmt, ast.Delete):
             return self._execute_delete(stmt, parameters)
         if isinstance(stmt, ast.Explain):
-            return self._execute_explain(stmt)
+            return self._execute_explain(stmt, parameters)
         if isinstance(stmt, ast.Analyze):
             return self._execute_analyze(stmt)
         if isinstance(stmt, ast.ShowTables):
@@ -273,17 +297,7 @@ class Executor:
         self, stmt: ast.Statement, parameters: tuple
     ) -> ResultSet:
         compiled = self.compile_select(stmt)
-        context = self._make_context(parameters)
-        operator = PhysicalPlanner(context).plan(compiled.plan)
-        rows = list(operator)
-        columns = [entry[1] for entry in operator.scope.entries]
-        crowd_stats = {
-            "probe_tasks": context.crowd_probe_tasks,
-            "join_tasks": context.crowd_join_tasks,
-            "compare_tasks": context.crowd_compare_tasks,
-            "rows_scanned": context.rows_scanned,
-        }
-        crowd_stats.update(context.crowd_quality_stats())
+        columns, rows, crowd_stats = self._run_compiled(compiled, parameters)
         return ResultSet(
             columns=columns,
             rows=rows,
@@ -293,11 +307,49 @@ class Executor:
             crowd_stats=crowd_stats,
         )
 
-    def _execute_explain(self, stmt: ast.Explain) -> ResultSet:
+    def _run_compiled(
+        self,
+        compiled: OptimizationResult,
+        parameters: tuple,
+        profiler: Optional[QueryProfiler] = None,
+    ) -> tuple[list[str], list[tuple], dict[str, float]]:
+        """Run one compiled query under a fresh per-statement crowd
+        ledger, so concurrent sessions sharing the Task Manager report
+        only their own spend.  Correlated subqueries executed while
+        iterating inherit the ledger (their spend belongs to this
+        statement); a nested top-level run (INSERT ... SELECT) saves and
+        restores it."""
+        previous = self._active_ledger
+        self._active_ledger = (
+            CrowdLedger() if self.task_manager is not None else None
+        )
+        try:
+            context = self._make_context(parameters)
+            operator = PhysicalPlanner(context, profiler=profiler).plan(
+                compiled.plan
+            )
+            rows = list(operator)
+            columns = [entry[1] for entry in operator.scope.entries]
+            crowd_stats = {
+                "probe_tasks": context.crowd_probe_tasks,
+                "join_tasks": context.crowd_join_tasks,
+                "compare_tasks": context.crowd_compare_tasks,
+                "rows_scanned": context.rows_scanned,
+            }
+            crowd_stats.update(context.crowd_quality_stats())
+            return columns, rows, crowd_stats
+        finally:
+            self._active_ledger = previous
+
+    def _execute_explain(
+        self, stmt: ast.Explain, parameters: tuple = ()
+    ) -> ResultSet:
         inner = stmt.statement
         if not isinstance(inner, (ast.Select, ast.SetOp)):
             raise ExecutionError("EXPLAIN supports SELECT statements only")
         compiled = self.compile_select(inner)
+        if stmt.analyze:
+            return self._execute_explain_analyze(compiled, parameters)
         lines = compiled.explain().splitlines()
         return ResultSet(
             columns=["plan"],
@@ -306,6 +358,61 @@ class Executor:
             statement="EXPLAIN",
             plan=compiled,
         )
+
+    def _execute_explain_analyze(
+        self, compiled: OptimizationResult, parameters: tuple
+    ) -> ResultSet:
+        """EXPLAIN ANALYZE: run the query with every operator wrapped in
+        a measuring proxy, then render estimate-vs-actual per node."""
+        profiler = QueryProfiler(
+            task_stats=(
+                self.task_manager.stats
+                if self.task_manager is not None
+                else None
+            ),
+            sim_clock=self._sim_clock(),
+        )
+        started = perf_counter()
+        _columns, _rows, crowd_stats = self._run_compiled(
+            compiled, parameters, profiler=profiler
+        )
+        total_seconds = perf_counter() - started
+        flag_ratio = (
+            self.observability.misestimate_ratio
+            if self.observability is not None
+            else 4.0
+        )
+        lines = render_analyze(
+            compiled,
+            profiler,
+            total_seconds,
+            crowd_stats=crowd_stats,
+            flag_ratio=flag_ratio,
+        ).splitlines()
+        return ResultSet(
+            columns=["plan"],
+            rows=[(line,) for line in lines],
+            rowcount=len(lines),
+            statement="EXPLAIN ANALYZE",
+            plan=compiled,
+            crowd_stats=crowd_stats,
+        )
+
+    def _sim_clock(self) -> Optional[Callable[[], float]]:
+        """Busiest-platform simulated clock, for per-node sim time."""
+        registry = getattr(self.task_manager, "platforms", None)
+        if registry is None:
+            return None
+
+        def now() -> float:
+            latest = 0.0
+            for name in registry.names():
+                clock = getattr(registry.get(name), "clock", None)
+                if clock is not None:
+                    latest = max(latest, clock.now)
+            return latest
+
+        return now
 
     def _execute_analyze(self, stmt: ast.Analyze) -> ResultSet:
         analyzed = self.engine.analyze(stmt.table)
@@ -427,6 +534,7 @@ class Executor:
             platform=self.platform,
             subquery_executor=self._run_subquery,
             crowd_waiter=self.crowd_waiter,
+            crowd_ledger=self._active_ledger,
             compile_expressions=getattr(
                 self.optimizer, "compile_expressions", True
             ),

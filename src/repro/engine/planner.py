@@ -27,13 +27,22 @@ from repro.storage.row import Scope
 
 
 class PhysicalPlanner:
-    """Maps each logical node to its physical operator."""
+    """Maps each logical node to its physical operator.
+
+    With a ``profiler`` (EXPLAIN ANALYZE), every operator is wrapped in
+    a transparent measuring proxy keyed by its logical node, so runtime
+    actuals join against the optimizer's compile-time annotations.
+    """
 
     def __init__(
-        self, context: ExecutionContext, correlation: Correlation = None
+        self,
+        context: ExecutionContext,
+        correlation: Correlation = None,
+        profiler: Optional[object] = None,  # repro.obs.QueryProfiler
     ) -> None:
         self.context = context
         self.correlation = correlation
+        self.profiler = profiler
 
     def plan(
         self,
@@ -43,6 +52,16 @@ class PhysicalPlanner:
         """Translate ``node``; ``row_bound`` is the number of output rows
         the consumer can possibly pull (an enclosing LIMIT), threaded
         down through row-preserving operators to clamp batch windows."""
+        operator = self._plan_node(node, row_bound)
+        if self.profiler is not None:
+            operator = self.profiler.wrap(node, operator)
+        return operator
+
+    def _plan_node(
+        self,
+        node: logical.LogicalPlan,
+        row_bound: Optional[int] = None,
+    ) -> PhysicalOperator:
         if isinstance(node, logical.Scan):
             return TableScan(
                 self.context,

@@ -1,0 +1,86 @@
+"""Slow-query log: statements whose wall time crossed a threshold.
+
+Disabled by default (``threshold_seconds=None``); ``connect(...,
+slow_query_seconds=0.5)`` turns it on.  Entries are bounded by a ring
+buffer and carry enough context to reproduce the statement — SQL text,
+wall seconds, row count, and the crowd cents it spent.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SlowQueryEntry:
+    """One over-threshold statement."""
+
+    sql: str
+    seconds: float
+    rows: int = 0
+    cost_cents: int = 0
+    statement: str = ""       # statement kind, e.g. "SELECT"
+    timestamp: float = field(default_factory=time.time)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"{self.seconds * 1000.0:8.1f} ms  {self.rows:>6} row(s)  "
+            f"{self.cost_cents:>5}c  {self.sql}"
+        )
+
+
+class SlowQueryLog:
+    """Ring buffer of over-threshold statements."""
+
+    def __init__(
+        self,
+        threshold_seconds: Optional[float] = None,
+        capacity: int = 128,
+    ) -> None:
+        self.threshold_seconds = threshold_seconds
+        self._entries: deque[SlowQueryEntry] = deque(maxlen=max(1, capacity))
+        self.recorded = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_seconds is not None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def should_record(self, seconds: float) -> bool:
+        return (
+            self.threshold_seconds is not None
+            and seconds >= self.threshold_seconds
+        )
+
+    def record(
+        self,
+        sql: str,
+        seconds: float,
+        rows: int = 0,
+        cost_cents: int = 0,
+        statement: str = "",
+    ) -> None:
+        self.recorded += 1
+        self._entries.append(
+            SlowQueryEntry(
+                sql=sql,
+                seconds=seconds,
+                rows=rows,
+                cost_cents=cost_cents,
+                statement=statement,
+            )
+        )
+
+    def entries(self, limit: Optional[int] = None) -> list[SlowQueryEntry]:
+        entries = list(self._entries)
+        if limit is not None and limit >= 0:
+            entries = entries[-limit:]
+        return entries
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,109 @@
+"""Crowd tracing: structured span events over the HIT lifecycle.
+
+The Task Manager emits one event per lifecycle transition —
+``hit.issue`` → ``hit.group`` → ``hit.extend`` → ``future.settle`` (plus
+``gold.issue`` / ``gold.score`` probes and settle-time ``vote``
+verdicts) — into a ring-buffered :class:`TraceSink`.  The buffer is
+bounded, so tracing can stay on for the life of a connection; events are
+queryable by kind (the shell's ``.trace`` command) and exportable as
+JSONL for offline analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from collections import Counter, deque
+from typing import Any, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured span event."""
+
+    seq: int                  # monotonically increasing per sink
+    wall: float               # wall-clock timestamp (time.time())
+    sim: float                # simulated marketplace seconds
+    kind: str                 # e.g. "hit.issue", "future.settle"
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        payload = {
+            "seq": self.seq,
+            "wall": round(self.wall, 6),
+            "sim": round(self.sim, 3),
+            "kind": self.kind,
+        }
+        payload.update(self.data)
+        return payload
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, default=str)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        fields = " ".join(f"{k}={v}" for k, v in self.data.items())
+        return f"[{self.seq:>5} sim={self.sim:>9.1f}s] {self.kind:<14} {fields}"
+
+
+class TraceSink:
+    """Bounded ring buffer of trace events."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        self.capacity = max(1, capacity)
+        self._events: deque[TraceEvent] = deque(maxlen=self.capacity)
+        self._seq = 0
+        self.emitted = 0               # lifetime count (ring may have dropped)
+        self._by_kind: Counter = Counter()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def emit(self, kind: str, sim: float = 0.0, **data: Any) -> None:
+        self._seq += 1
+        self.emitted += 1
+        self._by_kind[kind] += 1
+        self._events.append(
+            TraceEvent(
+                seq=self._seq, wall=time.time(), sim=sim, kind=kind, data=data
+            )
+        )
+
+    def events(
+        self, kind: Optional[str] = None, limit: Optional[int] = None
+    ) -> list[TraceEvent]:
+        """Retained events, oldest first; ``kind`` filters (prefix match
+        on the segment, so ``"hit"`` matches ``"hit.issue"``), ``limit``
+        keeps the most recent N."""
+        if kind is None:
+            selected: Iterable[TraceEvent] = self._events
+        else:
+            selected = [
+                e
+                for e in self._events
+                if e.kind == kind or e.kind.startswith(kind + ".")
+            ]
+        selected = list(selected)
+        if limit is not None and limit >= 0:
+            selected = selected[-limit:]
+        return selected
+
+    def counts(self) -> dict[str, int]:
+        """Lifetime event counts by kind."""
+        return dict(sorted(self._by_kind.items()))
+
+    def to_jsonl(
+        self, kind: Optional[str] = None, limit: Optional[int] = None
+    ) -> str:
+        return "\n".join(e.to_json() for e in self.events(kind, limit))
+
+    def export(self, path: str, kind: Optional[str] = None) -> int:
+        """Write retained events to a JSONL file; returns how many."""
+        events = self.events(kind)
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(event.to_json() + "\n")
+        return len(events)
+
+    def clear(self) -> None:
+        self._events.clear()

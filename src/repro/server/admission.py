@@ -65,6 +65,13 @@ class AdmissionController:
     def waiting_count(self) -> int:
         return len(self._waitlist)
 
+    def snapshot(self) -> dict[str, int]:
+        """Lifetime counters plus live occupancy (queue depths)."""
+        data = self.stats.snapshot()
+        data["active"] = self.active_count
+        data["waiting"] = self.waiting_count
+        return data
+
     # -- transitions ---------------------------------------------------------
 
     def request(self, session: "Session") -> bool:

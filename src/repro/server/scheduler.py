@@ -146,6 +146,12 @@ class CooperativeScheduler:
                     lambda: any(f.ready() for f in group), timeout
                 )
                 self.stats.clock_advances += 1
+                # runtime counterpart of the cost model's "rounds": the
+                # scheduler drives the marketplace for every session, so
+                # count it where TaskManager.wait would have
+                stats = getattr(self.task_manager, "stats", None)
+                if stats is not None:
+                    stats.marketplace_rounds += 1
                 ready = [f for f in group if f.ready()]
             for future in ready:
                 self.task_manager.settle(future)

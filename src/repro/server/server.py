@@ -61,6 +61,62 @@ class Server:
         self.scheduler = CooperativeScheduler(connection.task_manager)
         self.sessions: dict[int, Session] = {}
         self._session_ids = itertools.count(1)
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Expose every server subsystem through the connection's metrics
+        registry: collectors for the stats objects, computed views for
+        live occupancy, and a per-session labeled gauge family."""
+        registry = self.connection.metrics
+        registry.register_collector("task_pool", self.task_pool.snapshot)
+        registry.register_collector("scheduler", self.scheduler.stats.snapshot)
+        registry.register_collector("admission", self.admission.snapshot)
+        registry.register_view(
+            "sessions_open",
+            lambda: len(self.sessions),
+            help="sessions currently open on the server",
+        )
+        registry.register_view(
+            "sessions_waitlisted",
+            lambda: self.admission.waiting_count,
+            help="sessions queued behind admission control",
+        )
+        registry.register_view(
+            "simulated_seconds",
+            self.simulated_seconds,
+            help="wall-clock of the busiest simulated platform",
+        )
+        registry.register_view(
+            "task_pool_dedup_rate",
+            self._dedup_rate,
+            help="share of pool lookups served by an in-flight HIT",
+        )
+        registry.register_labeled(
+            "session_busy_seconds",
+            "session",
+            lambda: {
+                str(sid): round(s.busy_seconds, 6)
+                for sid, s in sorted(self.sessions.items())
+            },
+            help="wall time each session spent inside statements",
+        )
+        registry.register_labeled(
+            "session_statements",
+            "session",
+            lambda: {
+                str(sid): s.statements_run
+                for sid, s in sorted(self.sessions.items())
+            },
+            help="statements completed per session",
+        )
+
+    def _dedup_rate(self) -> float:
+        stats = self.task_pool.stats
+        return (
+            round(stats.deduplicated / stats.lookups, 4)
+            if stats.lookups
+            else 0.0
+        )
 
     # -- session lifecycle ---------------------------------------------------
 
@@ -76,6 +132,7 @@ class Server:
             ui_manager=self.connection.ui_manager,
             platform=shared.platform,
             plan_cache=shared.plan_cache,  # plans pool across sessions
+            observability=self.connection.observability,
         )
         session = Session(session_id, executor)
         self.admission.request(session)  # may raise before registration
@@ -122,15 +179,21 @@ class Server:
         return latest
 
     def stats(self) -> dict[str, Any]:
-        """One snapshot across every server subsystem."""
+        """One snapshot across every server subsystem (read through the
+        connection's metrics registry — same shape as always)."""
+        registry = self.connection.metrics
         return {
             "sessions_open": len(self.sessions),
             "simulated_seconds": self.simulated_seconds(),
             "task_manager": dict(self.connection.crowd_stats),
-            "task_pool": self.task_pool.stats.snapshot(),
-            "scheduler": self.scheduler.stats.snapshot(),
-            "admission": self.admission.stats.snapshot(),
+            "task_pool": registry.collect("task_pool"),
+            "scheduler": registry.collect("scheduler"),
+            "admission": registry.collect("admission"),
         }
+
+    def metrics_text(self) -> str:
+        """Prometheus-style exposition of connection + server metrics."""
+        return self.connection.metrics.text()
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 import enum
 import threading
 from collections import deque
+from time import perf_counter
 from typing import Any, Optional
 
 from repro.engine.executor import Executor, ResultSet
@@ -56,6 +57,7 @@ class Session:
         self.errors: list[Exception] = []
         self.statements_run = 0
         self.suspensions = 0
+        self.busy_seconds = 0.0  # wall time spent executing statements
         self._statements: deque[str] = deque()
         self._thread: Optional[threading.Thread] = None
         self._resume = threading.Event()
@@ -178,12 +180,17 @@ class Session:
             self.results.append(error)
             return
         for statement in statements:
+            started = perf_counter()
             try:
                 self.results.append(self.executor.execute(statement))
                 self.statements_run += 1
             except Exception as error:  # surfaced per-statement, REPL-style
                 self.errors.append(error)
                 self.results.append(error)
+            finally:
+                # includes time parked on crowd futures — the session
+                # metric reads as "busy from the client's point of view"
+                self.busy_seconds += perf_counter() - started
 
     def _crowd_wait(self, future: Any) -> None:
         """The executor's yield point: park until the scheduler has

@@ -59,6 +59,12 @@ class TaskPool:
     def __len__(self) -> int:
         return len(self._pending)
 
+    def snapshot(self) -> dict[str, int]:
+        """Lifetime counters plus the live pending-future count."""
+        data = self.stats.snapshot()
+        data["pending"] = len(self._pending)
+        return data
+
     def lookup(self, key: tuple) -> Optional[CrowdFuture]:
         """An unsettled future for ``key``, if one is in flight."""
         self.stats.lookups += 1

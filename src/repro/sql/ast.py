@@ -356,9 +356,13 @@ class Delete(Statement):
 
 @dataclass(frozen=True)
 class Explain(Statement):
-    """EXPLAIN <select> — show the optimized plan without executing."""
+    """EXPLAIN <select> — show the optimized plan without executing.
+
+    ``EXPLAIN ANALYZE <select>`` additionally *runs* the query and
+    reports estimated vs actual rows/cents/rounds per plan node."""
 
     statement: Statement
+    analyze: bool = False
 
 
 @dataclass(frozen=True)

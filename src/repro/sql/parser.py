@@ -121,7 +121,13 @@ class Parser:
             return self._parse_delete()
         if self._at_keyword("EXPLAIN"):
             self._advance()
-            return ast.Explain(self._parse_statement())
+            analyze = False
+            # EXPLAIN ANALYZE <select>: run the statement and report
+            # estimate-vs-actual per plan node
+            if self._at_keyword("ANALYZE"):
+                self._advance()
+                analyze = True
+            return ast.Explain(self._parse_statement(), analyze=analyze)
         if self._at_keyword("SHOW"):
             self._advance()
             self._expect(TokenType.KEYWORD, "TABLES")

@@ -244,7 +244,8 @@ def format_statement(stmt: ast.Statement) -> str:
             text += " WHERE " + format_expression(stmt.where)
         return text
     if isinstance(stmt, ast.Explain):
-        return "EXPLAIN " + format_statement(stmt.statement)
+        prefix = "EXPLAIN ANALYZE " if stmt.analyze else "EXPLAIN "
+        return prefix + format_statement(stmt.statement)
     if isinstance(stmt, ast.ShowTables):
         return "SHOW TABLES"
     raise TypeError(f"cannot format statement {type(stmt).__name__}")
