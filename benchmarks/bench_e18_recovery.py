@@ -1,0 +1,267 @@
+"""E18 — durable WAL recovery and the persistent crowd-answer ledger.
+
+Crowd answers are paid for; losing them to a process crash means paying
+twice.  PR7 put a write-ahead log under the storage engine and routed
+every settled crowd verdict (fills, CROWDEQUAL verdicts, reputation
+posteriors) through it with ``origin="crowd"``.  E18 verifies the
+economics end to end:
+
+* **zero-repurchase gate** — the E12-style mixed workload (City fills +
+  Company CROWDEQUAL) runs once on a durable instance, the process
+  "crashes" (no close, no checkpoint), and a fresh connection recovers
+  from the WAL alone.  Re-running the *same* workload must buy **zero**
+  new assignments and return identical rows.
+* **fault-injection sweep** — the same workload is killed at WAL record
+  boundaries spread across the log; after each crash, recovery plus a
+  re-run must converge to the reference answers while paying only for
+  the answers the crash actually lost (never more than the full price).
+
+Full-mode results land in ``BENCH_e18.json``; fast-mode (CI smoke)
+numbers never clobber the committed artifact.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from crowdbench import FAST, report, server_oracle
+
+from repro import connect
+from repro.api import Connection
+from repro.crowd.model import reset_id_counters
+from repro.crowd.platform import PlatformRegistry
+from repro.crowd.sim.amt import SimulatedAMT
+from repro.crowd.sim.behavior import BehaviorConfig
+from repro.crowd.sim.population import generate_population
+from repro.storage.recovery import DurableStorage, recover_storage
+from repro.storage.wal import FaultingWAL, WalCrash
+
+SEED = 11
+CITIES = 6 if FAST else 24
+TARGETS = ["IBM", "Microsoft", "Oracle", "HP"]
+SWEEP_POINTS = 2 if FAST else 6
+
+BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_e18.json",
+)
+
+
+def setup_sql() -> list[str]:
+    statements = [
+        "CREATE TABLE City (name STRING PRIMARY KEY, "
+        "population CROWD INTEGER, elevation CROWD INTEGER)",
+        "CREATE TABLE Company (name STRING PRIMARY KEY)",
+    ]
+    statements += [
+        f"INSERT INTO City (name) VALUES ('city{i:02d}')"
+        for i in range(CITIES)
+    ]
+    statements += [
+        f"INSERT INTO Company (name) VALUES ('{name}')"
+        for name in ("I.B.M.", "Microsoft Corp.", "Oracle Corp", "HP Inc.")
+    ]
+    return statements
+
+
+def crowd_queries() -> list[str]:
+    queries = [
+        f"SELECT population FROM City WHERE name = 'city{i:02d}'"
+        for i in range(CITIES)
+    ]
+    queries += [
+        f"SELECT name FROM Company WHERE CROWDEQUAL(name, '{target}')"
+        for target in TARGETS
+    ]
+    return queries
+
+
+def _platform(oracle):
+    """Near-perfect deterministic AMT (same rationale as E12: this
+    experiment measures durability, not quality control)."""
+    workers = generate_population(
+        200, seed=SEED, skill_range=(0.995, 1.0), id_prefix="amt-"
+    )
+    return SimulatedAMT(
+        oracle,
+        workers=workers,
+        seed=SEED,
+        config=BehaviorConfig(base_accuracy=0.999),
+    )
+
+
+def _durable_connection(oracle, path: str):
+    reset_id_counters()
+    return connect(
+        oracle=oracle,
+        seed=SEED,
+        platforms=(_platform(oracle),),
+        default_platform="amt",
+        path=path,
+    )
+
+
+def _run_workload(db, statements=None, queries=None):
+    rows = []
+    for statement in statements or []:
+        db.execute(statement)
+    for query in queries or []:
+        rows.append(sorted(db.execute(query).rows))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def results(tmp_path_factory):
+    oracle = server_oracle(cities=CITIES)
+
+    # -- run 1: pay for every answer, then crash without closing ------------
+    first_dir = str(tmp_path_factory.mktemp("e18-main"))
+    db = _durable_connection(oracle, first_dir)
+    first_rows = _run_workload(db, setup_sql(), crowd_queries())
+    platform = db.platforms.get("amt")
+    paid_assignments = platform.assignments_submitted
+    paid_cents = platform.total_cost_cents
+    wal_records = db.storage.wal.stats.records
+    ledger_records = db.storage.ledger.records
+    # simulated crash: the connection is abandoned un-closed
+
+    # -- run 2: recover from the WAL, re-run, count what it buys ------------
+    start = time.perf_counter()
+    recovered = _durable_connection(oracle, first_dir)
+    recovery_seconds = time.perf_counter() - start
+    replayed = recovered.recovery_report.records_replayed
+    crowd_replayed = recovered.recovery_report.crowd_records
+    second_rows = _run_workload(recovered, queries=crowd_queries())
+    second_platform = recovered.platforms.get("amt")
+    repurchased = second_platform.assignments_submitted
+    recovered.close()
+
+    # -- fault sweep: crash mid-workload at spread record boundaries --------
+    reference = first_rows
+    sweep = []
+    step = max(1, wal_records // (SWEEP_POINTS + 1))
+    for point in range(1, SWEEP_POINTS + 1):
+        cut = point * step
+        directory = str(tmp_path_factory.mktemp(f"e18-cut{cut}"))
+        reset_id_counters()
+        storage = DurableStorage(
+            directory,
+            checkpoint_interval=None,
+            wal_factory=lambda p, **kw: FaultingWAL(
+                p, fail_after_records=cut, **kw
+            ),
+        )
+        registry = PlatformRegistry()
+        registry.register(_platform(oracle), default=True)
+        crashed_db = Connection(engine=storage.engine, platforms=registry)
+        storage.bind_crowd(crashed_db.task_manager, crashed_db.reputation)
+        try:
+            _run_workload(crashed_db, setup_sql(), crowd_queries())
+            crashed = False
+        except WalCrash:
+            crashed = True
+        survivors = recover_storage(directory)
+        retry = _durable_connection(oracle, directory)
+        # recovery may land mid-setup: make the schema + seed rows whole
+        for statement in setup_sql():
+            try:
+                retry.execute(statement)
+            except Exception:
+                pass  # already recovered from the WAL
+        retry_rows = _run_workload(retry, queries=crowd_queries())
+        retry_platform = retry.platforms.get("amt")
+        sweep.append({
+            "cut_after_records": cut,
+            "crashed": crashed,
+            "records_recovered": survivors.report.records_replayed,
+            "repurchased_assignments": retry_platform.assignments_submitted,
+            "rows_match_reference": retry_rows == reference,
+        })
+        retry.close()
+
+    return {
+        "paid_assignments": paid_assignments,
+        "paid_cents": paid_cents,
+        "wal_records": wal_records,
+        "ledger_records": ledger_records,
+        "recovery_seconds": recovery_seconds,
+        "records_replayed": replayed,
+        "crowd_records_replayed": crowd_replayed,
+        "repurchased_assignments": repurchased,
+        "first_rows": first_rows,
+        "second_rows": second_rows,
+        "sweep": sweep,
+    }
+
+
+def test_report(results):
+    rows = [
+        ["full run", results["wal_records"], results["paid_assignments"],
+         results["paid_cents"], "-"],
+        ["crash+recover re-run", results["records_replayed"],
+         results["repurchased_assignments"], 0,
+         f"{results['recovery_seconds'] * 1000.0:.1f} ms"],
+    ]
+    for entry in results["sweep"]:
+        rows.append([
+            f"cut@{entry['cut_after_records']}",
+            entry["records_recovered"],
+            entry["repurchased_assignments"],
+            "-",
+            "match" if entry["rows_match_reference"] else "MISMATCH",
+        ])
+    report(
+        "E18",
+        "WAL recovery + crowd-answer ledger "
+        f"({CITIES} cities, {len(TARGETS)} CROWDEQUAL targets)",
+        ["phase", "wal records", "assignments", "cents", "note"],
+        rows,
+    )
+    if FAST:
+        return  # CI smoke numbers never clobber the committed artifact
+    payload = {
+        "experiment": "E18",
+        "config": {"cities": CITIES, "targets": TARGETS, "seed": SEED},
+        "full_run": {
+            "wal_records": results["wal_records"],
+            "ledger_records": results["ledger_records"],
+            "assignments": results["paid_assignments"],
+            "cost_cents": results["paid_cents"],
+        },
+        "recovery": {
+            "seconds": results["recovery_seconds"],
+            "records_replayed": results["records_replayed"],
+            "crowd_records_replayed": results["crowd_records_replayed"],
+            "repurchased_assignments": results["repurchased_assignments"],
+        },
+        "fault_sweep": results["sweep"],
+    }
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def test_crash_recover_buys_zero_assignments(results):
+    """The headline gate: recovery must repurchase nothing."""
+    assert results["paid_assignments"] > 0  # the first run did real work
+    assert results["repurchased_assignments"] == 0
+
+
+def test_recovered_rows_match(results):
+    assert results["second_rows"] == results["first_rows"]
+
+
+def test_crowd_answers_travel_through_wal(results):
+    assert results["ledger_records"] > 0
+    assert results["crowd_records_replayed"] > 0
+
+
+def test_fault_sweep_converges(results):
+    """Every injection point: the re-run converges to reference answers
+    and never pays more than the full, from-scratch price."""
+    for entry in results["sweep"]:
+        assert entry["rows_match_reference"], entry
+        assert (
+            entry["repurchased_assignments"] <= results["paid_assignments"]
+        ), entry

@@ -47,6 +47,7 @@ from repro.optimizer.optimizer import OptimizationResult, Optimizer
 from repro.sql import ast
 from repro.sql.parser import parse, parse_script
 from repro.storage.engine import StorageEngine
+from repro.storage.recovery import DurableStorage
 from repro.ui.form_editor import FormEditor
 from repro.ui.manager import UITemplateManager
 
@@ -70,7 +71,28 @@ class Connection:
         slow_query_seconds: Optional[float] = None,
         trace_capacity: int = 2048,
         misestimate_ratio: float = 4.0,
+        path: Optional[str] = None,
+        durability: str = "wal",
+        wal_sync: str = "commit",
+        checkpoint_interval: Optional[int] = 1024,
     ) -> None:
+        # durable storage: with a path (and durability="wal") the engine
+        # is recovered from disk — checkpoint plus WAL tail — and every
+        # further mutation is written ahead to <path>/wal.jsonl
+        self.storage: Optional[DurableStorage] = None
+        if path is not None and durability == "wal":
+            if engine is not None:
+                raise ExecutionError(
+                    "pass either a prebuilt engine or a storage path, not both"
+                )
+            self.storage = DurableStorage(
+                path,
+                wal_sync=wal_sync,
+                checkpoint_interval=checkpoint_interval,
+                auto_analyze_floor=auto_analyze_floor,
+                auto_analyze_fraction=auto_analyze_fraction,
+            )
+            engine = self.storage.engine
         self.engine = (
             engine
             if engine is not None
@@ -79,6 +101,7 @@ class Connection:
                 auto_analyze_fraction=auto_analyze_fraction,
             )
         )
+        self._closed = False
         self.catalog: Catalog = self.engine.catalog
         self.platforms = platforms
         self.ui_manager = UITemplateManager(self.catalog)
@@ -104,6 +127,10 @@ class Connection:
             self.reputation.block_below = self.task_manager.config.block_below
             if observability:
                 self.task_manager.tracer = self.observability.trace
+        if self.storage is not None:
+            # seed comparison caches + reputation posteriors from the
+            # recovered ledger and attach the write-through hooks
+            self.storage.bind_crowd(self.task_manager, self.reputation)
         self.optimizer = Optimizer(
             self.engine,
             strict_boundedness=strict_boundedness,
@@ -144,6 +171,10 @@ class Connection:
         self.metrics.register_collector(
             "plan_cache", lambda: dict(self.executor.plan_cache.stats)
         )
+        if self.storage is not None:
+            self.metrics.register_collector(
+                "storage", self.storage.stats_snapshot
+            )
 
     @property
     def parse_cache_stats(self) -> dict[str, int]:
@@ -161,7 +192,10 @@ class Connection:
     def execute(self, sql: str, parameters: Sequence[Any] = ()) -> ResultSet:
         """Parse and execute one CrowdSQL statement."""
         statement = self._parse_cached(sql)
-        return self.executor.execute(statement, parameters)
+        result = self.executor.execute(statement, parameters)
+        if self.storage is not None:
+            self.storage.maybe_checkpoint()
+        return result
 
     def executescript(self, sql: str) -> list[ResultSet]:
         """Execute a semicolon-separated script; returns all results."""
@@ -252,8 +286,31 @@ class Connection:
         )
         return "\n".join(row[0] for row in result.rows)
 
-    def close(self) -> None:  # symmetry with DB-API; nothing to release
-        pass
+    # -- durability ---------------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Force a checkpoint now; returns the covered WAL LSN."""
+        if self.storage is None:
+            raise ExecutionError(
+                "no durable storage attached — open with connect(path=...)"
+            )
+        return self.storage.checkpoint()
+
+    @property
+    def recovery_report(self):
+        """What recovery found when this connection opened (None for
+        in-memory connections)."""
+        return self.storage.report if self.storage is not None else None
+
+    def close(self) -> None:
+        """Flush the WAL and write a final checkpoint; idempotent.
+
+        In-memory connections keep the historical no-op behaviour."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.storage is not None:
+            self.storage.close()
 
     def __enter__(self) -> "Connection":
         return self
@@ -349,6 +406,12 @@ def connect(
     slow_query_seconds: Optional[float] = None,
     trace_capacity: int = 2048,
     misestimate_ratio: float = 4.0,
+    path: Optional[str] = None,
+    durability: str = "wal",
+    wal_sync: str = "commit",
+    checkpoint_interval: Optional[int] = 1024,
+    platform_retries: Optional[int] = None,
+    platform_timeout: Optional[float] = None,
 ) -> Connection:
     """Create a CrowdDB connection.
 
@@ -391,6 +454,19 @@ def connect(
     log threshold (``None`` leaves it off); ``trace_capacity`` bounds the
     HIT trace ring; ``misestimate_ratio`` is the estimate-vs-actual ratio
     at which EXPLAIN ANALYZE flags a plan node.
+
+    ``path`` makes the instance durable: state is recovered from the
+    directory on open (checkpoint + WAL tail, including every paid crowd
+    answer) and every mutation is logged ahead to ``<path>/wal.jsonl``.
+    ``durability="off"`` opens a classic in-memory instance even with a
+    path; ``wal_sync`` picks the fsync policy (``"commit"``/``"batch"``/
+    ``"off"``); ``checkpoint_interval`` is the number of WAL records
+    between automatic checkpoints (``None`` disables, leaving them to
+    :meth:`Connection.checkpoint` and :meth:`Connection.close`).
+
+    ``platform_retries``/``platform_timeout`` bound the exponential-
+    backoff retry loop around transient platform failures (see
+    :class:`CrowdConfig`).
     """
     overrides = {
         key: value
@@ -403,6 +479,8 @@ def connect(
             ("gold_rate", gold_rate),
             ("reputation_weighting", reputation_weighting),
             ("block_below", block_below),
+            ("platform_retries", platform_retries),
+            ("platform_timeout", platform_timeout),
         )
         if value is not None
     }
@@ -422,6 +500,10 @@ def connect(
         slow_query_seconds=slow_query_seconds,
         trace_capacity=trace_capacity,
         misestimate_ratio=misestimate_ratio,
+        path=path,
+        durability=durability,
+        wal_sync=wal_sync,
+        checkpoint_interval=checkpoint_interval,
     )
     if not with_crowd:
         return Connection(

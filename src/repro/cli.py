@@ -7,7 +7,13 @@ inspect plans, templates, and worker relationships with dot-commands.
 Usage::
 
     python -m repro.cli [script.sql ...]
+    python -m repro.cli --db DIR [--wal-sync MODE] [script.sql ...]
     python -m repro.cli --serve [--sessions N]
+
+``--db DIR`` opens a durable instance: state (including paid crowd
+answers) is recovered from ``DIR`` on start and every mutation is
+write-ahead logged; SIGINT/SIGTERM and normal exit flush the WAL and
+write a final checkpoint.
 
 Dot-commands:
 
@@ -32,6 +38,7 @@ Dot-commands:
     .load TABLE FILE     import a CSV file
     .save FILE           write a JSON snapshot
     .open FILE           load a JSON snapshot
+    .checkpoint          write a durable checkpoint and truncate the WAL
     .quit                exit
 
 Serve-mode (``--serve``) adds a REPL over concurrent sessions: SQL lines
@@ -48,6 +55,7 @@ scheduler (shared crowd-task pool, overlapping crowd waits):
 
 from __future__ import annotations
 
+import signal
 import sys
 from typing import Callable, Optional, TextIO
 
@@ -85,6 +93,7 @@ class Shell:
             ".load": self._cmd_load,
             ".save": self._cmd_save,
             ".open": self._cmd_open,
+            ".checkpoint": self._cmd_checkpoint,
             ".help": self._cmd_help,
             ".quit": self._cmd_quit,
             ".exit": self._cmd_quit,
@@ -318,11 +327,27 @@ class Shell:
         created = load_snapshot(self.connection, argument)
         self._print(f"loaded tables: {', '.join(created)}")
 
+    def _cmd_checkpoint(self, _argument: str) -> None:
+        storage = getattr(self.connection, "storage", None)
+        if storage is None:
+            self._print("not a durable instance — start with --db DIR")
+            return
+        self.connection.checkpoint()
+        stats = storage.stats_snapshot()
+        self._print(
+            f"checkpoint written to {storage.directory} "
+            f"({stats['checkpoints_written']} total)"
+        )
+
     def _cmd_help(self, _argument: str) -> None:
         self._print(__doc__.split("Dot-commands:")[1].strip())
 
     def _cmd_quit(self, _argument: str) -> None:
         self.running = False
+
+    def close(self) -> None:
+        """Flush durable state (WAL + final checkpoint) on exit."""
+        self.connection.close()
 
     def _print(self, text: str) -> None:
         print(text, file=self.stdout)
@@ -418,6 +443,10 @@ class ServeShell(Shell):
             else:
                 self._print(f"  {subsystem:22s} {counters}")
 
+    def close(self) -> None:
+        """Drain sessions, then flush durable state through the server."""
+        self.server.close()
+
 
 #: Adaptive quality-control flags accepted by ``python -m repro.cli``;
 #: forwarded to :func:`repro.connect` / :func:`repro.serve`.
@@ -426,6 +455,14 @@ _QUALITY_FLAGS = {
     "--min-replication": ("min_replication", int),
     "--max-replication": ("max_replication", int),
     "--gold-rate": ("gold_rate", float),
+}
+
+
+#: Durability flags: ``--db DIR`` opens (or recovers) a durable instance
+#: rooted at DIR; ``--wal-sync`` picks the fsync policy.
+_DURABILITY_FLAGS = {
+    "--db": ("path", str),
+    "--wal-sync": ("wal_sync", str),
 }
 
 
@@ -442,10 +479,32 @@ def _pop_flag(argv: list[str], flag: str, cast) -> Optional[object]:
     return value
 
 
+def shutdown_handler(shell: Shell, signum: int, _frame: object = None) -> None:
+    """SIGINT/SIGTERM handler: drain + flush durably, then exit.
+
+    Split out from :func:`install_signal_handlers` so tests can invoke
+    the shutdown path without delivering a real signal.
+    """
+    shell.close()
+    raise SystemExit(128 + signum)
+
+
+def install_signal_handlers(shell: Shell) -> None:
+    """Route SIGINT and SIGTERM through the graceful-shutdown path."""
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(
+            sig, lambda signum, frame: shutdown_handler(shell, signum, frame)
+        )
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     argv = list(argv) if argv is not None else sys.argv[1:]
     quality_kwargs = {}
     for flag, (keyword, cast) in _QUALITY_FLAGS.items():
+        value = _pop_flag(argv, flag, cast)
+        if value is not None:
+            quality_kwargs[keyword] = value
+    for flag, (keyword, cast) in _DURABILITY_FLAGS.items():
         value = _pop_flag(argv, flag, cast)
         if value is not None:
             quality_kwargs[keyword] = value
@@ -462,16 +521,16 @@ def main(argv: Optional[list[str]] = None) -> int:
                 return 2
             del argv[index : index + 2]
         shell = ServeShell(server=serve(**quality_kwargs), sessions=sessions)
+    else:
+        shell = Shell(connection=connect(**quality_kwargs))
+    install_signal_handlers(shell)
+    try:
         for path in argv:
             shell.run_script(path)
         if not argv:
             shell.run()
-        return 0
-    shell = Shell(connection=connect(**quality_kwargs))
-    for path in argv:
-        shell.run_script(path)
-    if not argv:
-        shell.run()
+    finally:
+        shell.close()
     return 0
 
 

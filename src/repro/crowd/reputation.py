@@ -91,6 +91,10 @@ class ReputationStore:
         self.block_after_observations = block_after_observations
         self._observed: dict[str, float] = {}   # total observation weight
         self._correct: dict[str, float] = {}    # correct observation weight
+        # optional durable crowd ledger: posterior totals are written
+        # through on every observation (absolute values, last-write-wins
+        # on recovery), so worker reputations survive restarts
+        self.ledger: Optional[Any] = None
         self._gold_bank: list[GoldTask] = []
         self._gold_write_cursor = 0  # next ring slot a deposit overwrites
         self._gold_read_cursor = 0   # round-robin position for next_gold
@@ -117,6 +121,12 @@ class ReputationStore:
         if correct:
             self._correct[worker_id] = (
                 self._correct.get(worker_id, 0.0) + weight
+            )
+        if self.ledger is not None:
+            self.ledger.record_reputation(
+                worker_id,
+                self._observed[worker_id],
+                self._correct.get(worker_id, 0.0),
             )
         self._maybe_block(worker_id)
 

@@ -29,9 +29,13 @@ class SimulatedAMT(SimulatedCrowdPlatform):
         config: Optional[BehaviorConfig] = None,
         seed: int = 42,
         wrm=None,
+        transient_error_rate: float = 0.0,
     ) -> None:
         if workers is None:
             workers = generate_population(
                 population, seed=seed, id_prefix="amt-"
             )
-        super().__init__(workers, oracle, config=config, seed=seed, wrm=wrm)
+        super().__init__(
+            workers, oracle, config=config, seed=seed, wrm=wrm,
+            transient_error_rate=transient_error_rate,
+        )

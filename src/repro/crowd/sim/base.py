@@ -33,7 +33,7 @@ from repro.crowd.sim.clock import EventQueue, SimClock
 from repro.crowd.sim.population import pick_weighted
 from repro.crowd.sim.traces import GroundTruthOracle
 from repro.crowd.sim.worker import SimWorker
-from repro.errors import CrowdPlatformError
+from repro.errors import CrowdPlatformError, TransientPlatformError
 
 
 class SimulatedCrowdPlatform(CrowdPlatform):
@@ -48,6 +48,7 @@ class SimulatedCrowdPlatform(CrowdPlatform):
         config: Optional[BehaviorConfig] = None,
         seed: int = 42,
         wrm: Optional[Any] = None,
+        transient_error_rate: float = 0.0,
     ) -> None:
         if not workers:
             raise CrowdPlatformError("a platform needs at least one worker")
@@ -56,6 +57,13 @@ class SimulatedCrowdPlatform(CrowdPlatform):
         self.config = config if config is not None else BehaviorConfig()
         self.wrm = wrm  # WorkerRelationshipManager, used for block/qualify
         self.min_approval_rate: Optional[float] = None  # HIT qualification
+        # fault mode: this fraction of post_hit/extend_hit calls fail with
+        # a TransientPlatformError *before* touching marketplace state, so
+        # a retried call is indistinguishable from a first attempt.  The
+        # fault RNG is separate from the marketplace RNG: enabling faults
+        # never perturbs worker behaviour under a fixed seed.
+        self.transient_error_rate = transient_error_rate
+        self._fault_rng = random.Random(seed ^ 0x5DEECE66D)
         self.rng = random.Random(seed)
         self.clock = SimClock()
         self.events = EventQueue(self.clock)
@@ -69,7 +77,17 @@ class SimulatedCrowdPlatform(CrowdPlatform):
 
     # -- CrowdPlatform API -------------------------------------------------------
 
+    def _maybe_fault(self, operation: str) -> None:
+        if (
+            self.transient_error_rate > 0
+            and self._fault_rng.random() < self.transient_error_rate
+        ):
+            raise TransientPlatformError(
+                f"{self.name}: simulated transient failure during {operation}"
+            )
+
     def post_hit(self, hit: HIT) -> str:
+        self._maybe_fault("post_hit")
         if hit.hit_id in self._hits:
             raise CrowdPlatformError(f"HIT {hit.hit_id} already posted")
         hit.created_at = self.clock.now
@@ -95,6 +113,7 @@ class SimulatedCrowdPlatform(CrowdPlatform):
     def extend_hit(self, hit_id: str, additional: int) -> None:
         """Reopen a HIT for more assignments and restart worker arrivals
         (the marketplace may have gone quiet while every HIT was full)."""
+        self._maybe_fault("extend_hit")
         super().extend_hit(hit_id, additional)
         self._ensure_arrivals()
 

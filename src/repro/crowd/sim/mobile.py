@@ -44,6 +44,7 @@ class SimulatedMobilePlatform(SimulatedCrowdPlatform):
         session_minutes: float = 90.0,
         break_minutes: float = 30.0,
         wrm=None,
+        transient_error_rate: float = 0.0,
     ) -> None:
         if config is None:
             config = BehaviorConfig(
@@ -59,7 +60,10 @@ class SimulatedMobilePlatform(SimulatedCrowdPlatform):
                 region=(venue[0], venue[1], 2.0),
                 id_prefix="mob-",
             )
-        super().__init__(workers, oracle, config=config, seed=seed, wrm=wrm)
+        super().__init__(
+            workers, oracle, config=config, seed=seed, wrm=wrm,
+            transient_error_rate=transient_error_rate,
+        )
         self.venue = venue
         self.session_seconds = session_minutes * 60.0
         self.break_seconds = break_minutes * 60.0

@@ -44,6 +44,7 @@ always stored for future use" memorization.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -60,7 +61,12 @@ from repro.crowd.model import (
 from repro.crowd.platform import CrowdPlatform, PlatformRegistry
 from repro.crowd.quality import Ballot, MajorityVote, VoteResult, normalize_answer
 from repro.crowd.reputation import ReputationStore
-from repro.errors import BudgetExceededError, ExecutionError, TypeError_
+from repro.errors import (
+    BudgetExceededError,
+    ExecutionError,
+    TransientPlatformError,
+    TypeError_,
+)
 from repro.sqltypes import NULL, parse_literal
 from repro.ui.manager import UITemplateManager
 
@@ -104,6 +110,16 @@ class CrowdConfig:
     # Workers whose estimated accuracy drops below this are blocked via
     # the WRM (the platforms stop offering them HITs).  None disables.
     block_below: Optional[float] = None
+    # Platform-call robustness: ``post_hit``/``extend_hit`` failures of
+    # the transient kind (:class:`TransientPlatformError`) are retried up
+    # to ``platform_retries`` times with exponential backoff starting at
+    # ``platform_retry_backoff`` seconds.  ``platform_timeout`` bounds the
+    # *cumulative* backoff budget per call; once projected waiting would
+    # exceed it, the error propagates instead.  Simulated platforms (any
+    # platform with a ``clock``) never sleep real wall-clock time.
+    platform_retries: int = 3
+    platform_retry_backoff: float = 0.05
+    platform_timeout: Optional[float] = None
 
 
 @dataclass
@@ -353,7 +369,9 @@ class AdaptiveReplication:
             ):
                 return False
         for hit in candidates:
-            future.platform.extend_hit(hit.hit_id, 1)
+            self.manager._platform_call(
+                future.platform, "extend_hit", hit.hit_id, 1
+            )
         future.extensions += 1
         future.extension_assignments += len(candidates)
         self.manager.stats.hit_extensions += len(candidates)
@@ -398,6 +416,55 @@ class TaskManager:
         # optional trace sink (repro.obs.TraceSink): HIT-lifecycle span
         # events, wired by connect() when observability is on
         self.tracer: Optional[Any] = None
+        # optional durable crowd ledger (repro.storage.ledger.CrowdLedger):
+        # settled CROWDEQUAL/CROWDORDER verdicts are written through so a
+        # recovered instance never re-buys a paid answer
+        self.ledger: Optional[Any] = None
+
+    # -- platform-call robustness -----------------------------------------------------
+
+    def _platform_call(self, platform: CrowdPlatform, method: str, *args: Any) -> Any:
+        """Invoke a platform method under bounded exponential-backoff retry.
+
+        Only :class:`TransientPlatformError` is retried — permanent
+        rejections (budget, unknown HIT, ...) propagate immediately.
+        Platforms driven by a simulated clock never block real time; the
+        virtual delay still counts against ``platform_timeout`` so the
+        budget semantics are testable deterministically.
+        """
+        retries = max(0, self.config.platform_retries)
+        delay = max(0.0, self.config.platform_retry_backoff)
+        budget = self.config.platform_timeout
+        waited = 0.0
+        attempt = 0
+        while True:
+            try:
+                return getattr(platform, method)(*args)
+            except TransientPlatformError as error:
+                attempt += 1
+                if attempt > retries:
+                    raise
+                if budget is not None and waited + delay > budget:
+                    raise TransientPlatformError(
+                        f"{method} still failing after {attempt} attempt(s) "
+                        f"and the {budget}s retry budget: {error}"
+                    ) from error
+                self.stats.bump("platform_retries")
+                if self.tracer is not None:
+                    clock = getattr(platform, "clock", None)
+                    self.tracer.emit(
+                        "hit.retry",
+                        sim=clock.now if clock is not None else 0.0,
+                        method=method,
+                        platform=getattr(platform, "name", "?"),
+                        attempt=attempt,
+                        backoff=delay,
+                        error=str(error),
+                    )
+                if delay > 0 and getattr(platform, "clock", None) is None:
+                    time.sleep(delay)
+                waited += delay
+                delay = delay * 2 if delay > 0 else 0.0
 
     # -- adaptive quality plumbing ---------------------------------------------------
 
@@ -983,6 +1050,8 @@ class TaskManager:
             answer = bool(vote.value)
             self._maybe_deposit_compare_gold(hit.task, answer, vote)
         self._equal_cache[cache_key] = answer
+        if self.ledger is not None:
+            self.ledger.record_equal(cache_key[0], cache_key[1], answer)
         return answer
 
     def compare_order(
@@ -1066,6 +1135,10 @@ class TaskManager:
             winner = str(vote.value)
             self._maybe_deposit_compare_gold(hit.task, winner, vote)
         self._order_cache[cache_key] = winner
+        if self.ledger is not None:
+            self.ledger.record_order(
+                cache_key[0], cache_key[1], cache_key[2], winner
+            )
         return winner == "left"
 
     # -- confidence probes (adaptive replication) ----------------------------------------
@@ -1170,7 +1243,13 @@ class TaskManager:
                 form_html="",
                 locality=self.config.locality,
             )
-            platform.post_hit(hit)
+            try:
+                self._platform_call(platform, "post_hit", hit)
+            except TransientPlatformError:
+                # a probe is optional work — skip it rather than fail the
+                # real query it shadows
+                self.stats.bump("gold_posts_abandoned")
+                continue
             clock = getattr(platform, "clock", None)
             posted_at = clock.now if clock is not None else 0.0
             self.stats.hits_posted += 1
@@ -1253,7 +1332,10 @@ class TaskManager:
                 f"({self.stats.cost_cents}c already spent)"
             )
         platform = self.platforms.get(platform_name or self.config.platform)
-        platform.post_hits(hits)
+        # per-HIT retried posts: a transient failure mid-batch must not
+        # re-post the HITs that already made it to the marketplace
+        for hit in hits:
+            self._platform_call(platform, "post_hit", hit)
         self.stats.hits_posted += len(hits)
         self.stats.bump(f"hits_{kind}", len(hits))
         clock = getattr(platform, "clock", None)

@@ -218,8 +218,11 @@ class Executor:
             self.engine.drop_table(stmt.name, if_exists=stmt.if_exists)
             return ResultSet(statement="DROP TABLE")
         if isinstance(stmt, ast.CreateIndex):
-            heap = self.engine.table(stmt.table)
-            heap.create_index(stmt.name, stmt.columns, unique=stmt.unique)
+            # engine-level so the index build is logged and survives
+            # replay/recovery (operator-built index caches stay unlogged)
+            self.engine.create_index(
+                stmt.table, stmt.name, stmt.columns, unique=stmt.unique
+            )
             return ResultSet(statement="CREATE INDEX")
         if isinstance(stmt, ast.Insert):
             return self._execute_insert(stmt, parameters)

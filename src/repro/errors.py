@@ -66,9 +66,20 @@ class ConstraintError(StorageError):
     """A primary-key, uniqueness, or foreign-key constraint was violated."""
 
 
+class WALError(StorageError):
+    """The write-ahead log could not be written or parsed."""
+
+
 class CrowdPlatformError(CrowdDBError):
     """The crowdsourcing platform rejected an operation (bad HIT, unknown
     assignment, expired task, insufficient funds, ...)."""
+
+
+class TransientPlatformError(CrowdPlatformError):
+    """A platform call failed for a reason expected to clear on retry
+    (network blip, rate limit, marketplace hiccup).  The Task Manager
+    wraps ``post_hit``/``extend_hit`` in bounded exponential backoff for
+    exactly this class."""
 
 
 class BudgetExceededError(CrowdPlatformError):
@@ -108,3 +119,9 @@ class UnboundedQueryWarning(CrowdDBWarning):
 class LowQualityWarning(CrowdDBWarning):
     """Issued when majority voting had to accept an answer with agreement
     below the configured confidence threshold."""
+
+
+class RecoveryWarning(CrowdDBWarning):
+    """Issued when crash recovery found a torn or corrupt WAL tail and
+    recovered to the last valid record instead (committed records before
+    the tear are never lost; the tear itself was never acknowledged)."""

@@ -202,8 +202,18 @@ class Server:
         for session in list(self.sessions.values()):
             self.close_session(session)
 
+    def close(self) -> None:
+        """Graceful shutdown: drain sessions, then close the connection
+        (which flushes the WAL and writes a final checkpoint when the
+        instance is durable).  Safe to call more than once."""
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        self.shutdown()
+        self.connection.close()
+
     def __enter__(self) -> "Server":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self.shutdown()
+        self.close()

@@ -25,9 +25,10 @@ class StorageEngine:
         catalog: Optional[Catalog] = None,
         auto_analyze_floor: Optional[int] = None,
         auto_analyze_fraction: Optional[float] = None,
+        wal: Optional[Any] = None,
     ) -> None:
         self.catalog = catalog if catalog is not None else Catalog()
-        self.log = TransactionLog()
+        self.log = TransactionLog(wal=wal)
         self._tables: dict[str, HeapTable] = {}
         # staleness-guard knobs forwarded to every table's statistics
         # (None = the TableStatistics defaults)
@@ -74,6 +75,31 @@ class StorageEngine:
     def table_names(self) -> list[str]:
         return self.catalog.table_names()
 
+    def create_index(
+        self,
+        table_name: str,
+        name: str,
+        columns: tuple[str, ...],
+        unique: bool = False,
+        ordered: bool = False,
+    ):
+        """Build a secondary index — the *logged* path (``CREATE INDEX``).
+
+        Operator-built runtime index caches call ``HeapTable.create_index``
+        directly and are deliberately unlogged: they are self-healing
+        on demand and carry no client-visible contract.
+        """
+        heap = self.table(table_name)
+        index = heap.create_index(
+            name, tuple(columns), unique=unique, ordered=ordered
+        )
+        self.log.append(
+            LogOp.CREATE_INDEX,
+            heap.name,
+            (name, tuple(columns), unique, ordered),
+        )
+        return index
+
     # -- statistics --------------------------------------------------------------
 
     def analyze(self, name: Optional[str] = None) -> list[tuple[str, Any]]:
@@ -83,7 +109,11 @@ class StorageEngine:
         the payload of the ``ANALYZE`` statement's result set.
         """
         names = [name] if name is not None else self.table_names()
-        return [(self.table(n).name, self.table(n).analyze()) for n in names]
+        results = [(self.table(n).name, self.table(n).analyze()) for n in names]
+        # logged so replay/recovery reproduces the statistics epoch (the
+        # plan cache keys on it); "*" marks an all-tables ANALYZE
+        self.log.append(LogOp.ANALYZE, name if name is not None else "*")
+        return results
 
     def stats_epoch(self) -> int:
         """Sum of per-table statistics epochs (bumped by every ANALYZE)."""
@@ -192,31 +222,62 @@ class StorageEngine:
         )
         return row
 
-    # -- replay -----------------------------------------------------------------
+    # -- replay / recovery -------------------------------------------------------
+
+    def apply_entry(self, entry) -> None:
+        """Re-apply one committed log entry (replay and recovery path).
+
+        Rows land under their *original* rowids, constraint probes are
+        skipped (the data was valid when it committed), and the applied
+        entry is re-logged into this engine's own transaction log — so a
+        replayed engine is byte-for-byte the engine that wrote the log,
+        including rowids, indexes, and the statistics epoch.
+
+        ``UPDATE`` payloads may be either the full in-memory shape
+        ``(rowid, old_values, new_values)`` or the redo-only WAL shape
+        ``(rowid, new_values)``; the new values are always last.
+        """
+        if entry.op is LogOp.CREATE_TABLE:
+            self.create_table(entry.payload[0])
+        elif entry.op is LogOp.DROP_TABLE:
+            self.drop_table(entry.table)
+        elif entry.op is LogOp.INSERT:
+            rowid, values = entry.payload
+            heap = self.table(entry.table)
+            heap.restore_row(rowid, values)
+            self.log.append(
+                LogOp.INSERT, heap.name, (rowid, values), entry.origin
+            )
+        elif entry.op is LogOp.DELETE:
+            self.delete(entry.table, entry.payload[0], origin=entry.origin)
+        elif entry.op is LogOp.UPDATE:
+            rowid, new = entry.payload[0], entry.payload[-1]
+            heap = self.table(entry.table)
+            old = heap.get(rowid)
+            heap.update(rowid, new)
+            self.log.append(
+                LogOp.UPDATE, heap.name, (rowid, old.values, new), entry.origin
+            )
+        elif entry.op is LogOp.CREATE_INDEX:
+            name, columns, unique, ordered = entry.payload
+            self.create_index(
+                entry.table, name, tuple(columns), unique=unique, ordered=ordered
+            )
+        elif entry.op is LogOp.ANALYZE:
+            self.analyze(None if entry.table == "*" else entry.table)
 
     @staticmethod
     def replay(log: TransactionLog) -> "StorageEngine":
         """Rebuild an engine from a log (durability check used in tests)."""
         engine = StorageEngine()
-        rowid_maps: dict[str, dict[int, int]] = {}
         for entry in log:
-            if entry.op is LogOp.CREATE_TABLE:
-                engine.create_table(entry.payload[0])
-                rowid_maps[entry.table.lower()] = {}
-            elif entry.op is LogOp.DROP_TABLE:
-                engine.drop_table(entry.table)
-                rowid_maps.pop(entry.table.lower(), None)
-            elif entry.op is LogOp.INSERT:
-                old_rowid, values = entry.payload
-                heap = engine.table(entry.table)
-                row = heap.insert(values)
-                rowid_maps[entry.table.lower()][old_rowid] = row.rowid
-            elif entry.op is LogOp.DELETE:
-                old_rowid, _values = entry.payload
-                mapping = rowid_maps[entry.table.lower()]
-                engine.table(entry.table).delete(mapping.pop(old_rowid))
-            elif entry.op is LogOp.UPDATE:
-                old_rowid, _old, new = entry.payload
-                mapping = rowid_maps[entry.table.lower()]
-                engine.table(entry.table).update(mapping[old_rowid], new)
+            engine.apply_entry(entry)
         return engine
+
+    @staticmethod
+    def recover(path: str, **kwargs: Any) -> "StorageEngine":
+        """Recover an engine from a durable storage directory: load the
+        last checkpoint (if any) and replay the WAL tail past it."""
+        from repro.storage.recovery import recover_storage  # avoid cycle
+
+        return recover_storage(path, **kwargs).engine

@@ -229,6 +229,27 @@ class HeapTable:
         self._track_pk(values, +1)
         return Row(rowid, values)
 
+    def restore_row(self, rowid: int, values: tuple[Any, ...]) -> Row:
+        """Re-insert a committed row under its original rowid.
+
+        The checkpoint-restore path: constraint probes are skipped (the
+        data was valid when it committed) but indexes, statistics, and the
+        normalized-PK counter are maintained exactly as on a live insert,
+        so a restored heap is structurally identical to one that never
+        went down.
+        """
+        if rowid in self._rows:
+            raise StorageError(
+                f"table {self.name!r} already has row id {rowid}"
+            )
+        for index in self.indexes.values():
+            index.insert(self._key_for(values, index.columns), rowid)
+        self._rows[rowid] = values
+        self._next_rowid = max(self._next_rowid, rowid + 1)
+        self.statistics.on_insert(values, self.schema.column_names)
+        self._track_pk(values, +1)
+        return Row(rowid, values)
+
     def delete(self, rowid: int) -> Row:
         row = self.get(rowid)
         for index in self.indexes.values():

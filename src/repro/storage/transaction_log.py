@@ -4,13 +4,18 @@ A lightweight stand-in for H2's transaction log: every mutation is recorded
 as a structured entry.  Supports replay onto an empty engine — used by the
 durability tests and by the Task Manager's audit trail of crowd-sourced
 writes (crowd answers are always memorized; the log shows when and why).
+
+When a :class:`~repro.storage.wal.WriteAheadLog` is attached, every entry
+is additionally framed and written through to disk before ``append``
+returns, which is what makes the in-memory engine crash-recoverable (see
+``repro.storage.recovery``).
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Optional
 
 
 class LogOp(enum.Enum):
@@ -19,6 +24,12 @@ class LogOp(enum.Enum):
     INSERT = "INSERT"
     DELETE = "DELETE"
     UPDATE = "UPDATE"
+    # DDL-adjacent operations that build *derived* state.  They are logged
+    # so replay/recovery rebuilds secondary indexes and the statistics
+    # epoch identically — without them a recovered engine would silently
+    # lose its indexes and plan-cache fingerprint.
+    CREATE_INDEX = "CREATE_INDEX"
+    ANALYZE = "ANALYZE"
 
 
 @dataclass(frozen=True)
@@ -37,10 +48,13 @@ class LogEntry:
 
 
 class TransactionLog:
-    """In-memory append-only log with replay support."""
+    """In-memory append-only log, optionally written through to a WAL."""
 
-    def __init__(self) -> None:
+    def __init__(self, wal: Optional[Any] = None) -> None:
         self._entries: list[LogEntry] = []
+        #: attached :class:`~repro.storage.wal.WriteAheadLog` (or None for
+        #: the classic in-memory-only behaviour)
+        self.wal = wal
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -62,6 +76,12 @@ class TransactionLog:
             payload=payload,
             origin=origin,
         )
+        if self.wal is not None:
+            # write-ahead: the record must be durable (per the sync
+            # policy) before the mutation is acknowledged to the caller
+            from repro.storage.wal import wal_record_for
+
+            self.wal.append(wal_record_for(entry))
         self._entries.append(entry)
         return entry
 
