@@ -47,6 +47,7 @@ EXPERIMENTS = {
     "E16": ("bench_e16_optimizer", "cost-based crowd-aware optimization"),
     "E17": ("bench_e17_observability", "observability overhead + EXPLAIN ANALYZE"),
     "E18": ("bench_e18_recovery", "WAL recovery + crowd-answer ledger"),
+    "E19": ("bench_e19_vectorized", "columnar vectorized execution"),
     "F1": ("bench_f1_architecture", "architecture walkthrough"),
     "F2": ("bench_f2_ui_generation", "UI template generation"),
     "F3": ("bench_f3_mobile_task", "mobile platform tasks"),

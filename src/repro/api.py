@@ -64,6 +64,7 @@ class Connection:
         default_platform: Optional[str] = None,
         compile_expressions: bool = True,
         cost_based: bool = True,
+        vectorized: bool = True,
         plan_cache_size: int = 64,
         auto_analyze_floor: Optional[int] = None,
         auto_analyze_fraction: Optional[float] = None,
@@ -141,6 +142,7 @@ class Connection:
                 else crowd_config
             ),
             cost_based=cost_based,
+            vectorized=vectorized,
         )
         self.executor = Executor(
             self.engine,
@@ -393,6 +395,7 @@ def connect(
     hit_group_size: Optional[int] = None,
     compile_expressions: bool = True,
     cost_based_optimizer: bool = True,
+    vectorized: bool = True,
     plan_cache_size: int = 64,
     auto_analyze_floor: Optional[int] = None,
     auto_analyze_fraction: Optional[float] = None,
@@ -438,6 +441,18 @@ def connect(
     ``compile_expressions=False`` disables plan-time expression
     compilation and restores the per-row AST interpreter — the switch the
     E14 benchmark and the differential tests flip.
+
+    ``vectorized=False`` disables columnar batch execution and restores
+    the pure row pipeline exactly.  When on (the default), a binder stage
+    marks the purely electronic region of each plan — scans of stored
+    tables, electronic filters/projections, equi hash joins, and the
+    classic aggregates — for execution over :class:`ColumnBatch` windows
+    (one Python list per column), with a transition operator converting
+    batches back to rows at every crowd/row-only boundary so crowd
+    batching windows, stop-after bounds, and 3VL verdicts are unchanged.
+    EXPLAIN annotates every node with ``execution: vectorized`` or
+    ``execution: row``.  Implies nothing when ``compile_expressions`` is
+    off — interpreted mode always runs row-at-a-time.
 
     ``cost_based_optimizer=False`` turns off the cost-based planner —
     histogram selectivities, DPsize join enumeration, and conjunct
@@ -493,6 +508,7 @@ def connect(
             crowd_config = replace(crowd_config, **overrides)
     planner_kwargs = dict(
         cost_based=cost_based_optimizer,
+        vectorized=vectorized,
         plan_cache_size=plan_cache_size,
         auto_analyze_floor=auto_analyze_floor,
         auto_analyze_fraction=auto_analyze_fraction,

@@ -328,9 +328,11 @@ class Executor:
         )
         try:
             context = self._make_context(parameters)
-            operator = PhysicalPlanner(context, profiler=profiler).plan(
-                compiled.plan
-            )
+            operator = PhysicalPlanner(
+                context,
+                profiler=profiler,
+                bindings=getattr(compiled, "bindings", None) or None,
+            ).plan(compiled.plan)
             rows = list(operator)
             columns = [entry[1] for entry in operator.scope.entries]
             crowd_stats = {

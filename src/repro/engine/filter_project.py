@@ -6,7 +6,8 @@ from typing import Iterator, Optional
 
 from repro.engine.base import Correlation, PhysicalOperator
 from repro.engine.context import ExecutionContext
-from repro.plan.compiled import BATCH_ROWS, is_electronic
+from repro.exec.vector import chunked as _chunked
+from repro.plan.compiled import is_electronic
 from repro.sql import ast
 from repro.storage.row import Scope
 
@@ -469,20 +470,6 @@ class SetOpOp(PhysicalOperator):
                 continue
             emitted.add(key)
             yield values
-
-
-def _chunked(rows, size: int = BATCH_ROWS) -> Iterator[list[tuple]]:
-    """Buffer an iterable of rows into ``size``-row lists."""
-    chunk: list[tuple] = []
-    append = chunk.append
-    for values in rows:
-        append(values)
-        if len(chunk) >= size:
-            yield chunk
-            chunk = []
-            append = chunk.append
-    if chunk:
-        yield chunk
 
 
 def _hashable(value):

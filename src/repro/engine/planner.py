@@ -39,10 +39,14 @@ class PhysicalPlanner:
         context: ExecutionContext,
         correlation: Correlation = None,
         profiler: Optional[object] = None,  # repro.obs.QueryProfiler
+        bindings: Optional[dict] = None,  # id(node) -> plan.binder.NodeBinding
     ) -> None:
         self.context = context
         self.correlation = correlation
         self.profiler = profiler
+        # correlated subqueries evaluate against an outer row the batch
+        # kernels know nothing about — they stay on the row pipeline
+        self.bindings = bindings if correlation is None else None
 
     def plan(
         self,
@@ -52,7 +56,73 @@ class PhysicalPlanner:
         """Translate ``node``; ``row_bound`` is the number of output rows
         the consumer can possibly pull (an enclosing LIMIT), threaded
         down through row-preserving operators to clamp batch windows."""
+        if self.bindings is not None:
+            binding = self.bindings.get(id(node))
+            if binding is not None and binding.vectorized:
+                from repro.exec.vectorized import BatchToRowsOp
+
+                # the transition operator is not profiler-wrapped: the
+                # vector node inside already carries this logical node's
+                # metrics (batch-aware row accounting)
+                return BatchToRowsOp(self.context, self._plan_vector(node))
         operator = self._plan_node(node, row_bound)
+        if self.profiler is not None:
+            operator = self.profiler.wrap(node, operator)
+        return operator
+
+    def _plan_vector(self, node: logical.LogicalPlan) -> PhysicalOperator:
+        """Build the batch operator for a binder-approved node (children
+        included: the binder only marks a node when its whole input
+        subtree is vector-eligible)."""
+        from repro.exec.vectorized import (
+            VectorAggregateOp,
+            VectorFilterOp,
+            VectorHashJoinOp,
+            VectorProjectOp,
+            VectorScanOp,
+        )
+
+        if isinstance(node, logical.Scan):
+            operator: PhysicalOperator = VectorScanOp(
+                self.context, node.table, node.binding
+            )
+        elif isinstance(node, logical.Filter):
+            operator = VectorFilterOp(
+                self.context, self._plan_vector(node.child), node.predicate
+            )
+        elif isinstance(node, logical.Project):
+            operator = VectorProjectOp(
+                self.context, self._plan_vector(node.child), node.items
+            )
+        elif isinstance(node, logical.Join):
+            left = self._plan_vector(node.left)
+            right = self._plan_vector(node.right)
+            keys = _extract_equi_keys(node.condition, left.scope, right.scope)
+            if not keys:
+                raise PlanError(
+                    "binder marked a join without extractable equi keys"
+                )
+            left_keys, right_keys = keys
+            operator = VectorHashJoinOp(
+                self.context,
+                left,
+                right,
+                left_keys,
+                right_keys,
+                condition=node.condition,
+                join_type=node.join_type,
+            )
+        elif isinstance(node, logical.Aggregate):
+            operator = VectorAggregateOp(
+                self.context,
+                self._plan_vector(node.child),
+                node.group_by,
+                node.aggregates,
+            )
+        else:
+            raise PlanError(
+                f"no vectorized operator for {type(node).__name__}"
+            )
         if self.profiler is not None:
             operator = self.profiler.wrap(node, operator)
         return operator
@@ -211,67 +281,18 @@ class PhysicalPlanner:
         open-world sourcing path of :class:`TableScan`).
         """
         from repro.engine.scans import IndexLookup
-        from repro.storage.index import OrderedIndex
-        from repro.sqltypes import coerce
 
         scan = node.child
-        if not isinstance(scan, logical.Scan) or scan.limit_hint is not None:
+        matched = match_index_access(self.context.engine, node)
+        if matched is None:
             return None
-        if not self.context.engine.has_table(scan.table.name):
-            return None
-        heap = self.context.engine.table(scan.table.name)
-        equalities: dict[str, object] = {}
-        for conjunct in split_conjuncts(node.predicate):
-            if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
-                continue
-            column, literal = _column_literal(conjunct)
-            if column is None:
-                continue
-            if column.table is not None and (
-                column.table.lower() != scan.binding.lower()
-            ):
-                continue
-            if not scan.table.has_column(column.name):
-                continue
-            try:
-                key = coerce(literal, scan.table.column(column.name).sql_type)
-            except Exception:
-                # mistyped literal: with an index on exactly this column
-                # fall back to a scan (the lookup key would be garbage);
-                # otherwise just drop the conjunct from the equality set
-                # so other conjuncts can still pick their index
-                if heap.index_on((column.name,)) is not None:
-                    return None
-                continue
-            equalities.setdefault(column.name.lower(), key)
-        if not equalities:
-            return None
-        best: Optional[tuple[tuple[str, ...], bool]] = None  # (columns, prefix)
-        for index in heap.indexes.values():
-            covered = 0
-            for column in index.columns:
-                if column.lower() not in equalities:
-                    break
-                covered += 1
-            if covered == 0:
-                continue
-            full = covered == len(index.columns)
-            if not full and not isinstance(index, OrderedIndex):
-                continue  # hash indexes need the whole key
-            candidate = (tuple(index.columns[:covered]), not full)
-            if best is None or (len(candidate[0]), not candidate[1]) > (
-                len(best[0]), not best[1]
-            ):
-                best = candidate
-        if best is None:
-            return None
-        key_columns, prefix = best
+        key_columns, key_values, prefix = matched
         lookup = IndexLookup(
             self.context,
             scan.table,
             scan.binding,
             key_columns,
-            tuple(equalities[c.lower()] for c in key_columns),
+            key_values,
             prefix=prefix,
             correlation=self.correlation,
         )
@@ -309,6 +330,78 @@ class PhysicalPlanner:
             condition=node.condition,
             correlation=self.correlation,
         )
+
+
+def match_index_access(
+    engine: object, node: logical.Filter
+) -> Optional[tuple[tuple[str, ...], tuple, bool]]:
+    """The access-method decision for a Filter node, shared by the
+    physical planner (which builds the IndexLookup) and the binder
+    (which must mark index-served filters row so both stages agree).
+
+    Returns ``(key_columns, key_values, prefix)`` when an index serves
+    the filter's equality conjuncts, else ``None``.
+    """
+    from repro.storage.index import OrderedIndex
+    from repro.sqltypes import coerce
+
+    scan = node.child
+    if not isinstance(scan, logical.Scan) or scan.limit_hint is not None:
+        return None
+    if not engine.has_table(scan.table.name):
+        return None
+    heap = engine.table(scan.table.name)
+    equalities: dict[str, object] = {}
+    for conjunct in split_conjuncts(node.predicate):
+        if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+            continue
+        column, literal = _column_literal(conjunct)
+        if column is None:
+            continue
+        if column.table is not None and (
+            column.table.lower() != scan.binding.lower()
+        ):
+            continue
+        if not scan.table.has_column(column.name):
+            continue
+        try:
+            key = coerce(literal, scan.table.column(column.name).sql_type)
+        except Exception:
+            # mistyped literal: with an index on exactly this column
+            # fall back to a scan (the lookup key would be garbage);
+            # otherwise just drop the conjunct from the equality set
+            # so other conjuncts can still pick their index
+            if heap.index_on((column.name,)) is not None:
+                return None
+            continue
+        equalities.setdefault(column.name.lower(), key)
+    if not equalities:
+        return None
+    best: Optional[tuple[tuple[str, ...], bool]] = None  # (columns, prefix)
+    for index in heap.indexes.values():
+        covered = 0
+        for column in index.columns:
+            if column.lower() not in equalities:
+                break
+            covered += 1
+        if covered == 0:
+            continue
+        full = covered == len(index.columns)
+        if not full and not isinstance(index, OrderedIndex):
+            continue  # hash indexes need the whole key
+        candidate = (tuple(index.columns[:covered]), not full)
+        if best is None or (len(candidate[0]), not candidate[1]) > (
+            len(best[0]), not best[1]
+        ):
+            best = candidate
+    if best is None:
+        return None
+    key_columns, prefix = best
+    return (
+        key_columns,
+        tuple(equalities[c.lower()] for c in key_columns),
+        prefix,
+    )
 
 
 def _extract_equi_keys(

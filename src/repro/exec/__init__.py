@@ -1,0 +1,27 @@
+"""Columnar vectorized execution.
+
+``vector`` holds the :class:`ColumnBatch` format and the shared batch
+sizing constants; ``kernels`` compiles expressions to column-at-a-time
+kernels; ``vectorized`` holds the batch operators the physical planner
+instantiates for binder-approved plan regions.
+"""
+
+from repro.exec.vector import (
+    BATCH_ROWS,
+    TAG_INT,
+    TAG_NUM,
+    TAG_STR,
+    VECTOR_ROWS,
+    ColumnBatch,
+    chunked,
+)
+
+__all__ = [
+    "BATCH_ROWS",
+    "TAG_INT",
+    "TAG_NUM",
+    "TAG_STR",
+    "VECTOR_ROWS",
+    "ColumnBatch",
+    "chunked",
+]

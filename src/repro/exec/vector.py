@@ -1,0 +1,131 @@
+"""The columnar batch format for vectorized execution.
+
+A :class:`ColumnBatch` carries one Python list per column for a window
+of rows.  Operators that the binder marked vector-eligible exchange
+batches instead of row tuples, so predicates, join keys, and aggregate
+inputs run as whole-column listcomps / C-level builtins instead of one
+closure call per row.
+
+Cleanliness tags
+----------------
+
+Each column carries an optional *tag* describing what the values are
+known to be **at runtime** (derived from live table statistics when the
+scan materializes the batch — never baked into cached plans, because the
+plan cache key does not fold row counts):
+
+* ``TAG_INT`` — every value is exactly ``int`` (never bool, never
+  NULL/CNULL/None)
+* ``TAG_FLOAT`` — every value is exactly ``float`` (the storage layer
+  coerces everything written to a FLOAT column through ``float()``, so
+  scans of FLOAT columns can promise this — it is what licenses the
+  bit-exact float64 ndarray lanes in :mod:`repro.exec.kernels`)
+* ``TAG_NUM`` — every value is exactly ``int`` or ``float``
+* ``TAG_STR`` — every value is exactly ``str``
+* ``None`` — no guarantee (may contain NULL, CNULL, bools, mixed types)
+
+Kernels use tags to choose between a native fast path over the whole
+column and an element-wise slow path that mirrors the row engine's
+compiled closures branch for branch.  Validity (NULL) and CNULL are not
+separate bitmaps: missing values stay in-band (the ``NULL``/``CNULL``
+singletons), and a ``None`` tag is the signal that a column may contain
+them — the same representation the row engine uses, which is what makes
+batch→row transitions free.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+#: Rows processed per chunk by the row engine's batch-at-a-time operator
+#: loops (lifted here from ``engine/filter_project.py`` so row-chunk and
+#: columnar batch sizes are tuned in one place).
+BATCH_ROWS = 256
+
+#: Rows per ColumnBatch on the vectorized path.  Much larger than
+#: BATCH_ROWS: columnar kernels amortize per-batch setup (kernel
+#: dispatch, selection bookkeeping) across the whole window, and vector
+#: regions are eager by construction, so small windows buy no latency.
+#: Scans at or under this size hand out their cached column lists
+#: zero-copy — and single-batch inputs let joins adopt build columns
+#: zero-copy too — so the window is sized to keep whole benchmark-scale
+#: tables in one batch (256k rows x 8 columns is ~16 MB of pointers).
+VECTOR_ROWS = 262144
+
+#: Column cleanliness tags (see module docstring).
+TAG_INT = "int"
+TAG_FLOAT = "float"
+TAG_NUM = "num"
+TAG_STR = "str"
+
+#: Tags under which every value is a real (non-bool) int or float, so
+#: native arithmetic/comparison fast paths apply.
+NUMERIC_TAGS = frozenset((TAG_INT, TAG_FLOAT, TAG_NUM))
+
+
+def chunked(rows: Iterable, size: int = BATCH_ROWS) -> Iterator[list]:
+    """Yield ``rows`` in lists of at most ``size`` (shared by the row
+    engine's chunked loops and test helpers)."""
+    iterator = iter(rows)
+    while True:
+        chunk = list(islice(iterator, size))
+        if not chunk:
+            return
+        yield chunk
+
+
+class ColumnBatch:
+    """A window of rows stored column-major.
+
+    ``columns`` is one list per output column, all of length
+    ``num_rows``; ``tags`` is a parallel tuple/list of cleanliness tags
+    (``TAG_INT``/``TAG_NUM``/``TAG_STR``/``None``), defaulting to all-
+    unknown when omitted.
+    """
+
+    __slots__ = ("columns", "num_rows", "tags", "arrays")
+
+    def __init__(
+        self,
+        columns: Sequence[list],
+        num_rows: int,
+        tags: Optional[Sequence[Optional[str]]] = None,
+    ) -> None:
+        self.columns = list(columns)
+        self.num_rows = num_rows
+        self.tags = (
+            list(tags) if tags is not None else [None] * len(self.columns)
+        )
+        # lazy per-batch memo of ndarray conversions, populated by the
+        # kernel layer's numeric lanes (None until first used)
+        self.arrays: Optional[dict] = None
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[tuple],
+        width: int,
+        tags: Optional[Sequence[Optional[str]]] = None,
+    ) -> "ColumnBatch":
+        """Pivot row tuples into a batch (``width`` disambiguates the
+        zero-row case, where the tuples can't tell us the arity)."""
+        if not rows:
+            return cls([[] for _ in range(width)], 0, tags)
+        columns = [list(col) for col in zip(*rows)]
+        return cls(columns, len(rows), tags)
+
+    def rows(self) -> list[tuple]:
+        """Materialize the batch back into row tuples."""
+        if not self.columns:
+            return [()] * self.num_rows
+        return list(zip(*self.columns))
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ColumnBatch({len(self.columns)} cols x {self.num_rows} rows, "
+            f"tags={self.tags!r})"
+        )

@@ -1,0 +1,1124 @@
+"""Batch operators for binder-approved plan regions.
+
+These mirror the row operators in :mod:`repro.engine` exactly — same
+scopes, same missing-key/NULL-padding/insertion-order semantics, same
+errors — but exchange :class:`~repro.exec.vector.ColumnBatch`es instead
+of row tuples.  The physical planner instantiates them only for nodes
+the binder marked vector-eligible (pure electronic, no crowd hazard) and
+caps every region with :class:`BatchToRowsOp`, so row-only parents and
+the executor see ordinary tuples.
+
+Exactness strategy: every fast path is gated on runtime column
+cleanliness tags; anything unclean (possible NULL/CNULL/bools/mixed
+types) drops to element-wise code mirroring the row engine's compiled
+closures, or to the row closures themselves mapped over
+``batch.rows()``.  The only licensed divergence is *eagerness*: batch
+operators may evaluate expressions for rows a row-at-a-time consumer
+would never have pulled (the contract documented in
+:mod:`repro.plan.compiled`).
+"""
+
+from __future__ import annotations
+
+from itertools import compress, islice, repeat
+from operator import itemgetter
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.catalog.table import TableSchema
+from repro.engine.aggregate import _Accumulator, _hashable
+from repro.engine.base import PhysicalOperator
+from repro.engine.context import ExecutionContext
+from repro.errors import ExecutionError
+from repro.exec.kernels import (
+    CannotVectorize,
+    compile_column_kernel,
+    compile_mask_kernel,
+)
+from repro.exec.vector import (
+    TAG_FLOAT,
+    TAG_INT,
+    TAG_NUM,
+    TAG_STR,
+    VECTOR_ROWS,
+    ColumnBatch,
+)
+from repro.sql import ast
+from repro.sql.pretty import format_expression
+from repro.sqltypes import CNULL, NULL, SQLType, is_missing
+from repro.storage.row import Scope
+
+try:  # index-lane accelerations are optional, like the kernel lanes
+    import numpy as _np
+except ImportError:  # pragma: no cover - image without numpy
+    _np = None
+
+
+def _collect_refs(expr: ast.Expression, scope: Scope, out: set) -> bool:
+    """Accumulate the scope positions ``expr`` reads into ``out``.
+    Returns False on any construct it cannot see through (the caller
+    must then assume every column is referenced)."""
+    kind = type(expr)
+    if kind is ast.ColumnRef:
+        try:
+            out.add(scope.resolve(expr.name, expr.table))
+        except ExecutionError:
+            return False
+        return True
+    if kind in (ast.Literal, ast.CNullLiteral, ast.Parameter, ast.Star):
+        return True
+    if kind is ast.UnaryOp:
+        return _collect_refs(expr.operand, scope, out)
+    if kind is ast.BinaryOp:
+        return _collect_refs(expr.left, scope, out) and _collect_refs(
+            expr.right, scope, out
+        )
+    if kind is ast.IsNull:
+        return _collect_refs(expr.operand, scope, out)
+    if kind is ast.InList:
+        return _collect_refs(expr.operand, scope, out) and all(
+            _collect_refs(item, scope, out) for item in expr.items
+        )
+    if kind is ast.Between:
+        return (
+            _collect_refs(expr.operand, scope, out)
+            and _collect_refs(expr.low, scope, out)
+            and _collect_refs(expr.high, scope, out)
+        )
+    if kind is ast.FunctionCall:
+        return all(_collect_refs(arg, scope, out) for arg in expr.args)
+    return False
+
+
+def referenced_positions(
+    exprs: Sequence[ast.Expression], scope: Scope
+) -> Optional[frozenset]:
+    """Scope positions read by ``exprs``, or None when unknowable (any
+    construct the walker cannot see through forces all-live)."""
+    out: set = set()
+    for expr in exprs:
+        if not _collect_refs(expr, scope, out):
+            return None
+    return frozenset(out)
+
+
+def _pivot_columns(columns: Sequence, count: int) -> list:
+    """Pivot columns into row tuples, tolerant of pruned (None)
+    columns: dead positions pivot as NULL.  Safe because dead means no
+    consumer of these rows reads that position — liveness sets are
+    supersets of every expression's references by construction."""
+    if not columns:
+        return [()] * count
+    for column in columns:
+        if column is None:
+            source = [
+                column if column is not None else repeat(NULL)
+                for column in columns
+            ]
+            return list(islice(zip(*source), count))
+    return list(zip(*columns))
+
+
+def _pivot_rows(batch: ColumnBatch) -> list:
+    """``batch.rows()`` tolerant of pruned (None) columns."""
+    return _pivot_columns(batch.columns, batch.num_rows)
+
+
+class VectorOperator(PhysicalOperator):
+    """Base for operators yielding ColumnBatches.
+
+    Vector regions are pure electronic by construction (the binder
+    rejects anything else), so eager batch pulls can never issue crowd
+    work.
+
+    Column pruning: a consumer that knows which of this operator's
+    output positions it reads calls :meth:`set_live` with that set;
+    positions outside it are *dead* and materialize as ``None`` columns
+    (never gathered, never copied).  The default — no call — is
+    all-live, so the region cap (:class:`BatchToRowsOp`) always sees
+    fully materialized batches.  Operators that narrow their input on
+    their own (aggregate, project) seed the propagation; pass-through
+    operators (filter, join) relay, widening by whatever their own
+    expressions read."""
+
+    _live: Optional[frozenset] = None  # None = every position live
+
+    def sources_crowd_on_pull(self) -> bool:
+        return False
+
+    def set_live(self, live: Optional[frozenset]) -> None:
+        self._live = live
+
+
+class BatchToRowsOp(PhysicalOperator):
+    """The batch→row transition capping every vectorized region.
+
+    Values inside batches use the same in-band NULL/CNULL representation
+    as row tuples, so the transition is a pure pivot — crowd filters,
+    crowd joins/sorts, stop-after bounds, and batch-window semantics
+    above it observe bit-identical rows.
+    """
+
+    def __init__(self, context: ExecutionContext, child: VectorOperator) -> None:
+        super().__init__(context)
+        self.child = child
+
+    @property
+    def scope(self) -> Scope:
+        return self.child.scope
+
+    def sources_crowd_on_pull(self) -> bool:
+        return False
+
+    def __iter__(self) -> Iterator[tuple]:
+        for batch in self.child:
+            yield from _pivot_rows(batch)
+
+
+class VectorScanOp(VectorOperator):
+    """Columnar scan of a non-crowd heap table.
+
+    Cleanliness tags are derived from the table's live statistics at
+    iteration time — never at plan/bind time, because cached plans
+    outlive inserts that introduce NULLs (the plan-cache epoch does not
+    fold row counts).
+    """
+
+    def __init__(
+        self, context: ExecutionContext, table: TableSchema, binding: str
+    ) -> None:
+        super().__init__(context)
+        self.table = table
+        self.binding = binding
+        self._scope = Scope.for_table(binding, table.column_names)
+
+    @property
+    def scope(self) -> Scope:
+        return self._scope
+
+    def __iter__(self) -> Iterator[ColumnBatch]:
+        heap = self.context.engine.table(self.table.name)
+        columns, total = heap.scan_columns()
+        tags = _scan_tags(heap)
+        live = self._live
+        if live is not None:
+            columns = [
+                column if i in live else None
+                for i, column in enumerate(columns)
+            ]
+        yielded = 0
+        try:
+            if total == 0:
+                return
+            if total <= VECTOR_ROWS:
+                # zero-copy: hand the heap's cached column lists straight
+                # to the batch (consumers never mutate batch columns)
+                yielded = total
+                yield ColumnBatch(columns, total, tags)
+                return
+            for start in range(0, total, VECTOR_ROWS):
+                stop = min(start + VECTOR_ROWS, total)
+                yielded = stop
+                yield ColumnBatch(
+                    [
+                        None if column is None else column[start:stop]
+                        for column in columns
+                    ],
+                    stop - start,
+                    tags,
+                )
+        finally:
+            self.context.rows_scanned += yielded
+
+
+def _scan_tags(heap) -> list[Optional[str]]:
+    """Per-column cleanliness tags from live statistics + schema types."""
+    tags: list[Optional[str]] = []
+    for column in heap.schema.columns:
+        try:
+            stats = heap.statistics.column(column.name)
+        except KeyError:
+            tags.append(None)
+            continue
+        if stats.null_count or stats.cnull_count:
+            tags.append(None)
+        elif column.sql_type is SQLType.INTEGER:
+            tags.append(TAG_INT)
+        elif column.sql_type is SQLType.FLOAT:
+            # storage coerces every write to a FLOAT column through
+            # float() (heap.prepare_values/set_value), so the column
+            # holds only exact Python floats
+            tags.append(TAG_FLOAT)
+        elif column.sql_type is SQLType.STRING:
+            tags.append(TAG_STR)
+        else:  # BOOLEAN: bools must take compare_values paths
+            tags.append(None)
+    return tags
+
+
+class VectorFilterOp(VectorOperator):
+    """Column-at-a-time filter: mask kernel + one selection pass."""
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        child: VectorOperator,
+        predicate: ast.Expression,
+    ) -> None:
+        super().__init__(context)
+        self.child = child
+        self.predicate_expr = predicate
+        self._pred_refs = referenced_positions((predicate,), child.scope)
+
+    @property
+    def scope(self) -> Scope:
+        return self.child.scope
+
+    def set_live(self, live: Optional[frozenset]) -> None:
+        # relay: output positions are input positions, widened by what
+        # the predicate itself reads
+        self._live = live
+        if live is None or self._pred_refs is None:
+            self.child.set_live(None)
+        else:
+            self.child.set_live(live | self._pred_refs)
+
+    def _select(
+        self, batch: ColumnBatch, column, position: int, nd_indices, index_list
+    ):
+        """One output column of the index-gather path: dead columns stay
+        dead, memoized ndarray columns gather in numpy (and re-memoize),
+        everything else takes a Python gather pass."""
+        live = self._live
+        if column is None or (live is not None and position not in live):
+            return None, None
+        cache = batch.arrays
+        hit = cache.get(id(column)) if cache is not None else None
+        if hit is not None and hit[0] is column and hit[1] is not None:
+            gathered = hit[1][nd_indices]
+            return gathered.tolist(), gathered
+        return [column[i] for i in index_list], None
+
+    def __iter__(self) -> Iterator[ColumnBatch]:
+        try:
+            kernel = compile_mask_kernel(
+                self.predicate_expr, self.child.scope, self.context.parameters
+            )
+        except CannotVectorize:
+            # whole-expression fallback: the row-compiled closure mapped
+            # over the batch — exactly the row engine's chunked loop
+            row_predicate = self.compile_predicate(
+                self.predicate_expr, self.child.scope
+            )
+            kernel = lambda batch: (  # noqa: E731
+                [row_predicate(values).value for values in _pivot_rows(batch)],
+                False,
+            )
+        live = self._live
+        for batch in self.child:
+            mask, clean = kernel(batch)
+            if clean:
+                if type(mask) is not list:
+                    # ndarray mask from the numeric lanes: select by
+                    # index — flatnonzero plus one gather pass over the
+                    # kept rows per column beats normalizing the mask to
+                    # bools and compress-scanning every column in full
+                    indices = _np.flatnonzero(mask)
+                    kept = len(indices)
+                    if kept == 0:
+                        continue
+                    if kept == batch.num_rows:
+                        yield batch
+                        continue
+                    index_list = indices.tolist()
+                    out_columns = []
+                    out_arrays = None
+                    for position, column in enumerate(batch.columns):
+                        out, arr = self._select(
+                            batch, column, position, indices, index_list
+                        )
+                        out_columns.append(out)
+                        if arr is not None:
+                            if out_arrays is None:
+                                out_arrays = {}
+                            out_arrays[id(out)] = (out, arr)
+                    out_batch = ColumnBatch(out_columns, kept, batch.tags)
+                    if out_arrays is not None:
+                        out_batch.arrays = out_arrays
+                    yield out_batch
+                    continue
+                selection = mask
+            else:
+                selection = [value is True for value in mask]
+            kept = selection.count(True)
+            if kept == 0:
+                continue
+            if kept == batch.num_rows:
+                yield batch
+                continue
+            yield ColumnBatch(
+                [
+                    None
+                    if column is None
+                    or (live is not None and position not in live)
+                    else list(compress(column, selection))
+                    for position, column in enumerate(batch.columns)
+                ],
+                kept,
+                batch.tags,
+            )
+
+
+class VectorProjectOp(VectorOperator):
+    """Vectorwise projection; falls back per item, not per operator."""
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        child: VectorOperator,
+        items: tuple[tuple[ast.Expression, str], ...],
+    ) -> None:
+        super().__init__(context)
+        self.child = child
+        self.items = items
+        self._scope = Scope([("", name) for _expr, name in items])
+        # projection consumes only what its expressions read — seed the
+        # downward liveness propagation even with no consumer hint
+        self.set_live(None)
+
+    @property
+    def scope(self) -> Scope:
+        return self._scope
+
+    def set_live(self, live: Optional[frozenset]) -> None:
+        self._live = live
+        needed = [
+            expr
+            for position, (expr, _name) in enumerate(self.items)
+            if live is None or position in live
+        ]
+        self.child.set_live(referenced_positions(needed, self.child.scope))
+
+    def __iter__(self) -> Iterator[ColumnBatch]:
+        child_scope = self.child.scope
+        live = self._live
+        kernels: list = []
+        for position, (expr, _name) in enumerate(self.items):
+            if live is not None and position not in live:
+                kernels.append((None, None))
+                continue
+            try:
+                kernels.append(
+                    (
+                        True,
+                        compile_column_kernel(
+                            expr, child_scope, self.context.parameters
+                        ),
+                    )
+                )
+            except CannotVectorize:
+                kernels.append((False, self.compile_value(expr, child_scope)))
+        for batch in self.child:
+            columns: list = []
+            tags: list = []
+            rows: Optional[list] = None
+            for vectorized, kernel in kernels:
+                if vectorized is None:  # dead output position
+                    column, tag = None, None
+                elif vectorized:
+                    column, tag = kernel(batch)
+                else:
+                    if rows is None:
+                        rows = _pivot_rows(batch)
+                    column = [kernel(values) for values in rows]
+                    tag = None
+                columns.append(column)
+                tags.append(tag)
+            yield ColumnBatch(columns, batch.num_rows, tags)
+
+
+class VectorHashJoinOp(VectorOperator):
+    """Hash equi-join over batches, mirroring ``HashJoinOp`` exactly.
+
+    Build/probe keys come from column kernels; candidate emission order,
+    missing-key skips, LEFT padding, and the residual-condition check are
+    byte-compatible with the row operator.  The residual is skipped only
+    when it *is* the single extracted key equality and both key columns
+    are clean (no bools/missing — then bucket equality and the compiled
+    ``=`` agree, including the NaN identity-bucket corner).
+    """
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        left: VectorOperator,
+        right: VectorOperator,
+        left_keys: tuple[ast.Expression, ...],
+        right_keys: tuple[ast.Expression, ...],
+        condition: Optional[ast.Expression] = None,
+        join_type: str = "INNER",
+    ) -> None:
+        super().__init__(context)
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.condition = condition
+        self.join_type = join_type
+        self._scope = left.scope.concat(right.scope)
+        self._left_out: Optional[frozenset] = None
+        self._right_out: Optional[frozenset] = None
+
+    @property
+    def scope(self) -> Scope:
+        return self._scope
+
+    def set_live(self, live: Optional[frozenset]) -> None:
+        # relay: children must materialize what the consumer reads plus
+        # what the key expressions and the residual condition read (the
+        # residual-skip decision is runtime, so plan for the worst);
+        # the operator's own output gathers honor the consumer's
+        # positions alone — they run only on the residual-skip path
+        self._live = live
+        left_width = len(self.left.scope)
+        if live is None:
+            self._left_out = self._right_out = None
+        else:
+            self._left_out = frozenset(p for p in live if p < left_width)
+            self._right_out = frozenset(
+                p - left_width for p in live if p >= left_width
+            )
+        need = live
+        if need is not None and self.condition is not None:
+            cond_refs = referenced_positions((self.condition,), self._scope)
+            need = None if cond_refs is None else need | cond_refs
+        if need is None:
+            left_need = right_need = None
+        else:
+            left_need = frozenset(p for p in need if p < left_width)
+            right_need = frozenset(
+                p - left_width for p in need if p >= left_width
+            )
+        left_keys = referenced_positions(self.left_keys, self.left.scope)
+        right_keys = referenced_positions(self.right_keys, self.right.scope)
+        self.left.set_live(
+            None
+            if left_need is None or left_keys is None
+            else left_need | left_keys
+        )
+        self.right.set_live(
+            None
+            if right_need is None or right_keys is None
+            else right_need | right_keys
+        )
+
+    def _key_columns(
+        self, keys: tuple[ast.Expression, ...], side: VectorOperator
+    ):
+        """Per-batch evaluator for the key expressions of one side:
+        batch -> (list of per-key columns, all_clean flag)."""
+        kernels = []
+        for expr in keys:
+            try:
+                kernels.append(
+                    (
+                        True,
+                        compile_column_kernel(
+                            expr, side.scope, self.context.parameters
+                        ),
+                    )
+                )
+            except CannotVectorize:
+                kernels.append((False, self.compile_value(expr, side.scope)))
+
+        def evaluate(batch: ColumnBatch) -> tuple[list, bool]:
+            columns = []
+            clean = True
+            rows: Optional[list] = None
+            for vectorized, kernel in kernels:
+                if vectorized:
+                    column, tag = kernel(batch)
+                    clean = clean and tag is not None
+                else:
+                    if rows is None:
+                        rows = _pivot_rows(batch)
+                    column = [kernel(values) for values in rows]
+                    clean = False
+                columns.append(column)
+            return columns, clean
+
+        return evaluate
+
+    def __iter__(self) -> Iterator[ColumnBatch]:
+        single = len(self.left_keys) == 1
+        build_keys = self._key_columns(self.right_keys, self.right)
+        probe_keys = self._key_columns(self.left_keys, self.left)
+        condition = (
+            self.compile_predicate(self.condition, self._scope)
+            if self.condition is not None
+            else None
+        )
+        # residual ≡ the key equality itself → skippable on clean keys
+        condition_is_key_equality = (
+            single
+            and isinstance(self.condition, ast.BinaryOp)
+            and self.condition.op == "="
+        )
+
+        # Build side stored column-major with the hash table mapping key
+        # → build row index (int) or list of indices for duplicate keys.
+        # Bucket contents stay in insertion order, so candidate emission
+        # order matches the row operator exactly.
+        right_width = len(self.right.scope)
+        table: dict = {}
+        get_entry = table.get
+        unique_build = True
+        build_clean = True
+        right_tags: Optional[list] = None
+        offset = 0
+        build_batches: list[ColumnBatch] = []
+        for batch in self.right:
+            build_batches.append(batch)
+            key_columns, clean = build_keys(batch)
+            build_clean = build_clean and clean
+            if right_tags is None:
+                right_tags = list(batch.tags)
+            elif right_tags != batch.tags:
+                right_tags = [
+                    a if a == b else None
+                    for a, b in zip(right_tags, batch.tags)
+                ]
+            if single:
+                keys_iter = key_columns[0]
+            else:
+                keys_iter = zip(*key_columns)
+            for i, key in enumerate(keys_iter, start=offset):
+                if single:
+                    if key is NULL or key is None or key is CNULL:
+                        continue
+                elif any(is_missing(part) for part in key):
+                    continue
+                existing = get_entry(key)
+                if existing is None:
+                    table[key] = i
+                elif type(existing) is int:
+                    table[key] = [existing, i]
+                    unique_build = False
+                else:
+                    existing.append(i)
+            offset += batch.num_rows
+        build_arrays: Optional[dict] = None
+        if len(build_batches) == 1:
+            # the whole build side arrived in one batch: adopt its
+            # columns zero-copy instead of re-accumulating them (and its
+            # ndarray memo, which licenses np.take gathers below)
+            right_columns: list = build_batches[0].columns
+            build_arrays = build_batches[0].arrays
+        else:
+            right_columns = [[] for _ in range(right_width)]
+            for batch in build_batches:
+                for j, column in enumerate(batch.columns):
+                    if column is None:
+                        right_columns[j] = None  # pruned upstream
+                    elif right_columns[j] is not None:
+                        right_columns[j].extend(column)
+        del build_batches
+        left_outer = self.join_type == "LEFT"
+        padding = (NULL,) * right_width
+        width = len(self._scope)
+        right_rows: Optional[list] = None  # lazy pivot, residual path only
+        # output positions the consumer actually reads (None = all); the
+        # skip-residual gather paths leave everything else as pruned
+        # (None) columns so we never copy values nobody will look at
+        left_out = self._left_out
+        right_out = self._right_out
+
+        def gather_right(indices: list, padded: bool) -> tuple[list, dict]:
+            """Build-side output columns for the given build-row indices
+            (``None`` entries mean pad with NULL when ``padded``).  Dead
+            and non-consumed columns come back as ``None``; columns with
+            a memoized ndarray gather via a single ``take`` and re-enter
+            the output batch's memo so downstream kernels reuse them."""
+            out: list = []
+            out_arrays: dict = {}
+            nd_indices = None
+            for j, column in enumerate(right_columns):
+                if column is None or (
+                    right_out is not None and j not in right_out
+                ):
+                    out.append(None)
+                    continue
+                if padded:
+                    out.append(
+                        [NULL if e is None else column[e] for e in indices]
+                    )
+                    continue
+                hit = (
+                    build_arrays.get(id(column))
+                    if build_arrays is not None
+                    else None
+                )
+                if hit is not None and hit[0] is column and hit[1] is not None:
+                    if nd_indices is None:
+                        nd_indices = _np.fromiter(
+                            indices, _np.int64, len(indices)
+                        )
+                    taken = hit[1][nd_indices]
+                    gathered = taken.tolist()
+                    out_arrays[id(gathered)] = (gathered, taken)
+                    out.append(gathered)
+                    continue
+                out.append([column[e] for e in indices])
+            return out, out_arrays
+
+        for batch in self.left:
+            key_columns, probe_clean = probe_keys(batch)
+            skip_residual = condition is None or (
+                condition_is_key_equality and probe_clean and build_clean
+            )
+            # right columns keep their scan tags only when every emitted
+            # row came from a stored build row (no padding)
+            right_part = (
+                right_tags
+                if right_tags is not None and not left_outer
+                else [None] * right_width
+            )
+            out_tags = list(batch.tags) + list(right_part)
+            if single:
+                probe_column = key_columns[0]
+            else:
+                probe_column = list(zip(*key_columns))
+            if skip_residual:
+                # Gather path: resolve every probe key to its table entry
+                # in one C map() pass, then slice output columns straight
+                # from the probe batch and the build-side column store —
+                # no per-row tuple concatenation or re-pivot.  Missing
+                # single keys need no pre-check: the build side never
+                # stored a missing key, so the singleton lookup just
+                # misses (same outcome, same TypeError on unhashables as
+                # the row operator's ``table.get``).
+                if single:
+                    entries = list(map(get_entry, probe_column))
+                else:
+                    # an unhashable part beside a missing part must not
+                    # raise (the row operator checks missing first) —
+                    # keep the per-row pre-check for tuple keys
+                    entries = [
+                        None
+                        if any(is_missing(part) for part in key)
+                        else get_entry(key)
+                        for key in probe_column
+                    ]
+                if unique_build:
+                    misses = entries.count(None)
+                    if misses == 0:
+                        # every probe row matched exactly once: the left
+                        # columns pass through zero-copy
+                        out_left = batch.columns
+                        indices = entries
+                        produced = batch.num_rows
+                    elif left_outer:
+                        # one output row per probe row (match or pad):
+                        # left columns still pass through zero-copy
+                        out_left = batch.columns
+                        indices = entries
+                        produced = batch.num_rows
+                    else:
+                        selection = [e is not None for e in entries]
+                        out_left = [
+                            None
+                            if column is None
+                            or (left_out is not None and j not in left_out)
+                            else list(compress(column, selection))
+                            for j, column in enumerate(batch.columns)
+                        ]
+                        indices = [e for e in entries if e is not None]
+                        produced = len(indices)
+                    if produced == 0:
+                        continue
+                    out_right, out_arrays = gather_right(
+                        indices, left_outer and misses > 0
+                    )
+                    out_batch = ColumnBatch(
+                        out_left + out_right, produced, out_tags
+                    )
+                    if out_arrays:
+                        out_batch.arrays = out_arrays
+                    yield out_batch
+                    continue
+                probe_indices: list[int] = []
+                build_indices: list = []
+                index_append = probe_indices.append
+                build_append = build_indices.append
+                padded = False
+                for i, entry in enumerate(entries):
+                    if entry is None:
+                        if left_outer:
+                            padded = True
+                            index_append(i)
+                            build_append(None)
+                    elif type(entry) is int:
+                        index_append(i)
+                        build_append(entry)
+                    else:
+                        # duplicate-key bucket: replicate the probe index
+                        # and splice the bucket in two C extends instead
+                        # of a Python append per candidate
+                        probe_indices.extend([i] * len(entry))
+                        build_indices.extend(entry)
+                if not probe_indices:
+                    continue
+                out_columns = [
+                    None
+                    if column is None
+                    or (left_out is not None and j not in left_out)
+                    else [column[i] for i in probe_indices]
+                    for j, column in enumerate(batch.columns)
+                ]
+                out_right, out_arrays = gather_right(build_indices, padded)
+                out_columns.extend(out_right)
+                out_batch = ColumnBatch(
+                    out_columns, len(probe_indices), out_tags
+                )
+                if out_arrays:
+                    out_batch.arrays = out_arrays
+                yield out_batch
+                continue
+            if right_rows is None:
+                right_rows = _pivot_columns(right_columns, offset)
+            rows = _pivot_rows(batch)
+            out_rows: list = []
+            emit = out_rows.append
+            for key, left_values in zip(probe_column, rows):
+                if single:
+                    missing = key is NULL or key is None or key is CNULL
+                else:
+                    missing = any(is_missing(part) for part in key)
+                entry = None if missing else get_entry(key)
+                if entry is None:
+                    if left_outer:
+                        emit(left_values + padding)
+                    continue
+                candidates = (entry,) if type(entry) is int else entry
+                matched = False
+                for e in candidates:
+                    combined = left_values + right_rows[e]
+                    if condition(combined).value is True:
+                        matched = True
+                        emit(combined)
+                if left_outer and not matched:
+                    emit(left_values + padding)
+            if not out_rows:
+                continue
+            yield ColumnBatch.from_rows(out_rows, width, out_tags)
+
+
+class VectorAggregateOp(VectorOperator):
+    """Hash aggregation over batches, mirroring ``AggregateOp`` exactly.
+
+    Group keys resolve through a dict with the same TypeError→repr
+    normalization and insertion ordering; aggregate inputs are computed
+    as columns, buffered per group in row order, and folded — with
+    C-level ``sum``/``min``/``max``/``len`` when the input column is
+    clean, or fed element-wise through the row engine's ``_Accumulator``
+    otherwise (distinct, unclean, unknown aggregates), so results,
+    errors, and tie-breaking are identical.
+    """
+
+    def __init__(
+        self,
+        context: ExecutionContext,
+        child: VectorOperator,
+        group_by: tuple[ast.Expression, ...],
+        aggregates: tuple[ast.FunctionCall, ...],
+    ) -> None:
+        super().__init__(context)
+        self.child = child
+        self.group_by = group_by
+        self.aggregates = aggregates
+        entries: list[tuple[str, str]] = []
+        for expr in group_by:
+            if isinstance(expr, ast.ColumnRef):
+                entries.append((expr.table or "", expr.name))
+            else:
+                entries.append(("", format_expression(expr)))
+        for call in aggregates:
+            entries.append(("", format_expression(call)))
+        self._scope = Scope(entries)
+        self.set_live(None)
+
+    @property
+    def scope(self) -> Scope:
+        return self._scope
+
+    def set_live(self, live: Optional[frozenset]) -> None:
+        # the aggregate reads only its key and input expressions no
+        # matter which outputs the consumer wants, so it *seeds* the
+        # pruning propagation (called once from __init__)
+        self._live = live
+        needed: list = list(self.group_by)
+        for call in self.aggregates:
+            for argument in call.args:
+                if not isinstance(argument, ast.Star):
+                    needed.append(argument)
+        self.child.set_live(referenced_positions(needed, self.child.scope))
+
+    def _input_kernels(self, child_scope: Scope) -> list:
+        """Per aggregate: ("star", None) | ("vector", kernel) |
+        ("row", closure)."""
+        kernels: list = []
+        for call in self.aggregates:
+            (argument,) = call.args
+            if isinstance(argument, ast.Star):
+                kernels.append(("star", None))
+                continue
+            try:
+                kernels.append(
+                    (
+                        "vector",
+                        compile_column_kernel(
+                            argument, child_scope, self.context.parameters
+                        ),
+                    )
+                )
+            except CannotVectorize:
+                kernels.append(
+                    ("row", self.compile_value(argument, child_scope))
+                )
+        return kernels
+
+    def _fold(
+        self,
+        accumulator: _Accumulator,
+        call: ast.FunctionCall,
+        values: Sequence,
+        clean_tag: Optional[str],
+    ) -> None:
+        """Fold one row-ordered value buffer (list or tuple) into an
+        accumulator.
+
+        ``clean_tag`` is the input column's tag when the whole buffer is
+        known clean (then C reductions are exact); ``None`` forces the
+        element-wise accumulator path.
+        """
+        if not values:
+            return
+        name = accumulator.name
+        if clean_tag is not None and not accumulator.distinct:
+            if name == "COUNT":
+                accumulator.count += len(values)
+                return
+            if name in ("SUM", "AVG") and clean_tag in (
+                TAG_INT, TAG_FLOAT, TAG_NUM
+            ):
+                accumulator.count += len(values)
+                iterator = iter(values)
+                total = accumulator.total
+                if total is None:
+                    total = next(iterator)
+                accumulator.total = sum(iterator, total)
+                return
+            if name == "MIN":
+                accumulator.count += len(values)
+                extreme = min(values)
+                if extreme != extreme:  # NaN head: per-element semantics
+                    for value in values:
+                        if accumulator.extreme is None or value < accumulator.extreme:
+                            accumulator.extreme = value
+                elif accumulator.extreme is None or extreme < accumulator.extreme:
+                    accumulator.extreme = extreme
+                return
+            if name == "MAX":
+                accumulator.count += len(values)
+                extreme = max(values)
+                if extreme != extreme:
+                    for value in values:
+                        if accumulator.extreme is None or value > accumulator.extreme:
+                            accumulator.extreme = value
+                elif accumulator.extreme is None or extreme > accumulator.extreme:
+                    accumulator.extreme = extreme
+                return
+        add = accumulator.add
+        for value in values:
+            add(value)
+
+    def __iter__(self) -> Iterator[ColumnBatch]:
+        child_scope = self.child.scope
+        input_kernels = self._input_kernels(child_scope)
+        if not self.group_by:
+            yield from self._iter_global(input_kernels)
+            return
+        yield from self._iter_grouped(child_scope, input_kernels)
+
+    def _iter_global(self, input_kernels: list) -> Iterator[ColumnBatch]:
+        accumulators = [_Accumulator(call) for call in self.aggregates]
+        for batch in self.child:
+            rows: Optional[list] = None
+            for (kind, kernel), accumulator, call in zip(
+                input_kernels, accumulators, self.aggregates
+            ):
+                if kind == "star":
+                    if accumulator._counts_star:
+                        accumulator.count += batch.num_rows
+                    continue
+                if kind == "vector":
+                    column, tag = kernel(batch)
+                else:
+                    if rows is None:
+                        rows = _pivot_rows(batch)
+                    column, tag = [kernel(values) for values in rows], None
+                self._fold(accumulator, call, column, tag)
+        yield ColumnBatch.from_rows(
+            [tuple(acc.result() for acc in accumulators)], len(self._scope)
+        )
+
+    def _iter_grouped(
+        self, child_scope: Scope, input_kernels: list
+    ) -> Iterator[ColumnBatch]:
+        key_kernels: list = []
+        for expr in self.group_by:
+            try:
+                key_kernels.append(
+                    (
+                        True,
+                        compile_column_kernel(
+                            expr, child_scope, self.context.parameters
+                        ),
+                    )
+                )
+            except CannotVectorize:
+                key_kernels.append(
+                    (False, self.compile_value(expr, child_scope))
+                )
+        single = len(self.group_by) == 1
+
+        group_index: dict = {}
+        get_group = group_index.get
+        key_tuples: list[tuple] = []  # first-seen key values per group
+        group_accumulators: list[list[_Accumulator]] = []
+
+        for batch in self.child:
+            rows: Optional[list] = None
+            key_columns = []
+            for vectorized, kernel in key_kernels:
+                if vectorized:
+                    key_columns.append(kernel(batch)[0])
+                else:
+                    if rows is None:
+                        rows = _pivot_rows(batch)
+                    key_columns.append([kernel(values) for values in rows])
+            if single:
+                batch_keys = key_columns[0]
+            else:
+                batch_keys = list(zip(*key_columns))
+
+            # resolve group ids (same dict semantics, TypeError→repr
+            # normalization, and first-seen insertion order as the row
+            # operator).  The fast lane registers this batch's distinct
+            # keys via dict.fromkeys (first-occurrence order, one C
+            # pass) and maps every key to its id in a second C pass;
+            # the first unhashable key raises out of fromkeys before
+            # group_index is touched, landing in the row-exact loop.
+            try:
+                for key in dict.fromkeys(batch_keys):
+                    if key not in group_index:
+                        group_index[key] = len(key_tuples)
+                        key_tuples.append((key,) if single else key)
+                        group_accumulators.append(
+                            [_Accumulator(call) for call in self.aggregates]
+                        )
+                group_ids = list(map(group_index.__getitem__, batch_keys))
+            except TypeError:
+                group_ids = []
+                record = group_ids.append
+                for key in batch_keys:
+                    try:
+                        gid = get_group(key)
+                    except TypeError:
+                        if single:
+                            normalized = key if _hashable(key) else repr(key)
+                        else:
+                            normalized = tuple(
+                                part if _hashable(part) else repr(part)
+                                for part in key
+                            )
+                        gid = get_group(normalized)
+                        if gid is None:
+                            gid = len(key_tuples)
+                            group_index[normalized] = gid
+                            key_tuples.append((key,) if single else key)
+                            group_accumulators.append(
+                                [_Accumulator(call) for call in self.aggregates]
+                            )
+                        record(gid)
+                        continue
+                    if gid is None:
+                        gid = len(key_tuples)
+                        group_index[key] = gid
+                        key_tuples.append((key,) if single else key)
+                        group_accumulators.append(
+                            [_Accumulator(call) for call in self.aggregates]
+                        )
+                    record(gid)
+
+            # partition the batch once: per-group row-index lists shared
+            # by every aggregate, gathered with itemgetter (a C call per
+            # group instead of a Python append per row per aggregate)
+            group_count = len(key_tuples)
+            if (
+                _np is not None
+                and group_count <= 64
+                and len(group_ids) >= 4096
+            ):
+                # few groups over many rows: one C fromiter pass plus a
+                # flatnonzero scan per group beats a Python append per
+                # row (group ids are list indices, so int64 always fits)
+                gid_arr = _np.fromiter(group_ids, _np.int64, len(group_ids))
+                index_lists: list[list[int]] = [
+                    _np.flatnonzero(gid_arr == gid).tolist()
+                    for gid in range(group_count)
+                ]
+            else:
+                index_lists = [[] for _ in range(group_count)]
+                for i, gid in enumerate(group_ids):
+                    index_lists[gid].append(i)
+            getters: list = [
+                itemgetter(*indices) if len(indices) > 1 else None
+                for indices in index_lists
+            ]
+            for index, ((kind, kernel), call) in enumerate(
+                zip(input_kernels, self.aggregates)
+            ):
+                if kind == "star":
+                    for gid, indices in enumerate(index_lists):
+                        if indices:
+                            accumulator = group_accumulators[gid][index]
+                            if accumulator._counts_star:
+                                accumulator.count += len(indices)
+                    continue
+                if kind == "vector":
+                    column, tag = kernel(batch)
+                else:
+                    if rows is None:
+                        rows = _pivot_rows(batch)
+                    column, tag = [kernel(values) for values in rows], None
+                for gid, indices in enumerate(index_lists):
+                    if not indices:
+                        continue
+                    getter = getters[gid]
+                    buffer = (
+                        getter(column)
+                        if getter is not None
+                        else (column[indices[0]],)
+                    )
+                    self._fold(
+                        group_accumulators[gid][index], call, buffer, tag
+                    )
+
+        if not key_tuples:
+            return
+        out_rows = [
+            key_tuples[gid]
+            + tuple(acc.result() for acc in group_accumulators[gid])
+            for gid in range(len(key_tuples))
+        ]
+        yield ColumnBatch.from_rows(out_rows, len(self._scope))

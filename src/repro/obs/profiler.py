@@ -24,6 +24,7 @@ from time import perf_counter
 from typing import Any, Callable, Iterator, Optional
 
 from repro.engine.base import PhysicalOperator
+from repro.exec.vector import ColumnBatch
 from repro.storage.row import Scope
 
 
@@ -32,6 +33,7 @@ class NodeMetrics:
     """Actuals for one plan node (inclusive of its subtree)."""
 
     rows: int = 0              # tuples this node produced
+    batches: int = 0           # ColumnBatches produced (vectorized nodes)
     next_calls: int = 0        # pulls (rows + the exhausting pull)
     wall_seconds: float = 0.0
     sim_seconds: float = 0.0   # simulated marketplace time
@@ -72,6 +74,13 @@ class ProfiledOperator(PhysicalOperator):
     def sources_crowd_on_pull(self) -> bool:
         return self.target.sources_crowd_on_pull()
 
+    def set_live(self, live: Optional[Any]) -> None:
+        # column-pruning relay (vectorized operators only): parents call
+        # set_live through the wrapper, so forward it when present
+        target_set_live = getattr(self.target, "set_live", None)
+        if target_set_live is not None:
+            target_set_live(live)
+
     def __iter__(self) -> Iterator[tuple]:
         metrics = self.metrics
         stats = self._task_stats
@@ -101,7 +110,13 @@ class ProfiledOperator(PhysicalOperator):
                 metrics.sim_seconds += clock() - sim0
             if row is None:
                 return
-            metrics.rows += 1
+            if type(row) is ColumnBatch:
+                # vectorized nodes yield whole batches: account the rows
+                # they carry so totals match the row pipeline's
+                metrics.rows += row.num_rows
+                metrics.batches += 1
+            else:
+                metrics.rows += 1
             yield row
 
 
@@ -171,6 +186,8 @@ def render_analyze(
         ]
         if metrics is not None:
             parts.append(f"{metrics.wall_seconds * 1000.0:.2f} ms")
+            if metrics.batches:
+                parts.append(f"{metrics.batches} batch(es)")
             if metrics.sim_seconds:
                 parts.append(f"sim {metrics.sim_seconds:.0f} s")
         text += "  -- " + " / ".join(parts)

@@ -89,12 +89,20 @@ class CostModel:
     repeated costing of shared subtrees linear.
     """
 
+    #: per-row work discount for vectorized operators: batch kernels
+    #: amortize interpreter dispatch over whole columns, so a vectorized
+    #: node's electronic row channel weighs a quarter of a row pipeline's
+    VECTOR_ROW_WEIGHT = 0.25
+
     def __init__(
         self,
         estimator: CardinalityEstimator,
         crowd_config: Optional[Any] = None,
+        vectorized_ids: frozenset = frozenset(),
     ) -> None:
         self.estimator = estimator
+        #: ids of logical nodes the binder marked vector-eligible
+        self.vectorized_ids = vectorized_ids
         config = crowd_config
         self.reward_cents = float(
             getattr(config, "reward_cents", _DEFAULT_REWARD_CENTS)
@@ -256,7 +264,14 @@ class CostModel:
         return PlanCost(cents=cents, rounds=rounds, rows=self._own_rows(plan))
 
     def _own_rows(self, plan: logical.LogicalPlan) -> float:
-        """Electronic row work this node performs itself."""
+        """Electronic row work this node performs itself (discounted
+        when the binder marked the node for columnar execution)."""
+        rows = self._base_own_rows(plan)
+        if id(plan) in self.vectorized_ids and rows != UNBOUNDED:
+            return rows * self.VECTOR_ROW_WEIGHT
+        return rows
+
+    def _base_own_rows(self, plan: logical.LogicalPlan) -> float:
         if isinstance(plan, (logical.Scan, logical.SingleRow)):
             return self._rows(plan)
         if isinstance(plan, logical.Join):

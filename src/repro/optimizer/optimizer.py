@@ -44,6 +44,11 @@ class OptimizationResult:
     #: whether physical operators will compile this plan's expressions to
     #: plan-time closures (False = per-row AST interpretation)
     compile_expressions: bool = True
+    #: whether the binder stage ran (columnar execution enabled)
+    vectorized: bool = False
+    #: id(node) -> repro.plan.binder.NodeBinding for every plan node
+    #: (empty when the binder did not run)
+    bindings: dict[int, Any] = field(default_factory=dict)
 
     @property
     def estimated_rows(self) -> float:
@@ -92,6 +97,12 @@ class OptimizationResult:
             if cost is not None:
                 parts.append(f"~{cost.cents:g}c")
                 parts.append(f"~{cost.rounds:g} rounds")
+            if self.vectorized:
+                binding = self.bindings.get(id(node))
+                if binding is not None and binding.vectorized:
+                    parts.append("execution: vectorized")
+                else:
+                    parts.append("execution: row")
             text += "  -- " + " / ".join(parts)
         lines.append(text)
         for child in node.children():
@@ -109,6 +120,7 @@ class Optimizer:
         compile_expressions: bool = True,
         crowd_config: Optional[Any] = None,
         cost_based: bool = True,
+        vectorized: bool = True,
     ) -> None:
         self.engine = engine
         self.strict_boundedness = strict_boundedness
@@ -116,6 +128,9 @@ class Optimizer:
         self.compile_expressions = compile_expressions
         self.crowd_config = crowd_config
         self.cost_based = cost_based
+        # columnar execution builds on the compiled-expression kernels;
+        # the interpreted mode stays pure row-at-a-time
+        self.vectorized = vectorized and compile_expressions
         self._boundedness = BoundednessAnalysis()
         self._rules = [
             PredicatePushdown(),
@@ -148,9 +163,25 @@ class Optimizer:
             plan = rule.apply(plan, context)
         report = self._boundedness.last_report or BoundednessReport()
         annotations = estimator.annotate(plan)
+        # the binder stage: decide vectorized vs row per node of the
+        # *final* plan (rules no longer move nodes after this point)
+        bindings: dict[int, Any] = {}
+        if self.vectorized:
+            from repro.plan.binder import Binder
+
+            bindings = Binder(self.engine).bind(plan)
+        vectorized_ids = frozenset(
+            node_id
+            for node_id, binding in bindings.items()
+            if binding.vectorized
+        )
         # cost the final plan with a fresh model: rewrites after join
         # ordering (CrowdJoin, stop-after hints) changed node identities
-        final_model = CostModel(estimator, crowd_config=self.crowd_config)
+        final_model = CostModel(
+            estimator,
+            crowd_config=self.crowd_config,
+            vectorized_ids=vectorized_ids,
+        )
         costs = final_model.annotate(plan)
         return OptimizationResult(
             plan=plan,
@@ -159,4 +190,6 @@ class Optimizer:
             annotations=annotations,
             costs=costs,
             compile_expressions=self.compile_expressions,
+            vectorized=self.vectorized,
+            bindings=bindings,
         )

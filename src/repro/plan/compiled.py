@@ -70,8 +70,9 @@ ValueFn = Callable[[tuple], Any]
 #: A compiled predicate: full value tuple -> TriBool.
 TriFn = Callable[[tuple], TriBool]
 
-#: Rows processed per chunk by batch-at-a-time operator loops.
-BATCH_ROWS = 256
+#: Rows processed per chunk by batch-at-a-time operator loops
+#: (re-exported from the columnar exec module, where batch sizing lives).
+from repro.exec.vector import BATCH_ROWS  # noqa: E402,F401
 
 _CROWD_OR_SUBQUERY = (
     ast.CrowdEqual,

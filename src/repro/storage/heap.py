@@ -31,6 +31,9 @@ class HeapTable:
         self.schema = schema
         self._rows: dict[int, tuple[Any, ...]] = {}
         self._next_rowid = 0
+        # bumped on every mutation; keys the scan_columns() pivot cache
+        self._version = 0
+        self._column_cache: Optional[tuple[int, list, int]] = None
         stats_kwargs = {}
         if auto_analyze_floor is not None:
             stats_kwargs["auto_analyze_floor"] = auto_analyze_floor
@@ -95,6 +98,29 @@ class HeapTable:
         if snapshot:
             return iter(list(self._rows.values()))
         return iter(self._rows.values())
+
+    def scan_columns(self) -> tuple[list[list], int]:
+        """Column-major snapshot of the heap for the vectorized scan.
+
+        Returns ``(columns, num_rows)``: one list per schema column, rows
+        in insertion order.  The pivot is cached per table version, so
+        repeated scans between writes hand back the same lists without
+        copying (callers must treat them as immutable); any
+        insert/update/delete bumps the version and invalidates the cache,
+        and the returned lists are never the live storage — crowd writes
+        that interleave with a suspended scan cannot mutate a batch
+        already handed out, preserving snapshot-scan semantics.
+        """
+        cache = self._column_cache
+        if cache is not None and cache[0] == self._version:
+            return cache[1], cache[2]
+        rows = list(self._rows.values())
+        if rows:
+            columns = [list(column) for column in zip(*rows)]
+        else:
+            columns = [[] for _ in self.schema.columns]
+        self._column_cache = (self._version, columns, len(rows))
+        return columns, len(rows)
 
     def get(self, rowid: int) -> Row:
         try:
@@ -225,6 +251,7 @@ class HeapTable:
             index.insert(self._key_for(values, index.columns), rowid)
         self._rows[rowid] = values
         self._next_rowid += 1
+        self._version += 1
         self.statistics.on_insert(values, self.schema.column_names)
         self._track_pk(values, +1)
         return Row(rowid, values)
@@ -246,6 +273,7 @@ class HeapTable:
             index.insert(self._key_for(values, index.columns), rowid)
         self._rows[rowid] = values
         self._next_rowid = max(self._next_rowid, rowid + 1)
+        self._version += 1
         self.statistics.on_insert(values, self.schema.column_names)
         self._track_pk(values, +1)
         return Row(rowid, values)
@@ -255,6 +283,7 @@ class HeapTable:
         for index in self.indexes.values():
             index.delete(self._key_for(row.values, index.columns), rowid)
         del self._rows[rowid]
+        self._version += 1
         self.statistics.on_delete(row.values, self.schema.column_names)
         self._track_pk(row.values, -1)
         return row
@@ -279,6 +308,7 @@ class HeapTable:
                 index.delete(old_key, rowid)
                 index.insert(new_key, rowid)
         self._rows[rowid] = values
+        self._version += 1
         self.statistics.on_delete(old.values, self.schema.column_names)
         self.statistics.on_insert(values, self.schema.column_names)
         if self._normalized_pks is not None:
