@@ -48,6 +48,7 @@ EXPERIMENTS = {
     "E17": ("bench_e17_observability", "observability overhead + EXPLAIN ANALYZE"),
     "E18": ("bench_e18_recovery", "WAL recovery + crowd-answer ledger"),
     "E19": ("bench_e19_vectorized", "columnar vectorized execution"),
+    "E20": ("bench_e20_serving", "network serving + electronic pool"),
     "F1": ("bench_f1_architecture", "architecture walkthrough"),
     "F2": ("bench_f2_ui_generation", "UI template generation"),
     "F3": ("bench_f3_mobile_task", "mobile platform tasks"),

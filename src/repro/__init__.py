@@ -12,10 +12,11 @@ from repro.api import Connection, Cursor, connect, serve
 from repro.crowd.reputation import ReputationStore
 from repro.crowd.task_manager import CrowdConfig, CrowdFuture
 from repro.engine.executor import ResultSet
+from repro.net import NetClient, NetworkServer, connect_tcp, serve_tcp
 from repro.server import Server
 from repro.sqltypes import CNULL, NULL
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CNULL",
@@ -24,10 +25,14 @@ __all__ = [
     "CrowdConfig",
     "CrowdFuture",
     "Cursor",
+    "NetClient",
+    "NetworkServer",
     "ReputationStore",
     "ResultSet",
     "Server",
     "connect",
+    "connect_tcp",
     "serve",
+    "serve_tcp",
     "__version__",
 ]

@@ -76,6 +76,8 @@ class Connection:
         durability: str = "wal",
         wal_sync: str = "commit",
         checkpoint_interval: Optional[int] = 1024,
+        electronic_workers: int = 0,
+        electronic_pool_kind: str = "thread",
     ) -> None:
         # durable storage: with a path (and durability="wal") the engine
         # is recovered from disk — checkpoint plus WAL tail — and every
@@ -144,6 +146,18 @@ class Connection:
             cost_based=cost_based,
             vectorized=vectorized,
         )
+        # multi-core execution of binder-approved electronic regions:
+        # 0 workers = run them in place (the historical behaviour)
+        self.electronic_pool = None
+        if electronic_workers and vectorized and compile_expressions:
+            from repro.exec.pool import ElectronicPool
+
+            self.electronic_pool = ElectronicPool(
+                electronic_workers, kind=electronic_pool_kind
+            )
+            self.metrics.register_collector(
+                "electronic_pool", self.electronic_pool.snapshot
+            )
         self.executor = Executor(
             self.engine,
             optimizer=self.optimizer,
@@ -152,7 +166,14 @@ class Connection:
             platform=default_platform,
             plan_cache_size=plan_cache_size,
             observability=self.observability,
+            electronic_pool=self.electronic_pool,
         )
+        # kernel fallback telemetry (one-shot warnings + counter) flows
+        # through this connection's registry; pool worker processes
+        # detach it in their initializer
+        from repro.exec import kernels as _kernels
+
+        _kernels.set_metrics_registry(self.metrics)
         # parse memo: SQL text -> statement AST (ASTs are immutable, so
         # reuse is safe); with the executor's plan cache behind it, a
         # repeated query skips parsing *and* optimization entirely
@@ -311,6 +332,8 @@ class Connection:
         if self._closed:
             return
         self._closed = True
+        if self.electronic_pool is not None:
+            self.electronic_pool.shutdown()
         if self.storage is not None:
             self.storage.close()
 
@@ -415,6 +438,8 @@ def connect(
     checkpoint_interval: Optional[int] = 1024,
     platform_retries: Optional[int] = None,
     platform_timeout: Optional[float] = None,
+    electronic_workers: int = 0,
+    electronic_pool_kind: str = "thread",
 ) -> Connection:
     """Create a CrowdDB connection.
 
@@ -482,6 +507,14 @@ def connect(
     ``platform_retries``/``platform_timeout`` bound the exponential-
     backoff retry loop around transient platform failures (see
     :class:`CrowdConfig`).
+
+    ``electronic_workers=N`` dispatches binder-approved pure-electronic
+    plan regions to a pool of N workers, so vectorized pipelines from
+    concurrent server sessions run on different cores while crowd waits
+    stay on the discrete-event scheduler.  ``electronic_pool_kind``
+    picks ``"thread"`` (default, safe everywhere) or ``"process"``
+    (fork-snapshot workers; true multi-core for picklable column
+    batches).  0 keeps the single-core in-place execution.
     """
     overrides = {
         key: value
@@ -520,6 +553,8 @@ def connect(
         durability=durability,
         wal_sync=wal_sync,
         checkpoint_interval=checkpoint_interval,
+        electronic_workers=electronic_workers,
+        electronic_pool_kind=electronic_pool_kind,
     )
     if not with_crowd:
         return Connection(

@@ -9,11 +9,20 @@ Usage::
     python -m repro.cli [script.sql ...]
     python -m repro.cli --db DIR [--wal-sync MODE] [script.sql ...]
     python -m repro.cli --serve [--sessions N]
+    python -m repro.cli --listen HOST:PORT [--electronic-workers N]
+    python -m repro.cli --connect HOST:PORT [script.sql ...]
 
 ``--db DIR`` opens a durable instance: state (including paid crowd
 answers) is recovered from ``DIR`` on start and every mutation is
 write-ahead logged; SIGINT/SIGTERM and normal exit flush the WAL and
 write a final checkpoint.
+
+``--listen HOST:PORT`` serves the engine over TCP (the wire protocol in
+:mod:`repro.net.protocol`) until interrupted; ``--connect HOST:PORT``
+opens a remote shell on such a server instead of an in-process engine.
+``--electronic-workers N`` (with optional ``--electronic-pool
+thread|process``) dispatches pure-electronic plan regions to a worker
+pool so crowd waits and electronic scans overlap across cores.
 
 Dot-commands:
 
@@ -57,6 +66,7 @@ from __future__ import annotations
 
 import signal
 import sys
+import threading
 from typing import Callable, Optional, TextIO
 
 from repro.api import Connection, connect, serve
@@ -448,6 +458,82 @@ class ServeShell(Shell):
         self.server.close()
 
 
+class RemoteShell:
+    """REPL over a network server (``--connect HOST:PORT``).
+
+    Statements travel the wire protocol and run in a server-side
+    session; the engine-introspection dot-commands stay server-side,
+    so only SQL, ``.help``, and ``.quit`` are available here.
+    """
+
+    def __init__(self, client, stdout: TextIO = sys.stdout) -> None:
+        self.client = client
+        self.stdout = stdout
+        self.running = True
+
+    def handle_line(self, line: str) -> None:
+        stripped = line.strip()
+        if not stripped:
+            return
+        if stripped.lower() in (".quit", ".exit"):
+            self.running = False
+            return
+        if stripped.lower() == ".help":
+            self._print(
+                "remote shell: CrowdSQL statements end with ';' — "
+                ".quit to exit (engine dot-commands run server-side)"
+            )
+            return
+        if stripped.startswith("."):
+            self._print(
+                f"command {stripped.split()[0]!r} is not available over "
+                "--connect — only SQL, .help, and .quit"
+            )
+            return
+        try:
+            result = self.client.execute(stripped)
+        except CrowdDBError as error:
+            self._print(f"error: {error}")
+            return
+        if result.columns:
+            self._print(result.pretty())
+        else:
+            self._print(f"ok ({result.rowcount} row(s) affected)")
+
+    def run(self, stdin: TextIO = sys.stdin) -> None:
+        buffer: list[str] = []
+        self._print(
+            f"CrowdDB remote shell (session {self.client.session_id}) — "
+            ".quit to exit"
+        )
+        for line in stdin:
+            stripped = line.strip()
+            if not buffer and stripped.startswith("."):
+                self.handle_line(stripped)
+            else:
+                buffer.append(line)
+                if stripped.endswith(";"):
+                    self.handle_line(" ".join(buffer))
+                    buffer = []
+            if not self.running:
+                return
+        if buffer:
+            self.handle_line(" ".join(buffer))
+
+    def run_script(self, path: str) -> None:
+        with open(path) as handle:
+            source = handle.read()
+        result = self.client.execute(source)
+        if result.columns:
+            self._print(result.pretty())
+
+    def close(self) -> None:
+        self.client.close()
+
+    def _print(self, text: str) -> None:
+        print(text, file=self.stdout)
+
+
 #: Adaptive quality-control flags accepted by ``python -m repro.cli``;
 #: forwarded to :func:`repro.connect` / :func:`repro.serve`.
 _QUALITY_FLAGS = {
@@ -464,6 +550,21 @@ _DURABILITY_FLAGS = {
     "--db": ("path", str),
     "--wal-sync": ("wal_sync", str),
 }
+
+
+#: Electronic-pool flags: dispatch binder-approved pure-electronic plan
+#: regions to a worker pool (see ``connect(electronic_workers=...)``).
+_POOL_FLAGS = {
+    "--electronic-workers": ("electronic_workers", int),
+    "--electronic-pool": ("electronic_pool_kind", str),
+}
+
+
+def _parse_hostport(argument: str, flag: str) -> tuple[str, int]:
+    host, _, port = argument.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"usage: {flag} HOST:PORT")
+    return host, int(port)
 
 
 def _pop_flag(argv: list[str], flag: str, cast) -> Optional[object]:
@@ -497,6 +598,27 @@ def install_signal_handlers(shell: Shell) -> None:
         )
 
 
+def _run_listener(address: str, connect_kwargs: dict) -> int:
+    """``--listen``: serve the engine over TCP until interrupted."""
+    from repro.net import serve_tcp
+
+    host, port = _parse_hostport(address, "--listen")
+    stop = threading.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, lambda *_: stop.set())
+    network = serve_tcp(host=host, port=port, **connect_kwargs)
+    try:
+        print(
+            f"CrowdDB listening on {network.host}:{network.port} — "
+            "Ctrl-C to stop",
+            file=sys.stderr,
+        )
+        stop.wait()
+    finally:
+        network.close()
+    return 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     argv = list(argv) if argv is not None else sys.argv[1:]
     quality_kwargs = {}
@@ -508,6 +630,30 @@ def main(argv: Optional[list[str]] = None) -> int:
         value = _pop_flag(argv, flag, cast)
         if value is not None:
             quality_kwargs[keyword] = value
+    for flag, (keyword, cast) in _POOL_FLAGS.items():
+        value = _pop_flag(argv, flag, cast)
+        if value is not None:
+            quality_kwargs[keyword] = value
+    listen = _pop_flag(argv, "--listen", str)
+    connect_to = _pop_flag(argv, "--connect", str)
+    if listen is not None:
+        return _run_listener(listen, quality_kwargs)
+    if connect_to is not None:
+        from repro.net import connect_tcp
+
+        host, port = _parse_hostport(connect_to, "--connect")
+        shell: Shell | RemoteShell = RemoteShell(
+            connect_tcp(host, port, timeout=None)
+        )
+        install_signal_handlers(shell)
+        try:
+            for path in argv:
+                shell.run_script(path)
+            if not argv:
+                shell.run()
+        finally:
+            shell.close()
+        return 0
     if "--serve" in argv:
         argv.remove("--serve")
         sessions = 1

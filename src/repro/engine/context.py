@@ -94,6 +94,7 @@ class ExecutionContext:
         compile_expressions: bool = True,
         ordered_conjuncts: bool = True,
         crowd_ledger: Optional[CrowdLedger] = None,
+        electronic_pool: Optional[Any] = None,
     ) -> None:
         self.engine = engine
         self.task_manager = task_manager
@@ -102,6 +103,9 @@ class ExecutionContext:
         self._subquery_executor = subquery_executor
         self.crowd_waiter = crowd_waiter
         self.compile_expressions = compile_expressions
+        # multi-core dispatch for binder-approved electronic regions
+        # (repro.exec.pool.ElectronicPool); None executes them in place
+        self.electronic_pool = electronic_pool
         # cost-based conjunct evaluation: FilterOp partitions AND-chains
         # into an electronic short-circuit prefix and a crowd/subquery
         # tail (identical for compiled and interpreted expressions);

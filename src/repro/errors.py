@@ -97,6 +97,33 @@ class AdmissionError(CrowdDBError):
     reached and the admission waitlist is full."""
 
 
+class StatementCancelled(ExecutionError):
+    """The statement was cancelled (client ``cancel`` frame or session
+    close) while it was suspended on crowd or pool work.  Raised at the
+    session's next yield point so operators unwind through their normal
+    error paths — no half-settled futures, no mid-transaction WAL state."""
+
+
+class NetworkProtocolError(CrowdDBError):
+    """A malformed, oversized, or out-of-sequence wire-protocol frame."""
+
+
+class RemoteError(ExecutionError):
+    """A statement failed on the remote server.
+
+    ``remote_type`` is the server-side exception class name and
+    ``remote_traceback`` the formatted server-side traceback, so the
+    client sees which operator failed even though the exception object
+    itself never crossed the socket."""
+
+    def __init__(
+        self, message: str, remote_type: str = "", remote_traceback: str = ""
+    ) -> None:
+        super().__init__(message)
+        self.remote_type = remote_type
+        self.remote_traceback = remote_traceback
+
+
 class QualityControlError(CrowdDBError):
     """Answer cleansing/majority voting could not produce a usable value
     (e.g. zero valid assignments after normalization)."""
@@ -125,3 +152,10 @@ class RecoveryWarning(CrowdDBWarning):
     """Issued when crash recovery found a torn or corrupt WAL tail and
     recovered to the last valid record instead (committed records before
     the tear are never lost; the tear itself was never acknowledged)."""
+
+
+class KernelFallbackWarning(CrowdDBWarning):
+    """Issued (once per site and error class) when a vectorized kernel
+    compile hit an *expected* error and fell back to the row path.  A
+    fallback is semantics-preserving, but a persistent one means a kernel
+    lane is broken and the speed it promised is silently gone."""

@@ -29,11 +29,13 @@ exactly the row engine's chunked loop.
 
 from __future__ import annotations
 
+import threading
+import warnings
 from itertools import repeat
 from operator import and_, or_
 from typing import Any, Callable, Optional
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, KernelFallbackWarning
 from repro.exec.vector import (
     NUMERIC_TAGS,
     TAG_FLOAT,
@@ -46,6 +48,7 @@ from repro.plan.compiled import (
     _COMPARISON_CHECKS,
     _NUMERIC_COMPARISONS,
     _PY_COMPARISONS,
+    _CannotCompile,
     _Compiler,
 )
 from repro.plan.expressions import (
@@ -66,6 +69,53 @@ MaskKernel = Callable[[ColumnBatch], tuple[list, bool]]
 
 class CannotVectorize(Exception):
     """Expression (or operator input) outside the vectorizable subset."""
+
+
+#: Errors the row compiler may legitimately raise while probing an
+#: expression for constant folding: ``_CannotCompile`` is the ordinary
+#: "not in the compilable subset" signal (silent), and the value errors
+#: come from folding genuinely bad constants (``'a' + 1``), which must
+#: fall back so the error surfaces lazily, per row, like the interpreter.
+#: Anything else — a ``NameError`` from a typo'd lane, an
+#: ``AttributeError`` from a refactor — is a kernel bug and propagates.
+_EXPECTED_FOLD_ERRORS = (TypeError, ValueError, OverflowError)
+
+_fallback_registry: Optional[Any] = None  # repro.obs.MetricsRegistry
+_fallback_lock = threading.Lock()
+_warned_fallbacks: set[tuple[str, str]] = set()
+
+
+def set_metrics_registry(registry: Optional[Any]) -> None:
+    """Install the metrics registry kernel fallbacks report to.
+
+    Process-global (kernels compile without any execution context); the
+    most recently connected registry receives the counters.  ``None``
+    detaches — process-pool workers do this so forked registry locks are
+    never touched."""
+    global _fallback_registry
+    _fallback_registry = registry
+
+
+def _note_fallback(site: str, error: BaseException) -> None:
+    """Count an expected-error fallback; warn once per (site, class)."""
+    registry = _fallback_registry
+    if registry is not None:
+        registry.counter(
+            "kernel_fallbacks_total",
+            help="vectorized kernel compiles that fell back on an "
+            "expected error",
+        ).inc()
+    key = (site, type(error).__name__)
+    with _fallback_lock:
+        if key in _warned_fallbacks:
+            return
+        _warned_fallbacks.add(key)
+    warnings.warn(
+        f"vectorized kernel fallback at {site}: "
+        f"{type(error).__name__}: {error}",
+        KernelFallbackWarning,
+        stacklevel=4,
+    )
 
 
 #: Comparison sources phrased over ``v`` (row value) and the captured
@@ -266,7 +316,10 @@ class _VectorCompiler:
     def _const(self, expr: ast.Expression) -> tuple[bool, Any]:
         try:
             fn, const = self._row.value(expr)
-        except Exception:
+        except _CannotCompile:
+            return False, None
+        except _EXPECTED_FOLD_ERRORS as error:
+            _note_fallback("column-const", error)
             return False, None
         if not const:
             return False, None
@@ -582,7 +635,10 @@ class _VectorCompiler:
         # constant predicate: fold once, broadcast the verdict
         try:
             fn, const = self._row.tri(expr)
-        except Exception:
+        except _CannotCompile:
+            const = False
+        except _EXPECTED_FOLD_ERRORS as error:
+            _note_fallback("mask-const", error)
             const = False
         if const:
             verdict = fn(()).value

@@ -156,11 +156,25 @@ class BatchToRowsOp(PhysicalOperator):
     as row tuples, so the transition is a pure pivot — crowd filters,
     crowd joins/sorts, stop-after bounds, and batch-window semantics
     above it observe bit-identical rows.
+
+    When the context carries an electronic pool, the whole region below
+    this cap is dispatched to it instead of iterating in place: worker
+    threads/processes materialize the rows while the session (under the
+    concurrent query server) is parked, so electronic work from
+    different sessions overlaps on different cores.  ``region`` is the
+    logical plan node this cap was planned from — the process pool ships
+    it to forked workers; ``None`` restricts dispatch to thread mode.
     """
 
-    def __init__(self, context: ExecutionContext, child: VectorOperator) -> None:
+    def __init__(
+        self,
+        context: ExecutionContext,
+        child: VectorOperator,
+        region: Optional[Any] = None,
+    ) -> None:
         super().__init__(context)
         self.child = child
+        self.region = region
 
     @property
     def scope(self) -> Scope:
@@ -170,6 +184,12 @@ class BatchToRowsOp(PhysicalOperator):
         return False
 
     def __iter__(self) -> Iterator[tuple]:
+        pool = self.context.electronic_pool
+        if pool is not None:
+            rows, scanned = pool.run_region(self.context, self)
+            self.context.rows_scanned += scanned
+            yield from rows
+            return
         for batch in self.child:
             yield from _pivot_rows(batch)
 
@@ -197,8 +217,16 @@ class VectorScanOp(VectorOperator):
 
     def __iter__(self) -> Iterator[ColumnBatch]:
         heap = self.context.engine.table(self.table.name)
-        columns, total = heap.scan_columns()
-        tags = _scan_tags(heap)
+        # snapshot columns and cleanliness tags at one heap version: a
+        # pool-dispatched scan runs while *other* sessions write, and
+        # tags derived from newer statistics must not license fast paths
+        # over an older column snapshot (or vice versa)
+        while True:
+            version = heap.version
+            columns, total = heap.scan_columns()
+            tags = _scan_tags(heap)
+            if heap.version == version:
+                break
         live = self._live
         if live is not None:
             columns = [

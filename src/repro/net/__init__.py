@@ -1,0 +1,20 @@
+"""Network serving: a real wire protocol over the concurrent server.
+
+Everything below ``repro.net`` deals with sockets; the engine itself
+never blocks on one.  The pieces:
+
+* :mod:`repro.net.protocol` — length-prefixed JSON frames (handshake,
+  statement, result pages, errors, cancel) with a codec for the SQL
+  value domain (NULL/CNULL survive the trip);
+* :mod:`repro.net.server` — an asyncio front end mapping each TCP
+  connection to one server session, bridged to the cooperative
+  scheduler by a single-owner engine pump thread;
+* :mod:`repro.net.client` — a small blocking client
+  (:func:`~repro.net.client.connect_tcp`) the CLI uses for
+  ``--connect host:port``.
+"""
+
+from repro.net.client import NetClient, connect_tcp
+from repro.net.server import NetworkServer, serve_tcp
+
+__all__ = ["NetClient", "NetworkServer", "connect_tcp", "serve_tcp"]

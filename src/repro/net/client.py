@@ -1,0 +1,164 @@
+"""Blocking TCP client for the CrowdDB wire protocol.
+
+Mirrors the in-process API closely enough for the CLI shell to swap a
+:class:`NetClient` in for a local connection: ``execute(sql)`` returns a
+:class:`~repro.engine.executor.ResultSet` with decoded rows (NULL/CNULL
+intact), and server-side failures re-raise as
+:class:`~repro.errors.RemoteError` carrying the server's exception type
+and traceback.
+
+``cancel()`` is safe from another thread while ``execute`` blocks — the
+socket write is serialized by a lock, and the executing thread keeps
+reading until the server acknowledges the statement with ``done`` or an
+``error`` (a cancelled statement surfaces as ``RemoteError`` with
+``remote_type == "StatementCancelled"``).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Any, Optional
+
+from repro.engine.executor import ResultSet
+from repro.errors import NetworkProtocolError, RemoteError
+from repro.net import protocol
+
+
+class NetClient:
+    """One TCP connection = one remote CrowdDB session."""
+
+    def __init__(self, sock: socket.socket, session_id: int) -> None:
+        self._sock = sock
+        self.session_id = session_id
+        self._send_lock = threading.Lock()
+        self._statement_ids = iter(range(1, 1 << 62))
+        self._current_statement: Optional[int] = None
+        self._closed = False
+
+    # -- statements ----------------------------------------------------------
+
+    def execute(self, sql: str) -> ResultSet:
+        """Run one statement (or ;-script); blocks until the reply."""
+        if self._closed:
+            raise NetworkProtocolError("client connection is closed")
+        statement_id = next(self._statement_ids)
+        self._current_statement = statement_id
+        self._send(protocol.statement_frame(statement_id, sql))
+        rows: list[tuple] = []
+        columns: list[str] = []
+        try:
+            while True:
+                frame = protocol.read_frame_blocking(self._sock)
+                if frame is None:
+                    raise NetworkProtocolError(
+                        "server closed the connection mid-statement"
+                    )
+                kind = frame.get("type")
+                if kind == "result_page":
+                    if frame.get("id") != statement_id:
+                        continue  # stale page from a cancelled statement
+                    columns = list(frame.get("columns", ()))
+                    rows.extend(
+                        protocol.decode_row(row) for row in frame["rows"]
+                    )
+                elif kind == "done":
+                    if frame.get("id") != statement_id:
+                        continue
+                    return ResultSet(
+                        columns=list(frame.get("columns", columns)),
+                        rows=rows,
+                        rowcount=int(frame.get("rowcount", len(rows))),
+                        statement=str(frame.get("statement", "")),
+                        crowd_stats=dict(frame.get("stats", {})),
+                    )
+                elif kind == "error":
+                    if frame.get("id") not in (statement_id, None):
+                        continue
+                    raise RemoteError(
+                        frame.get("message", "remote statement failed"),
+                        remote_type=frame.get("error_type", ""),
+                        remote_traceback=frame.get("traceback", ""),
+                    )
+                elif kind == "goodbye":
+                    raise NetworkProtocolError(
+                        "server said goodbye mid-statement"
+                    )
+                else:
+                    raise NetworkProtocolError(
+                        f"unexpected frame from server: {kind!r}"
+                    )
+        finally:
+            self._current_statement = None
+
+    def cancel(self) -> None:
+        """Ask the server to abort the statement currently executing.
+        Callable from another thread while :meth:`execute` blocks."""
+        statement_id = self._current_statement
+        if statement_id is None or self._closed:
+            return
+        self._send(protocol.cancel_frame(statement_id))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._send(
+                {"type": "goodbye"}, ignore_errors=True
+            )
+        finally:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _send(self, frame: dict, ignore_errors: bool = False) -> None:
+        data = protocol.pack_frame(frame)
+        with self._send_lock:
+            try:
+                self._sock.sendall(data)
+            except OSError:
+                if not ignore_errors:
+                    raise
+
+
+def connect_tcp(
+    host: str, port: int, timeout: Optional[float] = 30.0
+) -> NetClient:
+    """Open a session on a CrowdDB network server.
+
+    Performs the hello/welcome handshake; the returned client is ready
+    for :meth:`NetClient.execute`.  ``timeout`` guards the handshake and
+    every subsequent read (None = block forever).
+    """
+    sock = socket.create_connection((host, port), timeout=timeout)
+    try:
+        sock.sendall(protocol.pack_frame(protocol.hello_frame()))
+        frame = protocol.read_frame_blocking(sock)
+        if frame is None:
+            raise NetworkProtocolError("server closed during handshake")
+        if frame.get("type") == "error":
+            raise RemoteError(
+                frame.get("message", "handshake rejected"),
+                remote_type=frame.get("error_type", ""),
+                remote_traceback=frame.get("traceback", ""),
+            )
+        if frame.get("type") != "welcome":
+            raise NetworkProtocolError(
+                f"expected welcome, got {frame.get('type')!r}"
+            )
+        return NetClient(sock, int(frame.get("session", 0)))
+    except BaseException:
+        sock.close()
+        raise

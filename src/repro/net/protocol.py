@@ -1,0 +1,241 @@
+"""Length-prefixed JSON wire protocol for CrowdDB network serving.
+
+Every frame is a 4-byte big-endian length followed by one UTF-8 JSON
+object with a ``"type"`` key.  The conversation is strictly
+request/response per statement, with one asynchronous exception —
+``cancel`` may arrive while a statement is executing:
+
+client → server
+    ``hello``      {client, version}            — must be first
+    ``statement``  {id, sql}                    — one script to run
+    ``cancel``     {id}                         — abort that statement
+    ``goodbye``    {}                           — clean disconnect
+
+server → client
+    ``welcome``      {server, version, session}
+    ``result_page``  {id, seq, columns, rows, last}
+    ``done``         {id, rowcount, statement, stats, pages}
+    ``error``        {id, message, error_type, traceback, code}
+    ``goodbye``      {}
+
+Result rows page out in bounded chunks (:data:`PAGE_ROWS`) so a large
+result neither builds one giant frame nor stalls the writer; ``done``
+closes the statement.  Errors carry the server-side exception type and
+formatted traceback, so the client can re-raise something that names the
+failing operator.
+
+The value codec maps the SQL domain onto JSON: int/float/str/bool pass
+through (non-finite floats via a tag), and the in-band NULL/CNULL
+singletons travel as tagged objects — byte-identical rows on both ends.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+from typing import Any, Optional
+
+from repro.errors import NetworkProtocolError
+from repro.sqltypes import CNULL, NULL
+
+PROTOCOL_VERSION = 1
+#: refuse frames larger than this (a corrupt length prefix must not
+#: make the reader allocate gigabytes)
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+#: rows per result_page frame
+PAGE_ROWS = 512
+
+_LENGTH = struct.Struct(">I")
+_TAG = "$crowddb"
+
+
+# -- value codec --------------------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    """One SQL value → a JSON-serializable shape."""
+    if value is NULL:
+        return {_TAG: "null"}
+    if value is CNULL:
+        return {_TAG: "cnull"}
+    if isinstance(value, float) and not math.isfinite(value):
+        return {_TAG: "float", "v": repr(value)}
+    if isinstance(value, (int, str, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, (list, tuple)):
+        return {_TAG: "seq", "v": [encode_value(item) for item in value]}
+    # a value outside the SQL domain (shouldn't happen): ship its repr
+    # rather than dying mid-page
+    return {_TAG: "repr", "v": repr(value)}
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, dict):
+        kind = value.get(_TAG)
+        if kind == "null":
+            return NULL
+        if kind == "cnull":
+            return CNULL
+        if kind == "float":
+            return float(value["v"])
+        if kind == "seq":
+            return tuple(decode_value(item) for item in value["v"])
+        if kind == "repr":
+            return value["v"]
+        raise NetworkProtocolError(f"unknown value tag: {value!r}")
+    return value
+
+
+def encode_row(row: tuple) -> list:
+    return [encode_value(value) for value in row]
+
+
+def decode_row(row: list) -> tuple:
+    return tuple(decode_value(value) for value in row)
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def pack_frame(frame: dict) -> bytes:
+    """One frame → length-prefixed bytes (raises on oversize)."""
+    payload = json.dumps(frame, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise NetworkProtocolError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    try:
+        frame = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise NetworkProtocolError(f"undecodable frame: {error}") from error
+    if not isinstance(frame, dict) or "type" not in frame:
+        raise NetworkProtocolError("frame is not an object with a 'type'")
+    return frame
+
+
+def parse_length(prefix: bytes) -> int:
+    """Validate and unpack a 4-byte length prefix."""
+    if len(prefix) != _LENGTH.size:
+        raise NetworkProtocolError("truncated frame length prefix")
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise NetworkProtocolError(
+            f"declared frame length {length} exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return length
+
+
+def read_frame_blocking(sock) -> Optional[dict]:
+    """Read one frame from a blocking socket; None on clean EOF."""
+    prefix = _recv_exact(sock, _LENGTH.size, eof_ok=True)
+    if prefix is None:
+        return None
+    length = parse_length(prefix)
+    payload = _recv_exact(sock, length)
+    return decode_payload(payload)
+
+
+def _recv_exact(sock, count: int, eof_ok: bool = False) -> Optional[bytes]:
+    """Exactly ``count`` bytes.  EOF at a frame boundary returns None
+    when ``eof_ok``; EOF anywhere else is a protocol error."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if eof_ok and remaining == count:
+                return None
+            raise NetworkProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# -- frame builders -----------------------------------------------------------
+
+
+def hello_frame(client: str = "repro") -> dict:
+    return {"type": "hello", "client": client, "version": PROTOCOL_VERSION}
+
+
+def welcome_frame(session_id: int) -> dict:
+    return {
+        "type": "welcome",
+        "server": "crowddb-repro",
+        "version": PROTOCOL_VERSION,
+        "session": session_id,
+    }
+
+
+def statement_frame(statement_id: int, sql: str) -> dict:
+    return {"type": "statement", "id": statement_id, "sql": sql}
+
+
+def cancel_frame(statement_id: int) -> dict:
+    return {"type": "cancel", "id": statement_id}
+
+
+def result_pages(statement_id: int, result: Any) -> list[dict]:
+    """A ResultSet → its result_page frames + the closing done frame."""
+    frames: list[dict] = []
+    rows = result.rows
+    columns = list(result.columns)
+    for seq, start in enumerate(range(0, len(rows), PAGE_ROWS)):
+        chunk = rows[start : start + PAGE_ROWS]
+        frames.append(
+            {
+                "type": "result_page",
+                "id": statement_id,
+                "seq": seq,
+                "columns": columns,
+                "rows": [encode_row(row) for row in chunk],
+                "last": start + PAGE_ROWS >= len(rows),
+            }
+        )
+    frames.append(
+        {
+            "type": "done",
+            "id": statement_id,
+            "rowcount": result.rowcount,
+            "statement": result.statement,
+            "columns": columns,
+            "stats": {
+                key: value
+                for key, value in (result.crowd_stats or {}).items()
+                if isinstance(value, (int, float))
+            },
+            "pages": len(frames),
+        }
+    )
+    return frames
+
+
+def error_frame(statement_id: Optional[int], error: BaseException) -> dict:
+    import traceback as _traceback
+
+    from repro.errors import StatementCancelled
+
+    return {
+        "type": "error",
+        "id": statement_id,
+        "message": str(error),
+        "error_type": type(error).__name__,
+        "traceback": "".join(
+            _traceback.format_exception(
+                type(error), error, error.__traceback__
+            )
+        ),
+        "code": (
+            "cancelled" if isinstance(error, StatementCancelled) else "error"
+        ),
+    }

@@ -1,0 +1,481 @@
+"""Asyncio TCP front end over the concurrent query server.
+
+Architecture: sockets and the engine never share a thread.
+
+* The **asyncio loop** (its own daemon thread) accepts connections and
+  runs one reader and one writer task per connection.  The reader stays
+  responsive for the whole life of the connection — that is what makes
+  ``cancel`` frames work mid-statement.
+* The **engine pump** (one dedicated thread) is the *single owner* of
+  every Server interaction: open/close sessions, submit statements,
+  step the cooperative scheduler.  Connection handlers talk to it
+  through a command queue and get replies pushed back through
+  ``loop.call_soon_threadsafe`` — so the engine's single-threaded
+  discipline (exactly one session thread or the scheduler running at a
+  time) is preserved no matter how many sockets are live.
+
+Per-connection metrics (statements, rows, cancels) and a server-wide
+statement latency histogram land in the connection's metrics registry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+from time import perf_counter
+from typing import Any, Optional
+
+from repro.errors import AdmissionError, NetworkProtocolError
+from repro.net import protocol
+from repro.server.server import Server
+
+
+class _Job:
+    """One in-flight statement of one connection."""
+
+    __slots__ = ("statement_id", "sql", "start", "started_at")
+
+    def __init__(self, statement_id: int, sql: str) -> None:
+        self.statement_id = statement_id
+        self.sql = sql
+        self.start = 0  # index into session.results at submit time
+        self.started_at = 0.0
+
+
+class _Connection:
+    """Pump-side state for one TCP connection."""
+
+    def __init__(self, conn_id: int, send: Any) -> None:
+        self.conn_id = conn_id
+        self.send = send  # thread-safe: frame dict -> None
+        self.session: Optional[Any] = None
+        self.active: Optional[_Job] = None
+        self.pending: list[_Job] = []
+        self.closing = False
+        self.statements = 0
+        self.rows_sent = 0
+        self.cancels = 0
+
+
+class EnginePump:
+    """The single thread that owns the Server.
+
+    Commands arrive on a queue; between commands the pump steps the
+    cooperative scheduler and flushes finished statements back to their
+    connections.  Stopping the pump drains gracefully: in-flight
+    statements finish (or unwind, if their connection died) before the
+    thread exits.
+    """
+
+    _IDLE_POLL = 0.05
+
+    def __init__(self, server: Server) -> None:
+        self.server = server
+        self.commands: "queue.Queue[tuple]" = queue.Queue()
+        self.connections: dict[int, _Connection] = {}
+        self._thread = threading.Thread(
+            target=self._main, name="crowddb-engine-pump", daemon=True
+        )
+        self._stopped = threading.Event()
+        self._latency = server.connection.metrics.histogram(
+            "net_statement_seconds",
+            help="wall-clock statement latency over the wire protocol",
+        )
+        self._statements = server.connection.metrics.counter(
+            "net_statements_total",
+            help="statements executed for network clients",
+        )
+        self._cancels = server.connection.metrics.counter(
+            "net_cancels_total",
+            help="cancel frames honored for network clients",
+        )
+        server.connection.metrics.register_view(
+            "net_connections_open",
+            lambda: len(self.connections),
+            help="TCP connections currently mapped to sessions",
+        )
+
+    # -- lifecycle (any thread) ---------------------------------------------
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Graceful drain: finish in-flight statements, close sessions."""
+        self.commands.put(("stop",))
+        self._thread.join(timeout=120.0)
+
+    # -- command submission (called from the asyncio loop thread) -----------
+
+    def post(self, command: tuple) -> None:
+        self.commands.put(command)
+
+    # -- pump thread ---------------------------------------------------------
+
+    def _busy(self) -> bool:
+        return any(
+            c.active is not None or c.pending
+            for c in self.connections.values()
+        )
+
+    def _main(self) -> None:
+        stopping = False
+        while True:
+            # drain every command available right now; block briefly
+            # only when there is no engine work either
+            try:
+                command = self.commands.get(
+                    timeout=0.0 if self._busy() else self._IDLE_POLL
+                )
+                while True:
+                    if command[0] == "stop":
+                        stopping = True
+                    else:
+                        self._handle(command)
+                    command = self.commands.get_nowait()
+            except queue.Empty:
+                pass
+            if self._busy():
+                sessions = [
+                    c.session
+                    for c in self.connections.values()
+                    if c.session is not None
+                ]
+                try:
+                    outcome = self.server.scheduler.step(
+                        sessions, self.server.admission
+                    )
+                    if outcome == "deadlock":
+                        raise AdmissionError(
+                            "admission deadlock: waitlisted sessions but "
+                            "no active session can drain"
+                        )
+                except Exception as error:
+                    self._scheduler_failed(error)
+                self._flush_finished()
+            elif stopping and self.commands.empty():
+                break
+        for connection in list(self.connections.values()):
+            self._close_connection(connection)
+        self._stopped.set()
+
+    def _handle(self, command: tuple) -> None:
+        kind = command[0]
+        if kind == "open":
+            _, conn = command
+            try:
+                conn.session = self.server.open_session()
+            except AdmissionError as error:
+                conn.send(protocol.error_frame(None, error))
+                conn.send({"type": "goodbye"})
+                conn.closing = True
+                return
+            self.connections[conn.conn_id] = conn
+            conn.send(protocol.welcome_frame(conn.session.session_id))
+        elif kind == "statement":
+            _, conn, job = command
+            if conn.session is None or conn.closing:
+                return
+            conn.pending.append(job)
+            self._pump_connection(conn)
+        elif kind == "cancel":
+            _, conn, statement_id = command
+            job = conn.active
+            if (
+                job is not None
+                and job.statement_id == statement_id
+                and conn.session is not None
+            ):
+                conn.session.cancel()
+                conn.cancels += 1
+                self._cancels.inc()
+        elif kind == "close":
+            _, conn = command
+            self._close_connection(conn)
+
+    def _pump_connection(self, conn: _Connection) -> None:
+        """Start the next pending statement if none is active."""
+        if conn.active is not None or not conn.pending or conn.session is None:
+            return
+        job = conn.pending.pop(0)
+        job.start = len(conn.session.results)
+        job.started_at = perf_counter()
+        conn.active = job
+        try:
+            # an idle session may have yielded its admission slot to the
+            # waitlist; take it back (or rejoin the waitlist) before the
+            # scheduler is asked to run the statement
+            self.server.admission.request(conn.session)
+            conn.session.submit(job.sql)
+        except Exception as error:  # session closed / server full
+            conn.active = None
+            conn.send(protocol.error_frame(job.statement_id, error))
+
+    def _flush_finished(self) -> None:
+        """Reply to every connection whose active statement completed."""
+        for conn in list(self.connections.values()):
+            job = conn.active
+            if job is None or conn.session is None:
+                continue
+            session = conn.session
+            if not session.quiescent() or len(session.results) <= job.start:
+                continue
+            conn.active = None
+            outcome = session.results[job.start :]
+            self._latency.observe(perf_counter() - job.started_at)
+            # a script yields several results; like last_result(), the
+            # reply carries the final one — an error anywhere in the
+            # script fails the statement with that error
+            error = next(
+                (r for r in outcome if isinstance(r, Exception)), None
+            )
+            if error is not None or not outcome:
+                conn.send(
+                    protocol.error_frame(
+                        job.statement_id,
+                        error
+                        if error is not None
+                        else NetworkProtocolError("statement produced no result"),
+                    )
+                )
+            else:
+                last = outcome[-1]
+                frames = protocol.result_pages(job.statement_id, last)
+                frames[-1]["results"] = len(outcome)
+                for frame in frames:
+                    conn.send(frame)
+                conn.rows_sent += len(last.rows)
+                conn.statements += len(outcome)
+                self._statements.inc(len(outcome))
+            self._pump_connection(conn)
+
+    def _scheduler_failed(self, error: Exception) -> None:
+        """A scheduler step blew up (stall, admission deadlock): fail
+        every in-flight statement rather than wedging the pump."""
+        for conn in self.connections.values():
+            job = conn.active
+            if job is not None:
+                conn.active = None
+                conn.send(protocol.error_frame(job.statement_id, error))
+            for pending in conn.pending:
+                conn.send(protocol.error_frame(pending.statement_id, error))
+            conn.pending.clear()
+
+    def _close_connection(self, conn: _Connection) -> None:
+        conn.closing = True
+        self.connections.pop(conn.conn_id, None)
+        if conn.session is not None:
+            try:
+                self.server.close_session(conn.session)
+            except Exception:
+                pass
+            conn.session = None
+
+
+class NetworkServer:
+    """TCP listener + engine pump over one :class:`Server`.
+
+    ``host``/``port`` bind the asyncio listener (port 0 picks a free
+    port; read :attr:`port` after :meth:`start`).  ``own_server`` makes
+    :meth:`close` also close the underlying Server/connection.
+    """
+
+    def __init__(
+        self,
+        server: Server,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        own_server: bool = False,
+    ) -> None:
+        self.server = server
+        self.host = host
+        self.port = port
+        self.own_server = own_server
+        self.pump = EnginePump(server)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._listener: Optional[asyncio.AbstractServer] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._conn_ids = iter(range(1, 1 << 62))
+        self._conn_tasks: set = set()
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "NetworkServer":
+        self.pump.start()
+        self._loop_thread = threading.Thread(
+            target=self._run_loop, name="crowddb-net-loop", daemon=True
+        )
+        self._loop_thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._ready.is_set():
+            raise NetworkProtocolError("network server failed to start")
+        return self
+
+    def close(self) -> None:
+        """Stop accepting, drain in-flight statements, close sessions."""
+        if self._closed:
+            return
+        self._closed = True
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            asyncio.run_coroutine_threadsafe(
+                self._shutdown_loop(), loop
+            ).result(timeout=30.0)
+            loop.call_soon_threadsafe(loop.stop)
+        if self._loop_thread is not None:
+            self._loop_thread.join(timeout=30.0)
+        self.pump.stop()
+        if self.own_server:
+            self.server.close()
+
+    def __enter__(self) -> "NetworkServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- asyncio side --------------------------------------------------------
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            self._listener = loop.run_until_complete(
+                asyncio.start_server(self._handle, self.host, self.port)
+            )
+            self.port = self._listener.sockets[0].getsockname()[1]
+        except BaseException as error:  # bind failure
+            self._startup_error = error
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    async def _shutdown_loop(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+        # graceful drain: unblock every connection handler (each posts
+        # its session close to the pump from its finally block) and wait
+        # for the writers to flush
+        tasks = [task for task in self._conn_tasks if not task.done()]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        outbox: "asyncio.Queue[Optional[dict]]" = asyncio.Queue()
+
+        def send(frame: Optional[dict]) -> None:
+            # called from the pump thread; hop onto the loop
+            loop.call_soon_threadsafe(outbox.put_nowait, frame)
+
+        conn = _Connection(next(self._conn_ids), send)
+        writer_task = asyncio.ensure_future(self._writer(outbox, writer))
+        try:
+            frame = await self._read_frame(reader)
+            if frame is None or frame.get("type") != "hello":
+                raise NetworkProtocolError("expected a hello frame first")
+            self.pump.post(("open", conn))
+            while True:
+                frame = await self._read_frame(reader)
+                if frame is None:
+                    break
+                kind = frame.get("type")
+                if kind == "statement":
+                    job = _Job(int(frame.get("id", 0)), str(frame["sql"]))
+                    self.pump.post(("statement", conn, job))
+                elif kind == "cancel":
+                    self.pump.post(("cancel", conn, int(frame.get("id", 0))))
+                elif kind == "goodbye":
+                    send({"type": "goodbye"})
+                    break
+                else:
+                    raise NetworkProtocolError(f"unexpected frame: {kind!r}")
+        except NetworkProtocolError as error:
+            send(protocol.error_frame(None, error))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # server shutdown drained this connection; exit cleanly so
+            # the stream protocol's done-callback sees no exception
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            self.pump.post(("close", conn))
+            send(None)  # writer sentinel: flush and exit
+            try:
+                await asyncio.shield(writer_task)
+            except asyncio.CancelledError:  # pragma: no cover
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    @staticmethod
+    async def _read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
+        try:
+            prefix = await reader.readexactly(4)
+        except asyncio.IncompleteReadError as error:
+            if not error.partial:
+                return None  # clean EOF at a frame boundary
+            raise NetworkProtocolError("connection closed mid-frame")
+        length = protocol.parse_length(prefix)
+        try:
+            payload = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise NetworkProtocolError("connection closed mid-frame")
+        return protocol.decode_payload(payload)
+
+    @staticmethod
+    async def _writer(
+        outbox: "asyncio.Queue[Optional[dict]]", writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            frame = await outbox.get()
+            if frame is None:
+                break
+            try:
+                writer.write(protocol.pack_frame(frame))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                break
+
+
+def serve_tcp(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    server: Optional[Server] = None,
+    **connect_kwargs: Any,
+) -> NetworkServer:
+    """Start serving CrowdDB over TCP; returns the running listener.
+
+    Pass an existing :class:`Server` to front it, or ``connect()``
+    kwargs to build a fresh one (then owned: closing the listener closes
+    it).  ``port=0`` binds an ephemeral port — read ``.port``.
+    """
+    own = server is None
+    if server is None:
+        server = Server(**connect_kwargs)
+    return NetworkServer(server, host=host, port=port, own_server=own).start()

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import bisect
 import re
+import threading
 from typing import Any, Callable, Optional
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
@@ -36,34 +37,45 @@ def _format_value(value: Any) -> str:
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("name", "help", "value")
+    Increments are serialized by a per-instrument lock: pool worker
+    threads, session threads, and the network front end all bump shared
+    counters, and an unlocked ``+=`` is a read-modify-write that loses
+    updates under contention.
+    """
+
+    __slots__ = ("name", "help", "value", "_lock")
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
-    """A value that can go up and down."""
+    """A value that can go up and down (thread-safe)."""
 
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "_lock")
 
     def __init__(self, name: str, help: str = "") -> None:
         self.name = name
         self.help = help
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def add(self, amount: float) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Histogram:
@@ -76,7 +88,7 @@ class Histogram:
 
     __slots__ = (
         "name", "help", "count", "total", "min", "max",
-        "_reservoir", "_recent", "_capacity",
+        "_reservoir", "_recent", "_capacity", "_lock",
     )
 
     def __init__(self, name: str, help: str = "", reservoir: int = 512) -> None:
@@ -89,21 +101,23 @@ class Histogram:
         self._capacity = max(1, reservoir)
         self._reservoir: list[float] = []  # kept sorted
         self._recent: list[float] = []     # insertion order, for eviction
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        if len(self._recent) >= self._capacity:
-            oldest = self._recent.pop(0)
-            index = bisect.bisect_left(self._reservoir, oldest)
-            if index < len(self._reservoir):
-                self._reservoir.pop(index)
-        self._recent.append(value)
-        bisect.insort(self._reservoir, value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            if len(self._recent) >= self._capacity:
+                oldest = self._recent.pop(0)
+                index = bisect.bisect_left(self._reservoir, oldest)
+                if index < len(self._reservoir):
+                    self._reservoir.pop(index)
+            self._recent.append(value)
+            bisect.insort(self._reservoir, value)
 
     @property
     def mean(self) -> float:
@@ -111,13 +125,14 @@ class Histogram:
 
     def percentile(self, q: float) -> float:
         """The ``q``-quantile (0..1) over the retained reservoir."""
-        if not self._reservoir:
-            return 0.0
-        rank = min(
-            len(self._reservoir) - 1,
-            max(0, int(round(q * (len(self._reservoir) - 1)))),
-        )
-        return self._reservoir[rank]
+        with self._lock:
+            if not self._reservoir:
+                return 0.0
+            rank = min(
+                len(self._reservoir) - 1,
+                max(0, int(round(q * (len(self._reservoir) - 1)))),
+            )
+            return self._reservoir[rank]
 
     def summary(self) -> dict[str, float]:
         return {
@@ -136,6 +151,10 @@ class MetricsRegistry:
     """Owns every instrument and renders the exposition."""
 
     def __init__(self) -> None:
+        # guards instrument get-or-create: two threads asking for the
+        # same counter must share one instrument, or half the increments
+        # land on an orphan the exposition never reads
+        self._create_lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
@@ -156,13 +175,19 @@ class MetricsRegistry:
     def counter(self, name: str, help: str = "") -> Counter:
         instrument = self._counters.get(name)
         if instrument is None:
-            instrument = self._counters[name] = Counter(name, help)
+            with self._create_lock:
+                instrument = self._counters.get(name)
+                if instrument is None:
+                    instrument = self._counters[name] = Counter(name, help)
         return instrument
 
     def gauge(self, name: str, help: str = "") -> Gauge:
         instrument = self._gauges.get(name)
         if instrument is None:
-            instrument = self._gauges[name] = Gauge(name, help)
+            with self._create_lock:
+                instrument = self._gauges.get(name)
+                if instrument is None:
+                    instrument = self._gauges[name] = Gauge(name, help)
         return instrument
 
     def histogram(
@@ -170,9 +195,12 @@ class MetricsRegistry:
     ) -> Histogram:
         instrument = self._histograms.get(name)
         if instrument is None:
-            instrument = self._histograms[name] = Histogram(
-                name, help, reservoir=reservoir
-            )
+            with self._create_lock:
+                instrument = self._histograms.get(name)
+                if instrument is None:
+                    instrument = self._histograms[name] = Histogram(
+                        name, help, reservoir=reservoir
+                    )
         return instrument
 
     # -- pull-based registration ---------------------------------------------

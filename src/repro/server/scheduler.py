@@ -17,12 +17,21 @@ thread (a session's or the caller's) ever executes at a time.
 
 from __future__ import annotations
 
+import concurrent.futures as _cf
 from dataclasses import dataclass
+from time import monotonic
 from typing import Iterable, Optional
 
 from repro.errors import ExecutionError
 from repro.server.admission import AdmissionController
 from repro.server.session import Session, SessionState
+
+#: how long one _advance round blocks on pending pool work before
+#: re-checking for runnable sessions (a cancel must not wait out a slow
+#: kernel), and how long pool work may make zero progress before the
+#: scheduler declares the pool wedged
+_ELECTRONIC_WAIT_SLICE = 0.05
+_ELECTRONIC_STALL_SECONDS = 600.0
 
 
 @dataclass
@@ -31,6 +40,7 @@ class SchedulerStats:
     suspensions: int = 0      # times a session parked on a crowd future
     clock_advances: int = 0   # times the simulated clock had to move
     futures_settled: int = 0  # crowd futures resolved by the scheduler
+    electronic_waits: int = 0  # advance rounds spent on pool futures
 
     def snapshot(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -42,6 +52,7 @@ class CooperativeScheduler:
     def __init__(self, task_manager: Optional[object]) -> None:
         self.task_manager = task_manager
         self.stats = SchedulerStats()
+        self._electronic_stalled_since: Optional[float] = None
 
     def drain(
         self,
@@ -59,34 +70,53 @@ class CooperativeScheduler:
                 ):
                     admission.request(session)
         while True:
-            active = [
-                s
-                for s in ordered
-                if admission is None or admission.is_admitted(s)
-            ]
-            session = self._next_runnable(active)
-            if session is not None:
-                before = session.suspensions
-                session.run_slice()
-                self.stats.slices += 1
-                self.stats.suspensions += session.suspensions - before
-                continue
-            waiting = [s for s in active if s.state is SessionState.WAITING]
-            if waiting:
-                self._advance(waiting)
-                continue
-            if admission is not None and admission.waiting_count > 0:
-                promoted = []
-                for s in active:
-                    if s.quiescent():
-                        promoted.extend(admission.release(s))
-                if promoted:
-                    continue
+            outcome = self.step(ordered, admission)
+            if outcome == "idle":
+                return
+            if outcome == "deadlock":
                 raise ExecutionError(
                     "admission deadlock: waitlisted sessions but no "
                     "active session can drain"
                 )
-            return
+
+    def step(
+        self,
+        sessions: Iterable[Session],
+        admission: Optional[AdmissionController] = None,
+    ) -> str:
+        """One bounded scheduling action, for callers that interleave
+        scheduling with other work (the network front end's engine pump
+        polls its command queue between steps).
+
+        Returns ``"ran"`` (a session got a slice), ``"advanced"`` (the
+        clock moved / pool futures were waited on), ``"promoted"``
+        (waitlisted sessions were admitted), ``"idle"`` (every session
+        quiescent), or ``"deadlock"`` (waitlist nonempty but nothing can
+        drain — the caller decides whether that is fatal)."""
+        ordered = sorted(sessions, key=lambda s: s.session_id)
+        active = [
+            s for s in ordered if admission is None or admission.is_admitted(s)
+        ]
+        session = self._next_runnable(active)
+        if session is not None:
+            before = session.suspensions
+            session.run_slice()
+            self.stats.slices += 1
+            self.stats.suspensions += session.suspensions - before
+            return "ran"
+        waiting = [s for s in active if s.state is SessionState.WAITING]
+        if waiting:
+            self._advance(waiting)
+            return "advanced"
+        if admission is not None and admission.waiting_count > 0:
+            promoted = []
+            for s in active:
+                if s.quiescent():
+                    promoted.extend(admission.release(s))
+            if promoted:
+                return "promoted"
+            return "deadlock"
+        return "idle"
 
     # -- internals -----------------------------------------------------------
 
@@ -103,13 +133,22 @@ class CooperativeScheduler:
 
         A session suspended on a *set* of futures (batch crowd execution)
         contributes every unsettled member; it becomes runnable once the
-        whole set has settled, which may take several advance rounds."""
-        if self.task_manager is None:  # pragma: no cover - defensive
-            raise ExecutionError("sessions wait on crowd but server has none")
+        whole set has settled, which may take several advance rounds.
+
+        Electronic pool dispatches are not crowd futures: real worker
+        threads/processes are computing them on wall-clock time, so the
+        scheduler *waits* on them (briefly, staying responsive to
+        cancels) instead of advancing the simulated clock."""
         futures = []
+        electronic = []
         seen: set[int] = set()
         for session in waiting:
             for future in session.waiting_futures():
+                if getattr(future, "electronic", False):
+                    if not future.settled and id(future) not in seen:
+                        seen.add(id(future))
+                        electronic.append(future)
+                    continue
                 # mirrors and HIT-group members poll and settle through
                 # their parent future
                 target = (
@@ -121,6 +160,13 @@ class CooperativeScheduler:
                     continue
                 seen.add(id(target))
                 futures.append(target)
+        if not futures and not electronic:
+            # every pending future settled between the runnable check
+            # and now (pool workers finish on their own clock) — the
+            # next drain iteration will find the sessions runnable
+            return
+        if futures and self.task_manager is None:  # pragma: no cover
+            raise ExecutionError("sessions wait on crowd but server has none")
         by_platform: dict[str, list] = {}
         for future in futures:
             name = getattr(future.platform, "name", "?")
@@ -161,6 +207,30 @@ class CooperativeScheduler:
                 # an adaptive future bought another marketplace round;
                 # that is progress even though nothing settled yet
                 progressed = True
+        if electronic:
+            self.stats.electronic_waits += 1
+            done, pending = _cf.wait(
+                [f.raw for f in electronic],
+                timeout=0.0 if progressed else _ELECTRONIC_WAIT_SLICE,
+            )
+            if done or progressed:
+                self._electronic_stalled_since = None
+                return
+            # nothing finished this slice — pool workers are (we hope)
+            # still crunching, which counts as progress under a
+            # wall-clock patience bound so a wedged pool cannot hang
+            # the drain loop forever
+            now = monotonic()
+            if self._electronic_stalled_since is None:
+                self._electronic_stalled_since = now
+                return
+            if now - self._electronic_stalled_since < _ELECTRONIC_STALL_SECONDS:
+                return
+            raise ExecutionError(
+                "scheduler stalled: electronic pool futures made no "
+                f"progress for {_ELECTRONIC_STALL_SECONDS:.0f}s"
+            )
+        self._electronic_stalled_since = None
         if not progressed:
             raise ExecutionError(
                 "scheduler stalled: no pending crowd future can make "

@@ -133,6 +133,9 @@ class Server:
             platform=shared.platform,
             plan_cache=shared.plan_cache,  # plans pool across sessions
             observability=self.connection.observability,
+            # one multi-core pool shared by every session: electronic
+            # regions from different sessions overlap on real cores
+            electronic_pool=getattr(shared, "electronic_pool", None),
         )
         session = Session(session_id, executor)
         self.admission.request(session)  # may raise before registration

@@ -26,7 +26,7 @@ from time import perf_counter
 from typing import Any, Optional
 
 from repro.engine.executor import Executor, ResultSet
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, StatementCancelled
 from repro.sql.parser import parse_script
 
 
@@ -63,6 +63,12 @@ class Session:
         self._resume = threading.Event()
         self._yielded = threading.Event()
         self._closing = False
+        # cancel protocol: any thread may set the flag (the network
+        # front end does); the worker observes it at its yield points
+        # and unwinds the in-flight statement with StatementCancelled,
+        # then drops the rest of its queue
+        self._cancel_requested = False
+        self.statements_cancelled = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -93,8 +99,26 @@ class Session:
             )
         result = self.results[-1]
         if isinstance(result, Exception):
-            raise result
+            # re-raise with the worker thread's traceback attached: the
+            # client-side stack alone would name run_slice/last_result,
+            # not the operator that actually failed
+            raise result.with_traceback(result.__traceback__)
         return result
+
+    def cancel(self) -> None:
+        """Abort the in-flight statement and drop the queued ones.
+
+        Safe from any thread.  The worker notices the flag at its next
+        yield point (crowd park, pool park, or statement boundary) and
+        unwinds with :class:`StatementCancelled` through the operators'
+        normal error paths, so no future is double-settled and the WAL
+        never stays mid-transaction.  A WAITING session becomes runnable
+        immediately so the scheduler resumes it to unwind rather than
+        advancing the clock for futures nobody wants anymore.
+        """
+        if self.state is SessionState.CLOSED or self.quiescent():
+            return  # nothing in flight: don't poison the next statement
+        self._cancel_requested = True
 
     # -- scheduler API -------------------------------------------------------
 
@@ -103,6 +127,8 @@ class Session:
         if self.state is SessionState.CLOSED:
             return False
         if self.state is SessionState.WAITING:
+            if self._cancel_requested or self._closing:
+                return True  # resume to unwind, futures be damned
             futures = self.waiting_futures()
             return bool(futures) and all(f.settled for f in futures)
         return bool(self._statements)
@@ -138,13 +164,22 @@ class Session:
             )
 
     def close(self) -> None:
-        """Stop the worker thread.  In-flight work is aborted."""
+        """Stop the worker thread.  In-flight work is aborted: a session
+        parked mid-statement unwinds with :class:`StatementCancelled`
+        through the operators' error paths before the thread exits, and
+        the (daemon) thread is joined so an abandoned connection cannot
+        leak it."""
         if self.state is SessionState.CLOSED:
             return
         self._closing = True
         if self._thread is not None and self._thread.is_alive():
             self.run_slice()
             self._thread.join(timeout=_SLICE_TIMEOUT_SECONDS)
+            if self._thread.is_alive():  # pragma: no cover - wedged worker
+                raise ExecutionError(
+                    f"session {self.session_id} worker thread did not "
+                    "exit on close"
+                )
         self.state = SessionState.CLOSED
 
     # -- worker thread -------------------------------------------------------
@@ -164,6 +199,11 @@ class Session:
             while not self._closing:
                 if self._statements:
                     self._run_one(self._statements.popleft())
+                    if self._cancel_requested:
+                        # cancellation consumes the whole queue: the
+                        # client that cancelled does not want the rest
+                        self._statements.clear()
+                        self._cancel_requested = False
                 else:
                     self.state = SessionState.IDLE
                     self._park()
@@ -180,28 +220,64 @@ class Session:
             self.results.append(error)
             return
         for statement in statements:
+            if self._cancel_requested or self._closing:
+                cancelled = StatementCancelled(
+                    f"session {self.session_id}: statement cancelled "
+                    "before execution"
+                )
+                self.errors.append(cancelled)
+                self.results.append(cancelled)
+                self.statements_cancelled += 1
+                break
             started = perf_counter()
             try:
                 self.results.append(self.executor.execute(statement))
                 self.statements_run += 1
-            except Exception as error:  # surfaced per-statement, REPL-style
+            except StatementCancelled as error:
+                # the statement unwound at a yield point; record it and
+                # stop the script — the client asked for silence
                 self.errors.append(error)
                 self.results.append(error)
-            finally:
-                # includes time parked on crowd futures — the session
-                # metric reads as "busy from the client's point of view"
+                self.statements_cancelled += 1
                 self.busy_seconds += perf_counter() - started
+                break
+            except Exception as error:  # surfaced per-statement, REPL-style
+                # the exception object keeps its worker-side traceback
+                # (__traceback__), so last_result() re-raises with the
+                # failing operator's frames intact
+                self.errors.append(error)
+                self.results.append(error)
+                self.busy_seconds += perf_counter() - started
+                continue
+            self.busy_seconds += perf_counter() - started
 
     def _crowd_wait(self, future: Any) -> None:
         """The executor's yield point: park until the scheduler has
-        settled ``future`` — one crowd future or a batch-issued list of
-        them (installed as ``executor.crowd_waiter``)."""
+        settled ``future`` — one crowd future, a batch-issued list of
+        them, or an electronic pool dispatch (installed as
+        ``executor.crowd_waiter``).
+
+        A cancel or close that arrived while parked (or just before
+        parking) raises :class:`StatementCancelled` here, in the worker
+        thread, so the statement unwinds through its operators' normal
+        error paths — futures left behind are simply never waited on
+        again, which the Task Manager treats as abandonment, not
+        settlement."""
+        if self._cancel_requested or self._closing:
+            raise StatementCancelled(
+                f"session {self.session_id}: statement cancelled"
+            )
         self.waiting_on = future
         self.state = SessionState.WAITING
         self.suspensions += 1
         self._park()
         self.waiting_on = None
         self.state = SessionState.RUNNING
+        if self._cancel_requested or self._closing:
+            raise StatementCancelled(
+                f"session {self.session_id}: statement cancelled while "
+                "suspended"
+            )
 
     def _park(self) -> None:
         """Yield the baton to the scheduler and sleep until resumed."""

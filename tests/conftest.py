@@ -16,6 +16,14 @@ from repro.errors import UnboundedQueryWarning
 from repro.storage.engine import StorageEngine
 from repro.ui.manager import UITemplateManager
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "concurrency: race/cancellation tests exercising real threads "
+        "(run with PYTHONFAULTHANDLER=1 and a timeout guard in CI)",
+    )
+
+
 TALK_DDL = """CREATE TABLE Talk (
     title STRING PRIMARY KEY,
     abstract CROWD STRING,

@@ -1,0 +1,319 @@
+"""Network serving: wire protocol codec, TCP round trips, cancel,
+admission over the wire, and graceful shutdown."""
+
+from __future__ import annotations
+
+import math
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.api import connect, serve
+from repro.errors import NetworkProtocolError, RemoteError
+from repro.net import connect_tcp, serve_tcp
+from repro.net import protocol
+from repro.sqltypes import CNULL, NULL
+
+
+# -- value codec --------------------------------------------------------------
+
+
+def test_codec_roundtrips_the_sql_value_domain():
+    row = (1, "text", 2.5, True, NULL, CNULL, None)
+    assert protocol.decode_row(protocol.encode_row(row)) == row
+    # the singletons come back as the singletons, not lookalikes
+    decoded = protocol.decode_row(protocol.encode_row((NULL, CNULL)))
+    assert decoded[0] is NULL and decoded[1] is CNULL
+
+
+def test_codec_handles_non_finite_floats_and_sequences():
+    nan, = protocol.decode_row(protocol.encode_row((float("nan"),)))
+    assert math.isnan(nan)
+    inf, ninf = protocol.decode_row(
+        protocol.encode_row((float("inf"), float("-inf")))
+    )
+    assert inf == math.inf and ninf == -math.inf
+    seq, = protocol.decode_row(protocol.encode_row(((1, NULL, "x"),)))
+    assert seq == (1, NULL, "x")
+
+
+def test_codec_rejects_unknown_tags():
+    with pytest.raises(NetworkProtocolError):
+        protocol.decode_value({"$crowddb": "no-such-kind"})
+
+
+def test_frame_roundtrip_and_length_validation():
+    frame = {"type": "statement", "id": 7, "sql": "SELECT 1;"}
+    data = protocol.pack_frame(frame)
+    length = protocol.parse_length(data[:4])
+    assert protocol.decode_payload(data[4 : 4 + length]) == frame
+
+
+def test_oversized_frames_are_refused_not_allocated():
+    huge = struct.pack(">I", protocol.MAX_FRAME_BYTES + 1)
+    with pytest.raises(NetworkProtocolError, match="exceeds"):
+        protocol.parse_length(huge)
+
+
+def test_undecodable_payload_is_a_protocol_error():
+    with pytest.raises(NetworkProtocolError):
+        protocol.decode_payload(b"\xff\xfe not json")
+    with pytest.raises(NetworkProtocolError):
+        protocol.decode_payload(b"[1, 2, 3]")  # not an object with a type
+
+
+# -- end-to-end over TCP ------------------------------------------------------
+
+SETUP = """
+CREATE TABLE dept (name TEXT PRIMARY KEY, floor INTEGER);
+INSERT INTO dept VALUES ('eng', 4);
+INSERT INTO dept VALUES ('sales', 2);
+INSERT INTO dept VALUES ('ops', 2);
+"""
+
+QUERY = "SELECT name, floor FROM dept WHERE floor = 2 ORDER BY name;"
+
+
+def test_tcp_results_match_in_process_execution():
+    local = connect()
+    local.executescript(SETUP)
+    expected = local.execute(QUERY)
+    local.close()
+
+    net = serve_tcp()
+    try:
+        with connect_tcp(net.host, net.port) as client:
+            client.execute(SETUP)
+            remote = client.execute(QUERY)
+            assert remote.columns == expected.columns
+            assert remote.rows == expected.rows
+            assert remote.rowcount == expected.rowcount
+    finally:
+        net.close()
+
+
+def test_large_results_page_and_reassemble():
+    total = protocol.PAGE_ROWS * 2 + 17  # forces 3 result_page frames
+    net = serve_tcp()
+    try:
+        with connect_tcp(net.host, net.port) as client:
+            client.execute("CREATE TABLE big (n INTEGER);")
+            script = "".join(
+                f"INSERT INTO big VALUES ({i});" for i in range(total)
+            )
+            client.execute(script)
+            result = client.execute("SELECT n FROM big ORDER BY n;")
+            assert len(result.rows) == total
+            assert result.rows[0] == (0,) and result.rows[-1] == (total - 1,)
+    finally:
+        net.close()
+
+
+def test_statement_errors_carry_remote_type_and_traceback():
+    net = serve_tcp()
+    try:
+        with connect_tcp(net.host, net.port) as client:
+            with pytest.raises(RemoteError) as excinfo:
+                client.execute("SELECT nope FROM missing_table;")
+            assert excinfo.value.remote_type
+            assert "Traceback" in excinfo.value.remote_traceback
+            # the session survives a failed statement
+            client.execute("CREATE TABLE ok (a INTEGER);")
+            result = client.execute("SELECT a FROM ok;")
+            assert result.rows == []
+    finally:
+        net.close()
+
+
+def test_crowd_statements_work_over_the_wire():
+    from repro.crowd.sim.traces import GroundTruthOracle
+
+    oracle = GroundTruthOracle()
+    oracle.load_fill("person", ("alice",), {"city": "Berkeley"})
+    oracle.load_fill("person", ("bob",), {"city": "Zurich"})
+    net = serve_tcp(seed=7, oracle=oracle)
+    try:
+        with connect_tcp(net.host, net.port) as client:
+            client.execute(
+                "CREATE TABLE person "
+                "(name TEXT PRIMARY KEY, city CROWD TEXT);"
+            )
+            client.execute(
+                "INSERT INTO person (name) VALUES ('alice');"
+                "INSERT INTO person (name) VALUES ('bob');"
+            )
+            result = client.execute(
+                "SELECT name, city FROM person ORDER BY name;"
+            )
+            # crowd-filled values actually traveled the codec (simulated
+            # workers add case noise, so compare case-insensitively)
+            assert [
+                (name, city.lower()) for name, city in result.rows
+            ] == [("alice", "berkeley"), ("bob", "zurich")]
+            assert result.crowd_stats.get("hits_posted", 0) >= 1
+    finally:
+        net.close()
+
+
+def test_concurrent_clients_get_isolated_sessions():
+    net = serve_tcp()
+    clients = [connect_tcp(net.host, net.port) for _ in range(8)]
+    try:
+        assert len({c.session_id for c in clients}) == 8
+        errors: list[Exception] = []
+
+        def work(index: int, client) -> None:
+            try:
+                client.execute(f"CREATE TABLE t{index} (a INTEGER);")
+                client.execute(f"INSERT INTO t{index} VALUES ({index});")
+                result = client.execute(f"SELECT a FROM t{index};")
+                assert result.rows == [(index,)]
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=work, args=(i, c))
+            for i, c in enumerate(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+    finally:
+        for client in clients:
+            client.close()
+        net.close()
+
+
+# -- cancel -------------------------------------------------------------------
+
+
+class _GatedAdvance:
+    """Replace Scheduler._advance with a no-op until released, so a
+    crowd wait stays pending for as long as the test needs."""
+
+    def __init__(self, scheduler):
+        self.scheduler = scheduler
+        self.original = scheduler._advance
+        self.gate = threading.Event()
+        scheduler._advance = self
+
+    def __call__(self, waiting):
+        if not self.gate.is_set():
+            time.sleep(0.002)
+            return
+        self.original(waiting)
+
+    def release(self):
+        self.gate.set()
+        self.scheduler._advance = self.original
+
+
+def test_cancel_frame_aborts_a_parked_crowd_statement():
+    server = serve(seed=11)
+    gate = _GatedAdvance(server.scheduler)
+    net = serve_tcp(server=server)
+    client = connect_tcp(net.host, net.port)
+    try:
+        client.execute(
+            "CREATE TABLE slow (name TEXT PRIMARY KEY, city CROWD TEXT);"
+        )
+        client.execute("INSERT INTO slow (name) VALUES ('x');")
+        outcome: dict = {}
+
+        def run():
+            try:
+                outcome["result"] = client.execute(
+                    "SELECT name, city FROM slow;"
+                )
+            except Exception as error:
+                outcome["error"] = error
+
+        worker = threading.Thread(target=run)
+        worker.start()
+        # wait until the session is genuinely parked on a crowd future
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if any(
+                session.state.name == "WAITING"
+                for session in server.sessions.values()
+            ):
+                break
+            time.sleep(0.01)
+        else:  # pragma: no cover - diagnostic
+            pytest.fail("session never parked on a crowd wait")
+        client.cancel()
+        worker.join(timeout=30)
+        assert not worker.is_alive()
+        error = outcome.get("error")
+        assert isinstance(error, RemoteError)
+        assert error.remote_type == "StatementCancelled"
+
+        # the session survives: release the crowd and query again
+        gate.release()
+        result = client.execute("SELECT name FROM slow;")
+        assert result.rows == [("x",)]
+    finally:
+        gate.release()
+        client.close()
+        net.close()
+        server.close()
+
+
+# -- admission over the wire --------------------------------------------------
+
+
+def test_admission_rejection_travels_as_an_error_frame():
+    server = serve(max_active_sessions=1, max_waiting_sessions=0)
+    net = serve_tcp(server=server)
+    first = connect_tcp(net.host, net.port)
+    try:
+        first.execute("CREATE TABLE t (a INTEGER);")
+        with pytest.raises(RemoteError) as excinfo:
+            connect_tcp(net.host, net.port)
+        assert excinfo.value.remote_type == "AdmissionError"
+    finally:
+        first.close()
+        net.close()
+        server.close()
+
+
+# -- lifecycle ----------------------------------------------------------------
+
+
+def test_server_close_drains_open_connections():
+    net = serve_tcp()
+    client = connect_tcp(net.host, net.port)
+    client.execute("CREATE TABLE t (a INTEGER);")
+    net.close()  # connection still open: must drain, not wedge
+    with pytest.raises((NetworkProtocolError, OSError)):
+        client.execute("SELECT a FROM t;")
+    client.close()
+
+
+def test_handshake_is_required_before_statements():
+    net = serve_tcp()
+    try:
+        sock = socket.create_connection((net.host, net.port), timeout=10)
+        try:
+            sock.sendall(
+                protocol.pack_frame(protocol.statement_frame(1, "SELECT 1;"))
+            )
+            frame = protocol.read_frame_blocking(sock)
+            assert frame is not None and frame["type"] == "error"
+        finally:
+            sock.close()
+    finally:
+        net.close()
+
+
+def test_ephemeral_port_is_reported():
+    net = serve_tcp(port=0)
+    try:
+        assert net.port != 0
+    finally:
+        net.close()
