@@ -1,0 +1,357 @@
+"""E21 — failure containment under network + platform chaos.
+
+A randomized fault schedule (connection kills, torn frames, stalls,
+duplicated frames/statements, crowd-platform outages, statement caps) is
+driven through the :class:`~repro.net.chaos.ChaosProxy` and the sim's
+fault injection for >= 20 seeds.  For every seed the sweep asserts the
+containment invariants end to end:
+
+* every statement ends in a **complete or explicitly-partial** result
+  (partial results carry a structured reason: deadline/budget/breaker) —
+  never a hang, never a silent loss;
+* **zero duplicate result rows** — exactly-once delivery across detach,
+  resume, and replayed frames;
+* **zero repurchased crowd assignments** — at most one HIT is ever
+  posted per unique crowd task, no matter how often the connection dies
+  or a statement frame is duplicated in flight;
+* **no leaked sessions or threads** once the server is closed.
+
+The numbers (faults landed, resumes, replayed frames, partials by
+reason) go to ``BENCH_e21.json``; fast mode shrinks the sweep for CI
+smoke without clobbering the committed artifact.
+"""
+
+import json
+import os
+import random
+import threading
+import time
+
+import pytest
+
+from crowdbench import FAST, fresh, quiet, report
+
+from repro import connect
+from repro.crowd.sim.traces import GroundTruthOracle
+from repro.errors import ConnectionLostError
+from repro.net import connect_tcp, serve_tcp
+from repro.net import protocol
+from repro.net.chaos import ChaosProxy
+from repro.server import Server
+
+SEEDS = 8 if FAST else 24
+CITY_COUNT = 6
+ITEM_ROWS = protocol.PAGE_ROWS * (1 if FAST else 3)
+ENGINE_SEED = 11
+PARTIAL_REASONS = {"deadline", "budget", "breaker"}
+
+BENCH_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_e21.json",
+)
+
+CONNECTION_FAULTS = (
+    "none", "kill", "tear", "stall", "dup_frames", "dup_statements",
+)
+
+
+def _oracle() -> GroundTruthOracle:
+    oracle = GroundTruthOracle()
+    for i in range(CITY_COUNT):
+        oracle.load_fill(
+            "City", (f"city{i}",), {"population": 10_000 + 137 * i}
+        )
+    return oracle
+
+
+def _task_key(hit) -> tuple:
+    """Identity of the crowd work a HIT purchases: two HITs sharing a
+    key mean the same answer was bought twice."""
+    task = hit.task
+    return (
+        type(task).__name__,
+        getattr(task, "table", None),
+        tuple(getattr(task, "primary_key", ()) or ()),
+        tuple(getattr(task, "columns", ()) or ()),
+        getattr(task, "question", None),
+    )
+
+
+def _execute_with_resume(client, net, sql, **caps):
+    """Run one statement, surviving at most one connection loss by
+    reattaching the detached session (direct to the server — the chaos
+    proxy's fault plan is one-shot)."""
+    try:
+        return client.execute(sql, **caps), client, 0
+    except ConnectionLostError as lost:
+        resumed = connect_tcp(
+            net.host, net.port, resume=lost.token, have=lost.have,
+            timeout=60,
+        )
+        return resumed.resume_execute(lost), resumed, 1
+
+
+def _run_seed(seed: int) -> dict:
+    """One chaotic client session; returns the seed's audit record."""
+    fresh()
+    rng = random.Random(1000 + seed)
+    db = connect(
+        oracle=_oracle(),
+        seed=ENGINE_SEED,
+        # trip within one call's retry loop so a sustained outage
+        # degrades the statement to partial("breaker") instead of
+        # escaping as a transient platform error
+        breaker_failure_threshold=3,
+    )
+    server = Server(connection=db)
+    net = serve_tcp(server=server)
+    proxy = ChaosProxy(net.host, net.port).start()
+    record = {
+        "seed": seed,
+        "resumes": 0,
+        "statuses": [],
+        "reasons": [],
+        "duplicate_rows": 0,
+        "repurchased": 0,
+        "leaked_sessions": 0,
+        "leaked_threads": 0,
+    }
+    try:
+        admin = connect_tcp(net.host, net.port)
+        setup = [
+            "CREATE TABLE City (name STRING PRIMARY KEY, "
+            "population CROWD INTEGER);",
+            "CREATE TABLE items (n INTEGER);",
+        ] + [f"INSERT INTO items VALUES ({i});" for i in range(ITEM_ROWS)]
+        for i in range(CITY_COUNT):
+            setup.append(f"INSERT INTO City (name) VALUES ('city{i}');")
+        admin.execute("".join(setup))
+        admin.close()
+
+        # first seeds cycle through every fault kind (coverage is
+        # guaranteed, not probabilistic); later seeds draw at random
+        if seed < len(CONNECTION_FAULTS):
+            fault = CONNECTION_FAULTS[seed]
+        else:
+            fault = rng.choice(CONNECTION_FAULTS)
+        record["fault"] = fault
+        if fault == "kill":
+            proxy.arm(kill_after_frames=rng.randint(2, 6))
+        elif fault == "tear":
+            proxy.arm(kill_after_frames=rng.randint(2, 6), tear=True)
+        elif fault == "stall":
+            proxy.arm(
+                stall_seconds=rng.uniform(0.1, 0.4),
+                stall_before_frame=rng.randint(1, 4),
+            )
+        elif fault == "dup_frames":
+            proxy.arm(duplicate_frames=True)
+        elif fault == "dup_statements":
+            proxy.arm(duplicate_statements=True)
+
+        outage = rng.choice((0, 0, 0, 2, 25))
+        record["outage_calls"] = outage
+        if outage:
+            db.platforms.get("amt").inject_outage(outage)
+        caps = {}
+        if rng.random() < 0.2:
+            caps["deadline_ms"] = 1  # guaranteed deadline partial
+        elif rng.random() < 0.2:
+            caps["budget_cents"] = 0  # guaranteed budget partial
+        record["caps"] = dict(caps)
+
+        client = connect_tcp(proxy.host, proxy.port, timeout=60)
+        plan = [
+            ("SELECT n FROM items;", {}),
+            (
+                "SELECT population FROM City "
+                f"WHERE name = 'city{rng.randrange(CITY_COUNT)}';",
+                caps,
+            ),
+        ]
+        for sql, statement_caps in plan:
+            result, client, resumed = _execute_with_resume(
+                client, net, sql, **statement_caps
+            )
+            record["resumes"] += resumed
+            record["statuses"].append(result.status)
+            record["reasons"].append(result.partial_reason)
+            if len(result.rows) != len(set(result.rows)):
+                record["duplicate_rows"] += (
+                    len(result.rows) - len(set(result.rows))
+                )
+            if sql.startswith("SELECT n"):
+                record["electronic_rows"] = sorted(
+                    row[0] for row in result.rows
+                )
+        client.close()
+
+        hits = list(db.platforms.get("amt")._hits.values())
+        keys = [_task_key(hit) for hit in hits]
+        record["hits_posted"] = len(hits)
+        record["unique_tasks"] = len(set(keys))
+        record["repurchased"] = len(keys) - len(set(keys))
+        text = net.server.metrics_text()
+        for name in (
+            "net_detaches_total",
+            "net_resumes_total",
+            "net_replayed_frames_total",
+            "net_duplicate_statements_total",
+        ):
+            record[name] = _metric(text, name)
+        record["proxy"] = dict(proxy.stats)
+    finally:
+        proxy.close()
+        net.close()
+        server.close()
+    record["leaked_sessions"] = len(server.sessions)
+    return record
+
+
+def _metric(text: str, name: str) -> int:
+    for line in text.splitlines():
+        if line.startswith(f"crowddb_{name} "):
+            return int(float(line.split()[-1]))
+    return 0
+
+
+def _await_thread_floor(baseline: int, timeout: float = 10.0) -> int:
+    """Threads above the pre-sweep baseline still alive after teardown."""
+    deadline = time.monotonic() + timeout
+    while (
+        threading.active_count() > baseline
+        and time.monotonic() < deadline
+    ):
+        time.sleep(0.05)
+    return max(0, threading.active_count() - baseline)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    baseline = threading.active_count()
+    records = []
+    started = time.perf_counter()
+    with quiet():
+        for seed in range(SEEDS):
+            record = _run_seed(seed)
+            record["leaked_threads"] = _await_thread_floor(baseline)
+            records.append(record)
+    return {
+        "records": records,
+        "wall_seconds": time.perf_counter() - started,
+    }
+
+
+def test_every_statement_completes_or_degrades_explicitly(sweep):
+    for record in sweep["records"]:
+        assert len(record["statuses"]) == 2, record
+        for status, reason in zip(record["statuses"], record["reasons"]):
+            assert status in ("complete", "partial"), record
+            if status == "partial":
+                assert reason in PARTIAL_REASONS, record
+            else:
+                assert reason is None, record
+
+
+def test_zero_duplicate_result_rows(sweep):
+    expected = list(range(ITEM_ROWS))
+    for record in sweep["records"]:
+        assert record["duplicate_rows"] == 0, record
+        # exactly-once across detach/resume/replay: the multi-page
+        # electronic result is byte-complete with no repeats
+        assert record["electronic_rows"] == expected, record["seed"]
+
+
+def test_zero_repurchased_crowd_assignments(sweep):
+    for record in sweep["records"]:
+        assert record["repurchased"] == 0, record
+        assert record["hits_posted"] == record["unique_tasks"], record
+
+
+def test_no_leaked_sessions_or_threads(sweep):
+    for record in sweep["records"]:
+        assert record["leaked_sessions"] == 0, record
+        assert record["leaked_threads"] == 0, record
+
+
+def test_faults_actually_landed(sweep):
+    """The sweep must exercise the machinery, not dodge it: across the
+    seeds we need real detaches healed by resume, duplicate submissions
+    dropped, and at least one partial degradation."""
+    records = sweep["records"]
+    assert sum(r["net_resumes_total"] for r in records) >= 1
+    assert sum(r["net_replayed_frames_total"] for r in records) >= 1
+    assert sum(r["resumes"] for r in records) >= 1
+    assert sum(
+        r["net_duplicate_statements_total"] for r in records
+    ) >= 1
+    assert any("partial" in r["statuses"] for r in records)
+    kinds = {r["fault"] for r in records}
+    assert {"kill", "tear", "dup_frames", "dup_statements"} <= kinds
+
+
+def test_report(sweep):
+    records = sweep["records"]
+    partials = [
+        reason
+        for record in records
+        for status, reason in zip(record["statuses"], record["reasons"])
+        if status == "partial"
+    ]
+    totals = {
+        "detaches": sum(r["net_detaches_total"] for r in records),
+        "resumes": sum(r["net_resumes_total"] for r in records),
+        "replayed": sum(r["net_replayed_frames_total"] for r in records),
+        "dup_statements_dropped": sum(
+            r["net_duplicate_statements_total"] for r in records
+        ),
+        "hits": sum(r["hits_posted"] for r in records),
+    }
+    report(
+        "E21",
+        f"chaos sweep, {len(records)} seeds",
+        ["measurement", "value", "detail"],
+        [
+            ("seeds", len(records), "randomized fault schedules"),
+            ("wall s", sweep["wall_seconds"], "whole sweep"),
+            ("detaches", totals["detaches"], "unclean drops survived"),
+            ("resumes", totals["resumes"], "sessions reattached"),
+            ("replayed frames", totals["replayed"], "exactly-once suffix"),
+            ("dup statements dropped", totals["dup_statements_dropped"],
+             "idempotent submission"),
+            ("partials", len(partials),
+             "reasons: " + (",".join(sorted(set(partials))) or "-")),
+            ("HITs posted", totals["hits"],
+             f"{sum(r['unique_tasks'] for r in records)} unique tasks"),
+            ("repurchased assignments",
+             sum(r["repurchased"] for r in records), "invariant: 0"),
+            ("duplicate result rows",
+             sum(r["duplicate_rows"] for r in records), "invariant: 0"),
+            ("leaked sessions/threads",
+             sum(r["leaked_sessions"] + r["leaked_threads"]
+                 for r in records), "invariant: 0"),
+        ],
+    )
+    payload = {
+        "seeds": len(records),
+        "fast_mode": FAST,
+        "item_rows": ITEM_ROWS,
+        "wall_seconds": round(sweep["wall_seconds"], 3),
+        "fault_mix": sorted(r["fault"] for r in records),
+        "detaches": totals["detaches"],
+        "resumes": totals["resumes"],
+        "replayed_frames": totals["replayed"],
+        "duplicate_statements_dropped": totals["dup_statements_dropped"],
+        "partials_by_reason": {
+            reason: partials.count(reason) for reason in sorted(set(partials))
+        },
+        "hits_posted": totals["hits"],
+        "repurchased_assignments": sum(r["repurchased"] for r in records),
+        "duplicate_result_rows": sum(r["duplicate_rows"] for r in records),
+        "leaked_sessions": sum(r["leaked_sessions"] for r in records),
+        "leaked_threads": sum(r["leaked_threads"] for r in records),
+    }
+    if not FAST:
+        with open(BENCH_JSON, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")

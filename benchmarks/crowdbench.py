@@ -49,6 +49,7 @@ EXPERIMENTS = {
     "E18": ("bench_e18_recovery", "WAL recovery + crowd-answer ledger"),
     "E19": ("bench_e19_vectorized", "columnar vectorized execution"),
     "E20": ("bench_e20_serving", "network serving + electronic pool"),
+    "E21": ("bench_e21_chaos", "failure containment chaos sweep"),
     "F1": ("bench_f1_architecture", "architecture walkthrough"),
     "F2": ("bench_f2_ui_generation", "UI template generation"),
     "F3": ("bench_f3_mobile_task", "mobile platform tasks"),

@@ -24,6 +24,7 @@ the right.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Iterable, Optional, Sequence
 
 from repro.catalog.catalog import Catalog
@@ -44,6 +45,7 @@ from repro.obs import (
     TraceSink,
 )
 from repro.optimizer.optimizer import OptimizationResult, Optimizer
+from repro.server.task_pool import TaskPool
 from repro.sql import ast
 from repro.sql.parser import parse, parse_script
 from repro.storage.engine import StorageEngine
@@ -126,6 +128,12 @@ class Connection:
             self.task_manager = TaskManager(
                 platforms, self.ui_manager, config=crowd_config
             )
+            # Pending-future pool: within one connection this only
+            # matters after a partial (deadline/budget/breaker) result,
+            # whose unfinished futures a later retry of the statement
+            # reuses instead of reposting HITs.  The multi-session
+            # Server swaps in its own shared pool.
+            self.task_manager.task_pool = TaskPool()
             self.task_manager.attach_reputation(self.reputation)
             self.reputation.block_below = self.task_manager.config.block_below
             if observability:
@@ -134,6 +142,12 @@ class Connection:
             # seed comparison caches + reputation posteriors from the
             # recovered ledger and attach the write-through hooks
             self.storage.bind_crowd(self.task_manager, self.reputation)
+            if self.task_manager is not None:
+                # HIT issues parked while a platform breaker was open
+                # survive restarts alongside the WAL
+                self.task_manager.retry_queue.bind_path(
+                    os.path.join(path, "crowd_retry.jsonl")
+                )
         self.optimizer = Optimizer(
             self.engine,
             strict_boundedness=strict_boundedness,
@@ -187,6 +201,17 @@ class Connection:
         if self.task_manager is not None:
             self.metrics.register_collector(
                 "crowd", self.task_manager.stats.snapshot
+            )
+            # breaker health: state per platform (0=closed, 1=half-open,
+            # 2=open) plus the flattened per-breaker stats + queue depth
+            self.metrics.register_labeled(
+                "breaker_state",
+                "platform",
+                self.task_manager.breaker_states,
+                help="circuit breaker state per crowd platform",
+            )
+            self.metrics.register_collector(
+                "breaker", self.task_manager.breaker_snapshot
             )
         self.metrics.register_collector(
             "parse_cache", lambda: dict(self._parse_cache.stats)
@@ -249,6 +274,8 @@ class Connection:
         statement = self._parse_cached(sql)
         if isinstance(statement, ast.Explain):
             statement = statement.statement
+        if isinstance(statement, ast.Guarded):
+            statement = statement.statement
         if not isinstance(statement, (ast.Select, ast.SetOp)):
             raise ExecutionError("explain() supports SELECT statements only")
         return self.executor.compile_select(statement).explain()
@@ -256,6 +283,8 @@ class Connection:
     def compile(self, sql: str) -> OptimizationResult:
         """Compile a SELECT without executing it."""
         statement = self._parse_cached(sql)
+        if isinstance(statement, ast.Guarded):
+            statement = statement.statement
         if not isinstance(statement, (ast.Select, ast.SetOp)):
             raise ExecutionError("compile() supports SELECT statements only")
         return self.executor.compile_select(statement)
@@ -299,6 +328,8 @@ class Connection:
         """Run a SELECT and return the estimate-vs-actual plan report."""
         statement = self._parse_cached(sql)
         if isinstance(statement, ast.Explain):
+            statement = statement.statement
+        if isinstance(statement, ast.Guarded):
             statement = statement.statement
         if not isinstance(statement, (ast.Select, ast.SetOp)):
             raise ExecutionError(
@@ -440,6 +471,13 @@ def connect(
     platform_timeout: Optional[float] = None,
     electronic_workers: int = 0,
     electronic_pool_kind: str = "thread",
+    statement_deadline_ms: Optional[int] = None,
+    statement_budget_cents: Optional[int] = None,
+    breaker_enabled: Optional[bool] = None,
+    breaker_failure_threshold: Optional[int] = None,
+    breaker_cooldown_seconds: Optional[float] = None,
+    breaker_latency_seconds: Optional[float] = None,
+    breaker_half_open_probes: Optional[int] = None,
 ) -> Connection:
     """Create a CrowdDB connection.
 
@@ -529,6 +567,13 @@ def connect(
             ("block_below", block_below),
             ("platform_retries", platform_retries),
             ("platform_timeout", platform_timeout),
+            ("statement_deadline_ms", statement_deadline_ms),
+            ("statement_budget_cents", statement_budget_cents),
+            ("breaker_enabled", breaker_enabled),
+            ("breaker_failure_threshold", breaker_failure_threshold),
+            ("breaker_cooldown_seconds", breaker_cooldown_seconds),
+            ("breaker_latency_seconds", breaker_latency_seconds),
+            ("breaker_half_open_probes", breaker_half_open_probes),
         )
         if value is not None
     }

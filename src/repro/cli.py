@@ -34,6 +34,7 @@ Dot-commands:
     .cache               plan-cache and parse-memo hit/miss counters
     .platform [NAME]     show or switch the default platform
     .stats               Task Manager counters
+    .breaker             per-platform circuit breaker state + retry queue
     .metrics             Prometheus-style metrics exposition
     .trace [ARGS]        HIT lifecycle trace: .trace [N] tails the last N
                          events, .trace KIND [N] filters by event kind
@@ -93,6 +94,7 @@ class Shell:
             ".cache": self._cmd_cache,
             ".platform": self._cmd_platform,
             ".stats": self._cmd_stats,
+            ".breaker": self._cmd_breaker,
             ".metrics": self._cmd_metrics,
             ".trace": self._cmd_trace,
             ".slow": self._cmd_slow,
@@ -217,6 +219,25 @@ class Shell:
             return
         for key, value in stats.items():
             self._print(f"  {key:22s} {value}")
+
+    def _cmd_breaker(self, _argument: str) -> None:
+        manager = self.connection.task_manager
+        if manager is None:
+            self._print("no crowd attached")
+            return
+        if not manager.breakers:
+            self._print(
+                "no circuit breakers yet (created on first platform call)"
+            )
+        for name in sorted(manager.breakers):
+            breaker = manager.breakers[name]
+            snapshot = breaker.snapshot()
+            snapshot.pop("state", None)
+            detail = " ".join(
+                f"{key}={value}" for key, value in sorted(snapshot.items())
+            )
+            self._print(f"  {name:12s} {breaker.state:9s} {detail}")
+        self._print(f"  retry queue depth: {len(manager.retry_queue)}")
 
     def _cmd_metrics(self, _argument: str) -> None:
         self._print(self.connection.metrics_text().rstrip("\n"))

@@ -1,0 +1,287 @@
+"""Circuit breaker and durable retry queue for crowd platform calls.
+
+CrowdDB buys real work from a marketplace, so a sick platform is worse
+than a dead one: every retry burns wall-clock and, once the platform
+limps back, duplicate posts burn money.  The breaker wraps the Task
+Manager's mutating platform calls (``post_hit``/``extend_hit``) with the
+classic three-state machine:
+
+- **closed** — calls flow through; failures and slow calls are recorded
+  in a sliding outcome window.
+- **open** — tripped by a run of consecutive failures, a failure rate
+  over the window, or a latency tripwire.  Calls are refused immediately
+  with :class:`~repro.errors.CircuitOpenError`; the Task Manager parks
+  the refused HIT issues in a :class:`RetryQueue` and the statement
+  degrades to a partial result instead of failing.
+- **half-open** — after a cooldown, a bounded number of probe calls are
+  let through.  Enough successes close the breaker (and trigger replay
+  of the parked queue); any failure re-opens it.
+
+The breaker is deliberately clock-injectable (``clock=``) so tests can
+step through cooldowns deterministically, and thread-safe because probe
+calls can race recovery across session threads.
+
+:class:`RetryQueue` is the parking lot for refused issues.  When the
+connection is durable (``connect(path=...)``) the queue is backed by a
+JSONL file next to the WAL, so parked crowd work survives a crash the
+same way settled answers do.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["CircuitBreaker", "RetryQueue", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Numeric encoding of breaker state for gauge export.
+STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Three-state breaker with failure-rate and latency tripwires."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        failure_threshold: int = 5,
+        window: int = 20,
+        failure_rate: float = 0.5,
+        min_calls: int = 4,
+        cooldown_seconds: float = 1.0,
+        latency_threshold: Optional[float] = None,
+        half_open_probes: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+        on_open: Optional[Callable[[str], None]] = None,
+        on_close: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.name = name
+        self.failure_threshold = max(1, int(failure_threshold))
+        self.failure_rate = float(failure_rate)
+        self.min_calls = max(1, int(min_calls))
+        self.cooldown_seconds = float(cooldown_seconds)
+        self.latency_threshold = latency_threshold
+        self.half_open_probes = max(1, int(half_open_probes))
+        self.clock = clock
+        self.on_open = on_open
+        self.on_close = on_close
+        self.state = CLOSED
+        self.opens = 0
+        self.closes = 0
+        self.refused = 0
+        self._opened_at = 0.0
+        self._outcomes: deque = deque(maxlen=max(1, int(window)))
+        self._consecutive_failures = 0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self._lock = threading.Lock()
+
+    # -- gate ------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """Return True if a platform call may proceed right now."""
+        with self._lock:
+            if self.state == CLOSED:
+                return True
+            if self.state == OPEN:
+                if self.clock() - self._opened_at < self.cooldown_seconds:
+                    self.refused += 1
+                    return False
+                self.state = HALF_OPEN
+                self._probes_in_flight = 0
+                self._probe_successes = 0
+            # Half-open: admit a bounded number of concurrent probes.
+            if self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+            self.refused += 1
+            return False
+
+    # -- outcome recording ----------------------------------------------
+
+    def record_success(self, latency: float = 0.0) -> None:
+        slow = (
+            self.latency_threshold is not None and latency >= self.latency_threshold
+        )
+        fired = None
+        with self._lock:
+            if self.state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                if slow:
+                    fired = self._trip_locked()
+                else:
+                    self._probe_successes += 1
+                    if self._probe_successes >= self.half_open_probes:
+                        fired = self._close_locked()
+            else:
+                self._outcomes.append(not slow)
+                if slow:
+                    self._consecutive_failures += 1
+                    fired = self._maybe_trip_locked()
+                else:
+                    self._consecutive_failures = 0
+        if fired is not None:
+            fired(self.name)
+
+    def record_failure(self) -> None:
+        fired = None
+        with self._lock:
+            if self.state == HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                fired = self._trip_locked()
+            elif self.state == CLOSED:
+                self._outcomes.append(False)
+                self._consecutive_failures += 1
+                fired = self._maybe_trip_locked()
+            # OPEN: a straggler failing after the trip changes nothing.
+        if fired is not None:
+            fired(self.name)
+
+    # -- transitions (lock held; callbacks returned, fired outside) ------
+
+    def _maybe_trip_locked(self):
+        if self._consecutive_failures >= self.failure_threshold:
+            return self._trip_locked()
+        if len(self._outcomes) >= self.min_calls:
+            failures = sum(1 for ok in self._outcomes if not ok)
+            if failures / len(self._outcomes) >= self.failure_rate:
+                return self._trip_locked()
+        return None
+
+    def _trip_locked(self):
+        self.state = OPEN
+        self.opens += 1
+        self._opened_at = self.clock()
+        self._outcomes.clear()
+        self._consecutive_failures = 0
+        return self.on_open
+
+    def _close_locked(self):
+        self.state = CLOSED
+        self.closes += 1
+        self._outcomes.clear()
+        self._consecutive_failures = 0
+        return self.on_close
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def state_code(self) -> int:
+        return STATE_CODES[self.state]
+
+    def snapshot(self) -> Dict[str, float]:
+        with self._lock:
+            window = list(self._outcomes)
+            rate = (
+                sum(1 for ok in window if not ok) / len(window) if window else 0.0
+            )
+            return {
+                "state": self.state_code,
+                "opens": self.opens,
+                "closes": self.closes,
+                "refused": self.refused,
+                "consecutive_failures": self._consecutive_failures,
+                "window_failure_rate": round(rate, 4),
+            }
+
+
+class RetryQueue:
+    """FIFO parking lot for HIT issues refused by an open breaker.
+
+    Entries are plain JSON-able descriptors built by the Task Manager
+    (kind + the ``begin_*`` arguments, values pre-encoded with the wire
+    codec).  ``bind_path`` makes the queue durable: every park appends a
+    JSONL line, and drains rewrite the file, so a crash between outage
+    and recovery loses no parked crowd work.
+    """
+
+    def __init__(self) -> None:
+        self._entries: List[dict] = []
+        self._path: Optional[str] = None
+        self._lock = threading.Lock()
+
+    def bind_path(self, path: str) -> int:
+        """Attach a JSONL backing file, loading any entries already on
+        disk.  Returns the number of recovered entries."""
+        recovered = []
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        recovered.append(json.loads(line))
+                    except ValueError:
+                        break  # torn tail: keep what parsed cleanly
+        with self._lock:
+            self._path = path
+            self._entries = recovered + self._entries
+            self._rewrite_locked()
+        return len(recovered)
+
+    def park(self, entry: dict) -> None:
+        with self._lock:
+            self._entries.append(entry)
+            if self._path is not None:
+                with open(self._path, "a", encoding="utf-8") as handle:
+                    handle.write(json.dumps(entry, sort_keys=True) + "\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+
+    def drain(self) -> List[dict]:
+        """Remove and return all parked entries (oldest first)."""
+        with self._lock:
+            entries = self._entries
+            self._entries = []
+            self._rewrite_locked()
+            return entries
+
+    def discard(self, signature: str) -> int:
+        """Drop parked entries stamped with ``signature`` — the work they
+        describe settled through another route (a retried statement
+        reissued it), so replaying them would repurchase the answer.
+        Returns the number of entries removed."""
+        if not signature:
+            return 0
+        with self._lock:
+            kept = [
+                e for e in self._entries if e.get("signature") != signature
+            ]
+            removed = len(self._entries) - len(kept)
+            if removed:
+                self._entries = kept
+                self._rewrite_locked()
+            return removed
+
+    def requeue(self, entries: List[dict]) -> None:
+        """Put entries back at the front (replay hit an open breaker)."""
+        if not entries:
+            return
+        with self._lock:
+            self._entries = list(entries) + self._entries
+            self._rewrite_locked()
+
+    def _rewrite_locked(self) -> None:
+        if self._path is None:
+            return
+        tmp = self._path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for entry in self._entries:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self._path)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -64,6 +64,13 @@ class SimulatedCrowdPlatform(CrowdPlatform):
         # never perturbs worker behaviour under a fixed seed.
         self.transient_error_rate = transient_error_rate
         self._fault_rng = random.Random(seed ^ 0x5DEECE66D)
+        # scripted fault injection (chaos harness): outage fails the next
+        # N platform calls outright; latency stalls the next N calls by a
+        # fixed simulated delay before they take effect
+        self._outage_calls = 0
+        self._latency_calls = 0
+        self._latency_seconds = 0.0
+        self.faults_injected = 0
         self.rng = random.Random(seed)
         self.clock = SimClock()
         self.events = EventQueue(self.clock)
@@ -77,7 +84,34 @@ class SimulatedCrowdPlatform(CrowdPlatform):
 
     # -- CrowdPlatform API -------------------------------------------------------
 
+    def inject_outage(self, calls: int) -> None:
+        """Fail the next ``calls`` post/extend calls with a transient
+        error, before marketplace state is touched — deterministic outage
+        for the chaos harness (drives the circuit breaker open)."""
+        self._outage_calls = max(0, int(calls))
+
+    def inject_latency(self, seconds: float, calls: int = 1) -> None:
+        """Stall the next ``calls`` post/extend calls by ``seconds`` of
+        simulated time before they take effect (latency spike: the call
+        succeeds but slowly, tripping latency-based breakers)."""
+        self._latency_calls = max(0, int(calls))
+        self._latency_seconds = max(0.0, float(seconds))
+
     def _maybe_fault(self, operation: str) -> None:
+        if self._outage_calls > 0:
+            self._outage_calls -= 1
+            self.faults_injected += 1
+            raise TransientPlatformError(
+                f"{self.name}: injected outage during {operation}"
+            )
+        if self._latency_calls > 0:
+            self._latency_calls -= 1
+            self.faults_injected += 1
+            # burn simulated time: the caller sees a slow-but-successful
+            # call, which latency-tripwire breakers count as a failure
+            self.events.run_until(
+                lambda: False, self._latency_seconds
+            )
         if (
             self.transient_error_rate > 0
             and self._fault_rng.random() < self.transient_error_rate

@@ -44,11 +44,13 @@ always stored for future use" memorization.
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.catalog.table import TableSchema
+from repro.crowd.breaker import CircuitBreaker, RetryQueue
 from repro.crowd.model import (
     HIT,
     HITStatus,
@@ -63,11 +65,12 @@ from repro.crowd.quality import Ballot, MajorityVote, VoteResult, normalize_answ
 from repro.crowd.reputation import ReputationStore
 from repro.errors import (
     BudgetExceededError,
+    CircuitOpenError,
     ExecutionError,
     TransientPlatformError,
     TypeError_,
 )
-from repro.sqltypes import NULL, parse_literal
+from repro.sqltypes import CNULL, NULL, parse_literal
 from repro.ui.manager import UITemplateManager
 
 
@@ -120,6 +123,28 @@ class CrowdConfig:
     platform_retries: int = 3
     platform_retry_backoff: float = 0.05
     platform_timeout: Optional[float] = None
+    # Per-statement guard defaults (overridable per statement with
+    # ``... WITH DEADLINE <ms> BUDGET <cents>`` or per submission over the
+    # wire).  The deadline is simulated marketplace milliseconds; the
+    # budget is crowd cents attributed to the statement's ledger.  When a
+    # cap trips, the statement returns a ``status="partial"`` result with
+    # the rows settled so far instead of raising.
+    statement_deadline_ms: Optional[int] = None
+    statement_budget_cents: Optional[int] = None
+    # Circuit breaker guarding mutating platform calls.  When recent
+    # calls fail (consecutive run, windowed failure rate) or crawl past
+    # ``breaker_latency_seconds``, the breaker opens: further issues are
+    # refused with :class:`CircuitOpenError`, parked in a durable retry
+    # queue, and replayed once the platform recovers (half-open probes
+    # succeed).  The cooldown is wall-clock seconds.
+    breaker_enabled: bool = True
+    breaker_failure_threshold: int = 5
+    breaker_window: int = 20
+    breaker_failure_rate: float = 0.5
+    breaker_min_calls: int = 4
+    breaker_cooldown_seconds: float = 1.0
+    breaker_latency_seconds: Optional[float] = None
+    breaker_half_open_probes: int = 2
 
 
 @dataclass
@@ -420,6 +445,15 @@ class TaskManager:
         # settled CROWDEQUAL/CROWDORDER verdicts are written through so a
         # recovered instance never re-buys a paid answer
         self.ledger: Optional[Any] = None
+        # failure containment: one circuit breaker per platform plus a
+        # (optionally durable) parking lot for HIT issues refused while a
+        # breaker is open.  Parked work replays through the public
+        # ``begin_*`` API on the next crowd activity after recovery, so
+        # replayed futures re-enter the task pool and dedup normally.
+        self.breakers: dict[str, CircuitBreaker] = {}
+        self.retry_queue = RetryQueue()
+        self._replay_pending = False
+        self._replaying = False
 
     # -- platform-call robustness -----------------------------------------------------
 
@@ -437,10 +471,21 @@ class TaskManager:
         budget = self.config.platform_timeout
         waited = 0.0
         attempt = 0
+        breaker = self._breaker_for(platform)
         while True:
+            if breaker is not None and not breaker.allow():
+                raise CircuitOpenError(
+                    f"{getattr(platform, 'name', '?')} breaker is "
+                    f"{breaker.state}; refusing {method}"
+                )
+            clock = getattr(platform, "clock", None)
             try:
-                return getattr(platform, method)(*args)
+                started = time.perf_counter()
+                sim_started = clock.now if clock is not None else 0.0
+                result = getattr(platform, method)(*args)
             except TransientPlatformError as error:
+                if breaker is not None:
+                    breaker.record_failure()
                 attempt += 1
                 if attempt > retries:
                     raise
@@ -465,6 +510,199 @@ class TaskManager:
                     time.sleep(delay)
                 waited += delay
                 delay = delay * 2 if delay > 0 else 0.0
+            else:
+                if breaker is not None:
+                    # latency is whichever clock the platform burned: wall
+                    # time for real platforms, simulated seconds for sims
+                    # (an injected latency spike shows up only there)
+                    latency = time.perf_counter() - started
+                    if clock is not None:
+                        latency = max(latency, clock.now - sim_started)
+                    breaker.record_success(latency)
+                return result
+
+    # -- circuit breaker + retry queue --------------------------------------------
+
+    def _breaker_for(self, platform: CrowdPlatform) -> Optional[CircuitBreaker]:
+        """Lazily create the per-platform breaker (None when disabled)."""
+        if not self.config.breaker_enabled:
+            return None
+        name = getattr(platform, "name", "default")
+        breaker = self.breakers.get(name)
+        if breaker is None:
+            config = self.config
+            breaker = CircuitBreaker(
+                name,
+                failure_threshold=config.breaker_failure_threshold,
+                window=config.breaker_window,
+                failure_rate=config.breaker_failure_rate,
+                min_calls=config.breaker_min_calls,
+                cooldown_seconds=config.breaker_cooldown_seconds,
+                latency_threshold=config.breaker_latency_seconds,
+                half_open_probes=config.breaker_half_open_probes,
+                on_open=self._on_breaker_open,
+                on_close=self._on_breaker_close,
+            )
+            self.breakers[name] = breaker
+        return breaker
+
+    def _on_breaker_open(self, name: str) -> None:
+        self.stats.bump("breaker_opens")
+        if self.tracer is not None:
+            self.tracer.emit("breaker.open", platform=name)
+
+    def _on_breaker_close(self, name: str) -> None:
+        self.stats.bump("breaker_closes")
+        if self.tracer is not None:
+            self.tracer.emit("breaker.close", platform=name)
+        # Replay is deferred to the next crowd activity (or an explicit
+        # replay_parked() call): the close fires from inside a platform
+        # call whose own issue is mid-flight, so re-entering begin_* here
+        # could double-post the very key being issued.
+        if len(self.retry_queue):
+            self._replay_pending = True
+
+    def breaker_states(self) -> dict[str, float]:
+        """Per-platform breaker state codes (0 closed / 1 half-open /
+        2 open) for the labeled metrics gauge."""
+        return {name: b.state_code for name, b in self.breakers.items()}
+
+    def breaker_snapshot(self) -> dict[str, float]:
+        """Flattened breaker + retry-queue stats for metrics collection."""
+        data: dict[str, float] = {"retry_queue_depth": len(self.retry_queue)}
+        for name, breaker in self.breakers.items():
+            for key, value in breaker.snapshot().items():
+                data[f"{name}_{key}"] = value
+        return data
+
+    def _park_entry(self, entry: dict, key: Optional[tuple] = None) -> None:
+        """Park one refused issue descriptor in the retry queue.
+
+        ``key`` is the issue's task-pool key; its signature is stamped on
+        the entry so that if the same work settles through another route
+        before replay (a retried statement reissued it), the stale parked
+        entry is discarded instead of repurchasing the answer."""
+        if key is not None:
+            entry["signature"] = _key_signature(key)
+        self.retry_queue.park(entry)
+        self.stats.bump("breaker_parked")
+        if self.tracer is not None:
+            self.tracer.emit(
+                "breaker.park",
+                task=entry.get("kind", "?"),
+                platform=entry.get("platform") or "default",
+            )
+
+    def _park_fills(
+        self,
+        requests: list[tuple],
+        keys: list[tuple],
+        chunk: list[int],
+        platform: Optional[str],
+        error: CircuitOpenError,
+    ) -> None:
+        """Park every fill request of a refused chunk, then re-raise."""
+        for i in chunk:
+            schema, primary_key, columns, known_values = requests[i]
+            self._park_entry(
+                {
+                    "kind": "fill",
+                    "table": schema.name,
+                    "primary_key": _encode_parked_row(primary_key),
+                    "columns": list(columns),
+                    "known_values": {
+                        column: _encode_parked(value)
+                        for column, value in known_values.items()
+                    },
+                    "platform": platform,
+                },
+                key=keys[i],
+            )
+        raise error
+
+    def replay_parked(self) -> int:
+        """Re-issue parked HIT work through the public ``begin_*`` API.
+
+        Called automatically at the next crowd activity after a breaker
+        closes (and available to the shell/benchmarks directly).  Replayed
+        futures register in the shared task pool, so statements that retry
+        the same predicate reuse them — zero repurchased assignments.
+        Returns the number of entries successfully re-issued.
+        """
+        if self._replaying or not len(self.retry_queue):
+            return 0
+        self._replaying = True
+        replayed = 0
+        try:
+            entries = self.retry_queue.drain()
+            for position, entry in enumerate(entries):
+                try:
+                    self._replay_entry(entry)
+                    replayed += 1
+                except CircuitOpenError:
+                    # Platform is sick again: keep the remainder parked.
+                    self.retry_queue.requeue(entries[position:])
+                    break
+                except Exception:
+                    self.stats.bump("breaker_replay_failed")
+        finally:
+            self._replaying = False
+            self._replay_pending = len(self.retry_queue) > 0
+        if replayed:
+            self.stats.bump("breaker_replayed", replayed)
+            if self.tracer is not None:
+                self.tracer.emit("breaker.replay", count=replayed)
+        return replayed
+
+    def _maybe_replay(self) -> None:
+        if self._replay_pending and not self._replaying:
+            self.replay_parked()
+
+    def _replay_entry(self, entry: dict) -> None:
+        kind = entry["kind"]
+        platform = entry.get("platform")
+        if kind == "fill":
+            schema = self.ui_manager.catalog.table(entry["table"])
+            self.begin_fill(
+                schema,
+                _decode_parked_row(entry["primary_key"]),
+                tuple(entry["columns"]),
+                {
+                    column: _decode_parked(value)
+                    for column, value in entry["known_values"].items()
+                },
+                platform,
+            )
+        elif kind == "new":
+            schema = self.ui_manager.catalog.table(entry["table"])
+            self.begin_new_tuples(
+                schema,
+                int(entry["count"]),
+                {
+                    column: _decode_parked(value)
+                    for column, value in entry["fixed_values"].items()
+                },
+                platform,
+                known_keys={
+                    _decode_parked_row(row) for row in entry["known_keys"]
+                },
+            )
+        elif kind == "eq":
+            self.begin_compare_equal(
+                _decode_parked(entry["left"]),
+                _decode_parked(entry["right"]),
+                entry["question"],
+                platform,
+            )
+        elif kind == "ord":
+            self.begin_compare_order(
+                _decode_parked(entry["left"]),
+                _decode_parked(entry["right"]),
+                entry["question"],
+                platform,
+            )
+        else:
+            raise ExecutionError(f"unknown parked entry kind {kind!r}")
 
     # -- adaptive quality plumbing ---------------------------------------------------
 
@@ -565,6 +803,7 @@ class TaskManager:
         tasks sharing a table and column set become one HIT whose answers
         fan back out to per-request futures on settlement.
         """
+        self._maybe_replay()
         futures: list[Optional[CrowdFuture]] = [None] * len(requests)
         keys: list[tuple] = []
         fresh: dict[tuple, list[int]] = {}   # (table, columns) -> indexes
@@ -595,17 +834,20 @@ class TaskManager:
         for indexes in fresh.values():
             for start in range(0, len(indexes), group_size):
                 chunk = indexes[start : start + group_size]
-                if len(chunk) == 1:
-                    i = chunk[0]
-                    schema, primary_key, columns, known_values = requests[i]
-                    futures[i] = self._issue_fill(
-                        schema, primary_key, columns, known_values,
-                        platform, keys[i],
-                    )
-                else:
-                    self._issue_fill_group(
-                        requests, keys, chunk, platform, futures
-                    )
+                try:
+                    if len(chunk) == 1:
+                        i = chunk[0]
+                        schema, primary_key, columns, known_values = requests[i]
+                        futures[i] = self._issue_fill(
+                            schema, primary_key, columns, known_values,
+                            platform, keys[i],
+                        )
+                    else:
+                        self._issue_fill_group(
+                            requests, keys, chunk, platform, futures
+                        )
+                except CircuitOpenError as error:
+                    self._park_fills(requests, keys, chunk, platform, error)
         for i, key in enumerate(keys):
             if futures[i] is None:  # intra-batch duplicate
                 futures[i] = futures[local[key]]
@@ -863,6 +1105,7 @@ class TaskManager:
         known_keys: Optional[set] = None,
     ) -> CrowdFuture:
         """Post new-tuple tasks and return their future without waiting."""
+        self._maybe_replay()
         self.stats.new_tuple_requests += 1
         fixed = {k.lower(): v for k, v in (fixed_values or {}).items()}
         key = (
@@ -894,15 +1137,34 @@ class TaskManager:
             for _ in range(count)
         ]
         frozen_known = set(known_keys or set())
-        return self._issue(
-            "new",
-            key,
-            hits,
-            platform,
-            lambda done: self._finish_new_tuples(
-                schema, fixed, frozen_known, done
-            ),
-        )
+        try:
+            return self._issue(
+                "new",
+                key,
+                hits,
+                platform,
+                lambda done: self._finish_new_tuples(
+                    schema, fixed, frozen_known, done
+                ),
+            )
+        except CircuitOpenError as error:
+            self._park_entry(
+                {
+                    "kind": "new",
+                    "table": schema.name,
+                    "count": count,
+                    "fixed_values": {
+                        column: _encode_parked(value)
+                        for column, value in fixed.items()
+                    },
+                    "known_keys": [
+                        _encode_parked_row(row) for row in frozen_known
+                    ],
+                    "platform": platform,
+                },
+                key=key,
+            )
+            raise error
 
     def _finish_new_tuples(
         self,
@@ -995,6 +1257,7 @@ class TaskManager:
         platform: Optional[str] = None,
     ) -> CrowdFuture:
         """Post (or reuse) a CROWDEQUAL ballot; never advances the clock."""
+        self._maybe_replay()
         cache_key = (normalize_answer(left), normalize_answer(right))
         key = ("eq",) + cache_key + (self._platform_key(platform),)
         cached = self._equal_cache.get(cache_key)
@@ -1023,18 +1286,31 @@ class TaskManager:
             template, {"left": left, "right": right}
         )
         hit = self._make_hit(task, form_html)
-        return self._issue(
-            "eq",
-            key,
-            [hit],
-            platform,
-            lambda hits: self._finish_compare_equal(cache_key, hits),
-            adaptive=self._make_adaptive(
-                lambda future: self._ballot_confidence(
-                    future.hits[0], lambda a: bool(a.answer)
-                )
-            ),
-        )
+        try:
+            return self._issue(
+                "eq",
+                key,
+                [hit],
+                platform,
+                lambda hits: self._finish_compare_equal(cache_key, hits),
+                adaptive=self._make_adaptive(
+                    lambda future: self._ballot_confidence(
+                        future.hits[0], lambda a: bool(a.answer)
+                    )
+                ),
+            )
+        except CircuitOpenError as error:
+            self._park_entry(
+                {
+                    "kind": "eq",
+                    "left": _encode_parked(left),
+                    "right": _encode_parked(right),
+                    "question": question,
+                    "platform": platform,
+                },
+                key=key,
+            )
+            raise error
 
     def _finish_compare_equal(self, cache_key: tuple, hits: list[HIT]) -> bool:
         (hit,) = hits
@@ -1074,6 +1350,7 @@ class TaskManager:
         platform: Optional[str] = None,
     ) -> CrowdFuture:
         """Post (or reuse) a CROWDORDER ballot; never advances the clock."""
+        self._maybe_replay()
         left_key = normalize_answer(left)
         right_key = normalize_answer(right)
         key = ("ord", question, left_key, right_key, self._platform_key(platform))
@@ -1105,20 +1382,33 @@ class TaskManager:
             template, {"left": left, "right": right}
         )
         hit = self._make_hit(task, form_html)
-        return self._issue(
-            "ord",
-            key,
-            [hit],
-            platform,
-            lambda hits: self._finish_compare_order(cache_key, hits),
-            adaptive=self._make_adaptive(
-                lambda future: self._ballot_confidence(
-                    future.hits[0],
-                    lambda a: a.answer,
-                    accept=lambda a: a.answer in ("left", "right"),
-                )
-            ),
-        )
+        try:
+            return self._issue(
+                "ord",
+                key,
+                [hit],
+                platform,
+                lambda hits: self._finish_compare_order(cache_key, hits),
+                adaptive=self._make_adaptive(
+                    lambda future: self._ballot_confidence(
+                        future.hits[0],
+                        lambda a: a.answer,
+                        accept=lambda a: a.answer in ("left", "right"),
+                    )
+                ),
+            )
+        except CircuitOpenError as error:
+            self._park_entry(
+                {
+                    "kind": "ord",
+                    "left": _encode_parked(left),
+                    "right": _encode_parked(right),
+                    "question": question,
+                    "platform": platform,
+                },
+                key=key,
+            )
+            raise error
 
     def _finish_compare_order(self, cache_key: tuple, hits: list[HIT]) -> bool:
         (hit,) = hits
@@ -1369,13 +1659,19 @@ class TaskManager:
         self._maybe_inject_gold(platform, len(hits))
         return future
 
-    def wait(self, future: CrowdFuture) -> None:
+    def wait(self, future: CrowdFuture, until: Optional[float] = None) -> None:
         """Serial path: advance the platform clock until the future is
         done (or its deadline passes), then settle it.
 
         An adaptive future may *extend* its HITs when polled (see
         :meth:`CrowdFuture.ready`), so the wait loops over marketplace
         rounds until the verdict is confident, capped, or out of time.
+
+        ``until`` is a statement guard's absolute sim-time cap: when the
+        *cap* (not the future's own HIT deadline) ends the wait, the
+        future is left **unsettled** and registered in the task pool —
+        the statement degrades to a partial result and a later retry of
+        the same predicate reuses the still-running HITs for free.
         """
         target = future.mirror_of if future.mirror_of is not None else future
         while not target.settled and not target.ready():
@@ -1383,19 +1679,33 @@ class TaskManager:
             remaining = target.timeout_seconds
             if clock is not None:
                 remaining = max(0.0, target.deadline - clock.now)
+                if until is not None:
+                    remaining = min(remaining, max(0.0, until - clock.now))
             self.stats.marketplace_rounds += 1
             met = target.platform.run_until(target.ready, remaining)
             if not met and clock is not None:
+                if (
+                    until is not None
+                    and clock.now >= until
+                    and not target.past_deadline()
+                ):
+                    return  # guard cap hit first: leave it running
                 break  # deadline reached with work still open
         self.settle(future)
 
-    def wait_many(self, futures: list[CrowdFuture]) -> None:
+    def wait_many(
+        self, futures: list[CrowdFuture], until: Optional[float] = None
+    ) -> None:
         """Serial path for a batch: every HIT of the set is already in the
         marketplace, so advance each platform's clock until the whole set
         is done (or past its deadlines), then settle all — the batch pays
         overlapped rounds instead of ``len(futures)`` sequential ones.
         Adaptive members re-enter the marketplace round-by-round as their
-        ``ready()`` polls extend under-confident HITs."""
+        ``ready()`` polls extend under-confident HITs.
+
+        ``until`` caps the wait at a statement guard's deadline; see
+        :meth:`wait`.  Members ready by then settle, the rest stay live
+        in the task pool."""
         pending: list[CrowdFuture] = []
         seen: set[int] = set()
         for future in futures:
@@ -1422,12 +1732,23 @@ class TaskManager:
                     timeout = max(
                         0.0, max(f.deadline for f in group) - clock.now
                     )
+                    if until is not None:
+                        timeout = min(timeout, max(0.0, until - clock.now))
                 else:
                     timeout = max(f.timeout_seconds for f in group)
                 self.stats.marketplace_rounds += 1
                 met = platform.run_until(all_ready, timeout)
                 if not met and clock is not None:
-                    break  # deadlines reached with work still open
+                    break  # deadlines (or the guard cap) reached
+        if until is not None:
+            # Settle only what finished; leave the rest live for reuse.
+            for future in futures:
+                target = (
+                    future.mirror_of if future.mirror_of is not None else future
+                )
+                if target.settled or target.ready() or target.past_deadline():
+                    self.settle(future)
+            return
         self.settle_many(futures)
 
     def settle_many(self, futures: list[CrowdFuture]) -> None:
@@ -1512,6 +1833,13 @@ class TaskManager:
             )
         if self.task_pool is not None:
             self.task_pool.forget(future)
+        # the same work may sit parked in the retry queue (refused by an
+        # open breaker, then reissued by a retried statement): now that
+        # it settled, replaying the parked copy would buy it again
+        if future.key is not None and len(self.retry_queue):
+            stale = self.retry_queue.discard(_key_signature(future.key))
+            if stale:
+                self.stats.bump("breaker_parked_superseded", stale)
         self._sweep_gold()
         return future._value
 
@@ -1629,3 +1957,53 @@ def _is_near_duplicate(key: tuple, known: set) -> bool:
     if key in known:
         return True
     return any(_keys_similar(key, stored) for stored in known)
+
+
+# -- retry-queue value codec ---------------------------------------------------
+#
+# Parked issue descriptors must be JSON lines (the queue is durable), but
+# crowd values include the NULL/CNULL singletons.  Same tagged-dict scheme
+# as the WAL codec; duplicated here so crowd/ stays import-independent of
+# storage/.
+
+
+def _encode_parked(value: Any) -> Any:
+    """JSON-safe encoding of one parked crowd value."""
+    if value is NULL or value is None:
+        return {"$": "null"}
+    if value is CNULL:
+        return {"$": "cnull"}
+    return value
+
+
+def _decode_parked(value: Any) -> Any:
+    if isinstance(value, dict):
+        tag = value.get("$")
+        if tag == "null":
+            return NULL
+        if tag == "cnull":
+            return CNULL
+    return value
+
+
+def _key_signature(key: tuple) -> str:
+    """Canonical string form of a task-pool key, stamped on parked retry
+    entries so a settle of the same work can discard them."""
+
+    def encode(value: Any) -> Any:
+        if isinstance(value, (tuple, list, frozenset, set)):
+            items = [encode(v) for v in value]
+            if isinstance(value, (frozenset, set)):
+                items.sort(key=repr)
+            return items
+        return _encode_parked(value)
+
+    return json.dumps(encode(key), sort_keys=True, default=repr)
+
+
+def _encode_parked_row(values: Any) -> list:
+    return [_encode_parked(v) for v in values]
+
+
+def _decode_parked_row(values: Any) -> tuple:
+    return tuple(_decode_parked(v) for v in values)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from repro.errors import ExecutionError
+from repro.errors import CircuitOpenError, ExecutionError, PartialResultStop
 from repro.plan.expressions import Evaluator
 from repro.sql import ast
 from repro.sqltypes import NULL
@@ -95,11 +95,16 @@ class ExecutionContext:
         ordered_conjuncts: bool = True,
         crowd_ledger: Optional[CrowdLedger] = None,
         electronic_pool: Optional[Any] = None,
+        guard: Optional[Any] = None,  # StatementGuard, deadline/budget caps
     ) -> None:
         self.engine = engine
         self.task_manager = task_manager
         self.parameters = parameters
         self.platform = platform
+        # per-statement deadline/budget guard: checked at every crowd
+        # boundary; a trip raises PartialResultStop, which the executor
+        # converts into a status="partial" result
+        self.guard = guard
         self._subquery_executor = subquery_executor
         self.crowd_waiter = crowd_waiter
         self.compile_expressions = compile_expressions
@@ -225,26 +230,55 @@ class ExecutionContext:
             return 1
         return max(1, getattr(self.task_manager.config, "batch_size", 1))
 
+    def _guard_check(self) -> None:
+        if self.guard is not None:
+            self.guard.check()
+
+    def _crowd_begin(self, issue: Callable[[], Any]) -> Any:
+        """Gate one ``begin_*`` call on the statement guard.
+
+        An open circuit breaker degrades the statement to a partial
+        result when a guard is attached (SELECTs); without one the
+        refusal propagates like any platform error."""
+        self._guard_check()
+        try:
+            return issue()
+        except CircuitOpenError as error:
+            if self.guard is None:
+                raise
+            raise self.guard.trip("breaker") from error
+
     def wait_crowd(self, future: Any) -> None:
         """Block until ``future`` is settled.
 
         Serial mode advances the platform's discrete-event clock right
         here; cooperative mode yields the session to the scheduler, which
-        resumes it only once the future has been settled.
+        resumes it only once the future has been settled.  A statement
+        guard caps the wait: on expiry the future stays live in the task
+        pool and the statement unwinds with :class:`PartialResultStop`.
         """
         if self.crowd_ledger is not None:
             self.crowd_ledger.record(future)
         if future.settled:
             return
+        self._guard_check()
         if self.crowd_waiter is not None:
             self.crowd_waiter(future)
             if not future.settled:
+                if self.guard is not None and self.guard.tripped:
+                    raise PartialResultStop(self.guard.reason or "deadline")
                 raise ExecutionError(
                     "cooperative scheduler resumed a session before its "
                     "crowd future settled"
                 )
         else:
-            self.task_manager.wait(future)
+            until = self.guard.deadline_at if self.guard is not None else None
+            if until is None:
+                self.task_manager.wait(future)
+            else:
+                self.task_manager.wait(future, until=until)
+                if not future.settled:
+                    raise self.guard.trip("deadline")
 
     def wait_crowd_many(self, futures: list) -> None:
         """Block until every future of a batch is settled.
@@ -252,6 +286,7 @@ class ExecutionContext:
         Serial mode drives the whole set through one overlapped
         marketplace round; cooperative mode suspends the session on the
         *set*, and the scheduler resumes it once all members settled.
+        A statement guard caps the wait as in :meth:`wait_crowd`.
         """
         if self.crowd_ledger is not None:
             for future in futures:
@@ -259,15 +294,24 @@ class ExecutionContext:
         pending = [f for f in futures if not f.settled]
         if not pending:
             return
+        self._guard_check()
         if self.crowd_waiter is not None:
             self.crowd_waiter(pending if len(pending) > 1 else pending[0])
             if any(not f.settled for f in pending):
+                if self.guard is not None and self.guard.tripped:
+                    raise PartialResultStop(self.guard.reason or "deadline")
                 raise ExecutionError(
                     "cooperative scheduler resumed a session before its "
                     "crowd future set settled"
                 )
         else:
-            self.task_manager.wait_many(pending)
+            until = self.guard.deadline_at if self.guard is not None else None
+            if until is None:
+                self.task_manager.wait_many(pending)
+            else:
+                self.task_manager.wait_many(pending, until=until)
+                if any(not f.settled for f in pending):
+                    raise self.guard.trip("deadline")
 
     def crowd_fill(
         self,
@@ -277,8 +321,11 @@ class ExecutionContext:
         known_values: dict[str, Any],
     ) -> dict[str, Any]:
         """Issue a fill task, yield until answered, return typed values."""
-        future = self.task_manager.begin_fill(
-            schema, primary_key, columns, known_values, platform=self.platform
+        future = self._crowd_begin(
+            lambda: self.task_manager.begin_fill(
+                schema, primary_key, columns, known_values,
+                platform=self.platform,
+            )
         )
         self.wait_crowd(future)
         return future.result()
@@ -291,12 +338,14 @@ class ExecutionContext:
         known_keys: Optional[set] = None,
     ) -> list[dict[str, Any]]:
         """Issue new-tuple tasks, yield until answered, return the tuples."""
-        future = self.task_manager.begin_new_tuples(
-            schema,
-            count,
-            fixed_values=fixed_values,
-            platform=self.platform,
-            known_keys=known_keys,
+        future = self._crowd_begin(
+            lambda: self.task_manager.begin_new_tuples(
+                schema,
+                count,
+                fixed_values=fixed_values,
+                platform=self.platform,
+                known_keys=known_keys,
+            )
         )
         self.wait_crowd(future)
         return future.result()
@@ -306,8 +355,10 @@ class ExecutionContext:
     def crowd_fill_many(self, requests: list[tuple]) -> list[dict[str, Any]]:
         """Issue a window's fill tasks together, settle once, return the
         typed values per request (see ``TaskManager.begin_fill_many``)."""
-        futures = self.task_manager.begin_fill_many(
-            requests, platform=self.platform
+        futures = self._crowd_begin(
+            lambda: self.task_manager.begin_fill_many(
+                requests, platform=self.platform
+            )
         )
         self.wait_crowd_many(futures)
         return [future.result() for future in futures]
@@ -319,12 +370,15 @@ class ExecutionContext:
         fixed_values, known_keys)`` each) up front, settle the set once,
         and return the sourced tuples per request."""
         futures = [
-            self.task_manager.begin_new_tuples(
-                schema,
-                count,
-                fixed_values=fixed_values,
-                platform=self.platform,
-                known_keys=known_keys,
+            self._crowd_begin(
+                lambda schema=schema, count=count, fixed_values=fixed_values,
+                known_keys=known_keys: self.task_manager.begin_new_tuples(
+                    schema,
+                    count,
+                    fixed_values=fixed_values,
+                    platform=self.platform,
+                    known_keys=known_keys,
+                )
             )
             for schema, count, fixed_values, known_keys in specs
         ]
@@ -346,8 +400,11 @@ class ExecutionContext:
                 continue  # one ballot answers both orientations
             seen.add((left_key, right_key))
             futures.append(
-                self.task_manager.begin_compare_equal(
-                    left, right, question, platform=self.platform
+                self._crowd_begin(
+                    lambda left=left, right=right, question=question:
+                    self.task_manager.begin_compare_equal(
+                        left, right, question, platform=self.platform
+                    )
                 )
             )
         self.wait_crowd_many(futures)
@@ -369,8 +426,11 @@ class ExecutionContext:
                 continue  # mirrored ballots share one HIT
             seen.add((question, left_key, right_key))
             futures.append(
-                self.task_manager.begin_compare_order(
-                    left, right, question, platform=self.platform
+                self._crowd_begin(
+                    lambda left=left, right=right, question=question:
+                    self.task_manager.begin_compare_order(
+                        left, right, question, platform=self.platform
+                    )
                 )
             )
         self.wait_crowd_many(futures)
@@ -383,8 +443,10 @@ class ExecutionContext:
                 "query needs CROWDEQUAL but no crowd platform is configured"
             )
         self.crowd_compare_tasks += 1
-        future = self.task_manager.begin_compare_equal(
-            left, right, question, platform=self.platform
+        future = self._crowd_begin(
+            lambda: self.task_manager.begin_compare_equal(
+                left, right, question, platform=self.platform
+            )
         )
         self.wait_crowd(future)
         return future.result()
@@ -395,8 +457,10 @@ class ExecutionContext:
                 "query needs CROWDORDER but no crowd platform is configured"
             )
         self.crowd_compare_tasks += 1
-        future = self.task_manager.begin_compare_order(
-            left, right, question, platform=self.platform
+        future = self._crowd_begin(
+            lambda: self.task_manager.begin_compare_order(
+                left, right, question, platform=self.platform
+            )
         )
         self.wait_crowd(future)
         return future.result()

@@ -16,8 +16,9 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro.catalog.ddl import build_table_schema
 from repro.engine.context import CrowdLedger, ExecutionContext
+from repro.engine.guard import StatementGuard
 from repro.engine.planner import PhysicalPlanner
-from repro.errors import ExecutionError, PlanError
+from repro.errors import ExecutionError, PartialResultStop, PlanError
 from repro.obs import QueryProfiler, render_analyze
 from repro.optimizer.optimizer import OptimizationResult, Optimizer
 from repro.plan.builder import PlanBuilder
@@ -82,6 +83,12 @@ class ResultSet:
     # quality/cost deltas (assignments paid, cents, adaptive HIT
     # extensions, gold probes, mean verdict confidence)
     crowd_stats: dict[str, float] = field(default_factory=dict)
+    # "complete", or "partial" when a statement guard (deadline/budget
+    # cap or an open platform breaker) stopped the statement early; the
+    # rows are everything settled before the trip
+    status: str = "complete"
+    # structured trip reason when partial: deadline | budget | breaker
+    partial_reason: Optional[str] = None
 
     def __iter__(self):
         return iter(self.rows)
@@ -177,6 +184,15 @@ class Executor:
         # _run_compiled, inherited by correlated subqueries through
         # _make_context so their spend attributes to the outer statement
         self._active_ledger: Optional[CrowdLedger] = None
+        # deadline/budget guard for the statement currently running,
+        # mirrored into the context the same way the ledger is; the
+        # scheduler reads it (via Session.active_guard) to cap how far
+        # the marketplace clock may advance
+        self._active_guard: Optional[StatementGuard] = None
+        # caps requested by an ast.Guarded wrapper (WITH DEADLINE/BUDGET)
+        self._guard_request: Optional[tuple] = None
+        # caps carried on the wire per submission (Session.submit)
+        self.guard_overrides: tuple = (None, None)
         self.builder = PlanBuilder(engine.catalog)
         # issue/yield/resume hook: the concurrent query server installs a
         # callback here so crowd waits suspend the session instead of
@@ -214,6 +230,16 @@ class Executor:
         return result
 
     def _dispatch(self, stmt: ast.Statement, parameters: tuple) -> ResultSet:
+        if isinstance(stmt, ast.Guarded):
+            # peel the caps off and run the inner statement under them;
+            # the plan cache keys on the inner AST, so the same query
+            # with different caps shares one plan
+            previous = self._guard_request
+            self._guard_request = (stmt.deadline_ms, stmt.budget_cents)
+            try:
+                return self._dispatch(stmt.statement, parameters)
+            finally:
+                self._guard_request = previous
         if isinstance(stmt, (ast.Select, ast.SetOp)):
             return self._execute_select(stmt, parameters)
         if isinstance(stmt, ast.CreateTable):
@@ -304,7 +330,9 @@ class Executor:
         self, stmt: ast.Statement, parameters: tuple
     ) -> ResultSet:
         compiled = self.compile_select(stmt)
-        columns, rows, crowd_stats = self._run_compiled(compiled, parameters)
+        columns, rows, crowd_stats, partial_reason = self._run_compiled(
+            compiled, parameters
+        )
         return ResultSet(
             columns=columns,
             rows=rows,
@@ -312,24 +340,74 @@ class Executor:
             statement="SELECT",
             plan=compiled,
             crowd_stats=crowd_stats,
+            status="partial" if partial_reason else "complete",
+            partial_reason=partial_reason,
         )
+
+    @property
+    def active_guard(self) -> Optional[StatementGuard]:
+        """The running statement's deadline/budget guard (None between
+        statements or for unguarded ones)."""
+        return self._active_guard
+
+    def _resolve_guard_caps(self) -> tuple:
+        """Effective (deadline_ms, budget_cents): statement syntax wins,
+        then per-submission wire overrides, then ``connect()`` defaults."""
+        deadline_ms, budget_cents = self._guard_request or (None, None)
+        override_deadline, override_budget = self.guard_overrides
+        if deadline_ms is None:
+            deadline_ms = override_deadline
+        if budget_cents is None:
+            budget_cents = override_budget
+        config = getattr(self.task_manager, "config", None)
+        if config is not None:
+            if deadline_ms is None:
+                deadline_ms = getattr(config, "statement_deadline_ms", None)
+            if budget_cents is None:
+                budget_cents = getattr(config, "statement_budget_cents", None)
+        return deadline_ms, budget_cents
+
+    def _note_partial(self, reason: str) -> None:
+        manager = self.task_manager
+        if manager is None:
+            return
+        manager.stats.bump("partial_results")
+        manager.stats.bump(f"partial_{reason}")
+        if manager.tracer is not None:
+            manager.tracer.emit("statement.partial", reason=reason)
 
     def _run_compiled(
         self,
         compiled: OptimizationResult,
         parameters: tuple,
         profiler: Optional[QueryProfiler] = None,
-    ) -> tuple[list[str], list[tuple], dict[str, float]]:
+    ) -> tuple[list[str], list[tuple], dict[str, float], Optional[str]]:
         """Run one compiled query under a fresh per-statement crowd
         ledger, so concurrent sessions sharing the Task Manager report
         only their own spend.  Correlated subqueries executed while
         iterating inherit the ledger (their spend belongs to this
         statement); a nested top-level run (INSERT ... SELECT) saves and
-        restores it."""
+        restores it.
+
+        A :class:`StatementGuard` runs alongside the ledger; when it
+        trips mid-iteration the rows produced so far are kept and the
+        trip reason is returned (fourth element, None when complete).
+        """
         previous = self._active_ledger
+        previous_guard = self._active_guard
         self._active_ledger = (
             CrowdLedger() if self.task_manager is not None else None
         )
+        guard = None
+        if self.task_manager is not None:
+            deadline_ms, budget_cents = self._resolve_guard_caps()
+            guard = StatementGuard(
+                deadline_ms,
+                budget_cents,
+                now_fn=self._sim_clock(),
+                ledger=self._active_ledger,
+            )
+        self._active_guard = guard
         try:
             context = self._make_context(parameters)
             operator = PhysicalPlanner(
@@ -337,7 +415,14 @@ class Executor:
                 profiler=profiler,
                 bindings=getattr(compiled, "bindings", None) or None,
             ).plan(compiled.plan)
-            rows = list(operator)
+            partial_reason: Optional[str] = None
+            rows: list[tuple] = []
+            try:
+                for row in operator:
+                    rows.append(row)
+            except PartialResultStop as stop:
+                partial_reason = stop.reason
+                self._note_partial(stop.reason)
             columns = [entry[1] for entry in operator.scope.entries]
             crowd_stats = {
                 "probe_tasks": context.crowd_probe_tasks,
@@ -346,14 +431,17 @@ class Executor:
                 "rows_scanned": context.rows_scanned,
             }
             crowd_stats.update(context.crowd_quality_stats())
-            return columns, rows, crowd_stats
+            return columns, rows, crowd_stats, partial_reason
         finally:
             self._active_ledger = previous
+            self._active_guard = previous_guard
 
     def _execute_explain(
         self, stmt: ast.Explain, parameters: tuple = ()
     ) -> ResultSet:
         inner = stmt.statement
+        if isinstance(inner, ast.Guarded):
+            inner = inner.statement  # EXPLAIN shows the plan; caps don't apply
         if not isinstance(inner, (ast.Select, ast.SetOp)):
             raise ExecutionError("EXPLAIN supports SELECT statements only")
         compiled = self.compile_select(inner)
@@ -382,7 +470,7 @@ class Executor:
             sim_clock=self._sim_clock(),
         )
         started = perf_counter()
-        _columns, _rows, crowd_stats = self._run_compiled(
+        _columns, _rows, crowd_stats, _partial = self._run_compiled(
             compiled, parameters, profiler=profiler
         )
         total_seconds = perf_counter() - started
@@ -544,6 +632,7 @@ class Executor:
             subquery_executor=self._run_subquery,
             crowd_waiter=self.crowd_waiter,
             crowd_ledger=self._active_ledger,
+            guard=self._active_guard,
             compile_expressions=getattr(
                 self.optimizer, "compile_expressions", True
             ),

@@ -87,6 +87,16 @@ class BudgetExceededError(CrowdPlatformError):
     produced the required answers."""
 
 
+class CircuitOpenError(TransientPlatformError):
+    """The circuit breaker guarding a crowd platform is open: recent
+    calls failed (or crawled) often enough that further attempts are
+    refused immediately instead of burning retries against a sick
+    marketplace.  Pending HIT issues are parked in the Task Manager's
+    retry queue; statements degrade to partial results rather than
+    failing.  Subclasses :class:`TransientPlatformError` because the
+    condition clears on its own once the platform recovers."""
+
+
 class TaskTimeoutError(CrowdPlatformError):
     """The crowd did not complete the required assignments before the
     configured deadline."""
@@ -104,8 +114,61 @@ class StatementCancelled(ExecutionError):
     error paths — no half-settled futures, no mid-transaction WAL state."""
 
 
+class PartialResultStop(CrowdDBError):
+    """Control-flow stop raised at a crowd yield point when a statement
+    guard trips (deadline expired, budget cap reached, or the platform
+    breaker opened).  The executor catches it, keeps the rows settled so
+    far, and returns a :class:`~repro.engine.executor.ResultSet` tagged
+    ``status="partial"`` with the structured ``reason`` — the statement
+    degrades instead of failing.  Escapes to the caller only for DML,
+    where partial application would be unsound."""
+
+    def __init__(self, reason: str, message: str = "") -> None:
+        self.reason = reason
+        super().__init__(message or f"statement stopped early: {reason}")
+
+
 class NetworkProtocolError(CrowdDBError):
     """A malformed, oversized, or out-of-sequence wire-protocol frame."""
+
+
+class ConnectionLostError(NetworkProtocolError):
+    """The TCP connection to the server was lost mid-``execute()``.
+
+    The server detaches (does not cancel) the session, so the statement
+    keeps running and its result pages are buffered.  This error carries
+    everything needed to pick the statement back up with
+    ``connect_tcp(resume=token, ...)`` followed by
+    ``NetClient.resume_execute(error)``: the durable session ``token``,
+    the in-flight ``statement_id`` and its SQL, the highest frame
+    sequence acknowledged (``have``), and the partial pages already
+    received (replayed pages are deduplicated by sequence number, so
+    resuming never yields a duplicate row)."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        token: str = "",
+        statement_id: int = 0,
+        sql: str = "",
+        have: int = 0,
+        columns=None,
+        rows=None,
+        pages_seen=None,
+        deadline_ms=None,
+        budget_cents=None,
+    ) -> None:
+        super().__init__(message)
+        self.token = token
+        self.statement_id = statement_id
+        self.sql = sql
+        self.have = have
+        self.columns = list(columns) if columns else []
+        self.rows = list(rows) if rows else []
+        self.pages_seen = set(pages_seen) if pages_seen else set()
+        self.deadline_ms = deadline_ms
+        self.budget_cents = budget_cents
 
 
 class RemoteError(ExecutionError):

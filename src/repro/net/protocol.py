@@ -6,17 +6,28 @@ request/response per statement, with one asynchronous exception —
 ``cancel`` may arrive while a statement is executing:
 
 client → server
-    ``hello``      {client, version}            — must be first
-    ``statement``  {id, sql}                    — one script to run
+    ``hello``      {client, version[, resume, have]} — must be first;
+                   ``resume`` reattaches a detached session by token,
+                   ``have`` is the highest frame sequence the client
+                   fully processed (the server replays everything after)
+    ``statement``  {id, sql[, deadline_ms, budget_cents]} — one script
     ``cancel``     {id}                         — abort that statement
+    ``ack``        {fseq}                       — frames ≤ fseq arrived
     ``goodbye``    {}                           — clean disconnect
 
 server → client
-    ``welcome``      {server, version, session}
-    ``result_page``  {id, seq, columns, rows, last}
-    ``done``         {id, rowcount, statement, stats, pages}
-    ``error``        {id, message, error_type, traceback, code}
+    ``welcome``      {server, version, session, token, replayed}
+    ``result_page``  {id, seq, columns, rows, last, fseq}
+    ``done``         {id, rowcount, statement, stats, pages, status,
+                      reason, fseq}
+    ``error``        {id, message, error_type, traceback, code[, fseq]}
     ``goodbye``      {}
+
+Frames that belong to a statement's result stream carry a per-session
+``fseq`` stamp.  The server buffers them until acknowledged; after an
+unclean disconnect the session *detaches* (the statement keeps running)
+and a reconnect with ``resume``/``have`` replays exactly the unseen
+suffix — result delivery is exactly-once across connection drops.
 
 Result rows page out in bounded chunks (:data:`PAGE_ROWS`) so a large
 result neither builds one giant frame nor stalls the writer; ``done``
@@ -164,25 +175,51 @@ def _recv_exact(sock, count: int, eof_ok: bool = False) -> Optional[bytes]:
 # -- frame builders -----------------------------------------------------------
 
 
-def hello_frame(client: str = "repro") -> dict:
-    return {"type": "hello", "client": client, "version": PROTOCOL_VERSION}
+def hello_frame(
+    client: str = "repro",
+    resume: Optional[str] = None,
+    have: int = -1,
+) -> dict:
+    frame = {"type": "hello", "client": client, "version": PROTOCOL_VERSION}
+    if resume is not None:
+        frame["resume"] = resume
+        frame["have"] = have
+    return frame
 
 
-def welcome_frame(session_id: int) -> dict:
+def welcome_frame(
+    session_id: int, token: str = "", replayed: int = 0
+) -> dict:
     return {
         "type": "welcome",
         "server": "crowddb-repro",
         "version": PROTOCOL_VERSION,
         "session": session_id,
+        "token": token,
+        "replayed": replayed,
     }
 
 
-def statement_frame(statement_id: int, sql: str) -> dict:
-    return {"type": "statement", "id": statement_id, "sql": sql}
+def statement_frame(
+    statement_id: int,
+    sql: str,
+    deadline_ms: Optional[int] = None,
+    budget_cents: Optional[int] = None,
+) -> dict:
+    frame = {"type": "statement", "id": statement_id, "sql": sql}
+    if deadline_ms is not None:
+        frame["deadline_ms"] = int(deadline_ms)
+    if budget_cents is not None:
+        frame["budget_cents"] = int(budget_cents)
+    return frame
 
 
 def cancel_frame(statement_id: int) -> dict:
     return {"type": "cancel", "id": statement_id}
+
+
+def ack_frame(fseq: int) -> dict:
+    return {"type": "ack", "fseq": fseq}
 
 
 def result_pages(statement_id: int, result: Any) -> list[dict]:
@@ -215,6 +252,8 @@ def result_pages(statement_id: int, result: Any) -> list[dict]:
                 if isinstance(value, (int, float))
             },
             "pages": len(frames),
+            "status": getattr(result, "status", "complete"),
+            "reason": getattr(result, "partial_reason", None),
         }
     )
     return frames

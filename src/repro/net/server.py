@@ -22,8 +22,10 @@ from __future__ import annotations
 
 import asyncio
 import queue
+import secrets
 import threading
-from time import perf_counter
+from collections import deque
+from time import monotonic, perf_counter
 from typing import Any, Optional
 
 from repro.errors import AdmissionError, NetworkProtocolError
@@ -34,21 +36,41 @@ from repro.server.server import Server
 class _Job:
     """One in-flight statement of one connection."""
 
-    __slots__ = ("statement_id", "sql", "start", "started_at")
+    __slots__ = (
+        "statement_id", "sql", "start", "started_at",
+        "deadline_ms", "budget_cents",
+    )
 
-    def __init__(self, statement_id: int, sql: str) -> None:
+    def __init__(
+        self,
+        statement_id: int,
+        sql: str,
+        deadline_ms: Optional[int] = None,
+        budget_cents: Optional[int] = None,
+    ) -> None:
         self.statement_id = statement_id
         self.sql = sql
         self.start = 0  # index into session.results at submit time
         self.started_at = 0.0
+        self.deadline_ms = deadline_ms
+        self.budget_cents = budget_cents
 
 
 class _Connection:
-    """Pump-side state for one TCP connection."""
+    """Pump-side state for one wire session.
+
+    Outlives its TCP socket: an unclean disconnect *detaches* the
+    session (``detached=True``) instead of closing it — the in-flight
+    statement keeps running, result frames accumulate in ``buffer``, and
+    a later connection may reattach by token and replay the unseen
+    suffix.  ``binding`` counts attachments so a hangup posted by a dead
+    socket's handler cannot tear down a session a newer socket owns.
+    """
 
     def __init__(self, conn_id: int, send: Any) -> None:
         self.conn_id = conn_id
         self.send = send  # thread-safe: frame dict -> None
+        self.token = secrets.token_hex(16)
         self.session: Optional[Any] = None
         self.active: Optional[_Job] = None
         self.pending: list[_Job] = []
@@ -56,6 +78,30 @@ class _Connection:
         self.statements = 0
         self.rows_sent = 0
         self.cancels = 0
+        self.binding = 1
+        self.detached = False
+        self.detached_at = 0.0
+        self.fseq = 0  # next result-stream sequence number to stamp
+        self.buffer: deque = deque()  # stamped frames not yet acked
+        self.acked = -1
+        # highest statement id ever submitted: a reconnecting client
+        # resubmits its in-flight statement, which must not run twice
+        self.highest_statement = 0
+        self.throttled = False
+
+    def push(self, frame: dict) -> None:
+        """Send a result-stream frame exactly-once: stamp, buffer until
+        acknowledged, deliver now only if a socket is attached."""
+        frame["fseq"] = self.fseq
+        self.fseq += 1
+        self.buffer.append(frame)
+        if not self.detached:
+            self.send(frame)
+
+    def control(self, frame: dict) -> None:
+        """Best-effort frame outside the exactly-once stream."""
+        if not self.detached:
+            self.send(frame)
 
 
 class EnginePump:
@@ -70,30 +116,84 @@ class EnginePump:
 
     _IDLE_POLL = 0.05
 
-    def __init__(self, server: Server) -> None:
+    def __init__(
+        self,
+        server: Server,
+        page_buffer_frames: int = 256,
+        detach_ttl_seconds: float = 30.0,
+    ) -> None:
         self.server = server
         self.commands: "queue.Queue[tuple]" = queue.Queue()
         self.connections: dict[int, _Connection] = {}
+        self.by_token: dict[str, _Connection] = {}
+        # exactly-once delivery buffer bounds: a detached session may
+        # accumulate at most this many unacked frames before it is
+        # killed; an attached one throttles new statements at the high
+        # watermark and resumes below the low one
+        self._page_buffer_frames = max(8, int(page_buffer_frames))
+        self._buffer_high = max(2, self._page_buffer_frames // 2)
+        self._buffer_low = max(1, self._page_buffer_frames // 4)
+        self._detach_ttl = detach_ttl_seconds
         self._thread = threading.Thread(
             target=self._main, name="crowddb-engine-pump", daemon=True
         )
         self._stopped = threading.Event()
-        self._latency = server.connection.metrics.histogram(
+        metrics = server.connection.metrics
+        self._latency = metrics.histogram(
             "net_statement_seconds",
             help="wall-clock statement latency over the wire protocol",
         )
-        self._statements = server.connection.metrics.counter(
+        self._statements = metrics.counter(
             "net_statements_total",
             help="statements executed for network clients",
         )
-        self._cancels = server.connection.metrics.counter(
+        self._cancels = metrics.counter(
             "net_cancels_total",
             help="cancel frames honored for network clients",
         )
-        server.connection.metrics.register_view(
+        self._detaches = metrics.counter(
+            "net_detaches_total",
+            help="unclean disconnects that detached a live session",
+        )
+        self._resumes = metrics.counter(
+            "net_resumes_total",
+            help="sessions reattached by resume token",
+        )
+        self._resume_failures = metrics.counter(
+            "net_resume_failures_total",
+            help="resume attempts with an unknown or expired token",
+        )
+        self._replayed = metrics.counter(
+            "net_replayed_frames_total",
+            help="buffered frames replayed to reattached clients",
+        )
+        self._detach_expired = metrics.counter(
+            "net_detach_expired_total",
+            help="detached sessions reaped after the reattach TTL",
+        )
+        self._detach_overflow = metrics.counter(
+            "net_detach_overflow_total",
+            help="detached sessions killed for exceeding the page buffer",
+        )
+        self._throttles = metrics.counter(
+            "net_backpressure_throttles_total",
+            help="connections paused at the outgoing-buffer high watermark",
+        )
+        self._duplicates = metrics.counter(
+            "net_duplicate_statements_total",
+            help="resubmitted statement ids dropped by idempotent dedup",
+        )
+        metrics.register_view(
             "net_connections_open",
             lambda: len(self.connections),
             help="TCP connections currently mapped to sessions",
+        )
+        metrics.register_view(
+            "net_connections_detached",
+            lambda: sum(
+                1 for c in self.connections.values() if c.detached
+            ),
+            help="sessions running detached, awaiting reattach",
         )
 
     # -- lifecycle (any thread) ---------------------------------------------
@@ -136,6 +236,7 @@ class EnginePump:
                     command = self.commands.get_nowait()
             except queue.Empty:
                 pass
+            self._reap_detached()
             if self._busy():
                 sessions = [
                     c.session
@@ -172,11 +273,23 @@ class EnginePump:
                 conn.closing = True
                 return
             self.connections[conn.conn_id] = conn
-            conn.send(protocol.welcome_frame(conn.session.session_id))
+            self.by_token[conn.token] = conn
+            conn.send(
+                protocol.welcome_frame(
+                    conn.session.session_id, token=conn.token
+                )
+            )
         elif kind == "statement":
             _, conn, job = command
             if conn.session is None or conn.closing:
                 return
+            if job.statement_id <= conn.highest_statement:
+                # a reconnecting client resubmitted its in-flight
+                # statement: it is already running (or its frames are
+                # buffered) — never spend crowd money on it twice
+                self._duplicates.inc()
+                return
+            conn.highest_statement = job.statement_id
             conn.pending.append(job)
             self._pump_connection(conn)
         elif kind == "cancel":
@@ -190,14 +303,105 @@ class EnginePump:
                 conn.session.cancel()
                 conn.cancels += 1
                 self._cancels.inc()
+        elif kind == "ack":
+            _, conn, fseq = command
+            if fseq > conn.acked:
+                conn.acked = fseq
+                while conn.buffer and conn.buffer[0]["fseq"] <= fseq:
+                    conn.buffer.popleft()
+                self._maybe_unthrottle(conn)
+        elif kind == "hangup":
+            _, conn, binding = command
+            self._hangup(conn, binding)
+        elif kind == "resume":
+            _, token, have, send, resolve = command
+            self._resume(token, have, send, resolve)
         elif kind == "close":
             _, conn = command
             self._close_connection(conn)
+
+    def _hangup(self, conn: _Connection, binding: int) -> None:
+        """The socket died without a goodbye: detach, don't cancel."""
+        if conn.closing or conn.binding != binding:
+            return  # a newer attachment already took the session over
+        if conn.session is None:
+            self._close_connection(conn)
+            return
+        conn.detached = True
+        conn.detached_at = monotonic()
+        self._detaches.inc()
+        if len(conn.buffer) > self._page_buffer_frames:
+            # already holding more unacked frames than a detached session
+            # may buffer: kill now instead of waiting for the next flush
+            self._detach_overflow.inc()
+            self._close_connection(conn)
+
+    def _resume(
+        self, token: str, have: int, send: Any, resolve: Any
+    ) -> None:
+        """Reattach a detached session: swap in the new socket's sender,
+        drop frames the client already processed, replay the rest."""
+        conn = self.by_token.get(token)
+        if conn is None or conn.closing or conn.session is None:
+            self._resume_failures.inc()
+            resolve(None)
+            return
+        conn.binding += 1
+        conn.send = send
+        conn.detached = False
+        conn.detached_at = 0.0
+        if have > conn.acked:
+            conn.acked = have
+        while conn.buffer and conn.buffer[0]["fseq"] <= have:
+            conn.buffer.popleft()
+        self._resumes.inc()
+        resolve(conn)
+        conn.send(
+            protocol.welcome_frame(
+                conn.session.session_id,
+                token=conn.token,
+                replayed=len(conn.buffer),
+            )
+        )
+        for frame in conn.buffer:
+            conn.send(frame)
+        self._replayed.inc(len(conn.buffer))
+        self._maybe_unthrottle(conn)
+
+    def _reap_detached(self) -> None:
+        """Kill detached sessions nobody reattached within the TTL."""
+        if not self.connections:
+            return
+        now = monotonic()
+        for conn in list(self.connections.values()):
+            if (
+                conn.detached
+                and now - conn.detached_at > self._detach_ttl
+            ):
+                self._detach_expired.inc()
+                self._close_connection(conn)
+
+    def _maybe_throttle(self, conn: _Connection) -> None:
+        """Backpressure: past the high watermark, stop starting new
+        statements and hand the admission slot back to the waitlist."""
+        if conn.throttled or len(conn.buffer) < self._buffer_high:
+            return
+        conn.throttled = True
+        self._throttles.inc()
+        if conn.session is not None and conn.active is None:
+            self.server.admission.release(conn.session)
+
+    def _maybe_unthrottle(self, conn: _Connection) -> None:
+        if conn.throttled and len(conn.buffer) <= self._buffer_low:
+            conn.throttled = False
+            self._pump_connection(conn)
 
     def _pump_connection(self, conn: _Connection) -> None:
         """Start the next pending statement if none is active."""
         if conn.active is not None or not conn.pending or conn.session is None:
             return
+        if conn.throttled:
+            return  # unacked output past the high watermark: wait
         job = conn.pending.pop(0)
         job.start = len(conn.session.results)
         job.started_at = perf_counter()
@@ -207,10 +411,14 @@ class EnginePump:
             # waitlist; take it back (or rejoin the waitlist) before the
             # scheduler is asked to run the statement
             self.server.admission.request(conn.session)
-            conn.session.submit(job.sql)
+            conn.session.submit(
+                job.sql,
+                deadline_ms=job.deadline_ms,
+                budget_cents=job.budget_cents,
+            )
         except Exception as error:  # session closed / server full
             conn.active = None
-            conn.send(protocol.error_frame(job.statement_id, error))
+            conn.push(protocol.error_frame(job.statement_id, error))
 
     def _flush_finished(self) -> None:
         """Reply to every connection whose active statement completed."""
@@ -231,7 +439,7 @@ class EnginePump:
                 (r for r in outcome if isinstance(r, Exception)), None
             )
             if error is not None or not outcome:
-                conn.send(
+                conn.push(
                     protocol.error_frame(
                         job.statement_id,
                         error
@@ -244,10 +452,20 @@ class EnginePump:
                 frames = protocol.result_pages(job.statement_id, last)
                 frames[-1]["results"] = len(outcome)
                 for frame in frames:
-                    conn.send(frame)
+                    conn.push(frame)
                 conn.rows_sent += len(last.rows)
                 conn.statements += len(outcome)
                 self._statements.inc(len(outcome))
+            self._maybe_throttle(conn)
+            if (
+                conn.detached
+                and len(conn.buffer) > self._page_buffer_frames
+            ):
+                # nobody is reading and the exactly-once buffer is full:
+                # the session is beyond saving — kill it
+                self._detach_overflow.inc()
+                self._close_connection(conn)
+                continue
             self._pump_connection(conn)
 
     def _scheduler_failed(self, error: Exception) -> None:
@@ -257,14 +475,15 @@ class EnginePump:
             job = conn.active
             if job is not None:
                 conn.active = None
-                conn.send(protocol.error_frame(job.statement_id, error))
+                conn.push(protocol.error_frame(job.statement_id, error))
             for pending in conn.pending:
-                conn.send(protocol.error_frame(pending.statement_id, error))
+                conn.push(protocol.error_frame(pending.statement_id, error))
             conn.pending.clear()
 
     def _close_connection(self, conn: _Connection) -> None:
         conn.closing = True
         self.connections.pop(conn.conn_id, None)
+        self.by_token.pop(conn.token, None)
         if conn.session is not None:
             try:
                 self.server.close_session(conn.session)
@@ -287,12 +506,18 @@ class NetworkServer:
         host: str = "127.0.0.1",
         port: int = 0,
         own_server: bool = False,
+        page_buffer_frames: int = 256,
+        detach_ttl_seconds: float = 30.0,
     ) -> None:
         self.server = server
         self.host = host
         self.port = port
         self.own_server = own_server
-        self.pump = EnginePump(server)
+        self.pump = EnginePump(
+            server,
+            page_buffer_frames=page_buffer_frames,
+            detach_ttl_seconds=detach_ttl_seconds,
+        )
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._loop_thread: Optional[threading.Thread] = None
         self._listener: Optional[asyncio.AbstractServer] = None
@@ -388,40 +613,103 @@ class NetworkServer:
             # called from the pump thread; hop onto the loop
             loop.call_soon_threadsafe(outbox.put_nowait, frame)
 
-        conn = _Connection(next(self._conn_ids), send)
+        conn: Optional[_Connection] = None
+        binding = 0
+        clean = False
         writer_task = asyncio.ensure_future(self._writer(outbox, writer))
         try:
             frame = await self._read_frame(reader)
             if frame is None or frame.get("type") != "hello":
                 raise NetworkProtocolError("expected a hello frame first")
-            self.pump.post(("open", conn))
+            token = frame.get("resume")
+            if token:
+                # reattach: the pump resolves the token to the detached
+                # connection (or None) and replays unacked frames
+                resumed = loop.create_future()
+
+                def resolve(value: Optional[_Connection]) -> None:
+                    loop.call_soon_threadsafe(
+                        lambda: (
+                            resumed.set_result(value)
+                            if not resumed.done()
+                            else None
+                        )
+                    )
+
+                self.pump.post(
+                    (
+                        "resume",
+                        str(token),
+                        int(frame.get("have", -1)),
+                        send,
+                        resolve,
+                    )
+                )
+                conn = await resumed
+                if conn is None:
+                    send(
+                        protocol.error_frame(
+                            None,
+                            NetworkProtocolError(
+                                "unknown or expired session token"
+                            ),
+                        )
+                    )
+                    send({"type": "goodbye"})
+                    clean = True
+                    return
+                binding = conn.binding
+            else:
+                conn = _Connection(next(self._conn_ids), send)
+                binding = conn.binding
+                self.pump.post(("open", conn))
             while True:
                 frame = await self._read_frame(reader)
                 if frame is None:
                     break
                 kind = frame.get("type")
                 if kind == "statement":
-                    job = _Job(int(frame.get("id", 0)), str(frame["sql"]))
+                    caps = frame.get("deadline_ms"), frame.get("budget_cents")
+                    job = _Job(
+                        int(frame.get("id", 0)),
+                        str(frame["sql"]),
+                        deadline_ms=(
+                            int(caps[0]) if caps[0] is not None else None
+                        ),
+                        budget_cents=(
+                            int(caps[1]) if caps[1] is not None else None
+                        ),
+                    )
                     self.pump.post(("statement", conn, job))
                 elif kind == "cancel":
                     self.pump.post(("cancel", conn, int(frame.get("id", 0))))
+                elif kind == "ack":
+                    self.pump.post(("ack", conn, int(frame.get("fseq", -1))))
                 elif kind == "goodbye":
                     send({"type": "goodbye"})
+                    clean = True
                     break
                 else:
                     raise NetworkProtocolError(f"unexpected frame: {kind!r}")
         except NetworkProtocolError as error:
             send(protocol.error_frame(None, error))
+            clean = True  # protocol violation: no point keeping the session
         except (ConnectionError, asyncio.IncompleteReadError):
-            pass
+            pass  # unclean drop: detach below
         except asyncio.CancelledError:
             # server shutdown drained this connection; exit cleanly so
             # the stream protocol's done-callback sees no exception
-            pass
+            clean = True
         finally:
             if task is not None:
                 self._conn_tasks.discard(task)
-            self.pump.post(("close", conn))
+            if conn is not None:
+                if clean:
+                    self.pump.post(("close", conn))
+                else:
+                    # the socket died mid-conversation: keep the session
+                    # (and its crowd spend) alive for a reattach
+                    self.pump.post(("hangup", conn, binding))
             send(None)  # writer sentinel: flush and exit
             try:
                 await asyncio.shield(writer_task)
@@ -467,6 +755,8 @@ def serve_tcp(
     host: str = "127.0.0.1",
     port: int = 0,
     server: Optional[Server] = None,
+    page_buffer_frames: int = 256,
+    detach_ttl_seconds: float = 30.0,
     **connect_kwargs: Any,
 ) -> NetworkServer:
     """Start serving CrowdDB over TCP; returns the running listener.
@@ -478,4 +768,11 @@ def serve_tcp(
     own = server is None
     if server is None:
         server = Server(**connect_kwargs)
-    return NetworkServer(server, host=host, port=port, own_server=own).start()
+    return NetworkServer(
+        server,
+        host=host,
+        port=port,
+        own_server=own,
+        page_buffer_frames=page_buffer_frames,
+        detach_ttl_seconds=detach_ttl_seconds,
+    ).start()

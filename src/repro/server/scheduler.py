@@ -167,6 +167,21 @@ class CooperativeScheduler:
             return
         if futures and self.task_manager is None:  # pragma: no cover
             raise ExecutionError("sessions wait on crowd but server has none")
+        # statement deadline caps: never advance the marketplace past the
+        # earliest in-flight guard deadline — the guard trips instead and
+        # its session wakes up to return a partial result
+        guard_cap: Optional[float] = None
+        for session in waiting:
+            guard = session.active_guard()
+            if guard is None or guard.tripped:
+                continue
+            remaining = guard.remaining_seconds()
+            if remaining is not None:
+                guard_cap = (
+                    remaining if guard_cap is None
+                    else min(guard_cap, remaining)
+                )
+        deadline_capped = False
         by_platform: dict[str, list] = {}
         for future in futures:
             name = getattr(future.platform, "name", "?")
@@ -185,6 +200,9 @@ class CooperativeScheduler:
                     )
                 else:  # pragma: no cover - clockless platforms are ready()
                     timeout = min(f.timeout_seconds for f in group)
+                if guard_cap is not None and guard_cap < timeout:
+                    timeout = guard_cap
+                    deadline_capped = True
                 # ready() (not hits_closed) so adaptive futures extend
                 # their under-confident HITs mid-advance instead of
                 # settling prematurely or stalling the scheduler
@@ -232,6 +250,11 @@ class CooperativeScheduler:
             )
         self._electronic_stalled_since = None
         if not progressed:
+            if deadline_capped:
+                # the advance was cut short by a statement deadline, not
+                # by a stuck marketplace: the guard has now expired, so
+                # its session becomes runnable and unwinds partial
+                return
             raise ExecutionError(
                 "scheduler stalled: no pending crowd future can make "
                 "progress before its deadline"

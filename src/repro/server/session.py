@@ -58,7 +58,9 @@ class Session:
         self.statements_run = 0
         self.suspensions = 0
         self.busy_seconds = 0.0  # wall time spent executing statements
-        self._statements: deque[str] = deque()
+        # queue entries are (sql, (deadline_ms, budget_cents)) — the caps
+        # become the executor's guard overrides for that submission
+        self._statements: deque[tuple[str, tuple]] = deque()
         self._thread: Optional[threading.Thread] = None
         self._resume = threading.Event()
         self._yielded = threading.Event()
@@ -78,13 +80,22 @@ class Session:
 
     # -- client API ----------------------------------------------------------
 
-    def submit(self, sql: str) -> "Session":
-        """Queue one statement (or ;-separated script) for execution."""
+    def submit(
+        self,
+        sql: str,
+        deadline_ms: Optional[int] = None,
+        budget_cents: Optional[int] = None,
+    ) -> "Session":
+        """Queue one statement (or ;-separated script) for execution.
+
+        ``deadline_ms``/``budget_cents`` cap the submission: when either
+        is hit mid-statement the result degrades to ``status="partial"``
+        instead of blocking forever or overspending."""
         if self.state is SessionState.CLOSED:
             raise ExecutionError(
                 f"session {self.session_id} is closed"
             )
-        self._statements.append(sql)
+        self._statements.append((sql, (deadline_ms, budget_cents)))
         return self
 
     @property
@@ -129,9 +140,26 @@ class Session:
         if self.state is SessionState.WAITING:
             if self._cancel_requested or self._closing:
                 return True  # resume to unwind, futures be damned
+            if self.trip_guard_if_expired():
+                # statement deadline passed on the simulated clock:
+                # resume so the worker unwinds into a partial result —
+                # its unsettled futures stay in the shared task pool
+                return True
             futures = self.waiting_futures()
             return bool(futures) and all(f.settled for f in futures)
         return bool(self._statements)
+
+    def active_guard(self) -> Optional[Any]:
+        """The deadline/budget guard of the in-flight statement, if any."""
+        return getattr(self.executor, "active_guard", None)
+
+    def trip_guard_if_expired(self) -> bool:
+        """Trip (without raising) the in-flight statement's guard when
+        its simulated-clock deadline has passed.  Scheduler-facing."""
+        guard = self.active_guard()
+        if guard is None:
+            return False
+        return guard.trip_if_expired()
 
     def waiting_futures(self) -> tuple:
         """The crowd futures this session is parked on (possibly many —
@@ -198,7 +226,8 @@ class Session:
             self._await_resume()
             while not self._closing:
                 if self._statements:
-                    self._run_one(self._statements.popleft())
+                    sql, caps = self._statements.popleft()
+                    self._run_one(sql, caps)
                     if self._cancel_requested:
                         # cancellation consumes the whole queue: the
                         # client that cancelled does not want the rest
@@ -211,7 +240,7 @@ class Session:
             self.state = SessionState.CLOSED
             self._yielded.set()
 
-    def _run_one(self, sql: str) -> None:
+    def _run_one(self, sql: str, caps: tuple = (None, None)) -> None:
         self.state = SessionState.RUNNING
         try:
             statements = parse_script(sql)
@@ -219,6 +248,16 @@ class Session:
             self.errors.append(error)
             self.results.append(error)
             return
+        # per-submission caps (wire frames / Session.submit kwargs) ride
+        # along as executor guard overrides; an explicit WITH clause in
+        # the statement text still wins over them
+        self.executor.guard_overrides = caps
+        try:
+            self._run_statements(statements)
+        finally:
+            self.executor.guard_overrides = (None, None)
+
+    def _run_statements(self, statements: list) -> None:
         for statement in statements:
             if self._cancel_requested or self._closing:
                 cancelled = StatementCancelled(

@@ -379,6 +379,19 @@ class Analyze(Statement):
     table: Optional[str] = None
 
 
+@dataclass(frozen=True)
+class Guarded(Statement):
+    """``<query> WITH DEADLINE <ms> [BUDGET <cents>]`` — per-statement
+    caps.  The deadline is simulated marketplace milliseconds, the budget
+    crowd cents; when either trips, the statement returns the rows settled
+    so far tagged ``status="partial"`` instead of raising.  The wrapper is
+    transparent to planning: the plan cache keys on the inner statement."""
+
+    statement: Statement
+    deadline_ms: Optional[int] = None
+    budget_cents: Optional[int] = None
+
+
 # ---------------------------------------------------------------------------
 # Traversal helpers
 # ---------------------------------------------------------------------------

@@ -153,16 +153,18 @@ class Parser:
             # no set operator: the tail belongs to the single block
             order_by, limit, offset = self._parse_order_limit_tail()
             assert isinstance(left, ast.Select)
-            return ast.Select(
-                items=left.items,
-                from_clause=left.from_clause,
-                where=left.where,
-                group_by=left.group_by,
-                having=left.having,
-                order_by=order_by,
-                limit=limit,
-                offset=offset,
-                distinct=left.distinct,
+            return self._parse_guard_tail(
+                ast.Select(
+                    items=left.items,
+                    from_clause=left.from_clause,
+                    where=left.where,
+                    group_by=left.group_by,
+                    having=left.having,
+                    order_by=order_by,
+                    limit=limit,
+                    offset=offset,
+                    distinct=left.distinct,
+                )
             )
         while self._at_keyword("UNION", "EXCEPT", "INTERSECT"):
             op = self._advance().upper
@@ -181,7 +183,7 @@ class Parser:
                 limit=limit,
                 offset=offset,
             )
-        return left
+        return self._parse_guard_tail(left)
 
     def _parse_order_limit_tail(
         self,
@@ -200,6 +202,51 @@ class Parser:
         if self._accept(TokenType.KEYWORD, "OFFSET"):
             offset = self._parse_expression()
         return order_by, limit, offset
+
+    def _parse_guard_tail(self, statement: ast.Statement) -> ast.Statement:
+        """``WITH DEADLINE <ms> [BUDGET <cents>]`` (either order, at most
+        once each).  WITH is reserved; DEADLINE/BUDGET stay ordinary
+        identifiers so existing schemas using them as column names keep
+        parsing."""
+        if not self._at_keyword("WITH"):
+            return statement
+        with_token = self._advance()
+        deadline_ms: Optional[int] = None
+        budget_cents: Optional[int] = None
+        matched = False
+        while True:
+            token = self._peek()
+            if token.type is TokenType.IDENTIFIER and token.upper in (
+                "DEADLINE",
+                "BUDGET",
+            ):
+                self._advance()
+                value_token = self._expect(TokenType.NUMBER)
+                value = int(value_token.value)
+                if value < 0:
+                    raise ParseError(
+                        f"{token.upper} must be non-negative",
+                        value_token.line,
+                        value_token.column,
+                    )
+                if token.upper == "DEADLINE":
+                    deadline_ms = value
+                else:
+                    budget_cents = value
+                matched = True
+                continue
+            break
+        if not matched:
+            raise ParseError(
+                "expected DEADLINE or BUDGET after WITH",
+                with_token.line,
+                with_token.column,
+            )
+        return ast.Guarded(
+            statement=statement,
+            deadline_ms=deadline_ms,
+            budget_cents=budget_cents,
+        )
 
     def _parse_select(self, allow_tail: bool = True) -> ast.Select:
         self._expect(TokenType.KEYWORD, "SELECT")

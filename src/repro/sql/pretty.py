@@ -248,4 +248,11 @@ def format_statement(stmt: ast.Statement) -> str:
         return prefix + format_statement(stmt.statement)
     if isinstance(stmt, ast.ShowTables):
         return "SHOW TABLES"
+    if isinstance(stmt, ast.Guarded):
+        text = format_statement(stmt.statement) + " WITH"
+        if stmt.deadline_ms is not None:
+            text += f" DEADLINE {stmt.deadline_ms}"
+        if stmt.budget_cents is not None:
+            text += f" BUDGET {stmt.budget_cents}"
+        return text
     raise TypeError(f"cannot format statement {type(stmt).__name__}")

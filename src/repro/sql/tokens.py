@@ -39,6 +39,8 @@ KEYWORDS = frozenset(
         "CROWD", "CNULL", "CROWDEQUAL", "CROWDORDER",
         # engine statements
         "EXPLAIN", "SHOW", "TABLES", "ANALYZE",
+        # statement guard clause: ... WITH DEADLINE <ms> [BUDGET <cents>]
+        "WITH",
     }
 )
 

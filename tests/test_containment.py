@@ -1,0 +1,541 @@
+"""Failure containment: statement guards, circuit breaker, retry queue.
+
+Covers the robustness layer below the network: the ``WITH
+DEADLINE/BUDGET`` statement syntax, partial results with structured
+reasons, the per-platform circuit breaker with its durable retry queue,
+and deterministic platform fault injection.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import connect
+from repro.crowd.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker, RetryQueue
+from repro.crowd.model import HIT, FillTask
+from repro.crowd.sim.amt import SimulatedAMT
+from repro.crowd.sim.traces import GroundTruthOracle
+from repro.engine.guard import StatementGuard
+from repro.errors import (
+    CircuitOpenError,
+    ParseError,
+    PartialResultStop,
+    TransientPlatformError,
+)
+from repro.sql import ast
+from repro.sql.parser import parse
+from repro.sql.pretty import format_statement
+
+
+# -- WITH DEADLINE/BUDGET syntax ----------------------------------------------
+
+
+class TestGuardSyntax:
+    def test_parse_deadline_and_budget(self):
+        stmt = parse("SELECT 1 WITH DEADLINE 500 BUDGET 20")
+        assert isinstance(stmt, ast.Guarded)
+        assert stmt.deadline_ms == 500
+        assert stmt.budget_cents == 20
+        assert isinstance(stmt.statement, ast.Select)
+
+    def test_parse_single_clause_and_order(self):
+        assert parse("SELECT 1 WITH DEADLINE 5").budget_cents is None
+        assert parse("SELECT 1 WITH BUDGET 9").deadline_ms is None
+        swapped = parse("SELECT 1 WITH BUDGET 9 DEADLINE 5")
+        assert (swapped.deadline_ms, swapped.budget_cents) == (5, 9)
+
+    def test_pretty_round_trips(self):
+        text = "SELECT 1 WITH DEADLINE 500 BUDGET 20"
+        assert parse(format_statement(parse(text))) == parse(text)
+
+    def test_bare_with_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT 1 WITH")
+        with pytest.raises(ParseError):
+            parse("SELECT 1 WITH LIMIT 3")
+
+    def test_budget_still_valid_as_identifier(self):
+        stmt = parse("SELECT budget FROM dept WHERE deadline > 3")
+        assert isinstance(stmt, ast.Select)
+
+    def test_guard_on_compound_select(self):
+        stmt = parse("SELECT 1 UNION SELECT 2 WITH DEADLINE 100")
+        assert isinstance(stmt, ast.Guarded)
+        assert isinstance(stmt.statement, ast.SetOp)
+
+
+# -- StatementGuard -----------------------------------------------------------
+
+
+class _FakeLedger:
+    def __init__(self, cents: int = 0) -> None:
+        self.cents = cents
+
+    def summary(self) -> dict:
+        return {"cost_cents": self.cents}
+
+
+class TestStatementGuard:
+    def test_deadline_trips_on_fake_clock(self):
+        now = [0.0]
+        guard = StatementGuard(deadline_ms=1000, now_fn=lambda: now[0])
+        guard.check()  # within the cap
+        now[0] = 0.9
+        assert not guard.trip_if_expired()
+        now[0] = 1.0
+        assert guard.trip_if_expired()
+        with pytest.raises(PartialResultStop) as info:
+            guard.check()
+        assert info.value.reason == "deadline"
+
+    def test_budget_trips_at_exact_spend(self):
+        ledger = _FakeLedger(cents=0)
+        guard = StatementGuard(budget_cents=5, ledger=ledger)
+        guard.check()
+        ledger.cents = 5  # >= comparison: exact budget is exhausted
+        with pytest.raises(PartialResultStop) as info:
+            guard.check()
+        assert info.value.reason == "budget"
+
+    def test_trip_reason_is_sticky(self):
+        guard = StatementGuard(budget_cents=1, ledger=_FakeLedger(9))
+        stop = guard.trip("budget")
+        assert stop.reason == "budget"
+        assert guard.trip("deadline").reason == "budget"
+
+    def test_inactive_guard_never_trips(self):
+        guard = StatementGuard()
+        assert not guard.active
+        assert not guard.trip_if_expired()
+        guard.check()
+
+
+# -- circuit breaker state machine --------------------------------------------
+
+
+def make_breaker(**kwargs):
+    clock = [0.0]
+    defaults = dict(
+        failure_threshold=3,
+        cooldown_seconds=10.0,
+        half_open_probes=2,
+        min_calls=4,
+        clock=lambda: clock[0],
+    )
+    defaults.update(kwargs)
+    return CircuitBreaker("test", **defaults), clock
+
+
+class TestCircuitBreaker:
+    def test_consecutive_failures_trip(self):
+        breaker, _clock = make_breaker()
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.refused == 1
+
+    def test_cooldown_lets_probes_through(self):
+        breaker, clock = make_breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        clock[0] = 11.0
+        assert breaker.allow()  # first half-open probe
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # second probe (bounded at 2)
+        assert not breaker.allow()  # probe slots exhausted
+
+    def test_probe_successes_close(self):
+        breaker, clock = make_breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock[0] = 11.0
+        breaker.allow()
+        breaker.record_success()
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.closes == 1
+
+    def test_probe_failure_reopens(self):
+        breaker, clock = make_breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock[0] = 11.0
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.opens == 2
+
+    def test_window_failure_rate_trips(self):
+        breaker, _clock = make_breaker(
+            failure_threshold=100, window=10, failure_rate=0.5, min_calls=4
+        )
+        for _ in range(3):
+            breaker.record_success()
+            breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_slow_success_counts_as_failure(self):
+        breaker, _clock = make_breaker(latency_threshold=1.0)
+        for _ in range(3):
+            breaker.record_success(latency=5.0)
+        assert breaker.state == OPEN
+
+    def test_callbacks_fire_with_breaker_name(self):
+        events = []
+        breaker, clock = make_breaker(
+            on_open=lambda name: events.append(("open", name)),
+            on_close=lambda name: events.append(("close", name)),
+        )
+        for _ in range(3):
+            breaker.record_failure()
+        clock[0] = 11.0
+        breaker.allow()
+        breaker.record_success()
+        breaker.allow()
+        breaker.record_success()
+        assert events == [("open", "test"), ("close", "test")]
+
+    def test_snapshot_reports_state_code_and_rate(self):
+        breaker, _clock = make_breaker()
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap["state"] == 0  # closed
+        assert snap["consecutive_failures"] == 1
+        assert snap["window_failure_rate"] == 1.0
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.snapshot()["state"] == 2  # open
+
+    @pytest.mark.concurrency
+    def test_half_open_probes_race_recovery(self):
+        """Threads hammer a half-open breaker: the probe bound must hold
+        and concurrent successes must close it exactly once."""
+        closes = []
+        breaker, clock = make_breaker(
+            half_open_probes=2,
+            on_close=lambda name: closes.append(name),
+        )
+        for _ in range(3):
+            breaker.record_failure()
+        clock[0] = 11.0
+        admitted = []
+        barrier = threading.Barrier(8)
+
+        def probe():
+            barrier.wait()
+            if breaker.allow():
+                admitted.append(1)
+                breaker.record_success()
+
+        threads = [threading.Thread(target=probe) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert breaker.state == CLOSED
+        assert closes == ["test"]  # closed exactly once
+        assert len(admitted) >= 2  # at least the bounded probes got in
+
+
+# -- retry queue --------------------------------------------------------------
+
+
+class TestRetryQueue:
+    def test_park_drain_requeue(self):
+        queue = RetryQueue()
+        queue.park({"kind": "fill", "n": 1})
+        queue.park({"kind": "fill", "n": 2})
+        entries = queue.drain()
+        assert [e["n"] for e in entries] == [1, 2]
+        assert len(queue) == 0
+        queue.requeue(entries[1:])
+        assert [e["n"] for e in queue.drain()] == [2]
+
+    def test_durable_roundtrip(self, tmp_path):
+        path = str(tmp_path / "retry.jsonl")
+        queue = RetryQueue()
+        queue.bind_path(path)
+        queue.park({"kind": "eq", "left": "a"})
+        queue.park({"kind": "ord", "question": "q"})
+        fresh = RetryQueue()
+        recovered = fresh.bind_path(path)
+        assert recovered == 2
+        assert [e["kind"] for e in fresh.drain()] == ["eq", "ord"]
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = tmp_path / "retry.jsonl"
+        queue = RetryQueue()
+        queue.bind_path(str(path))
+        queue.park({"kind": "fill"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "tr')  # crash mid-append
+        fresh = RetryQueue()
+        assert fresh.bind_path(str(path)) == 1
+
+
+# -- deterministic platform fault injection -----------------------------------
+
+
+def make_hit():
+    task = FillTask(
+        table="Talk",
+        primary_key=("t",),
+        columns=("abstract",),
+        known_values={"title": "t"},
+    )
+    return HIT(task=task, reward_cents=2, assignments_requested=1)
+
+
+class TestSimFaultInjection:
+    def _platform(self):
+        oracle = GroundTruthOracle()
+        oracle.load_fill("Talk", ("t",), {"abstract": "x"})
+        return SimulatedAMT(oracle, population=20, seed=3)
+
+    def test_inject_outage_fails_exactly_n_calls(self):
+        platform = self._platform()
+        platform.inject_outage(2)
+        for _ in range(2):
+            with pytest.raises(TransientPlatformError):
+                platform.post_hit(make_hit())
+        platform.post_hit(make_hit())  # third call goes through
+        assert platform.faults_injected == 2
+
+    def test_inject_latency_burns_simulated_time(self):
+        platform = self._platform()
+        before = platform.clock.now
+        platform.inject_latency(120.0, calls=1)
+        platform.post_hit(make_hit())
+        assert platform.clock.now >= before + 120.0
+        assert platform.faults_injected == 1
+        # only the armed number of calls stall
+        at = platform.clock.now
+        platform.post_hit(make_hit())
+        assert platform.clock.now == at
+
+
+# -- end-to-end: partial results and breaker degradation ----------------------
+
+
+PERSON_DDL = """CREATE TABLE person (
+    name STRING PRIMARY KEY,
+    city CROWD STRING
+)"""
+
+
+def person_oracle(count: int = 4) -> GroundTruthOracle:
+    oracle = GroundTruthOracle()
+    for i in range(count):
+        oracle.load_fill("person", (f"p{i}",), {"city": f"city{i}"})
+    return oracle
+
+
+def crowd_conn(**kwargs):
+    conn = connect(oracle=person_oracle(), seed=11, **kwargs)
+    conn.execute(PERSON_DDL)
+    for i in range(4):
+        conn.execute(f"INSERT INTO person (name) VALUES ('p{i}')")
+    return conn
+
+
+class TestPartialResults:
+    def test_deadline_returns_partial_with_reason(self):
+        conn = crowd_conn()
+        result = conn.execute("SELECT name, city FROM person WITH DEADLINE 1")
+        assert result.status == "partial"
+        assert result.partial_reason == "deadline"
+        stats = conn.crowd_stats
+        assert stats.get("partial_results", 0) >= 1
+        assert stats.get("partial_deadline", 0) >= 1
+        conn.close()
+
+    def test_zero_budget_returns_partial_budget(self):
+        conn = crowd_conn()
+        result = conn.execute("SELECT name, city FROM person WITH BUDGET 0")
+        assert result.status == "partial"
+        assert result.partial_reason == "budget"
+        conn.close()
+
+    def test_generous_caps_still_complete(self):
+        conn = crowd_conn()
+        result = conn.execute(
+            "SELECT name, city FROM person WITH DEADLINE 100000000 BUDGET 100000"
+        )
+        assert result.status == "complete"
+        assert result.partial_reason is None
+        # sim workers add answer noise (case/typos); check shape, not text
+        assert sorted(name for name, _city in result.rows) == [
+            f"p{i}" for i in range(4)
+        ]
+        assert all(city for _name, city in result.rows)
+        conn.close()
+
+    def test_connect_default_caps_apply(self):
+        conn = crowd_conn(statement_deadline_ms=1)
+        result = conn.execute("SELECT name, city FROM person")
+        assert result.status == "partial"
+        assert result.partial_reason == "deadline"
+        conn.close()
+
+    def test_statement_clause_overrides_connect_default(self):
+        conn = crowd_conn(statement_deadline_ms=1)
+        result = conn.execute(
+            "SELECT name, city FROM person WITH DEADLINE 100000000"
+        )
+        assert result.status == "complete"
+        conn.close()
+
+    def test_partial_futures_reused_on_retry(self):
+        """A capped statement leaves its futures in the shared pool; a
+        later uncapped retry settles them without reposting HITs."""
+        conn = crowd_conn()
+        conn.execute("SELECT name, city FROM person WITH DEADLINE 1")
+        posted_after_first = conn.crowd_stats.get("hits_posted", 0)
+        result = conn.execute("SELECT name, city FROM person")
+        assert result.status == "complete"
+        assert conn.crowd_stats.get("hits_posted", 0) == posted_after_first
+        conn.close()
+
+    def test_electronic_statements_unaffected_by_caps(self):
+        conn = connect(oracle=person_oracle(), seed=11, statement_deadline_ms=1)
+        conn.execute("CREATE TABLE plain (a INTEGER)")
+        conn.execute("INSERT INTO plain VALUES (1), (2)")
+        result = conn.execute("SELECT a FROM plain ORDER BY a")
+        assert result.status == "complete"
+        assert result.rows == [(1,), (2,)]
+        conn.close()
+
+
+class TestBreakerIntegration:
+    def _tripped_conn(self):
+        """A connection whose amt breaker has been driven open."""
+        conn = crowd_conn(
+            breaker_failure_threshold=2,
+            breaker_cooldown_seconds=3600.0,
+        )
+        amt = conn.platforms.get("amt")
+        amt.inject_outage(100)  # outlasts every retry
+        # the tripping statement itself degrades: the breaker opens mid
+        # retry, the refused fills are parked, and the rows settle short
+        result = conn.execute("SELECT name, city FROM person")
+        assert result.status == "partial"
+        assert result.partial_reason == "breaker"
+        assert conn.task_manager.breakers["amt"].state == OPEN
+        return conn
+
+    def test_open_breaker_degrades_to_partial(self):
+        conn = self._tripped_conn()
+        result = conn.execute("SELECT name, city FROM person")
+        assert result.status == "partial"
+        assert result.partial_reason == "breaker"
+        conn.close()
+
+    def test_open_breaker_parks_work_in_retry_queue(self):
+        conn = self._tripped_conn()
+        conn.execute("SELECT name, city FROM person")
+        assert len(conn.task_manager.retry_queue) > 0
+        assert conn.crowd_stats.get("breaker_parked", 0) > 0
+        conn.close()
+
+    def test_breaker_state_in_metrics(self):
+        conn = self._tripped_conn()
+        text = conn.metrics_text()
+        assert 'crowddb_breaker_state{platform="amt"} 2' in text
+        assert "crowddb_breaker_retry_queue_depth" in text
+        assert conn.crowd_stats.get("breaker_opens", 0) >= 1
+        conn.close()
+
+    def test_electronic_work_proceeds_while_breaker_open(self):
+        conn = self._tripped_conn()
+        conn.execute("CREATE TABLE plain (a INTEGER)")
+        conn.execute("INSERT INTO plain VALUES (7)")
+        assert conn.execute("SELECT a FROM plain").rows == [(7,)]
+        conn.close()
+
+    def test_settled_work_supersedes_parked_copy(self):
+        """A retried statement reissues its own fills; once they settle,
+        the parked copies must be discarded, not replayed (replaying
+        would buy the already-settled answers a second time)."""
+        conn = self._tripped_conn()
+        assert len(conn.task_manager.retry_queue) > 0
+        conn.platforms.get("amt").inject_outage(0)
+        breaker = conn.task_manager.breakers["amt"]
+        breaker.cooldown_seconds = 0.0  # cooldown elapses "immediately"
+        result = conn.execute("SELECT name, city FROM person")
+        assert result.status == "complete"
+        assert breaker.state == CLOSED
+        assert len(conn.task_manager.retry_queue) == 0
+        stats = conn.crowd_stats
+        assert stats.get("breaker_parked_superseded", 0) >= 1
+        assert stats.get("breaker_replayed", 0) == 0  # nothing rebought
+        conn.close()
+
+    def test_recovery_replays_parked_work(self):
+        conn = crowd_conn(
+            breaker_failure_threshold=2,
+            breaker_cooldown_seconds=3600.0,
+            breaker_half_open_probes=1,
+        )
+        amt = conn.platforms.get("amt")
+        amt.inject_outage(100)
+        result = conn.execute("SELECT city FROM person WHERE name = 'p3'")
+        assert result.partial_reason == "breaker"  # parks p3's fill
+        parked = len(conn.task_manager.retry_queue)
+        assert parked >= 1
+        amt.inject_outage(0)  # platform healthy again
+        breaker = conn.task_manager.breakers["amt"]
+        breaker.cooldown_seconds = 0.0
+        # a statement on a different row: its single probe succeeds and
+        # closes the breaker; p3's parked fill is untouched
+        narrow = conn.execute("SELECT city FROM person WHERE name = 'p0'")
+        assert narrow.status == "complete"
+        assert breaker.state == CLOSED
+        assert len(conn.task_manager.retry_queue) == parked
+        # the next crowd activity replays the parked fill automatically
+        conn.execute("SELECT city FROM person WHERE name = 'p1'")
+        assert len(conn.task_manager.retry_queue) == 0
+        assert conn.crowd_stats.get("breaker_replayed", 0) >= 1
+        conn.close()
+
+    def test_breaker_disabled_keeps_legacy_behavior(self):
+        conn = crowd_conn(breaker_enabled=False)
+        amt = conn.platforms.get("amt")
+        amt.inject_outage(100)
+        with pytest.raises(TransientPlatformError):
+            conn.execute("SELECT name, city FROM person")
+        assert conn.task_manager.breakers == {}
+        conn.close()
+
+    def test_circuit_open_error_is_transient_subclass(self):
+        # callers catching TransientPlatformError keep working
+        assert issubclass(CircuitOpenError, TransientPlatformError)
+
+    def test_retry_queue_durable_across_restart(self, tmp_path):
+        path = str(tmp_path / "db")
+        conn = connect(
+            oracle=person_oracle(1),
+            seed=11,
+            path=path,
+            breaker_failure_threshold=2,
+            breaker_cooldown_seconds=3600.0,
+        )
+        conn.execute(PERSON_DDL)
+        conn.execute("INSERT INTO person (name) VALUES ('p0')")
+        amt = conn.platforms.get("amt")
+        amt.inject_outage(100)
+        result = conn.execute("SELECT name, city FROM person")
+        assert result.partial_reason == "breaker"  # parks the refused fill
+        parked = len(conn.task_manager.retry_queue)
+        assert parked > 0
+        conn.close()
+        fresh = connect(oracle=person_oracle(1), seed=11, path=path)
+        assert len(fresh.task_manager.retry_queue) == parked
+        fresh.close()
